@@ -1,0 +1,30 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one experiment from DESIGN.md §4 and prints the
+table/series the platform documentation reports (run with ``-s`` to see
+them, or read the captured output).  The timed portion under
+``benchmark`` is the experiment's dominant computation, so
+``--benchmark-only`` runs double as a performance regression check on
+the simulator itself.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def print_table(title: str, header: list[str], rows: list[list[object]]) -> None:
+    """Render one experiment table to stdout."""
+    out = sys.stdout
+    out.write(f"\n=== {title} ===\n")
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    out.write("  ".join(str(h).ljust(w) for h, w in zip(header, widths)) + "\n")
+    for row in rows:
+        out.write("  ".join(str(c).ljust(w) for c, w in zip(row, widths)) + "\n")
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"

@@ -1,0 +1,107 @@
+"""E13 — Network security on the platform (§1: the 1G-CML niche).
+
+Two series for the contributed firewall project:
+
+* **ACL depth ablation**: behavioural forwarding cost and modelled TCAM
+  LUT cost vs installed rule count — the engineering trade that sizes
+  the policy table;
+* **SYN-flood mitigation**: attack traffic admitted vs detector
+  threshold, with the legitimate-flow collateral (should be zero).
+"""
+
+import time
+
+from repro.host.firewall_manager import FirewallManager
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.packet.ipv4 import Ipv4Packet
+from repro.packet.tcp import FLAG_ACK, FLAG_SYN, TcpSegment
+from repro.projects.base import PortRef
+from repro.projects.firewall import FirewallProject, SynFloodDetector
+
+from benchmarks.conftest import fmt, print_table
+
+RULE_COUNTS = (4, 16, 64, 256)
+THRESHOLDS = (8, 32, 128)
+ATTACK_SYNS = 400
+LEGIT_PACKETS = 50
+
+
+def _tcp(src_value: int, dst_value: int, dport: int, flags: int) -> bytes:
+    src, dst = Ipv4Addr(src_value), Ipv4Addr(dst_value)
+    seg = TcpSegment(40000 + src_value % 1000, dport, flags=flags)
+    packet = Ipv4Packet(src, dst, 6, seg.pack(src, dst))
+    return EthernetFrame(
+        MacAddr(0x02_00_00_00_00_02), MacAddr(0x02_00_00_00_00_01),
+        ETHERTYPE_IPV4, packet.pack(),
+    ).pack()
+
+
+def _acl_point(rules: int) -> tuple[float, int]:
+    firewall = FirewallProject(acl_slots=max(rules, 4), default_permit=True)
+    manager = FirewallManager(firewall)
+    for slot in range(rules):
+        manager.deny(slot, dst_ip=0xC0A80000 + slot, dport=7)  # never matches
+    frame = _tcp(0x0A000001, 0x0A000002, 80, FLAG_ACK)
+    ingress = PortRef("phys", 0)
+    count = 400
+    start = time.perf_counter()
+    for _ in range(count):
+        firewall.forward_behavioural(frame, ingress)
+    per_packet_ns = (time.perf_counter() - start) / count * 1e9
+    luts = firewall.firewall.acl.resources().luts
+    return per_packet_ns, luts
+
+
+def _flood_point(threshold: int) -> tuple[int, int, int]:
+    firewall = FirewallProject(
+        detector=SynFloodDetector(threshold=threshold, window_packets=100_000)
+    )
+    ingress = PortRef("phys", 0)
+    victim = 0xC0A8010A
+    admitted_attack = 0
+    legit_delivered = 0
+    for i in range(ATTACK_SYNS):
+        syn = _tcp(0x0A000000 + i, victim, 80, FLAG_SYN)
+        if firewall.forward_behavioural(syn, ingress):
+            admitted_attack += 1
+        if i % (ATTACK_SYNS // LEGIT_PACKETS) == 0:
+            ack = _tcp(0x0B000001, victim, 80, FLAG_ACK)
+            if firewall.forward_behavioural(ack, ingress):
+                legit_delivered += 1
+    return admitted_attack, legit_delivered, firewall.firewall.detector.blocks_triggered
+
+
+def test_e13_firewall(benchmark):
+    def run_all():
+        acl = {rules: _acl_point(rules) for rules in RULE_COUNTS}
+        flood = {threshold: _flood_point(threshold) for threshold in THRESHOLDS}
+        return acl, flood
+
+    acl, flood = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_table(
+        "E13a: ACL depth ablation (miss-path cost, modelled TCAM LUTs)",
+        ["rules", "ns/packet (model)", "TCAM LUTs"],
+        [[rules, fmt(acl[rules][0], 0), acl[rules][1]] for rules in RULE_COUNTS],
+    )
+    print_table(
+        f"E13b: SYN-flood mitigation ({ATTACK_SYNS} attack SYNs, "
+        f"{LEGIT_PACKETS} legit packets interleaved)",
+        ["threshold", "attack admitted", "legit delivered", "blocks"],
+        [[t, *flood[t]] for t in THRESHOLDS],
+    )
+
+    # ACL hardware cost grows linearly with depth (the table-sizing trade).
+    luts = [acl[rules][1] for rules in RULE_COUNTS]
+    assert luts == sorted(luts) and luts[-1] > 20 * luts[0]
+    # Mitigation: the attack leak equals threshold-1; legit traffic is
+    # untouched at every setting.
+    for threshold in THRESHOLDS:
+        admitted, legit, blocks = flood[threshold]
+        assert admitted == threshold - 1
+        assert legit == LEGIT_PACKETS
+        assert blocks == 1
+    benchmark.extra_info["leak_by_threshold"] = {
+        t: flood[t][0] for t in THRESHOLDS
+    }

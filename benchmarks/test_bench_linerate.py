@@ -1,0 +1,79 @@
+"""E2 — "I/O capabilities up to 100Gbps" (§1, §2).
+
+The classic Ethernet rate-vs-frame-size series: for 10/40/100G
+interfaces, achieved MAC-payload throughput against frame size, measured
+on the event-driven MAC model and checked against the analytic curve.
+Expected shape: a rising curve saturating near line rate at large
+frames; 100G = 10 x 10G at every size; small frames lose ~24% to the
+20-byte preamble/IFG tax.
+"""
+
+import pytest
+
+from repro.board.mac import (
+    EthernetMacModel,
+    Wire,
+    effective_throughput_bps,
+)
+from repro.core.eventsim import EventSimulator
+from repro.packet.generator import TrafficSpec
+from repro.utils.units import GBPS
+
+from benchmarks.conftest import fmt, print_table
+
+FRAME_SIZES = (64, 128, 256, 512, 1024, 1518)
+RATES = ((10 * GBPS, "10G"), (40 * GBPS, "40G"), (100 * GBPS, "100G"))
+FRAMES_PER_POINT = 150
+
+
+def _measure(rate_bps: float, size: int) -> float:
+    sim = EventSimulator()
+    tx = EthernetMacModel(sim, "tx", rate_bps=rate_bps)
+    rx = EthernetMacModel(sim, "rx", rate_bps=rate_bps)
+    Wire(sim, tx, rx)
+    stamps = []
+    rx.rx_callback = lambda frame, t: stamps.append(t)
+    frame = next(TrafficSpec.fixed(size).frames(1)).pack()
+    for _ in range(FRAMES_PER_POINT):
+        tx.transmit(frame)
+    sim.run_until_idle()
+    span_s = (stamps[-1] - stamps[0]) * 1e-9
+    return (FRAMES_PER_POINT - 1) * size * 8 / span_s
+
+
+def test_e2_linerate_vs_frame_size(benchmark):
+    def sweep():
+        return {
+            (label, size): _measure(rate, size)
+            for rate, label in RATES
+            for size in FRAME_SIZES
+        }
+
+    measured = benchmark(sweep)
+
+    rows = []
+    for size in FRAME_SIZES:
+        row = [size]
+        for rate, label in RATES:
+            achieved = measured[(label, size)]
+            expected = effective_throughput_bps(size, rate)
+            assert achieved == pytest.approx(expected, rel=0.002)
+            row.append(fmt(achieved / GBPS))
+        rows.append(row)
+    print_table(
+        "E2: achieved throughput (Gb/s) vs frame size — event model",
+        ["frame B", "10G", "40G", "100G"],
+        rows,
+    )
+
+    # Shape checks (the reproduction criteria).
+    for rate, label in RATES:
+        series = [measured[(label, size)] for size in FRAME_SIZES]
+        assert series == sorted(series)  # monotone rising
+        assert series[-1] > 0.98 * rate  # saturates near line rate
+        assert series[0] < 0.80 * rate  # small-frame tax visible
+    for size in FRAME_SIZES:
+        assert measured[("100G", size)] == pytest.approx(
+            10 * measured[("10G", size)], rel=0.01
+        )
+    benchmark.extra_info["points"] = len(measured)

@@ -1,0 +1,78 @@
+"""E5 — OSNT: generator rate precision and timestamp fidelity ([1]).
+
+Reproduces the two headline numbers of the OSNT paper on the model:
+
+* generator precision: configured vs achieved rate across the sweep —
+  the error stays within a fraction of a percent;
+* latency measurement: the monitor's embedded-stamp latency estimate vs
+  the known ground truth (serialization + wire delay) and its jitter.
+"""
+
+import pytest
+
+from repro.board.mac import EthernetMacModel, Wire, serialization_time_ns
+from repro.core.eventsim import EventSimulator
+from repro.packet.generator import TrafficSpec
+from repro.projects.osnt import GeneratorConfig, OsntGenerator, OsntMonitor
+from repro.utils.units import GBPS
+
+from benchmarks.conftest import fmt, print_table
+
+RATE_SWEEP = (0.5 * GBPS, 1 * GBPS, 2 * GBPS, 4 * GBPS, 8 * GBPS)
+FRAME_SIZE = 512
+FRAMES = 300
+WIRE_DELAY_NS = 2_000.0
+
+
+def _run_point(rate_bps):
+    sim = EventSimulator()
+    tx = EthernetMacModel(sim, "tx", rate_bps=10 * GBPS)
+    rx = EthernetMacModel(sim, "rx", rate_bps=10 * GBPS)
+    Wire(sim, tx, rx, propagation_delay_ns=WIRE_DELAY_NS)
+    generator = OsntGenerator(sim, tx)
+    monitor = OsntMonitor(rx)
+    generator.load_frames(
+        [f.pack() for f in TrafficSpec.fixed(FRAME_SIZE).frames(FRAMES)]
+    )
+    generator.start(GeneratorConfig(rate_bps=rate_bps))
+    sim.run_until_idle()
+    # The monitor sees FCS-stripped frames (FRAME_SIZE - 4 bytes); scale
+    # back to wire rate including FCS + preamble + IFG.
+    wire_rate = monitor.mean_rate_bps() * (FRAME_SIZE + 20) / (FRAME_SIZE - 4)
+    return wire_rate, monitor.latency_summary(), monitor.stats
+
+
+def test_e5_osnt_precision(benchmark):
+    def sweep():
+        return {rate: _run_point(rate) for rate in RATE_SWEEP}
+
+    results = benchmark(sweep)
+
+    truth = serialization_time_ns(FRAME_SIZE, 10 * GBPS) + WIRE_DELAY_NS
+    rows = []
+    for rate, (wire_rate, latency, stats) in results.items():
+        error_pct = 100 * abs(wire_rate - rate) / rate
+        jitter = latency["max"] - latency["min"]
+        rows.append(
+            [
+                fmt(rate / GBPS, 1),
+                fmt(wire_rate / GBPS, 3),
+                fmt(error_pct, 3),
+                fmt(latency["mean"], 1),
+                fmt(truth, 1),
+                fmt(jitter, 1),
+                int(stats.lost),
+            ]
+        )
+    print_table(
+        "E5: OSNT generator precision and monitor latency fidelity",
+        ["set Gb/s", "meas Gb/s", "err %", "lat ns", "truth ns", "jitter ns", "lost"],
+        rows,
+    )
+
+    for rate, (wire_rate, latency, stats) in results.items():
+        assert wire_rate == pytest.approx(rate, rel=0.005)  # sub-0.5% precision
+        assert latency["mean"] == pytest.approx(truth, rel=0.005)
+        assert latency["max"] - latency["min"] < 10.0  # ns-scale jitter
+        assert stats.lost == 0
+    benchmark.extra_info["sweep_points"] = len(results)

@@ -1,0 +1,154 @@
+"""E3 — Reference projects run out of the box (§3, claim C2).
+
+For each reference project, measured in the cycle kernel:
+
+* cut-through latency (cycles and ns) of a single packet, port to port;
+* sustained throughput with all four ports loaded and egress paced at
+  the 10G MAC drain rate, per frame size.
+
+Expected shape: NIC/switch_lite have the shallowest lookup latency, the
+learning switch sits in between, the router is deepest (its LPM + ARP +
+checksum pipeline); all projects sustain the paced line rate at large
+frames.
+"""
+
+from repro.core.axis import StreamPacket, StreamSink, StreamSource
+from repro.core.simulator import Simulator
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.generator import make_udp_frame
+from repro.projects.base import PortRef
+from repro.projects.reference_nic import ReferenceNic
+from repro.projects.reference_router import ReferenceRouter
+from repro.projects.reference_switch import ReferenceSwitch, ReferenceSwitchLite
+
+from benchmarks.conftest import fmt, print_table
+
+CLOCK_NS = 5.0
+def _router_with_arp():
+    router = ReferenceRouter()
+    for i in range(4):
+        router.tables.add_arp(
+            Ipv4Addr.parse(f"10.0.{i}.2"), MacAddr(0x02BB00000000 + i)
+        )
+    return router
+
+
+def _stimulus_for(project_name: str, src_port: int, size: int) -> bytes:
+    """A frame the given project forwards from physical port ``src_port``."""
+    if project_name == "reference_router":
+        tables = ReferenceRouter().tables
+        return make_udp_frame(
+            MacAddr(0x02AA00000000 + src_port),
+            tables.port_macs[src_port],
+            Ipv4Addr.parse(f"10.0.{src_port}.9"),
+            Ipv4Addr.parse(f"10.0.{(src_port + 1) % 4}.2"),
+            size=size,
+            ttl=16,
+        ).pack()
+    return make_udp_frame(
+        MacAddr(0x02AA00000000 + src_port),
+        MacAddr(0x02AC00000000 + src_port),
+        Ipv4Addr(0x0A000000 + src_port),
+        Ipv4Addr(0x0A010000 + src_port),
+        size=size,
+    ).pack()
+
+
+PROJECTS = [
+    ("reference_nic", ReferenceNic),
+    ("reference_switch_lite", ReferenceSwitchLite),
+    ("reference_switch", ReferenceSwitch),
+    ("reference_router", lambda: _router_with_arp()),
+]
+
+
+def _latency_cycles(factory, name) -> int:
+    """First-bit-in to first-bit-out for one max-size packet."""
+    project = factory()
+    sim = Simulator()
+    sources = {p: StreamSource(f"s_{p}", project.rx[p]) for p in project.ports}
+    sinks = {p: StreamSink(f"k_{p}", project.tx[p]) for p in project.ports}
+    for module in (*sources.values(), project, *sinks.values()):
+        sim.add(module)
+    frame = _stimulus_for(name, 0, 1518)
+    ingress = PortRef("phys", 0)
+    sources[ingress].send(StreamPacket(frame).with_src_port(ingress.bit))
+    first_out = None
+
+    def any_output_started():
+        nonlocal first_out
+        if first_out is None:
+            for port, sink in sinks.items():
+                if sink._partial or sink.packets:
+                    first_out = sim.cycle
+        return first_out is not None
+
+    sim.run_until(any_output_started, max_cycles=5000)
+    return first_out
+
+
+def _throughput_gbps(factory, name, size: int, packets_per_port: int = 12) -> float:
+    project = factory()
+    sim = Simulator()
+    sources = {p: StreamSource(f"s_{p}", project.rx[p]) for p in project.ports}
+    sinks = {
+        p: StreamSink(
+            f"k_{p}", project.tx[p],
+            backpressure=(lambda c: c % 5 != 0) if p.kind == "phys" else None,
+        )
+        for p in project.ports
+    }
+    for module in (*sources.values(), project, *sinks.values()):
+        sim.add(module)
+    total_sent = 0
+    for i in range(4):
+        ingress = PortRef("phys", i)
+        frame = _stimulus_for(name, i, size)
+        for _ in range(packets_per_port):
+            sources[ingress].send(StreamPacket(frame).with_src_port(ingress.bit))
+            total_sent += 1
+
+    def drained():
+        got = sum(len(s.packets) for s in sinks.values())
+        return all(src.idle for src in sources.values()) and got >= total_sent
+
+    sim.run_until(drained, max_cycles=200_000)
+    bytes_out = sum(sum(len(p.data) for p in s.packets) for s in sinks.values())
+    return bytes_out * 8 / (sim.cycle * CLOCK_NS * 1e-9) / 1e9
+
+
+def test_e3_project_latency_and_throughput(benchmark):
+    def run_experiment():
+        latency = {name: _latency_cycles(factory, name) for name, factory in PROJECTS}
+        throughput = {
+            (name, size): _throughput_gbps(factory, name, size)
+            for name, factory in PROJECTS
+            for size in (256, 1518)
+        }
+        return latency, throughput
+
+    latency, throughput = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print_table(
+        "E3a: cut-through latency (first bit in -> first bit out)",
+        ["project", "cycles", "ns"],
+        [[name, latency[name], fmt(latency[name] * CLOCK_NS, 0)] for name, _ in PROJECTS],
+    )
+    print_table(
+        "E3b: aggregate forwarded throughput, 4 ports @ 10G pacing (Gb/s)",
+        ["project", "256B", "1518B"],
+        [
+            [name, fmt(throughput[(name, 256)]), fmt(throughput[(name, 1518)])]
+            for name, _ in PROJECTS
+        ],
+    )
+
+    # Shape: the router's lookup pipeline is the deepest; the wired
+    # NIC/switch_lite lookups are the shallowest.
+    assert latency["reference_router"] > latency["reference_switch"]
+    assert latency["reference_switch"] > latency["reference_nic"]
+    assert latency["reference_switch_lite"] <= latency["reference_switch"]
+    # All projects sustain multi-Gb/s aggregate forwarding at MTU.
+    for name, _ in PROJECTS:
+        assert throughput[(name, 1518)] > 8.0
+    benchmark.extra_info["latency_cycles"] = latency

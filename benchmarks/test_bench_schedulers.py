@@ -1,0 +1,192 @@
+"""E7 — Modularity: swap the output-queue scheduler (§3, claim C3).
+
+The paper's scheduling-researcher scenario: the reference router with
+its OQ discipline swapped between FIFO, strict priority and DRR —
+*nothing else changes* (the bench constructs all three from the same
+project class and asserts the rest of the tree is identical).
+
+Workload: an EF-marked small flow and a best-effort bulk flow converge
+on one egress paced at the 10G MAC rate.  Reported per scheduler: mean
+departure position and per-class byte share of the first half of the
+drain — the signature of each discipline.
+"""
+
+import pytest
+
+from repro.cores.output_queues import QueueConfig, classify_by_dscp
+from repro.cores.router_lookup import RouterLookup
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.checksum import internet_checksum
+from repro.packet.generator import make_udp_frame
+from repro.projects.base import PortRef, ReferencePipeline
+from repro.projects.reference_router import ReferenceRouter, default_router_tables
+from repro.testenv.harness import Stimulus, run_sim
+
+from benchmarks.conftest import fmt, print_table
+
+SCHEDULERS = ("fifo", "strict", "drr")
+PAIRS = 14
+
+
+def make_router(scheduler: str) -> ReferenceRouter:
+    tables = default_router_tables()
+    tables.add_arp(Ipv4Addr.parse("10.0.1.2"), MacAddr(0x02BB00000002))
+    router = ReferenceRouter.__new__(ReferenceRouter)
+    router.tables = tables
+    config = (
+        QueueConfig()
+        if scheduler == "fifo"
+        else QueueConfig(classes=4, capacity_bytes=64 * 1024, scheduler=scheduler)
+    )
+    ReferencePipeline.__init__(
+        router,
+        f"router_{scheduler}",
+        lambda n, s, m: RouterLookup(n, s, m, tables),
+        config,
+        classify=None if scheduler == "fifo" else classify_by_dscp(4),
+    )
+    return router
+
+
+def _mark_dscp(frame: bytes, dscp: int) -> bytes:
+    data = bytearray(frame)
+    data[15] = dscp << 2
+    data[24:26] = b"\x00\x00"
+    data[24:26] = internet_checksum(bytes(data[14:34])).to_bytes(2, "big")
+    return bytes(data)
+
+
+def traffic() -> list[Stimulus]:
+    tables = default_router_tables()
+    stimuli = []
+    for _ in range(PAIRS):
+        gold = make_udp_frame(
+            MacAddr(0x02AA00000001), tables.port_macs[0],
+            Ipv4Addr.parse("10.0.0.9"), Ipv4Addr.parse("10.0.1.2"),
+            size=96, ttl=16,
+        ).pack()
+        bulk = make_udp_frame(
+            MacAddr(0x02AA00000003), tables.port_macs[2],
+            Ipv4Addr.parse("10.0.2.7"), Ipv4Addr.parse("10.0.1.2"),
+            size=1024, ttl=16,
+        ).pack()
+        stimuli.append(Stimulus(PortRef("phys", 0), _mark_dscp(gold, 46)))
+        stimuli.append(Stimulus(PortRef("phys", 2), bulk))
+    return stimuli
+
+
+def _run(scheduler: str):
+    result = run_sim(make_router(scheduler), traffic(),
+                     egress_pacing=lambda c: c % 5 != 0)
+    sizes = [len(frame) for frame in result.at(PortRef("phys", 1))]
+    return sizes
+
+
+def test_e7_scheduler_swap(benchmark):
+    def run_all():
+        return {scheduler: _run(scheduler) for scheduler in SCHEDULERS}
+
+    departures = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    stats = {}
+    for scheduler in SCHEDULERS:
+        sizes = departures[scheduler]
+        assert len(sizes) == 2 * PAIRS  # nothing lost under any discipline
+        small_pos = [i for i, s in enumerate(sizes) if s < 200]
+        large_pos = [i for i, s in enumerate(sizes) if s >= 200]
+        half = sizes[: len(sizes) // 2]
+        small_share = sum(s for s in half if s < 200) / sum(half)
+        stats[scheduler] = (
+            sum(small_pos) / len(small_pos),
+            sum(large_pos) / len(large_pos),
+            small_share,
+        )
+        rows.append(
+            [scheduler, fmt(stats[scheduler][0], 1), fmt(stats[scheduler][1], 1),
+             f"{small_share:.1%}"]
+        )
+    print_table(
+        "E7: router scheduler swap — EF (96B) vs bulk (1024B) into one 10G egress",
+        ["scheduler", "EF mean pos", "bulk mean pos", "EF byte share (1st half)"],
+        rows,
+    )
+
+    # FIFO keeps arrival interleave: positions roughly equal.
+    fifo_small, fifo_large, _ = stats["fifo"]
+    assert abs(fifo_small - fifo_large) < 3
+    # Strict priority pulls EF far ahead.
+    strict_small, strict_large, _ = stats["strict"]
+    assert strict_small < fifo_small
+    assert strict_large > strict_small + 4
+    # DRR also favours the light class but bounded by byte fairness.
+    drr_small, drr_large, _ = stats["drr"]
+    assert drr_small < drr_large
+
+    # Modularity check: the three routers differ ONLY in the OQ config.
+    trees = {
+        scheduler: [type(m).__name__ for m in make_router(scheduler).walk()]
+        for scheduler in SCHEDULERS
+    }
+    assert trees["fifo"] == trees["strict"] == trees["drr"]
+    benchmark.extra_info["stats"] = {k: tuple(map(float, v)) for k, v in stats.items()}
+
+
+def test_e7b_ecn_marking(benchmark):
+    """E7b — AQM ablation: ECN marks vs threshold under fixed congestion.
+
+    The same congestion workload with the output queue's ECN threshold
+    swept: lower thresholds mark more aggressively, tail drops stay at
+    zero while capacity absorbs the burst — the knob a DCTCP-style
+    deployment tunes.
+    """
+    from repro.cores.router_lookup import RouterLookup
+
+    def run_threshold(threshold):
+        tables = default_router_tables()
+        tables.add_arp(Ipv4Addr.parse("10.0.1.2"), MacAddr(0x02BB00000002))
+        router = ReferenceRouter.__new__(ReferenceRouter)
+        router.tables = tables
+        ReferencePipeline.__init__(
+            router, f"router_ecn_{threshold}",
+            lambda n, s, m: RouterLookup(n, s, m, tables),
+            QueueConfig(capacity_bytes=1 << 20, ecn_threshold_bytes=threshold),
+        )
+        # ECT(0)-marked bulk traffic from two ports into one egress.
+        stimuli = []
+        for _ in range(10):
+            for ingress, subnet in ((0, 0), (2, 2)):
+                frame = bytearray(make_udp_frame(
+                    MacAddr(0x02AA00000001 + ingress), tables.port_macs[ingress],
+                    Ipv4Addr.parse(f"10.0.{subnet}.9"), Ipv4Addr.parse("10.0.1.2"),
+                    size=1024, ttl=16,
+                ).pack())
+                frame[15] = (frame[15] & ~0x3) | 0b10  # ECT(0)
+                _fix_checksum(frame)
+                stimuli.append(Stimulus(PortRef("phys", ingress), bytes(frame)))
+        result = run_sim(router, stimuli, egress_pacing=lambda c: c % 5 != 0)
+        stats = router.oq.port_stats()[1]  # egress nf1
+        return stats["ecn_marked"], stats["dropped"], len(result.at(PortRef("phys", 1)))
+
+    def _fix_checksum(frame):
+        from repro.packet.checksum import internet_checksum
+
+        frame[24:26] = b"\x00\x00"
+        frame[24:26] = internet_checksum(bytes(frame[14:34])).to_bytes(2, "big")
+
+    def sweep():
+        return {t: run_threshold(t) for t in (1000, 4000, 16000, None)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_table(
+        "E7b: ECN marks under fixed congestion vs AQM threshold (20 x 1KB)",
+        ["threshold B", "marked", "dropped", "delivered"],
+        [[t if t else "off", *results[t]] for t in results],
+    )
+    marks = [results[t][0] for t in (1000, 4000, 16000)]
+    assert marks == sorted(marks, reverse=True)  # lower threshold, more marks
+    assert results[None][0] == 0  # AQM off: no marks
+    for t in results:
+        assert results[t][1] == 0  # capacity absorbed everything
+        assert results[t][2] == 20  # all packets delivered

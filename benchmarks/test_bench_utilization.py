@@ -1,0 +1,61 @@
+"""E4 — "users can compare design utilization and performance" (§1, C4).
+
+The report_utilization-style comparison across the reference projects on
+the Virtex-7 690T, possible because all projects are assembled from the
+same block library.  Expected shape: the wired lookups (NIC,
+switch_lite) cost the least logic, the learning switch adds its CAM, the
+router's LPM+ARP+checksum stage is the largest; everything fits the
+690T with huge headroom (§2's "supporting highly complex reconfigurable
+designs").
+"""
+
+from repro.board.fpga import VIRTEX7_690T, report_for_design
+from repro.projects.reference_nic import ReferenceNic
+from repro.projects.reference_router import ReferenceRouter
+from repro.projects.reference_switch import ReferenceSwitch, ReferenceSwitchLite
+
+from benchmarks.conftest import fmt, print_table
+
+PROJECTS = [
+    ("reference_nic", ReferenceNic),
+    ("reference_switch_lite", ReferenceSwitchLite),
+    ("reference_switch", ReferenceSwitch),
+    ("reference_router", ReferenceRouter),
+]
+
+
+def test_e4_utilization_comparison(benchmark):
+    def build_and_report():
+        return {
+            name: report_for_design(factory(), VIRTEX7_690T).check()
+            for name, factory in PROJECTS
+        }
+
+    reports = benchmark(build_and_report)
+
+    print_table(
+        "E4: post-synthesis utilization on xc7v690t",
+        ["project", "LUT", "LUT%", "FF", "FF%", "BRAM36", "BRAM%"],
+        [
+            [
+                name,
+                report.used.luts,
+                fmt(report.lut_pct),
+                report.used.ffs,
+                fmt(report.ff_pct),
+                fmt(report.used.brams, 1),
+                fmt(report.bram_pct),
+            ]
+            for name, report in reports.items()
+        ],
+    )
+
+    luts = {name: report.used.luts for name, report in reports.items()}
+    assert luts["reference_switch_lite"] < luts["reference_switch"]
+    assert luts["reference_switch"] < luts["reference_router"]
+    assert luts["reference_nic"] < luts["reference_switch"]
+    # Headroom: every reference design uses a small fraction of the part.
+    for report in reports.values():
+        assert report.lut_pct < 25.0
+        assert report.bram_pct < 50.0
+    benchmark.extra_info["luts"] = luts

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: run a reference project out of the box (§3, first claim).
+
+"First, NetFPGA offers ready-made reference and contributed projects,
+providing full implementation and an executable application.  The user
+can run these projects, with no further development or modification
+required."
+
+This script instantiates the reference learning switch, pushes traffic
+through the cycle-accurate pipeline, and reads the results back the way
+a NetFPGA user would: through the management application's register
+reads and the board's utilization report.
+"""
+
+from repro.board.fpga import report_for_design
+from repro.host.switch_manager import SwitchManager
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.generator import make_udp_frame
+from repro.projects.base import PortRef
+from repro.projects.reference_switch import ReferenceSwitch
+from repro.testenv.harness import Stimulus, run_sim
+
+
+def main() -> None:
+    switch = ReferenceSwitch()
+
+    # Four hosts, one per port.
+    macs = [MacAddr.parse(f"02:00:00:00:00:0{i + 1}") for i in range(4)]
+    ips = [Ipv4Addr.parse(f"192.168.0.{i + 1}") for i in range(4)]
+
+    def frame(src: int, dst: int) -> bytes:
+        return make_udp_frame(macs[src], macs[dst], ips[src], ips[dst], size=128).pack()
+
+    # Every host talks to its neighbour; the first packet of each pair
+    # floods (unknown destination), the reverse traffic is unicast.
+    stimuli = []
+    for src, dst in [(0, 1), (1, 0), (2, 3), (3, 2), (0, 1), (2, 3)]:
+        stimuli.append(Stimulus(PortRef("phys", src), frame(src, dst)))
+
+    print("Running the reference switch in the simulation kernel...")
+    result = run_sim(switch, stimuli)
+    print(f"  completed in {result.cycles} cycles "
+          f"({result.cycles * 5} ns of datapath time)")
+    for port in sorted(result.outputs, key=str):
+        if result.outputs[port]:
+            print(f"  {port}: received {len(result.outputs[port])} packets")
+
+    # The management application's view, over the register interface.
+    manager = SwitchManager(switch)
+    print("\nSwitch state (read via AXI4-Lite, like `rwaxi`):")
+    print(f"  lookup stats : {manager.lookup_stats()}")
+    print("  MAC table    :")
+    for mac, port_bits in manager.show_mac_table():
+        print(f"    {mac} -> port_bits {port_bits:#04x}")
+
+    # The synthesis-style utilization report (claim C4).
+    print("\n" + report_for_design(switch).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Control-plane research on the BlueSwitch data plane (§3 scenario).
+
+"an SDN researcher interested in the control plane and lacking any
+hardware knowledge, can use the BlueSwitch OpenFlow switch project as
+its data plane, and choose to write a control plane software application
+to run on top of it."
+
+Part 1 runs exactly that: a reactive learning controller as an OpenFlow
+application (PacketIn → FlowMod → PacketOut), with zero knowledge of the
+tables' hardware representation.
+
+Part 2 shows why BlueSwitch exists: the same multi-table policy update
+applied naively vs. transactionally under live traffic, counting packets
+that matched neither the old nor the new configuration.
+"""
+
+from repro.core.metadata import phys_port_bit
+from repro.host.openflow import Controller, DatapathAgent, LearningController
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.generator import make_udp_frame
+from repro.projects.blueswitch import (
+    ActionGoto,
+    ActionOutput,
+    BlueSwitchPipeline,
+    FlowEntry,
+    FlowMatch,
+    UpdateWrite,
+    run_update_experiment,
+)
+
+MACS = [MacAddr(0x02_0F_00_00_00_00 + i) for i in range(4)]
+IPS = [Ipv4Addr.parse(f"172.16.0.{i + 1}") for i in range(4)]
+
+
+def frame(src: int, dst: int) -> bytes:
+    return make_udp_frame(MACS[src], MACS[dst], IPS[src], IPS[dst], size=128).pack()
+
+
+def part1_learning_controller() -> None:
+    print("Part 1: reactive learning controller on BlueSwitch")
+    agent = DatapathAgent(BlueSwitchPipeline(num_tables=1, slots_per_table=32))
+    controller = LearningController(agent)
+
+    # host0 -> host1: table miss, controller floods and learns host0.
+    # host1 -> host0: still a miss for host1's location? No — controller
+    # learned host0, so it installs a flow and forwards.
+    conversation = [(0, 1), (1, 0), (0, 1), (1, 0), (2, 0), (0, 2)]
+    hw_forwarded = 0
+    for src, dst in conversation:
+        out = agent.process_packet(frame(src, dst), phys_port_bit(src))
+        if out:
+            hw_forwarded += 1
+    print(f"  packets fully handled in hardware : {hw_forwarded}")
+    print(f"  controller floods (PacketOut)     : {controller.floods}")
+    print(f"  flows installed                   : {controller.flows_installed}")
+    print(f"  learned locations                 : "
+          f"{ {str(MacAddr(m)): bits for m, bits in controller.mac_to_port.items()} }")
+
+
+def build_policy_pipeline() -> BlueSwitchPipeline:
+    """A 3-table policy: classify → filter → forward."""
+    pipe = BlueSwitchPipeline(num_tables=3, slots_per_table=32)
+    pipe.write_active(0, 0, FlowEntry(FlowMatch(eth_type=0x0800), (ActionGoto(1),)))
+    pipe.write_active(1, 0, FlowEntry(
+        FlowMatch(ip_dst=IPS[1].value), (ActionGoto(2),)))
+    pipe.write_active(2, 0, FlowEntry(
+        FlowMatch(ip_proto=17), (ActionOutput(phys_port_bit(1)),)))
+    return pipe
+
+
+def part2_consistent_update() -> None:
+    print("\nPart 2: multi-table policy update under traffic")
+    # New policy: dst host1 traffic shifts to port 3, and the filter
+    # tightens — a classic two-table coupled change.
+    plan = [
+        UpdateWrite(1, 0, FlowEntry(
+            FlowMatch(ip_dst=IPS[1].value), (ActionOutput(phys_port_bit(3)),))),
+        UpdateWrite(2, 0, None),
+    ]
+    traffic = [(frame(0, 1), phys_port_bit(0))] * 400
+
+    for mode in ("naive", "consistent"):
+        report = run_update_experiment(
+            build_policy_pipeline(), plan, traffic,
+            mode=mode, stage_cycles=6, update_start=150,
+        )
+        print(f"  {mode:10s}: old={report.old_consistent:3d} "
+              f"new={report.new_consistent:3d} "
+              f"misforwarded={report.misforwarded:3d} "
+              f"({report.misforward_rate:.1%}) over {report.update_cycles} "
+              f"update cycle(s)")
+    print("  -> BlueSwitch's atomic commit keeps every packet consistent.")
+
+
+def main() -> None:
+    part1_learning_controller()
+    part2_consistent_update()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — a full-platform reproduction of *NetFPGA: Rapid Prototyping of
+Networking Devices in Open Source* (Zilberman et al., SIGCOMM 2015).
+
+The package mirrors the NetFPGA platform's layering:
+
+=====================  ====================================================
+:mod:`repro.core`      HDL-style simulation kernel (cycle + event engines,
+                       AXI4-Stream / AXI4-Lite, VCD tracing)
+:mod:`repro.packet`    packet library: Ethernet/VLAN/ARP/IPv4/ICMP/UDP/TCP,
+                       checksums, pcap, workload generators
+:mod:`repro.board`     the NetFPGA SUME board: FPGA resource model, serial
+                       links, 10/40/100G MACs, QDRII+/DDR3, PCIe DMA,
+                       storage, power telemetry
+:mod:`repro.cores`     the reusable gateware building blocks
+:mod:`repro.projects`  reference projects (NIC, switch, router, acceptance
+                       test) and contributed projects (OSNT, BlueSwitch)
+:mod:`repro.host`      host software: driver, managers, OpenFlow control
+:mod:`repro.soft`      the soft-core processor and sample firmware
+:mod:`repro.testenv`   the unified sim/hw test environment
+=====================  ====================================================
+
+Quickstart::
+
+    from repro.projects import ReferenceSwitch
+    from repro.testenv import run_sim, Stimulus
+    from repro.projects.base import PortRef
+
+    switch = ReferenceSwitch()
+    result = run_sim(switch, [Stimulus(PortRef("phys", 0), my_frame)])
+"""
+
+__version__ = "1.0.0"
+
+from repro import board, core, cores, host, packet, projects, soft, testenv, utils
+
+__all__ = [
+    "board",
+    "core",
+    "cores",
+    "host",
+    "packet",
+    "projects",
+    "soft",
+    "testenv",
+    "utils",
+    "__version__",
+]

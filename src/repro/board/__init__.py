@@ -1,0 +1,72 @@
+"""Board-level models of the NetFPGA platforms.
+
+The centrepiece is :class:`~repro.board.sume.NetFpgaSume`, a model of the
+NetFPGA SUME board described in §2 of the paper: a Virtex-7 690T FPGA,
+30 high-speed serial links (4 presented as SFP+ cages), QDRII+ SRAM and
+DDR3 SoDIMM memory, microSD/SATA storage, PCIe Gen3 host attachment and
+per-rail power instrumentation.  The catalogue also includes the
+NetFPGA-10G and NetFPGA-1G-CML platforms named in §1.
+
+Each subsystem model is behavioural — timing and capacity-faithful rather
+than gate-accurate — and is exercised by experiments E1/E2/E8/E9/E10.
+"""
+
+from repro.board.clocks import ClockTree, SUME_CLOCKS
+from repro.board.ddr3 import Ddr3Model, Ddr3Timing, SUME_DDR3
+from repro.board.fpga import (
+    FpgaDevice,
+    KINTEX7_325T,
+    UtilizationReport,
+    VIRTEX5_TX240T,
+    VIRTEX7_690T,
+)
+from repro.board.mac import EthernetMacModel, MacStatistics, Wire
+from repro.board.pcie import DmaEngine, DmaDescriptor, PcieLink, PCIE_GEN3_X8
+from repro.board.power import PowerModel, PowerRail, SUME_RAILS
+from repro.board.qdr import QdrIIModel, SUME_QDR
+from repro.board.serial import SerialLink, SerialLinkBank, SfpCage
+from repro.board.storage import BlockDevice, MICROSD_CARD, SATA_SSD, StorageSubsystem
+from repro.board.sume import (
+    BoardSpec,
+    NETFPGA_1G_CML,
+    NETFPGA_10G,
+    NETFPGA_SUME,
+    NetFpgaSume,
+)
+
+__all__ = [
+    "ClockTree",
+    "SUME_CLOCKS",
+    "Ddr3Model",
+    "Ddr3Timing",
+    "SUME_DDR3",
+    "FpgaDevice",
+    "KINTEX7_325T",
+    "UtilizationReport",
+    "VIRTEX5_TX240T",
+    "VIRTEX7_690T",
+    "EthernetMacModel",
+    "MacStatistics",
+    "Wire",
+    "DmaEngine",
+    "DmaDescriptor",
+    "PcieLink",
+    "PCIE_GEN3_X8",
+    "PowerModel",
+    "PowerRail",
+    "SUME_RAILS",
+    "QdrIIModel",
+    "SUME_QDR",
+    "SerialLink",
+    "SerialLinkBank",
+    "SfpCage",
+    "BlockDevice",
+    "MICROSD_CARD",
+    "SATA_SSD",
+    "StorageSubsystem",
+    "BoardSpec",
+    "NETFPGA_1G_CML",
+    "NETFPGA_10G",
+    "NETFPGA_SUME",
+    "NetFpgaSume",
+]

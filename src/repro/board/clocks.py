@@ -1,0 +1,58 @@
+"""The SUME clock tree.
+
+The board carries several oscillators/synthesizers (§2 and the SUME IEEE
+Micro paper [3]); designs pick their datapath clock from here, and the
+frequency choice flows into every throughput calculation the kernel
+makes (cycles × period = time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClockSource:
+    name: str
+    freq_mhz: float
+    purpose: str
+
+    @property
+    def period_ns(self) -> float:
+        return 1e3 / self.freq_mhz
+
+
+class ClockTree:
+    """Named clock domains available to a design."""
+
+    def __init__(self, sources: list[ClockSource]):
+        self._sources = {src.name: src for src in sources}
+
+    def __getitem__(self, name: str) -> ClockSource:
+        if name not in self._sources:
+            raise KeyError(
+                f"no clock {name!r}; available: {sorted(self._sources)}"
+            )
+        return self._sources[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._sources)
+
+    def inventory(self) -> list[tuple[str, float, str]]:
+        return [
+            (src.name, src.freq_mhz, src.purpose)
+            for src in sorted(self._sources.values(), key=lambda s: s.name)
+        ]
+
+
+SUME_CLOCKS = ClockTree(
+    [
+        ClockSource("fpga_sysclk", 200.0, "main FPGA system clock"),
+        ClockSource("ddr3_refclk", 233.33, "DDR3 controller reference (933 MHz DDR)"),
+        ClockSource("qdr_refclk", 500.0, "QDRII+ K/K# clock"),
+        ClockSource("sfp_refclk", 156.25, "10G Ethernet transceiver reference"),
+        ClockSource("pcie_refclk", 100.0, "PCIe Gen3 reference"),
+        ClockSource("axi_datapath", 200.0, "256-bit AXI4-Stream datapath clock"),
+        ClockSource("axi_lite", 100.0, "control-plane AXI4-Lite clock"),
+    ]
+)

@@ -1,0 +1,168 @@
+"""DDR3 SDRAM model with bank/row timing.
+
+§2: "DRAM (DDR3 SoDIMM, running at 1866MT/s)".  Unlike QDR SRAM, DRAM
+access cost depends on *locality*: a access to the currently open row of
+a bank (row hit) needs only CAS latency, while a different row (row
+miss/conflict) pays precharge + activate + CAS.  Sequential packet-buffer
+writes are nearly all row hits; random flow-table lookups are nearly all
+misses — the asymmetry experiment E9 quantifies.
+
+The SUME SoDIMM: 64-bit data bus, DDR3-1866 (933 MHz clock, 1866 MT/s),
+8 banks per rank, 8 KiB rows.  Timing parameters are the JEDEC -13-13-13
+grade expressed in nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.eventsim import EventSimulator
+
+
+@dataclass(frozen=True)
+class Ddr3Timing:
+    """The subset of JEDEC timing that dominates access cost."""
+
+    tCL_ns: float = 13.91  # CAS latency (13 cycles @ 933MHz)
+    tRCD_ns: float = 13.91  # RAS-to-CAS (activate to column)
+    tRP_ns: float = 13.91  # row precharge
+    tRFC_ns: float = 260.0  # refresh cycle (4Gb parts)
+    tREFI_ns: float = 7800.0  # mean refresh interval
+    burst_len: int = 8  # BL8 — 8 beats per column access
+
+
+@dataclass(frozen=True)
+class Ddr3Config:
+    name: str
+    capacity_bytes: int
+    data_bits: int
+    transfer_rate_mtps: float  # mega-transfers per second
+    banks: int
+    row_bytes: int
+    timing: Ddr3Timing
+
+    @property
+    def burst_bytes(self) -> int:
+        return self.data_bits // 8 * self.timing.burst_len
+
+    @property
+    def burst_transfer_ns(self) -> float:
+        """Data-bus occupancy of one BL8 burst."""
+        return self.timing.burst_len / (self.transfer_rate_mtps * 1e6) * 1e9
+
+    @property
+    def peak_bandwidth_bps(self) -> float:
+        return self.data_bits * self.transfer_rate_mtps * 1e6
+
+
+SUME_DDR3 = Ddr3Config(
+    name="ddr3_sodimm_4g",
+    capacity_bytes=4 * 1024**3,
+    data_bits=64,
+    transfer_rate_mtps=1866.0,
+    banks=8,
+    row_bytes=8192,
+    timing=Ddr3Timing(),
+)
+
+
+class Ddr3Model:
+    """Open-page DDR3 controller + device model.
+
+    Tracks the open row per bank and a single shared data bus.  Each
+    access is one BL8 burst (64 bytes on the SUME DIMM); larger transfers
+    are split by the caller (the DMA and packet-buffer models do this).
+    Refresh steals the device for tRFC every tREFI, as real controllers
+    must.
+    """
+
+    def __init__(self, sim: EventSimulator, config: Ddr3Config = SUME_DDR3):
+        self.sim = sim
+        self.config = config
+        self._open_row: dict[int, int] = {}  # bank -> row
+        self._bus_free_ns = 0.0
+        self._next_refresh_ns = config.timing.tREFI_ns
+        self._mem: dict[int, bytes] = {}
+        self.row_hits = 0
+        self.row_misses = 0
+        self.refreshes = 0
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def _locate(self, addr: int) -> tuple[int, int]:
+        """Map a byte address to (bank, row) with row-interleaved banks."""
+        if not 0 <= addr < self.config.capacity_bytes:
+            raise ValueError(f"address {addr:#x} outside DDR3 capacity")
+        row_index = addr // self.config.row_bytes
+        bank = row_index % self.config.banks
+        row = row_index // self.config.banks
+        return bank, row
+
+    def _maybe_refresh(self, at_ns: float) -> float:
+        """Insert refresh stalls that became due before ``at_ns``."""
+        timing = self.config.timing
+        while self._next_refresh_ns <= at_ns:
+            at_ns = max(at_ns, self._next_refresh_ns) + timing.tRFC_ns
+            self._next_refresh_ns += timing.tREFI_ns
+            self.refreshes += 1
+            self._open_row.clear()  # refresh closes all rows
+        return at_ns
+
+    def _access_latency(self, addr: int) -> tuple[float, float]:
+        """Common row/bank/bus bookkeeping; returns (start, complete) times.
+
+        Row hits pipeline: the CAS latency overlaps with earlier
+        transfers, so back-to-back hits occupy the data bus for only the
+        burst time (this is what lets sequential traffic approach the
+        interface's peak bandwidth).  A row miss stalls the command
+        stream for precharge + activate before its column access.
+        """
+        timing = self.config.timing
+        bank, row = self._locate(addr)
+        start = max(self.sim.now_ns, self._bus_free_ns)
+        start = self._maybe_refresh(start)
+        if self._open_row.get(bank) == row:
+            self.row_hits += 1
+            data_start = start
+        else:
+            self.row_misses += 1
+            penalty = timing.tRP_ns if bank in self._open_row else 0.0
+            data_start = start + penalty + timing.tRCD_ns
+            self._open_row[bank] = row
+        complete = data_start + timing.tCL_ns + self.config.burst_transfer_ns
+        self._bus_free_ns = data_start + self.config.burst_transfer_ns
+        return start, complete
+
+    # ------------------------------------------------------------------
+    def read(self, addr: int, callback: Callable[[bytes], None]) -> float:
+        """Read one burst; ``callback(data)`` fires at completion."""
+        _, complete = self._access_latency(addr)
+        self.reads += 1
+        burst = addr - (addr % self.config.burst_bytes)
+        data = self._mem.get(burst, b"\x00" * self.config.burst_bytes)
+        self.sim.schedule_at(complete, lambda: callback(data))
+        return complete
+
+    def write(self, addr: int, data: bytes) -> float:
+        """Write one burst; returns completion time."""
+        if len(data) != self.config.burst_bytes:
+            raise ValueError(
+                f"DDR3 writes whole {self.config.burst_bytes}B bursts, "
+                f"got {len(data)}B"
+            )
+        _, complete = self._access_latency(addr)
+        self.writes += 1
+        burst = addr - (addr % self.config.burst_bytes)
+        self._mem[burst] = data
+        return complete
+
+    def read_sync(self, addr: int) -> bytes:
+        burst = addr - (addr % self.config.burst_bytes)
+        return self._mem.get(burst, b"\x00" * self.config.burst_bytes)
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0

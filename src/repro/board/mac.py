@@ -1,0 +1,246 @@
+"""Behavioural 10/40/100G Ethernet MAC and wire models.
+
+These run on the :class:`~repro.core.eventsim.EventSimulator` and model
+*when* frames occupy the medium: every frame pays preamble + SFD + IFG
+(20 bytes) on top of its wire size, serialized at the configured line
+rate.  That fixed per-frame tax is the entire story of experiment E2 —
+the classic throughput-vs-frame-size curve — and also what OSNT's
+timestamping measures.
+
+FCS is generated on transmit and checked on receive; a corruption hook
+supports failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.eventsim import EventSimulator
+from repro.core.fifo import Fifo
+from repro.packet.ethernet import FCS_SIZE, MIN_FRAME_SIZE, PREAMBLE_SFD_IFG
+from repro.utils.crc import crc32_ethernet
+from repro.utils.units import GBPS
+
+
+@dataclass
+class MacStatistics:
+    """Per-direction counters, mirroring the reference MAC register block."""
+
+    frames: int = 0
+    bytes: int = 0  # wire bytes including FCS, excluding preamble/IFG
+    fcs_errors: int = 0
+    undersize: int = 0
+    oversize: int = 0
+    dropped: int = 0
+    pause_frames: int = 0
+
+
+#: IEEE 802.3x MAC control: destination, ethertype, PAUSE opcode.
+PAUSE_DST = bytes.fromhex("0180c2000001")
+ETHERTYPE_MAC_CONTROL = 0x8808
+PAUSE_OPCODE = 0x0001
+#: One pause quantum is 512 bit times.
+PAUSE_QUANTUM_BITS = 512
+
+
+def build_pause_frame(src_mac: bytes, quanta: int) -> bytes:
+    """An 802.3x PAUSE frame (without FCS), padded to minimum size."""
+    if not 0 <= quanta <= 0xFFFF:
+        raise ValueError(f"pause quanta out of range: {quanta}")
+    if len(src_mac) != 6:
+        raise ValueError("source MAC must be 6 bytes")
+    frame = (
+        PAUSE_DST
+        + src_mac
+        + ETHERTYPE_MAC_CONTROL.to_bytes(2, "big")
+        + PAUSE_OPCODE.to_bytes(2, "big")
+        + quanta.to_bytes(2, "big")
+    )
+    return frame.ljust(MIN_FRAME_SIZE - FCS_SIZE, b"\x00")
+
+
+def parse_pause_frame(frame_no_fcs: bytes) -> Optional[int]:
+    """Return the pause quanta if this is an 802.3x PAUSE frame."""
+    if len(frame_no_fcs) < 18:
+        return None
+    if frame_no_fcs[0:6] != PAUSE_DST:
+        return None
+    if int.from_bytes(frame_no_fcs[12:14], "big") != ETHERTYPE_MAC_CONTROL:
+        return None
+    if int.from_bytes(frame_no_fcs[14:16], "big") != PAUSE_OPCODE:
+        return None
+    return int.from_bytes(frame_no_fcs[16:18], "big")
+
+
+def frame_wire_bytes(frame_no_fcs: bytes) -> int:
+    """Wire size of a frame: padded to the 60B minimum, plus FCS."""
+    return max(len(frame_no_fcs), MIN_FRAME_SIZE - FCS_SIZE) + FCS_SIZE
+
+
+def serialization_time_ns(wire_bytes: int, rate_bps: float) -> float:
+    """Time the medium is occupied by one frame (incl. preamble/SFD/IFG)."""
+    if rate_bps <= 0:
+        raise ValueError("line rate must be positive")
+    return (wire_bytes + PREAMBLE_SFD_IFG) * 8 / rate_bps * 1e9
+
+
+def effective_throughput_bps(wire_bytes: int, rate_bps: float) -> float:
+    """Achievable MAC-payload rate for back-to-back frames of one size.
+
+    This analytic form is the expected curve of experiment E2; the
+    event-driven model must (and does, per the tests) agree with it.
+    """
+    return wire_bytes * 8 / (serialization_time_ns(wire_bytes, rate_bps) * 1e-9)
+
+
+class EthernetMacModel:
+    """One MAC: a tx serializer and an rx checker on a shared event clock.
+
+    Transmit path: frames are queued (bounded, drop-tail beyond
+    ``tx_queue_frames``) and serialized one at a time; each frame emerges
+    on the attached :class:`Wire` when its last bit has been sent, which
+    is when real MACs assert end-of-frame.  Receive path: frames arriving
+    from the wire are FCS-checked, length-checked and handed to
+    ``rx_callback(frame_without_fcs, timestamp_ns)``.
+    """
+
+    def __init__(
+        self,
+        sim: EventSimulator,
+        name: str,
+        rate_bps: float = 10 * GBPS,
+        tx_queue_frames: int = 1024,
+        max_frame_bytes: int = 9600,  # jumbo-capable, like the reference MAC
+    ):
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.max_frame_bytes = max_frame_bytes
+        self.tx_stats = MacStatistics()
+        self.rx_stats = MacStatistics()
+        self.wire: Optional["Wire"] = None
+        self.rx_callback: Optional[Callable[[bytes, float], None]] = None
+        #: Hook for failure injection: maps the on-wire bytes before the
+        #: peer sees them (e.g. flip a bit to force an FCS error).
+        self.corrupt: Optional[Callable[[bytes], bytes]] = None
+        #: 802.3x: honour received PAUSE frames (standard default: on).
+        self.flow_control = True
+        self._tx_queue: Fifo[bytes] = Fifo(tx_queue_frames)
+        self._tx_busy = False
+        self._paused_until_ns = 0.0
+        self.tx_complete_ns: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Transmit
+    # ------------------------------------------------------------------
+    def transmit(self, frame_no_fcs: bytes) -> bool:
+        """Queue a frame (no FCS; the MAC appends it).  False = tail-dropped."""
+        if len(frame_no_fcs) + FCS_SIZE > self.max_frame_bytes:
+            self.tx_stats.oversize += 1
+            return False
+        if not self._tx_queue.push(frame_no_fcs):
+            self.tx_stats.dropped += 1
+            return False
+        if not self._tx_busy:
+            self._start_next()
+        return True
+
+    def send_pause(self, quanta: int, src_mac: bytes = b"\x02\x00\x00\x00\x00\x00") -> None:
+        """Emit an 802.3x PAUSE asking the peer to hold for ``quanta``."""
+        self.transmit(build_pause_frame(src_mac, quanta))
+
+    def _start_next(self) -> None:
+        if self._tx_queue.empty:
+            self._tx_busy = False
+            return
+        if self.sim.now_ns < self._paused_until_ns:
+            # 802.3x: hold transmission; resume when the pause lapses.
+            self._tx_busy = True
+            self.sim.schedule_at(self._paused_until_ns, self._start_next)
+            return
+        self._tx_busy = True
+        frame = self._tx_queue.pop()
+        padded = frame.ljust(MIN_FRAME_SIZE - FCS_SIZE, b"\x00")
+        on_wire = padded + crc32_ethernet(padded).to_bytes(4, "little")
+        duration = serialization_time_ns(len(on_wire), self.rate_bps)
+
+        def finish() -> None:
+            self.tx_stats.frames += 1
+            self.tx_stats.bytes += len(on_wire)
+            self.tx_complete_ns = self.sim.now_ns
+            if self.wire is not None:
+                self.wire.carry(self, on_wire)
+            self._start_next()
+
+        self.sim.schedule(duration, finish)
+
+    @property
+    def tx_idle(self) -> bool:
+        return not self._tx_busy and self._tx_queue.empty
+
+    @property
+    def tx_backlog(self) -> int:
+        return len(self._tx_queue) + (1 if self._tx_busy else 0)
+
+    # ------------------------------------------------------------------
+    # Receive
+    # ------------------------------------------------------------------
+    def deliver(self, on_wire: bytes) -> None:
+        """Called by the wire when a frame's last bit arrives."""
+        if self.corrupt is not None:
+            on_wire = self.corrupt(on_wire)
+        if len(on_wire) < MIN_FRAME_SIZE:
+            self.rx_stats.undersize += 1
+            return
+        if len(on_wire) > self.max_frame_bytes:
+            self.rx_stats.oversize += 1
+            return
+        body, fcs = on_wire[:-FCS_SIZE], on_wire[-FCS_SIZE:]
+        if crc32_ethernet(body).to_bytes(4, "little") != fcs:
+            self.rx_stats.fcs_errors += 1
+            return
+        quanta = parse_pause_frame(body)
+        if quanta is not None:
+            # MAC control frames are consumed by the MAC, never delivered.
+            self.rx_stats.pause_frames += 1
+            if self.flow_control:
+                pause_ns = quanta * PAUSE_QUANTUM_BITS / self.rate_bps * 1e9
+                # A new PAUSE replaces the old deadline (quanta 0 resumes).
+                self._paused_until_ns = self.sim.now_ns + pause_ns
+            return
+        self.rx_stats.frames += 1
+        self.rx_stats.bytes += len(on_wire)
+        if self.rx_callback is not None:
+            self.rx_callback(body, self.sim.now_ns)
+
+
+class Wire:
+    """A full-duplex point-to-point link between two MACs.
+
+    Propagation delay defaults to 5 ns/m of fibre × 2 m — a lab patch
+    cable.  Rate mismatch between the endpoints is allowed (the receiver
+    does not re-serialize), matching how test equipment snoops a link.
+    """
+
+    def __init__(
+        self,
+        sim: EventSimulator,
+        a: EthernetMacModel,
+        b: EthernetMacModel,
+        propagation_delay_ns: float = 10.0,
+    ):
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.propagation_delay_ns = propagation_delay_ns
+        a.wire = self
+        b.wire = self
+        self.frames_carried = 0
+
+    def carry(self, sender: EthernetMacModel, on_wire: bytes) -> None:
+        receiver = self.b if sender is self.a else self.a
+        self.frames_carried += 1
+        self.sim.schedule(
+            self.propagation_delay_ns, lambda: receiver.deliver(on_wire)
+        )

@@ -1,0 +1,349 @@
+"""PCIe link and DMA engine models.
+
+§2: the board is "a PCIe host adapter card"; the reference NIC moves
+packets between host memory and the datapath through a descriptor-ring
+DMA engine.  The model captures the three costs that shape experiment
+E10 (DMA throughput vs batch size):
+
+* **link occupancy** — payload bytes / effective link rate, where the
+  effective rate folds in 128b/130b encoding and TLP header overhead;
+* **per-doorbell cost** — an MMIO write plus a descriptor fetch round
+  trip, amortized across every descriptor in the batch;
+* **per-descriptor engine overhead** — scheduling and completion
+  write-back.
+
+Host memory is modelled as a sparse byte store shared with the driver
+(:mod:`repro.host.driver`), and descriptors have a real 16-byte layout
+so driver and engine must agree on the encoding.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.eventsim import EventSimulator
+
+
+@dataclass(frozen=True)
+class PcieConfig:
+    """One PCIe port configuration."""
+
+    generation: int
+    lanes: int
+    gtps_per_lane: float  # giga-transfers/s
+    encoding_fraction: float  # 128b/130b for Gen3
+    max_payload_bytes: int = 256
+    tlp_overhead_bytes: int = 26  # 3DW hdr + seq/LCRC + framing
+
+    @property
+    def raw_bandwidth_bps(self) -> float:
+        return self.gtps_per_lane * 1e9 * self.lanes * self.encoding_fraction
+
+    @property
+    def payload_efficiency(self) -> float:
+        mps = self.max_payload_bytes
+        return mps / (mps + self.tlp_overhead_bytes)
+
+    @property
+    def effective_bandwidth_bps(self) -> float:
+        return self.raw_bandwidth_bps * self.payload_efficiency
+
+
+PCIE_GEN3_X8 = PcieConfig(
+    generation=3, lanes=8, gtps_per_lane=8.0, encoding_fraction=128 / 130
+)
+
+
+class PcieLink:
+    """A shared, serialized PCIe data path with occupancy accounting."""
+
+    #: One-way latency of a posted transaction.
+    POSTED_LATENCY_NS = 200.0
+    #: Round-trip latency of a non-posted (read) transaction.
+    READ_RTT_NS = 500.0
+
+    def __init__(self, sim: EventSimulator, config: PcieConfig = PCIE_GEN3_X8):
+        self.sim = sim
+        self.config = config
+        self._bus_free_ns = 0.0
+        self.bytes_moved = 0
+        self.transactions = 0
+
+    def _occupy(self, payload_bytes: int, extra_latency_ns: float) -> float:
+        """Serialize a transfer on the link; returns completion time."""
+        start = max(self.sim.now_ns, self._bus_free_ns)
+        occupancy = payload_bytes * 8 / self.config.effective_bandwidth_bps * 1e9
+        self._bus_free_ns = start + occupancy
+        self.bytes_moved += payload_bytes
+        self.transactions += 1
+        return start + occupancy + extra_latency_ns
+
+    def dma_write(self, payload_bytes: int) -> float:
+        """Posted write towards the host; returns delivery time."""
+        return self._occupy(payload_bytes, self.POSTED_LATENCY_NS)
+
+    def dma_read(self, payload_bytes: int) -> float:
+        """Read from host memory; returns data-arrival time."""
+        return self._occupy(payload_bytes, self.READ_RTT_NS)
+
+    def mmio_write(self) -> float:
+        """Host MMIO write (doorbell): posted, 4 bytes."""
+        return self._occupy(4, self.POSTED_LATENCY_NS)
+
+    def mmio_read(self) -> float:
+        """Host MMIO read: non-posted, pays the full round trip."""
+        return self._occupy(4, self.READ_RTT_NS)
+
+
+class HostMemory:
+    """Sparse host DRAM as seen over PCIe; byte-addressable."""
+
+    def __init__(self, size: int = 1 << 32):
+        self.size = size
+        self._pages: dict[int, bytearray] = {}
+        self.PAGE = 4096
+
+    def _page(self, addr: int) -> tuple[bytearray, int]:
+        page_no, offset = divmod(addr, self.PAGE)
+        page = self._pages.get(page_no)
+        if page is None:
+            page = bytearray(self.PAGE)
+            self._pages[page_no] = page
+        return page, offset
+
+    def write(self, addr: int, data: bytes) -> None:
+        if addr < 0 or addr + len(data) > self.size:
+            raise ValueError(f"host write [{addr:#x},+{len(data)}) out of range")
+        pos = 0
+        while pos < len(data):
+            page, offset = self._page(addr + pos)
+            chunk = min(len(data) - pos, self.PAGE - offset)
+            page[offset : offset + chunk] = data[pos : pos + chunk]
+            pos += chunk
+
+    def read(self, addr: int, length: int) -> bytes:
+        if addr < 0 or addr + length > self.size:
+            raise ValueError(f"host read [{addr:#x},+{length}) out of range")
+        out = bytearray()
+        pos = 0
+        while pos < length:
+            page, offset = self._page(addr + pos)
+            chunk = min(length - pos, self.PAGE - offset)
+            out += page[offset : offset + chunk]
+            pos += chunk
+        return bytes(out)
+
+
+#: Descriptor layout: u64 buffer address, u32 length, u16 flags, u16 port.
+_DESC = struct.Struct("<QIHH")
+DESC_SIZE = _DESC.size  # 16 bytes
+
+FLAG_VALID = 0x0001
+FLAG_DONE = 0x0002
+
+
+@dataclass(frozen=True)
+class DmaDescriptor:
+    """One ring entry; ``port`` carries the SUME interface index."""
+
+    addr: int
+    length: int
+    flags: int = FLAG_VALID
+    port: int = 0
+
+    def pack(self) -> bytes:
+        return _DESC.pack(self.addr, self.length, self.flags, self.port)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "DmaDescriptor":
+        addr, length, flags, port = _DESC.unpack(data)
+        return cls(addr=addr, length=length, flags=flags, port=port)
+
+
+class DescriptorRing:
+    """A classic producer/consumer ring in host memory."""
+
+    def __init__(self, memory: HostMemory, base: int, entries: int):
+        if entries <= 1 or entries & (entries - 1):
+            raise ValueError("ring size must be a power of two > 1")
+        self.memory = memory
+        self.base = base
+        self.entries = entries
+        self.head = 0  # consumer index (device for tx, host for rx)
+        self.tail = 0  # producer index
+
+    def slot_addr(self, index: int) -> int:
+        return self.base + (index % self.entries) * DESC_SIZE
+
+    def read_desc(self, index: int) -> DmaDescriptor:
+        return DmaDescriptor.parse(self.memory.read(self.slot_addr(index), DESC_SIZE))
+
+    def write_desc(self, index: int, desc: DmaDescriptor) -> None:
+        self.memory.write(self.slot_addr(index), desc.pack())
+
+    @property
+    def occupancy(self) -> int:
+        return (self.tail - self.head) % (2 * self.entries)
+
+    @property
+    def space(self) -> int:
+        return self.entries - self.occupancy
+
+
+class DmaEngine:
+    """The board-side DMA engine: one TX and one RX ring.
+
+    TX (host → board): the driver fills descriptors, bumps ``tx.tail``
+    and rings the doorbell; the engine fetches the new descriptors (one
+    read round trip per batch), DMA-reads each buffer and hands the frame
+    to ``tx_callback(frame, port)``.
+
+    RX (board → host): :meth:`receive` consumes a free descriptor posted
+    by the driver, DMA-writes the frame and marks the descriptor DONE.
+    """
+
+    PER_DESC_OVERHEAD_NS = 40.0
+
+    def __init__(
+        self,
+        sim: EventSimulator,
+        link: PcieLink,
+        memory: HostMemory,
+        tx_ring: DescriptorRing,
+        rx_ring: DescriptorRing,
+        irq_coalesce_frames: int = 1,
+        irq_coalesce_ns: float = 0.0,
+    ):
+        self.sim = sim
+        self.link = link
+        self.memory = memory
+        self.tx_ring = tx_ring
+        self.rx_ring = rx_ring
+        self.tx_callback: Optional[Callable[[bytes, int], None]] = None
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.rx_dropped_no_desc = 0
+        self._tx_running = False
+        self.last_tx_complete_ns = 0.0
+        self.last_rx_complete_ns = 0.0
+        # MSI with coalescing: fire after N completions, or after T ns
+        # from the first un-notified completion, whichever is sooner.
+        self.msi_callback: Optional[Callable[[], None]] = None
+        self.irq_coalesce_frames = max(1, irq_coalesce_frames)
+        self.irq_coalesce_ns = irq_coalesce_ns
+        self.msi_fired = 0
+        self._irq_pending = 0
+        self._irq_timer_deadline: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # TX path (host → board)
+    # ------------------------------------------------------------------
+    def doorbell_tx(self, new_tail: int) -> None:
+        """Host doorbell: advance the TX tail (called via MMIO)."""
+        self.tx_ring.tail = new_tail % (2 * self.tx_ring.entries)
+        self.link.mmio_write()
+        if not self._tx_running:
+            self._tx_running = True
+            self.sim.schedule(0.0, self._tx_service)
+
+    def _tx_service(self) -> None:
+        if self.tx_ring.occupancy == 0:
+            self._tx_running = False
+            return
+        # Fetch the whole visible batch of descriptors in one read.
+        batch = self.tx_ring.occupancy
+        fetch_bytes = batch * DESC_SIZE
+        descs = [self.tx_ring.read_desc(self.tx_ring.head + i) for i in range(batch)]
+        fetch_done = self.link.dma_read(fetch_bytes)
+
+        def process(batch_descs: list[DmaDescriptor]) -> None:
+            # Pipelined reads: all buffer-read requests are outstanding
+            # at once; the link serializes the data transfers, and each
+            # frame is delivered when its read data lands.  This is the
+            # multiple-outstanding-non-posted-requests behaviour real
+            # engines rely on to fill the link.
+            completions: list[float] = []
+            for index, desc in enumerate(batch_descs):
+                frame = self.memory.read(desc.addr, desc.length)
+                done = self.link.dma_read(desc.length) + self.PER_DESC_OVERHEAD_NS
+
+                def deliver(frame=frame, desc=desc) -> None:
+                    self.tx_frames += 1
+                    self.tx_ring.head = (self.tx_ring.head + 1) % (
+                        2 * self.tx_ring.entries
+                    )
+                    self.last_tx_complete_ns = self.sim.now_ns
+                    if self.tx_callback is not None:
+                        self.tx_callback(frame, desc.port)
+
+                self.sim.schedule_at(done, deliver)
+                completions.append(done)
+            self.sim.schedule_at(max(completions), self._tx_service)
+
+        self.sim.schedule_at(fetch_done, lambda: process(descs))
+
+    @property
+    def tx_idle(self) -> bool:
+        return not self._tx_running
+
+    # ------------------------------------------------------------------
+    # RX path (board → host)
+    # ------------------------------------------------------------------
+    def post_rx_buffers(self, new_tail: int) -> None:
+        """Host posts free RX descriptors by advancing the tail."""
+        self.rx_ring.tail = new_tail % (2 * self.rx_ring.entries)
+        self.link.mmio_write()
+
+    def receive(self, frame: bytes, port: int = 0) -> bool:
+        """Board-side frame arrival.  False = dropped (no free descriptor)."""
+        if self.rx_ring.occupancy == 0:
+            self.rx_dropped_no_desc += 1
+            return False
+        index = self.rx_ring.head
+        desc = self.rx_ring.read_desc(index)
+        length = min(len(frame), desc.length)
+        self.rx_ring.head = (index + 1) % (2 * self.rx_ring.entries)
+        done = self.link.dma_write(length)
+
+        def complete() -> None:
+            self.memory.write(desc.addr, frame[:length])
+            self.rx_ring.write_desc(
+                index,
+                DmaDescriptor(desc.addr, length, FLAG_VALID | FLAG_DONE, port),
+            )
+            self.rx_frames += 1
+            self.last_rx_complete_ns = self.sim.now_ns
+            self._irq_account()
+
+        self.sim.schedule_at(done + self.PER_DESC_OVERHEAD_NS, complete)
+        return True
+
+    # ------------------------------------------------------------------
+    # MSI coalescing
+    # ------------------------------------------------------------------
+    def _fire_msi(self) -> None:
+        self._irq_pending = 0
+        self._irq_timer_deadline = None
+        self.msi_fired += 1
+        if self.msi_callback is not None:
+            self.msi_callback()
+
+    def _irq_account(self) -> None:
+        if self.msi_callback is None:
+            return
+        self._irq_pending += 1
+        if self._irq_pending >= self.irq_coalesce_frames:
+            self._fire_msi()
+            return
+        if self.irq_coalesce_ns > 0 and self._irq_timer_deadline is None:
+            deadline = self.sim.now_ns + self.irq_coalesce_ns
+            self._irq_timer_deadline = deadline
+
+            def timer() -> None:
+                # Stale timers (already fired by count, or rearmed) no-op.
+                if self._irq_timer_deadline == deadline and self._irq_pending:
+                    self._fire_msi()
+
+            self.sim.schedule_at(deadline, timer)

@@ -1,0 +1,87 @@
+"""Power rails and PMBus-style instrumentation.
+
+§2: "Special attention was paid to power instrumentation [3]" — the SUME
+board exposes per-rail voltage/current telemetry.  The model assigns each
+rail a static (idle) power and an activity-proportional dynamic power;
+subsystems report an activity factor in [0, 1] and experiment E8 sweeps
+offered load against total board power.
+
+Rail set and idle budget follow the SUME IEEE Micro paper's description
+of the board's supplies (FPGA core, transceivers, memories, 3.3V misc).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PowerRail:
+    """One supply rail with a linear activity→power model."""
+
+    name: str
+    voltage_v: float
+    idle_w: float
+    max_dynamic_w: float
+    activity: float = 0.0
+    subsystem: str = ""
+
+    def set_activity(self, activity: float) -> None:
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity must be in [0,1], got {activity}")
+        self.activity = activity
+
+    @property
+    def power_w(self) -> float:
+        return self.idle_w + self.activity * self.max_dynamic_w
+
+    @property
+    def current_a(self) -> float:
+        return self.power_w / self.voltage_v
+
+
+def SUME_RAILS() -> list[PowerRail]:
+    """A fresh rail set for one board instance."""
+    return [
+        PowerRail("vccint", 1.0, 8.0, 14.0, subsystem="fpga_core"),
+        PowerRail("vccbram", 1.0, 0.6, 1.4, subsystem="fpga_bram"),
+        PowerRail("mgtavcc", 1.0, 2.0, 4.0, subsystem="serial"),
+        PowerRail("mgtavtt", 1.2, 1.5, 3.0, subsystem="serial"),
+        PowerRail("vcc1v5_ddr3", 1.5, 1.0, 4.5, subsystem="ddr3"),
+        PowerRail("vcc1v8_qdr", 1.8, 0.8, 2.2, subsystem="qdr"),
+        PowerRail("vcc3v3", 3.3, 2.5, 1.5, subsystem="misc"),
+    ]
+
+
+class PowerModel:
+    """Board power telemetry: per-rail readings plus subsystem mapping."""
+
+    def __init__(self, rails: list[PowerRail] | None = None):
+        self.rails = rails if rails is not None else SUME_RAILS()
+        self._by_name = {rail.name: rail for rail in self.rails}
+
+    def rail(self, name: str) -> PowerRail:
+        if name not in self._by_name:
+            raise KeyError(f"no rail {name!r}; have {sorted(self._by_name)}")
+        return self._by_name[name]
+
+    def set_subsystem_activity(self, subsystem: str, activity: float) -> None:
+        """Drive every rail belonging to ``subsystem``."""
+        matched = False
+        for rail in self.rails:
+            if rail.subsystem == subsystem:
+                rail.set_activity(activity)
+                matched = True
+        if not matched:
+            raise KeyError(f"no rails for subsystem {subsystem!r}")
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(rail.power_w for rail in self.rails)
+
+    def telemetry(self) -> list[tuple[str, float, float, float]]:
+        """PMBus-style readout: ``[(rail, volts, amps, watts)]``."""
+        return [
+            (rail.name, rail.voltage_v, rail.current_a, rail.power_w)
+            for rail in self.rails
+        ]

@@ -1,0 +1,119 @@
+"""QDRII+ SRAM model.
+
+§2: "The memory subsystem combines both SRAM (QDRII+, running at 500MHz)
+and DRAM ...  These memory devices can be used for different purposes:
+from flow tables and off-chip packet buffering ..."
+
+QDR ("quad data rate") SRAM has *separate* read and write ports, each
+transferring on both clock edges, and — crucially for lookup tables — a
+fixed, short read latency with no row/bank structure: every access costs
+the same.  That uniformity is exactly why reference designs put flow
+tables in QDR and bulk packet buffers in DDR3, the trade experiment E9
+measures.
+
+SUME carries three 36-bit × 9 MB QDRII+ devices clocked at 500 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.eventsim import EventSimulator
+
+
+@dataclass(frozen=True)
+class QdrConfig:
+    name: str
+    capacity_bytes: int
+    clock_mhz: float
+    data_bits: int  # per port, per edge
+    read_latency_cycles: float  # fixed pipeline latency
+
+    @property
+    def clock_period_ns(self) -> float:
+        return 1e3 / self.clock_mhz
+
+    @property
+    def word_bytes(self) -> int:
+        # A burst-of-two QDRII+ access moves 2 edges × data_bits.
+        return 2 * self.data_bits // 8
+
+    @property
+    def port_bandwidth_bps(self) -> float:
+        """Per-direction bandwidth: DDR transfers on one port."""
+        return self.data_bits * 2 * self.clock_mhz * 1e6
+
+
+#: Cypress CY7C25652KV18-class part, as fitted to SUME (3×).
+SUME_QDR = QdrConfig(
+    name="qdrii+_9mb",
+    capacity_bytes=9 * 1024 * 1024,
+    clock_mhz=500.0,
+    data_bits=36,
+    read_latency_cycles=2.5,
+)
+
+
+class QdrIIModel:
+    """Event-driven QDRII+ device: one read and one write issue per cycle.
+
+    Reads complete after the fixed pipeline latency; writes are posted.
+    Issue-rate limiting is modelled by tracking the next free slot of
+    each port — a request stream faster than one per cycle per port
+    queues behind it, which is what bounds lookup throughput.
+    """
+
+    def __init__(self, sim: EventSimulator, config: QdrConfig = SUME_QDR):
+        self.sim = sim
+        self.config = config
+        self._mem: dict[int, bytes] = {}
+        self._read_port_free_ns = 0.0
+        self._write_port_free_ns = 0.0
+        self.reads = 0
+        self.writes = 0
+
+    def _issue(self, port_free_ns: float) -> tuple[float, float]:
+        """Return (issue_time, next_free) respecting the port's cadence."""
+        issue = max(self.sim.now_ns, port_free_ns)
+        return issue, issue + self.config.clock_period_ns
+
+    def _check_addr(self, addr: int) -> None:
+        if not 0 <= addr < self.config.capacity_bytes:
+            raise ValueError(
+                f"address {addr:#x} outside {self.config.capacity_bytes:#x}B QDR"
+            )
+        if addr % self.config.word_bytes:
+            raise ValueError(
+                f"address {addr:#x} not aligned to {self.config.word_bytes}B word"
+            )
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Posted write of one word."""
+        self._check_addr(addr)
+        if len(data) != self.config.word_bytes:
+            raise ValueError(
+                f"QDR writes whole {self.config.word_bytes}B words, got {len(data)}B"
+            )
+        _, self._write_port_free_ns = self._issue(self._write_port_free_ns)
+        self.writes += 1
+        self._mem[addr] = data
+
+    def read(self, addr: int, callback: Callable[[bytes], None]) -> float:
+        """Issue a read; ``callback(data)`` fires at completion.
+
+        Returns the completion time (ns) for convenience.
+        """
+        self._check_addr(addr)
+        issue, self._read_port_free_ns = self._issue(self._read_port_free_ns)
+        self.reads += 1
+        latency = self.config.read_latency_cycles * self.config.clock_period_ns
+        done = issue + latency
+        data = self._mem.get(addr, b"\x00" * self.config.word_bytes)
+        self.sim.schedule_at(done, lambda: callback(data))
+        return done
+
+    def read_sync(self, addr: int) -> bytes:
+        """Zero-time peek for software/tests (no port accounting)."""
+        self._check_addr(addr)
+        return self._mem.get(addr, b"\x00" * self.config.word_bytes)

@@ -1,0 +1,146 @@
+"""High-speed serial interface subsystem.
+
+§2: "A high-speed serial interfaces subsystem, composed of 30 serial
+links running at up to 13.1Gb/s, enables 10Gb/s, 40Gb/s and 100Gb/s
+applications."  The model tracks link allocation (SFP+, PCIe, FMC/QTH
+expansion), per-link line rate limits, and encoding overhead, so a
+project that over-commits the transceivers fails at build time the way
+a real pin-planning pass would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.utils.units import GBPS
+
+#: GTH transceiver ceiling on the -2 speed grade part used by SUME (§2).
+MAX_LANE_RATE_BPS = 13.1 * GBPS
+
+
+@dataclass
+class SerialLink:
+    """One GTH transceiver lane."""
+
+    index: int
+    group: str  # "sfp", "pcie", "qth", "sata"
+    max_rate_bps: float = MAX_LANE_RATE_BPS
+    allocated_to: Optional[str] = None
+    line_rate_bps: float = 0.0
+
+    @property
+    def in_use(self) -> bool:
+        return self.allocated_to is not None
+
+    def allocate(self, user: str, line_rate_bps: float) -> None:
+        if self.in_use:
+            raise RuntimeError(
+                f"serial lane {self.index} already allocated to {self.allocated_to}"
+            )
+        if line_rate_bps > self.max_rate_bps:
+            raise ValueError(
+                f"lane {self.index} cannot run at {line_rate_bps / GBPS:.2f} Gb/s "
+                f"(max {self.max_rate_bps / GBPS:.2f})"
+            )
+        self.allocated_to = user
+        self.line_rate_bps = line_rate_bps
+
+    def release(self) -> None:
+        self.allocated_to = None
+        self.line_rate_bps = 0.0
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """Line-coding overhead: usable payload fraction of the raw lane rate."""
+
+    name: str
+    payload_fraction: float
+
+    def payload_rate(self, lane_rate_bps: float) -> float:
+        return lane_rate_bps * self.payload_fraction
+
+
+ENC_8B10B = Encoding("8b/10b", 0.8)
+ENC_64B66B = Encoding("64b/66b", 64 / 66)
+ENC_128B130B = Encoding("128b/130b", 128 / 130)
+
+
+class SerialLinkBank:
+    """The SUME transceiver pool: 30 GTH lanes and their standard groupings.
+
+    Lane budget (matching the board): 4 lanes to SFP+ cages, 8 to the PCIe
+    Gen3 edge connector, 2 to SATA, and 16 to the expansion connectors
+    (FMC/QTH) for 40G/100G and proprietary interfaces.
+    """
+
+    GROUPS = {"sfp": 4, "pcie": 8, "sata": 2, "qth": 16}
+
+    def __init__(self):
+        self.links: list[SerialLink] = []
+        index = 0
+        for group, count in self.GROUPS.items():
+            for _ in range(count):
+                self.links.append(SerialLink(index=index, group=group))
+                index += 1
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    def available(self, group: Optional[str] = None) -> list[SerialLink]:
+        return [
+            link
+            for link in self.links
+            if not link.in_use and (group is None or link.group == group)
+        ]
+
+    def allocate(
+        self, user: str, lanes: int, line_rate_bps: float, group: str = "qth"
+    ) -> list[SerialLink]:
+        """Claim ``lanes`` free lanes from ``group`` for one interface."""
+        free = self.available(group)
+        if len(free) < lanes:
+            raise RuntimeError(
+                f"need {lanes} free {group} lanes for {user}, only {len(free)} left"
+            )
+        chosen = free[:lanes]
+        for link in chosen:
+            link.allocate(user, line_rate_bps)
+        return chosen
+
+    def aggregate_capacity_bps(self) -> float:
+        """Total raw serial bandwidth of the bank (the 100G headline, C1)."""
+        return sum(link.max_rate_bps for link in self.links)
+
+    def inventory(self) -> dict[str, dict[str, float | int]]:
+        out: dict[str, dict[str, float | int]] = {}
+        for group, count in self.GROUPS.items():
+            in_use = sum(1 for l in self.links if l.group == group and l.in_use)
+            out[group] = {
+                "lanes": count,
+                "in_use": in_use,
+                "max_rate_gbps": MAX_LANE_RATE_BPS / GBPS,
+            }
+        return out
+
+
+@dataclass
+class SfpCage:
+    """One SFP+ cage: a serial lane presented as a standard interface.
+
+    10GBASE-R runs the lane at 10.3125 Gb/s with 64b/66b encoding,
+    yielding exactly 10 Gb/s of MAC-layer bandwidth — the arithmetic
+    behind "enables 10Gb/s ... applications".
+    """
+
+    index: int
+    link: SerialLink
+    encoding: Encoding = field(default=ENC_64B66B)
+
+    LANE_RATE_10GBASER = 10.3125 * GBPS
+
+    def bring_up(self) -> float:
+        """Allocate the lane for 10GBASE-R; returns MAC-layer rate (b/s)."""
+        self.link.allocate(f"sfp{self.index}", self.LANE_RATE_10GBASER)
+        return self.encoding.payload_rate(self.LANE_RATE_10GBASER)

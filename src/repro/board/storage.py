@@ -1,0 +1,115 @@
+"""Storage subsystem: microSD card and SATA disks.
+
+§2: "The Storage subsystem of the design can host both a MicroSD card
+and external disks through two SATA interfaces, thus enabling a complete
+standalone operation of the board."  The models are simple block devices
+with realistic latency/throughput envelopes; the acceptance-test project
+exercises them, and standalone operation (booting the soft core from
+microSD) uses the card model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.eventsim import EventSimulator
+from repro.utils.units import MIB
+
+
+@dataclass(frozen=True)
+class BlockDeviceSpec:
+    name: str
+    capacity_bytes: int
+    block_bytes: int
+    read_bw_bps: float
+    write_bw_bps: float
+    access_latency_ns: float
+
+
+MICROSD_CARD = BlockDeviceSpec(
+    name="microsd_uhs1",
+    capacity_bytes=32 * 1024**3,
+    block_bytes=512,
+    read_bw_bps=80 * MIB * 8,
+    write_bw_bps=20 * MIB * 8,
+    access_latency_ns=400_000.0,  # 0.4 ms — flash controller latency
+)
+
+SATA_SSD = BlockDeviceSpec(
+    name="sata3_ssd",
+    capacity_bytes=256 * 1024**3,
+    block_bytes=512,
+    read_bw_bps=550 * MIB * 8,
+    write_bw_bps=500 * MIB * 8,
+    access_latency_ns=60_000.0,  # 60 µs
+)
+
+
+class BlockDevice:
+    """An event-driven block device with a single command queue."""
+
+    def __init__(self, sim: EventSimulator, spec: BlockDeviceSpec):
+        self.sim = sim
+        self.spec = spec
+        self._blocks: dict[int, bytes] = {}
+        self._free_ns = 0.0
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, lba: int, data_len: int) -> None:
+        if data_len % self.spec.block_bytes:
+            raise ValueError(
+                f"transfers must be whole {self.spec.block_bytes}B blocks"
+            )
+        last_byte = lba * self.spec.block_bytes + data_len
+        if lba < 0 or last_byte > self.spec.capacity_bytes:
+            raise ValueError(f"LBA {lba} + {data_len}B beyond device capacity")
+
+    def _serialize(self, data_len: int, bandwidth_bps: float) -> float:
+        start = max(self.sim.now_ns, self._free_ns) + self.spec.access_latency_ns
+        transfer = data_len * 8 / bandwidth_bps * 1e9
+        self._free_ns = start + transfer
+        return self._free_ns
+
+    def write(self, lba: int, data: bytes) -> float:
+        """Write whole blocks starting at ``lba``; returns completion time."""
+        self._check(lba, len(data))
+        self.writes += 1
+        for i in range(0, len(data), self.spec.block_bytes):
+            self._blocks[lba + i // self.spec.block_bytes] = data[
+                i : i + self.spec.block_bytes
+            ]
+        return self._serialize(len(data), self.spec.write_bw_bps)
+
+    def read(self, lba: int, length: int, callback: Callable[[bytes], None]) -> float:
+        """Read ``length`` bytes from ``lba``; completion via callback."""
+        self._check(lba, length)
+        self.reads += 1
+        blocks = []
+        for i in range(length // self.spec.block_bytes):
+            blocks.append(
+                self._blocks.get(lba + i, b"\x00" * self.spec.block_bytes)
+            )
+        data = b"".join(blocks)
+        done = self._serialize(length, self.spec.read_bw_bps)
+        self.sim.schedule_at(done, lambda: callback(data))
+        return done
+
+
+class StorageSubsystem:
+    """The SUME storage complement: one microSD slot, two SATA ports."""
+
+    def __init__(self, sim: EventSimulator):
+        self.microsd = BlockDevice(sim, MICROSD_CARD)
+        self.sata = (BlockDevice(sim, SATA_SSD), BlockDevice(sim, SATA_SSD))
+
+    def devices(self) -> list[BlockDevice]:
+        return [self.microsd, *self.sata]
+
+    def inventory(self) -> list[tuple[str, int, float]]:
+        """``[(name, capacity, read_bw_bps)]`` for the board self-test."""
+        return [
+            (dev.spec.name, dev.spec.capacity_bytes, dev.spec.read_bw_bps)
+            for dev in self.devices()
+        ]

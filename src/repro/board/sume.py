@@ -1,0 +1,174 @@
+"""The NetFPGA SUME board: the integration of every §2 subsystem.
+
+:class:`NetFpgaSume` instantiates the FPGA capacity model, the serial
+link bank with four SFP+ cages brought up as 10GBASE-R MACs, three
+QDRII+ devices, two DDR3 SoDIMMs, the PCIe Gen3 DMA complex, storage and
+power telemetry — all sharing one :class:`EventSimulator` clock.  The
+``inventory()`` self-test regenerates the paper's Figure 1 / §2 content
+as a table (experiment E1).
+
+:class:`BoardSpec` additionally catalogues the three platforms the
+project supports (§1): SUME, NetFPGA-10G and NetFPGA-1G-CML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.board.clocks import SUME_CLOCKS, ClockTree
+from repro.board.ddr3 import Ddr3Model, SUME_DDR3
+from repro.board.fpga import (
+    FpgaDevice,
+    KINTEX7_325T,
+    VIRTEX5_TX240T,
+    VIRTEX7_690T,
+)
+from repro.board.mac import EthernetMacModel
+from repro.board.pcie import (
+    DescriptorRing,
+    DmaEngine,
+    HostMemory,
+    PCIE_GEN3_X8,
+    PcieLink,
+)
+from repro.board.power import PowerModel
+from repro.board.qdr import QdrIIModel, SUME_QDR
+from repro.board.serial import SerialLinkBank, SfpCage
+from repro.board.storage import StorageSubsystem
+from repro.core.eventsim import EventSimulator
+from repro.utils.units import GBPS, format_rate, format_size
+
+
+@dataclass(frozen=True)
+class BoardSpec:
+    """Catalogue entry for one NetFPGA platform (§1 of the paper)."""
+
+    name: str
+    fpga: FpgaDevice
+    phys_ports: int
+    port_rate_bps: float
+    max_io_bps: float
+    year: int
+    notes: str
+
+
+NETFPGA_SUME = BoardSpec(
+    name="NetFPGA SUME",
+    fpga=VIRTEX7_690T,
+    phys_ports=4,
+    port_rate_bps=10 * GBPS,
+    max_io_bps=100 * GBPS,
+    year=2014,
+    notes="PCIe Gen3 adapter; 40G/100G capable via expansion; standalone operation",
+)
+
+NETFPGA_10G = BoardSpec(
+    name="NetFPGA-10G",
+    fpga=VIRTEX5_TX240T,
+    phys_ports=4,
+    port_rate_bps=10 * GBPS,
+    max_io_bps=40 * GBPS,
+    year=2010,
+    notes="hosts OSNT and BlueSwitch community projects",
+)
+
+NETFPGA_1G_CML = BoardSpec(
+    name="NetFPGA-1G-CML",
+    fpga=KINTEX7_325T,
+    phys_ports=4,
+    port_rate_bps=1 * GBPS,
+    max_io_bps=4 * GBPS,
+    year=2014,
+    notes="low-bandwidth / network-security applications",
+)
+
+ALL_PLATFORMS = (NETFPGA_SUME, NETFPGA_10G, NETFPGA_1G_CML)
+
+#: DMA ring placement in host memory (arbitrary but fixed addresses).
+_TX_RING_BASE = 0x0010_0000
+_RX_RING_BASE = 0x0020_0000
+_RING_ENTRIES = 1024
+
+
+class NetFpgaSume:
+    """A powered-up SUME board on a shared event-driven clock."""
+
+    NUM_SFP = 4
+    NUM_QDR = 3
+    NUM_DDR3 = 2
+
+    def __init__(self, sim: EventSimulator | None = None):
+        self.sim = sim if sim is not None else EventSimulator()
+        self.spec = NETFPGA_SUME
+        self.clocks: ClockTree = SUME_CLOCKS
+        self.serial = SerialLinkBank()
+        self.power = PowerModel()
+        self.storage = StorageSubsystem(self.sim)
+
+        # Bring up the four SFP+ cages as 10GBASE-R MACs.
+        self.sfp_cages: list[SfpCage] = []
+        self.macs: list[EthernetMacModel] = []
+        for i in range(self.NUM_SFP):
+            lane = self.serial.available("sfp")[0]
+            cage = SfpCage(index=i, link=lane)
+            mac_rate = cage.bring_up()
+            self.sfp_cages.append(cage)
+            self.macs.append(
+                EthernetMacModel(self.sim, f"nf{i}", rate_bps=mac_rate)
+            )
+
+        self.qdr = [QdrIIModel(self.sim, SUME_QDR) for _ in range(self.NUM_QDR)]
+        self.ddr3 = [Ddr3Model(self.sim, SUME_DDR3) for _ in range(self.NUM_DDR3)]
+
+        # PCIe complex: lanes, link, host memory, rings, DMA engine.
+        self.serial.allocate("pcie_ep", lanes=8, line_rate_bps=8e9, group="pcie")
+        self.pcie = PcieLink(self.sim, PCIE_GEN3_X8)
+        self.host_memory = HostMemory()
+        self.dma = DmaEngine(
+            self.sim,
+            self.pcie,
+            self.host_memory,
+            tx_ring=DescriptorRing(self.host_memory, _TX_RING_BASE, _RING_ENTRIES),
+            rx_ring=DescriptorRing(self.host_memory, _RX_RING_BASE, _RING_ENTRIES),
+        )
+        # SATA shares the transceiver pool (§2).
+        self.serial.allocate("sata", lanes=2, line_rate_bps=6e9, group="sata")
+
+    # ------------------------------------------------------------------
+    def total_memory_bytes(self) -> tuple[int, int]:
+        """(SRAM bytes, DRAM bytes) fitted to the board."""
+        sram = sum(q.config.capacity_bytes for q in self.qdr)
+        dram = sum(d.config.capacity_bytes for d in self.ddr3)
+        return sram, dram
+
+    def inventory(self) -> list[tuple[str, str]]:
+        """The E1 self-test: every §2 subsystem with its measured capacity."""
+        sram, dram = self.total_memory_bytes()
+        rows = [
+            ("fpga", self.spec.fpga.name),
+            ("serial_links", f"{len(self.serial)} lanes, "
+                             f"{format_rate(self.serial.links[0].max_rate_bps)} max each"),
+            ("aggregate_serial_io", format_rate(self.serial.aggregate_capacity_bps())),
+            ("sfp_ports", f"{self.NUM_SFP} x {format_rate(self.macs[0].rate_bps)}"),
+            ("sram_qdrii+", f"{self.NUM_QDR} x "
+                            f"{format_size(self.qdr[0].config.capacity_bytes)} @ "
+                            f"{self.qdr[0].config.clock_mhz:.0f} MHz"),
+            ("dram_ddr3", f"{self.NUM_DDR3} x "
+                          f"{format_size(self.ddr3[0].config.capacity_bytes)} @ "
+                          f"{self.ddr3[0].config.transfer_rate_mtps:.0f} MT/s"),
+            ("pcie", f"gen{self.pcie.config.generation} x{self.pcie.config.lanes}, "
+                     f"{format_rate(self.pcie.config.effective_bandwidth_bps)} effective"),
+            ("storage", ", ".join(name for name, _, _ in self.storage.inventory())),
+            ("power_rails", f"{len(self.power.rails)} instrumented, "
+                            f"{self.power.total_power_w:.1f} W idle"),
+            ("clocks", ", ".join(self.clocks.names())),
+        ]
+        return rows
+
+    def supports_100g(self) -> bool:
+        """C1 check: can the free expansion lanes host a 100G interface?
+
+        100GBASE-R (CAUI-10) needs 10 lanes at 10.3125 Gb/s; after the
+        SFP+/PCIe/SATA allocations the 16 QTH lanes must cover it.
+        """
+        return len(self.serial.available("qth")) >= 10

@@ -1,0 +1,71 @@
+"""HDL-style simulation kernel.
+
+This package stands in for the Verilog simulation environment that NetFPGA
+designs are developed against.  It provides two complementary engines:
+
+* :class:`~repro.core.simulator.Simulator` — a cycle-driven, two-phase
+  kernel (combinational settle, then synchronous tick) for handshake-level
+  datapath modelling.  Datapath cores in :mod:`repro.cores` are written
+  against it using AXI4-Stream channels, exactly mirroring the structure of
+  the NetFPGA reference Verilog.
+* :class:`~repro.core.eventsim.EventSimulator` — a discrete-event engine
+  used by the behavioural board models (memory timing, MAC serialization,
+  PCIe DMA) where per-cycle fidelity is unnecessary.
+
+Both engines are deterministic: identical inputs produce identical traces.
+"""
+
+from repro.core.axilite import AxiLiteError, AxiLiteInterconnect, RegisterFile
+from repro.core.axis import (
+    AxiStreamBeat,
+    AxiStreamChannel,
+    StreamMonitor,
+    StreamPacket,
+    StreamSink,
+    StreamSource,
+    beats_to_packet,
+    packet_to_beats,
+)
+from repro.core.eventsim import EventSimulator
+from repro.core.metadata import (
+    DMA_PORT_BITS,
+    PHYS_PORT_BITS,
+    SUME_TUSER,
+    all_phys_ports_mask,
+    dma_port_bit,
+    phys_port_bit,
+    port_bits_to_indices,
+)
+from repro.core.module import Module, Resources
+from repro.core.signal import Signal
+from repro.core.simulator import CombLoopError, SimulationError, Simulator
+from repro.core.vcd import VcdWriter
+
+__all__ = [
+    "AxiLiteError",
+    "AxiLiteInterconnect",
+    "RegisterFile",
+    "AxiStreamBeat",
+    "AxiStreamChannel",
+    "StreamMonitor",
+    "StreamPacket",
+    "StreamSink",
+    "StreamSource",
+    "beats_to_packet",
+    "packet_to_beats",
+    "EventSimulator",
+    "SUME_TUSER",
+    "PHYS_PORT_BITS",
+    "DMA_PORT_BITS",
+    "phys_port_bit",
+    "dma_port_bit",
+    "all_phys_ports_mask",
+    "port_bits_to_indices",
+    "Module",
+    "Resources",
+    "Signal",
+    "Simulator",
+    "SimulationError",
+    "CombLoopError",
+    "VcdWriter",
+]

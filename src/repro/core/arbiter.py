@@ -1,0 +1,132 @@
+"""Arbitration primitives shared by the datapath cores.
+
+These are pure-logic helpers (no simulation state beyond the rotation
+pointer) so they can back both the cycle-driven input arbiter core and
+the behavioural models with identical decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class RoundRobinArbiter:
+    """Work-conserving rotating-priority arbiter over ``n`` requesters.
+
+    After granting requester *i*, the highest priority for the next
+    decision is *i+1* — the scheme used by the NetFPGA input arbiter, and
+    the source of its per-port fairness property (tested in
+    ``tests/test_cores_arbiter.py``).
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("arbiter needs at least one requester")
+        self.n = n
+        self._next = 0
+        self.grants = [0] * n
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        """Pick the granted requester, or None if nobody requests.
+
+        The caller decides when a grant is *consumed* (e.g. only at packet
+        boundaries); call :meth:`advance` at that point.
+        """
+        if len(requests) != self.n:
+            raise ValueError(f"expected {self.n} request lines, got {len(requests)}")
+        for i in range(self.n):
+            idx = (self._next + i) % self.n
+            if requests[idx]:
+                return idx
+        return None
+
+    def advance(self, granted: int) -> None:
+        """Record that ``granted`` consumed its grant; rotate priority."""
+        if not 0 <= granted < self.n:
+            raise ValueError(f"granted index out of range: {granted}")
+        self.grants[granted] += 1
+        self._next = (granted + 1) % self.n
+
+
+class StrictPriorityArbiter:
+    """Always grants the lowest-index active requester.
+
+    Used by the priority output-queue discipline; starves low-priority
+    requesters by design (the scheduler bench demonstrates exactly that).
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("arbiter needs at least one requester")
+        self.n = n
+        self.grants = [0] * n
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        if len(requests) != self.n:
+            raise ValueError(f"expected {self.n} request lines, got {len(requests)}")
+        for idx, req in enumerate(requests):
+            if req:
+                return idx
+        return None
+
+    def advance(self, granted: int) -> None:
+        self.grants[granted] += 1
+
+
+class DeficitRoundRobin:
+    """Deficit round robin over variable-length packets.
+
+    Classic Shreedhar–Varghese DRR: each queue accumulates ``quantum``
+    bytes of credit per round and may send while its deficit covers the
+    head packet.  Provides byte-level fairness across queues regardless
+    of packet size mix.
+    """
+
+    def __init__(self, n: int, quantum_bytes: int = 1500):
+        if n <= 0:
+            raise ValueError("need at least one queue")
+        if quantum_bytes <= 0:
+            raise ValueError("quantum must be positive")
+        self.n = n
+        self.quantum = quantum_bytes
+        self.deficit = [0] * n
+        self._active = 0
+        self._fresh_round = True
+        self.grants = [0] * n
+
+    def next_queue(self, head_sizes: Sequence[Optional[int]]) -> Optional[int]:
+        """Choose the next queue to serve.
+
+        ``head_sizes[i]`` is the byte length of queue *i*'s head packet, or
+        None if the queue is empty.  Returns the queue index to serve, or
+        None if all queues are empty.  The chosen queue's deficit is
+        debited immediately.
+        """
+        if len(head_sizes) != self.n:
+            raise ValueError(f"expected {self.n} queues, got {len(head_sizes)}")
+        if all(size is None for size in head_sizes):
+            # Idle: reset deficits so a long-idle queue gets no windfall.
+            self.deficit = [0] * self.n
+            self._fresh_round = True
+            return None
+        # A queue whose head packet exceeds the quantum needs several
+        # rounds of credit; bound the walk accordingly so jumbo frames
+        # are served rather than misreported as starvation.
+        largest = max(size for size in head_sizes if size is not None)
+        max_visits = self.n * (largest // self.quantum + 2)
+        for _ in range(max_visits):
+            idx = self._active
+            size = head_sizes[idx]
+            if size is not None:
+                if self._fresh_round:
+                    self.deficit[idx] += self.quantum
+                    self._fresh_round = False
+                if self.deficit[idx] >= size:
+                    self.deficit[idx] -= size
+                    self.grants[idx] += 1
+                    return idx
+            else:
+                self.deficit[idx] = 0
+            self._active = (idx + 1) % self.n
+            self._fresh_round = True
+        return None

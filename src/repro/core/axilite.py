@@ -1,0 +1,154 @@
+"""AXI4-Lite control-plane model: register files and the interconnect.
+
+NetFPGA projects expose all configuration and statistics through memory-
+mapped registers reached over AXI4-Lite from the host (via PCIe) or from
+the on-board soft-core.  Control-plane accesses are orders of magnitude
+slower and rarer than datapath traffic, so this model is transactional
+(one call = one completed bus transaction) rather than cycle-driven; an
+optional per-access latency lets the DMA/driver models account for MMIO
+round-trip time.
+
+Addresses and data are 32-bit, matching the reference designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class AxiLiteError(RuntimeError):
+    """Raised for decode errors (unmapped address, write to RO register)."""
+
+
+@dataclass
+class _Register:
+    name: str
+    offset: int
+    value: int
+    read_only: bool
+    on_read: Optional[Callable[[], int]]
+    on_write: Optional[Callable[[int], None]]
+
+
+class RegisterFile:
+    """A block of 32-bit registers at word-aligned offsets.
+
+    Registers may be plain storage, or backed by callbacks so a core can
+    expose live state (counters) and side-effecting commands (table
+    writes) — the same split the Verilog register modules make between
+    ``rw`` and ``wo``/``ro`` registers.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._by_offset: dict[int, _Register] = {}
+        self._by_name: dict[str, _Register] = {}
+
+    def add_register(
+        self,
+        name: str,
+        offset: int,
+        init: int = 0,
+        read_only: bool = False,
+        on_read: Optional[Callable[[], int]] = None,
+        on_write: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if offset % 4 != 0:
+            raise AxiLiteError(f"register {name!r} offset {offset:#x} not word-aligned")
+        if offset in self._by_offset:
+            raise AxiLiteError(f"offset {offset:#x} already occupied in {self.name}")
+        if name in self._by_name:
+            raise AxiLiteError(f"duplicate register name {name!r} in {self.name}")
+        reg = _Register(name, offset, init & WORD_MASK, read_only, on_read, on_write)
+        self._by_offset[offset] = reg
+        self._by_name[name] = reg
+
+    # -- bus-facing access (by offset) ---------------------------------
+    def read(self, offset: int) -> int:
+        reg = self._by_offset.get(offset)
+        if reg is None:
+            raise AxiLiteError(f"read decode error at {self.name}+{offset:#x}")
+        if reg.on_read is not None:
+            return reg.on_read() & WORD_MASK
+        return reg.value
+
+    def write(self, offset: int, value: int) -> None:
+        reg = self._by_offset.get(offset)
+        if reg is None:
+            raise AxiLiteError(f"write decode error at {self.name}+{offset:#x}")
+        if reg.read_only:
+            raise AxiLiteError(f"write to read-only register {self.name}.{reg.name}")
+        value &= WORD_MASK
+        if reg.on_write is not None:
+            reg.on_write(value)
+        else:
+            reg.value = value
+
+    # -- software-facing access (by name) ------------------------------
+    def offset_of(self, name: str) -> int:
+        return self._by_name[name].offset
+
+    def peek(self, name: str) -> int:
+        return self.read(self._by_name[name].offset)
+
+    def poke(self, name: str, value: int) -> None:
+        self.write(self._by_name[name].offset, value)
+
+    def registers(self) -> list[tuple[str, int]]:
+        """``[(name, offset), ...]`` sorted by offset — the register map."""
+        return sorted(
+            ((r.name, r.offset) for r in self._by_offset.values()), key=lambda t: t[1]
+        )
+
+
+class AxiLiteInterconnect:
+    """Routes 32-bit accesses to register files by base address.
+
+    The reference designs allocate each pipeline stage a 64 KiB window;
+    :meth:`attach` enforces non-overlap so a mis-assembled project fails
+    at build time, like a bad address map would fail in synthesis.
+    """
+
+    def __init__(self, name: str = "axi_interconnect", access_latency_ns: float = 160.0):
+        self.name = name
+        #: Modelled MMIO round-trip (PCIe read ≈ 1 µs in reality; the
+        #: default models a posted write / register read at the board).
+        self.access_latency_ns = access_latency_ns
+        self._windows: list[tuple[int, int, RegisterFile]] = []
+        self.reads = 0
+        self.writes = 0
+
+    def attach(self, base: int, size: int, regfile: RegisterFile) -> None:
+        if base % 4 != 0 or size <= 0:
+            raise AxiLiteError(f"bad window base={base:#x} size={size:#x}")
+        for other_base, other_size, other in self._windows:
+            if base < other_base + other_size and other_base < base + size:
+                raise AxiLiteError(
+                    f"window {regfile.name} [{base:#x},+{size:#x}) overlaps "
+                    f"{other.name} [{other_base:#x},+{other_size:#x})"
+                )
+        self._windows.append((base, size, regfile))
+        self._windows.sort(key=lambda t: t[0])
+
+    def _decode(self, addr: int) -> tuple[RegisterFile, int]:
+        for base, size, regfile in self._windows:
+            if base <= addr < base + size:
+                return regfile, addr - base
+        raise AxiLiteError(f"address {addr:#x} does not decode to any window")
+
+    def read(self, addr: int) -> int:
+        regfile, offset = self._decode(addr)
+        self.reads += 1
+        return regfile.read(offset)
+
+    def write(self, addr: int, value: int) -> None:
+        regfile, offset = self._decode(addr)
+        self.writes += 1
+        regfile.write(offset, value)
+
+    def memory_map(self) -> list[tuple[int, int, str]]:
+        """``[(base, size, name), ...]`` — the project's address map."""
+        return [(base, size, rf.name) for base, size, rf in self._windows]

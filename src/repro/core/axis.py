@@ -1,0 +1,338 @@
+"""AXI4-Stream channel model.
+
+The NetFPGA reference pipeline is a chain of modules connected by
+AXI4-Stream links (256-bit TDATA plus the 128-bit SUME TUSER side-band).
+:class:`AxiStreamChannel` models one such link at beat granularity with the
+full valid/ready handshake, which is what gives the kernel its fidelity:
+backpressure, pipeline bubbles and head-of-line blocking all emerge from
+the handshake exactly as they do in the Verilog.
+
+A *beat* carries up to ``width_bytes`` of payload (TKEEP is implied by the
+payload length, which AXI4-Stream permits for packet-aligned streams), a
+TLAST marker and the TUSER word.  Helper functions convert between whole
+packets and beat sequences, and :class:`StreamSource` /
+:class:`StreamSink` are the standard test-bench drivers (the equivalents
+of the NetFPGA simulation environment's packet stimuli).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.core.metadata import SUME_TUSER
+from repro.core.module import Module
+from repro.core.signal import Signal
+
+#: Datapath width of the SUME reference pipeline: 256 bits.
+DEFAULT_WIDTH_BYTES = 32
+
+
+@dataclass(frozen=True)
+class AxiStreamBeat:
+    """One transfer on an AXI4-Stream link."""
+
+    data: bytes
+    last: bool
+    tuser: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            raise ValueError("a beat must carry at least one byte")
+
+
+@dataclass
+class StreamPacket:
+    """A whole packet plus its TUSER metadata word.
+
+    This is the unit the datapath cores reason about; on the wire it is
+    serialized into beats.  ``tuser`` follows the SUME convention (see
+    :mod:`repro.core.metadata`); the accessors below read/write its fields
+    without the caller having to touch the bit layout.
+    """
+
+    data: bytes
+    tuser: int = 0
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    @property
+    def src_port(self) -> int:
+        return SUME_TUSER.extract(self.tuser, "src_port")
+
+    @property
+    def dst_port(self) -> int:
+        return SUME_TUSER.extract(self.tuser, "dst_port")
+
+    def with_src_port(self, bits: int) -> "StreamPacket":
+        return StreamPacket(self.data, SUME_TUSER.insert(self.tuser, "src_port", bits))
+
+    def with_dst_port(self, bits: int) -> "StreamPacket":
+        return StreamPacket(self.data, SUME_TUSER.insert(self.tuser, "dst_port", bits))
+
+    def with_len(self) -> "StreamPacket":
+        """Return a copy with the TUSER ``len`` field set from the payload."""
+        return StreamPacket(
+            self.data, SUME_TUSER.insert(self.tuser, "len", len(self.data))
+        )
+
+
+def packet_to_beats(
+    packet: StreamPacket, width_bytes: int = DEFAULT_WIDTH_BYTES
+) -> list[AxiStreamBeat]:
+    """Serialize a packet into beats; TUSER rides on every beat.
+
+    (The reference designs only guarantee TUSER on the first beat; carrying
+    it on all beats is equivalent and simplifies reassembly.)
+    """
+    if width_bytes <= 0:
+        raise ValueError("beat width must be positive")
+    data = packet.data
+    if not data:
+        raise ValueError("cannot serialize an empty packet")
+    beats = []
+    for offset in range(0, len(data), width_bytes):
+        chunk = data[offset : offset + width_bytes]
+        beats.append(
+            AxiStreamBeat(
+                data=chunk,
+                last=offset + width_bytes >= len(data),
+                tuser=packet.tuser,
+            )
+        )
+    return beats
+
+
+def beats_to_packet(beats: Iterable[AxiStreamBeat]) -> StreamPacket:
+    """Reassemble a packet from a complete beat sequence."""
+    chunks: list[bytes] = []
+    tuser = 0
+    saw_last = False
+    for i, beat in enumerate(beats):
+        if saw_last:
+            raise ValueError("beats continue after TLAST")
+        if i == 0:
+            tuser = beat.tuser
+        chunks.append(beat.data)
+        saw_last = beat.last
+    if not chunks:
+        raise ValueError("no beats to reassemble")
+    if not saw_last:
+        raise ValueError("beat sequence did not terminate with TLAST")
+    return StreamPacket(b"".join(chunks), tuser)
+
+
+class AxiStreamChannel:
+    """A point-to-point AXI4-Stream link between two modules.
+
+    Producer protocol (during ``comb``): call :meth:`drive` with a beat or
+    ``None``.  Consumer protocol (during ``comb``): call :meth:`set_ready`.
+    Both sides test :attr:`fire` during ``tick`` to learn whether the beat
+    transferred this cycle.  Driving from ``tick`` is a protocol violation
+    (the handshake would not settle) and is not supported.
+    """
+
+    def __init__(self, name: str, width_bytes: int = DEFAULT_WIDTH_BYTES):
+        self.name = name
+        self.width_bytes = width_bytes
+        self.tvalid = Signal(f"{name}.tvalid", False)
+        self.tready = Signal(f"{name}.tready", False)
+        self.tbeat = Signal(f"{name}.tbeat", None)
+        # Lifetime statistics; free to read, useful to monitors and tests.
+        self.beats_transferred = 0
+        self.packets_transferred = 0
+        self.stall_cycles = 0
+
+    def signals(self) -> list[Signal]:
+        return [self.tvalid, self.tready, self.tbeat]
+
+    # -- producer side -------------------------------------------------
+    def drive(self, beat: Optional[AxiStreamBeat]) -> None:
+        if beat is not None and len(beat.data) > self.width_bytes:
+            raise ValueError(
+                f"beat of {len(beat.data)}B exceeds channel width "
+                f"{self.width_bytes}B on {self.name}"
+            )
+        self.tvalid.set(beat is not None)
+        self.tbeat.set(beat)
+
+    # -- consumer side ---------------------------------------------------
+    def set_ready(self, ready: bool) -> None:
+        self.tready.set(bool(ready))
+
+    # -- both sides, during tick ----------------------------------------
+    @property
+    def fire(self) -> bool:
+        """True when the settled handshake transfers a beat this cycle."""
+        return bool(self.tvalid) and bool(self.tready)
+
+    @property
+    def beat(self) -> Optional[AxiStreamBeat]:
+        return self.tbeat.get()
+
+    def account(self) -> None:
+        """Update transfer statistics; call once per cycle (any tick)."""
+        if self.fire:
+            beat = self.beat
+            self.beats_transferred += 1
+            if beat is not None and beat.last:
+                self.packets_transferred += 1
+        elif bool(self.tvalid) and not bool(self.tready):
+            self.stall_cycles += 1
+
+
+class StreamSource(Module):
+    """Test-bench packet driver: replays a queue of packets onto a channel.
+
+    An optional ``gap_cycles`` inserts idle cycles between packets, and a
+    ``pacing`` callable may hold the source idle on arbitrary cycles to
+    model irregular arrivals.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        channel: AxiStreamChannel,
+        gap_cycles: int = 0,
+        pacing: Optional[Callable[[int], bool]] = None,
+    ):
+        super().__init__(name)
+        self.channel = channel
+        self.gap_cycles = gap_cycles
+        self.pacing = pacing
+        self._queue: list[list[AxiStreamBeat]] = []
+        self._beats: list[AxiStreamBeat] = []
+        self._index = 0
+        self._gap_left = 0
+        self._cycle = 0
+        self.packets_sent = 0
+        for sig in channel.signals():
+            self.adopt_signal(sig)
+
+    def send(self, packet: StreamPacket) -> None:
+        """Queue a packet for transmission (TUSER len auto-filled)."""
+        self._queue.append(packet_to_beats(packet.with_len(), self.channel.width_bytes))
+
+    def send_all(self, packets: Iterable[StreamPacket]) -> None:
+        for packet in packets:
+            self.send(packet)
+
+    @property
+    def idle(self) -> bool:
+        """True when everything queued has been fully transmitted."""
+        return not self._queue and not self._beats
+
+    def comb(self) -> None:
+        paused = self.pacing is not None and not self.pacing(self._cycle)
+        if self._gap_left > 0 or paused:
+            self.channel.drive(None)
+            return
+        if not self._beats and self._queue:
+            self._beats = self._queue[0]
+            self._index = 0
+        if self._beats:
+            self.channel.drive(self._beats[self._index])
+        else:
+            self.channel.drive(None)
+
+    def tick(self) -> None:
+        self._cycle += 1
+        self.channel.account()
+        if self._gap_left > 0:
+            self._gap_left -= 1
+            return
+        if self._beats and self.channel.fire:
+            self._index += 1
+            if self._index >= len(self._beats):
+                self._queue.pop(0)
+                self._beats = []
+                self._index = 0
+                self.packets_sent += 1
+                self._gap_left = self.gap_cycles
+
+
+class StreamSink(Module):
+    """Test-bench packet collector with programmable backpressure.
+
+    ``backpressure(cycle)`` returning True means *stall* (tready low) on
+    that cycle; by default the sink is always ready.  Received packets are
+    appended to :attr:`packets` in arrival order.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        channel: AxiStreamChannel,
+        backpressure: Optional[Callable[[int], bool]] = None,
+    ):
+        super().__init__(name)
+        self.channel = channel
+        self.backpressure = backpressure
+        self.packets: list[StreamPacket] = []
+        self.arrival_cycles: list[int] = []
+        self._partial: list[AxiStreamBeat] = []
+        self._cycle = 0
+        for sig in channel.signals():
+            self.adopt_signal(sig)
+
+    def comb(self) -> None:
+        stalled = self.backpressure is not None and self.backpressure(self._cycle)
+        self.channel.set_ready(not stalled)
+
+    def tick(self) -> None:
+        if self.channel.fire:
+            beat = self.channel.beat
+            assert beat is not None
+            self._partial.append(beat)
+            if beat.last:
+                self.packets.append(beats_to_packet(self._partial))
+                self.arrival_cycles.append(self._cycle)
+                self._partial = []
+        self._cycle += 1
+
+
+class StreamMonitor(Module):
+    """Passive observer of a channel: counts beats/packets, never drives.
+
+    Attach one to any internal link to measure throughput and stalls
+    without perturbing the handshake — the simulation analogue of marking
+    a net for waveform capture.
+    """
+
+    def __init__(self, name: str, channel: AxiStreamChannel):
+        super().__init__(name)
+        self.channel = channel
+        self.beats = 0
+        self.packets = 0
+        self.bytes = 0
+        self.stall_cycles = 0
+        self.idle_cycles = 0
+        self.first_fire_cycle: Optional[int] = None
+        self.last_fire_cycle: Optional[int] = None
+        self._cycle = 0
+
+    def tick(self) -> None:
+        if self.channel.fire:
+            beat = self.channel.beat
+            assert beat is not None
+            self.beats += 1
+            self.bytes += len(beat.data)
+            if self.first_fire_cycle is None:
+                self.first_fire_cycle = self._cycle
+            self.last_fire_cycle = self._cycle
+            if beat.last:
+                self.packets += 1
+        elif bool(self.channel.tvalid):
+            self.stall_cycles += 1
+        else:
+            self.idle_cycles += 1
+        self._cycle += 1
+
+    def observed_rate_bps(self, clock_period_ns: float) -> float:
+        """Mean payload rate between first and last observed beats."""
+        if self.first_fire_cycle is None or self.last_fire_cycle is None:
+            return 0.0
+        cycles = self.last_fire_cycle - self.first_fire_cycle + 1
+        return (self.bytes * 8) / (cycles * clock_period_ns * 1e-9)

@@ -1,0 +1,100 @@
+"""Discrete-event simulation engine for the behavioural board models.
+
+Where the cycle-driven kernel models *how* a design behaves per clock, the
+event engine models *when* things happen in wall-clock (simulated
+nanosecond) time: a DDR3 row activation completing, a frame finishing
+serialization on a 10G lane, a DMA descriptor write-back.  Those models
+need timestamps, not handshakes, and an event queue is both the natural
+formulation and several orders of magnitude faster.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class EventSimulator:
+    """A classic calendar-queue discrete-event simulator.
+
+    Events are ``(time_ns, sequence, callback)`` triples; the sequence
+    number makes simultaneous events fire in scheduling order, keeping the
+    simulation fully deterministic.
+    """
+
+    def __init__(self):
+        self.now_ns: float = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay_ns: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay_ns``."""
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay {delay_ns})")
+        heapq.heappush(
+            self._queue, (self.now_ns + delay_ns, next(self._sequence), callback)
+        )
+
+    def schedule_at(self, time_ns: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``time_ns``."""
+        self.schedule(time_ns - self.now_ns, callback)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def run(self, until_ns: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Drain the queue, optionally stopping the clock at ``until_ns``.
+
+        ``max_events`` guards against run-away self-rescheduling models.
+        """
+        processed = 0
+        while self._queue:
+            time_ns, _, callback = self._queue[0]
+            if until_ns is not None and time_ns > until_ns:
+                break
+            heapq.heappop(self._queue)
+            self.now_ns = time_ns
+            callback()
+            processed += 1
+            self.events_processed += 1
+            if processed >= max_events:
+                raise RuntimeError(f"exceeded {max_events} events in one run() call")
+        if until_ns is not None and until_ns > self.now_ns:
+            self.now_ns = until_ns
+
+    def run_until_idle(self) -> None:
+        self.run(until_ns=None)
+
+
+class Process:
+    """Helper for models that are a chain of timed steps.
+
+    Wraps a generator yielding delays (ns); each yield suspends the
+    process for that long.  This gives behavioural models SimPy-style
+    coroutine processes on top of :class:`EventSimulator` with no
+    dependencies::
+
+        def refill(self):
+            while True:
+                yield 8.0          # one credit every 8 ns
+                self.credits += 1
+
+        Process(sim, refill(self))
+    """
+
+    def __init__(self, sim: EventSimulator, generator: Any):
+        self._sim = sim
+        self._generator = generator
+        self.finished = False
+        self._advance()
+
+    def _advance(self) -> None:
+        try:
+            delay = next(self._generator)
+        except StopIteration:
+            self.finished = True
+            return
+        self._sim.schedule(float(delay), self._advance)

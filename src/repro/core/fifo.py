@@ -1,0 +1,111 @@
+"""FIFOs: the plain data structure and the synthesizable stream FIFO.
+
+Almost every NetFPGA core buffers packets or beats in a block-RAM FIFO;
+:class:`AxiStreamFifo` is the kernel's equivalent of the Xilinx
+``axis_data_fifo`` the reference designs instantiate.  :class:`Fifo` is
+the untimed deque used inside behavioural models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Optional, TypeVar
+
+from repro.core.axis import AxiStreamChannel
+from repro.core.module import Module, Resources
+
+T = TypeVar("T")
+
+
+class Fifo(Generic[T]):
+    """Bounded FIFO with explicit overflow signalling.
+
+    ``push`` returns False (and drops nothing silently) when full, so
+    callers must decide drop/backpressure policy — the distinction the
+    output-queue experiments depend on.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        self.capacity = capacity
+        self._items: deque[T] = deque()
+        self.pushes = 0
+        self.drops = 0
+
+    def push(self, item: T) -> bool:
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.drops += 1
+            return False
+        self._items.append(item)
+        self.pushes += 1
+        return True
+
+    def pop(self) -> T:
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        return self._items[0]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+
+class AxiStreamFifo(Module):
+    """Store-and-forward-capable stream FIFO between two AXI4-Stream links.
+
+    Ready is deasserted only when the buffer is full, so the FIFO provides
+    lossless elasticity: upstream sees backpressure, never drops.  Depth is
+    counted in beats (one beat = one 256-bit word of block RAM).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        s_axis: AxiStreamChannel,
+        m_axis: AxiStreamChannel,
+        depth_beats: int = 512,
+    ):
+        super().__init__(name)
+        if depth_beats <= 0:
+            raise ValueError("FIFO depth must be positive")
+        self.s_axis = s_axis
+        self.m_axis = m_axis
+        self.depth_beats = depth_beats
+        self._queue: deque = deque()
+        self.max_occupancy = 0
+
+    def comb(self) -> None:
+        self.s_axis.set_ready(len(self._queue) < self.depth_beats)
+        self.m_axis.drive(self._queue[0] if self._queue else None)
+
+    def tick(self) -> None:
+        if self.m_axis.fire:
+            self._queue.popleft()
+        if self.s_axis.fire:
+            beat = self.s_axis.beat
+            assert beat is not None
+            self._queue.append(beat)
+        if len(self._queue) > self.max_occupancy:
+            self.max_occupancy = len(self._queue)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    def resources(self) -> Resources:
+        # One 36Kb BRAM holds 128 × 288-bit entries (256b data + sideband);
+        # control logic is a read/write pointer pair plus compare.
+        brams = max(1.0, self.depth_beats / 128)
+        return Resources(luts=90, ffs=120, brams=brams)

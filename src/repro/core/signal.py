@@ -1,0 +1,49 @@
+"""Signals: the wires of the cycle-driven kernel.
+
+A :class:`Signal` holds a single Python value (int, bool, bytes, or any
+comparable object).  Modules *drive* signals during the combinational phase
+and *sample* them freely; the :class:`~repro.core.simulator.Simulator`
+re-evaluates combinational logic until no signal changes value, which gives
+the same fixed-point semantics as delta cycles in an HDL simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Signal:
+    """A named wire with change tracking.
+
+    Signals are created through :meth:`repro.core.module.Module.signal` so
+    the owning module can enumerate them for the simulator and for VCD
+    tracing.  Direct construction is allowed in tests.
+    """
+
+    __slots__ = ("name", "value", "_version")
+
+    def __init__(self, name: str, init: Any = 0):
+        self.name = name
+        self.value = init
+        # Monotonic change counter; the simulator snapshots the sum of all
+        # versions to detect settling without comparing values twice.
+        self._version = 0
+
+    def set(self, value: Any) -> None:
+        """Drive the signal.  No-op (and no version bump) if unchanged."""
+        if value != self.value:
+            self.value = value
+            self._version += 1
+
+    def get(self) -> Any:
+        return self.value
+
+    # Conveniences for the overwhelmingly common boolean/int signals.
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def __index__(self) -> int:
+        return int(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name}={self.value!r})"

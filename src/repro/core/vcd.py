@@ -1,0 +1,129 @@
+"""Value Change Dump (VCD) trace writer.
+
+NetFPGA development leans on waveform inspection; this writer lets any
+kernel simulation dump its boolean/integer signals to a standard ``.vcd``
+file that GTKWave (or any other viewer) opens directly.  Non-scalar
+signals (beat objects) are traced as a 1-bit validity strobe.
+
+Usage::
+
+    sim = Simulator()
+    top = sim.add(build_design())
+    with VcdWriter("trace.vcd", sim, top.all_signals()) as vcd:
+        sim.step(1000)
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Optional
+
+from repro.core.signal import Signal
+from repro.core.simulator import Simulator
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Compact VCD identifier for signal ``index`` (base-94 ASCII)."""
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(chars)
+
+
+class VcdWriter:
+    """Streams signal changes to a VCD file, one timestep per clock cycle."""
+
+    INT_WIDTH = 64
+
+    def __init__(self, path: str, sim: Simulator, signals: Iterable[Signal]):
+        self.path = path
+        self._sim = sim
+        self._signals = list(signals)
+        self._ids = {id(s): _identifier(i) for i, s in enumerate(self._signals)}
+        self._last: dict[int, Optional[str]] = {id(s): None for s in self._signals}
+        self._file: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "VcdWriter":
+        self._file = open(self.path, "w", encoding="ascii")
+        self._write_header()
+        self._dump(0)
+        self._sim.add_cycle_hook(self._on_cycle)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    # ------------------------------------------------------------------
+    def _write_header(self) -> None:
+        assert self._file is not None
+        period_ps = int(self._sim.clock_period_ns * 1000)
+        self._file.write("$date repro NetFPGA kernel trace $end\n")
+        self._file.write("$version repro 1.0 $end\n")
+        self._file.write("$timescale 1ps $end\n")
+        self._file.write("$scope module top $end\n")
+        # Group signals into per-module scopes by their first name
+        # component, so GTKWave shows the design hierarchy.
+        by_scope: dict[str, list] = {}
+        for sig in self._signals:
+            scope, _, leaf = sig.name.partition(".")
+            if not leaf:
+                scope, leaf = "", sig.name
+            by_scope.setdefault(scope, []).append((leaf, sig))
+        for scope in sorted(by_scope):
+            if scope:
+                safe_scope = scope.replace(" ", "_")
+                self._file.write(f"$scope module {safe_scope} $end\n")
+            for leaf, sig in by_scope[scope]:
+                width = self._width_of(sig)
+                safe = leaf.replace(" ", "_")
+                self._file.write(
+                    f"$var wire {width} {self._ids[id(sig)]} {safe} $end\n"
+                )
+            if scope:
+                self._file.write("$upscope $end\n")
+        self._file.write("$upscope $end\n$enddefinitions $end\n")
+        self._period_ps = period_ps
+
+    @staticmethod
+    def _width_of(sig: Signal) -> int:
+        if isinstance(sig.value, bool):
+            return 1
+        if isinstance(sig.value, int):
+            return VcdWriter.INT_WIDTH
+        return 1  # object-valued: traced as validity strobe
+
+    @staticmethod
+    def _render(sig: Signal) -> str:
+        value = sig.value
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, int):
+            return format(value & ((1 << VcdWriter.INT_WIDTH) - 1), "b")
+        return "0" if value is None else "1"
+
+    def _dump(self, cycle: int) -> None:
+        assert self._file is not None
+        emitted_time = False
+        for sig in self._signals:
+            rendered = self._render(sig)
+            if rendered == self._last[id(sig)]:
+                continue
+            if not emitted_time:
+                self._file.write(f"#{cycle * self._period_ps}\n")
+                emitted_time = True
+            ident = self._ids[id(sig)]
+            if self._width_of(sig) == 1:
+                self._file.write(f"{rendered}{ident}\n")
+            else:
+                self._file.write(f"b{rendered} {ident}\n")
+            self._last[id(sig)] = rendered
+
+    def _on_cycle(self, cycle: int) -> None:
+        if self._file is not None:
+            self._dump(cycle)

@@ -1,0 +1,60 @@
+"""The NetFPGA building-block library (§3: "a large library of modules").
+
+Every class here is a reusable datapath element with the same AXI4-Stream
+/ AXI4-Lite interfaces as its Verilog counterpart, plus a declared
+resource footprint.  Reference projects (:mod:`repro.projects`) are thin
+compositions of these blocks — which is precisely the paper's modularity
+claim (C3): swap one block, touch nothing else.
+"""
+
+from repro.cores.cam import BinaryCam
+from repro.cores.delay import DelayLine
+from repro.cores.header_parser import ParsedHeaders, parse_headers
+from repro.cores.input_arbiter import InputArbiter
+from repro.cores.lpm import LpmTable, LpmEntry, NaiveLpm
+from repro.cores.output_port_lookup import Decision, OutputPortLookup
+from repro.cores.lookups import (
+    LearningSwitchLookup,
+    NicLookup,
+    PassthroughLookup,
+    SwitchLiteLookup,
+)
+from repro.cores.router_lookup import RouterLookup, RouterTables
+from repro.cores.output_queues import OutputQueues, QueueConfig, classify_by_dscp
+from repro.cores.rate_limiter import RateLimiter
+from repro.cores.stats import StatsCollector
+from repro.cores.tcam import Tcam, TcamEntry
+from repro.cores.timestamp import TimestampCore
+from repro.cores.packet_cutter import PacketCutter
+from repro.cores.port_mirror import PortMirror
+from repro.cores.width_converter import WidthConverter
+
+__all__ = [
+    "BinaryCam",
+    "DelayLine",
+    "ParsedHeaders",
+    "parse_headers",
+    "InputArbiter",
+    "LpmTable",
+    "LpmEntry",
+    "NaiveLpm",
+    "Decision",
+    "OutputPortLookup",
+    "LearningSwitchLookup",
+    "NicLookup",
+    "PassthroughLookup",
+    "SwitchLiteLookup",
+    "RouterLookup",
+    "RouterTables",
+    "OutputQueues",
+    "QueueConfig",
+    "classify_by_dscp",
+    "RateLimiter",
+    "StatsCollector",
+    "Tcam",
+    "TcamEntry",
+    "TimestampCore",
+    "PacketCutter",
+    "PortMirror",
+    "WidthConverter",
+]

@@ -1,0 +1,60 @@
+"""Fixed-delay line.
+
+OSNT's inter-packet delay module and network-emulation projects insert a
+configurable latency into a stream.  Beats are time-stamped on entry and
+released only once ``delay_cycles`` have elapsed, preserving order and
+spacing (a true delay line, not a rate change).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.axis import AxiStreamBeat, AxiStreamChannel
+from repro.core.module import Module, Resources
+
+
+class DelayLine(Module):
+    """Delays every beat by a fixed number of cycles."""
+
+    def __init__(
+        self,
+        name: str,
+        s_axis: AxiStreamChannel,
+        m_axis: AxiStreamChannel,
+        delay_cycles: int,
+        depth_beats: int = 4096,
+    ):
+        super().__init__(name)
+        if delay_cycles < 0:
+            raise ValueError("delay must be non-negative")
+        self.s_axis = s_axis
+        self.m_axis = m_axis
+        self.delay_cycles = delay_cycles
+        self.depth_beats = depth_beats
+        self._line: deque[tuple[int, AxiStreamBeat]] = deque()
+        self._cycle = 0
+        for ch in (s_axis, m_axis):
+            for sig in ch.signals():
+                self.adopt_signal(sig)
+
+    def comb(self) -> None:
+        self.s_axis.set_ready(len(self._line) < self.depth_beats)
+        if self._line and self._line[0][0] <= self._cycle:
+            self.m_axis.drive(self._line[0][1])
+        else:
+            self.m_axis.drive(None)
+
+    def tick(self) -> None:
+        self.m_axis.account()
+        if self.m_axis.fire:
+            self._line.popleft()
+        if self.s_axis.fire:
+            beat = self.s_axis.beat
+            assert beat is not None
+            self._line.append((self._cycle + self.delay_cycles, beat))
+        self._cycle += 1
+
+    def resources(self) -> Resources:
+        # Delay storage is a BRAM ring holding depth_beats wide words.
+        return Resources(luts=300, ffs=250, brams=max(1.0, self.depth_beats / 128))

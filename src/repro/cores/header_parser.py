@@ -1,0 +1,111 @@
+"""Header parser: the field-extraction stage of the reference pipelines.
+
+The Verilog parser walks the packet as beats arrive and latches fields at
+fixed offsets; this model does the same extraction over the buffered
+header bytes.  It is deliberately *non-throwing*: malformed or truncated
+packets yield ``None`` fields and let the lookup stage decide (drop, or
+punt to the CPU path) — hardware never raises exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.ethernet import ETHERTYPE_IPV4, ETHERTYPE_VLAN
+
+#: Bytes of header the pipelines need at most: eth(14) + vlan(4) +
+#: ipv4+options(60) would be 78, but the reference parsers cap options.
+HEADER_WINDOW = 64
+
+
+@dataclass(frozen=True)
+class ParsedHeaders:
+    """Every field the reference lookups use; ``None`` = not present."""
+
+    dst_mac: Optional[MacAddr] = None
+    src_mac: Optional[MacAddr] = None
+    ethertype: Optional[int] = None
+    vlan_vid: Optional[int] = None
+    vlan_pcp: Optional[int] = None
+    ip_src: Optional[Ipv4Addr] = None
+    ip_dst: Optional[Ipv4Addr] = None
+    ip_proto: Optional[int] = None
+    ip_ttl: Optional[int] = None
+    ip_dscp: Optional[int] = None
+    ip_header_offset: Optional[int] = None
+    ip_header_len: Optional[int] = None
+    l4_src_port: Optional[int] = None
+    l4_dst_port: Optional[int] = None
+
+    @property
+    def is_ipv4(self) -> bool:
+        return self.ip_dst is not None
+
+
+def parse_headers(data: bytes) -> ParsedHeaders:
+    """Extract header fields from the first bytes of a frame.
+
+    Handles one optional 802.1Q tag (like the reference parser) and stops
+    gracefully at whatever layer the data runs out.
+    """
+    if len(data) < 14:
+        return ParsedHeaders()
+    dst_mac = MacAddr.from_bytes(data[0:6])
+    src_mac = MacAddr.from_bytes(data[6:12])
+    ethertype = int.from_bytes(data[12:14], "big")
+    offset = 14
+    vlan_vid: Optional[int] = None
+    vlan_pcp: Optional[int] = None
+    if ethertype == ETHERTYPE_VLAN:
+        if len(data) < offset + 4:
+            return ParsedHeaders(dst_mac, src_mac, ethertype)
+        tci = int.from_bytes(data[offset : offset + 2], "big")
+        vlan_vid = tci & 0xFFF
+        vlan_pcp = (tci >> 13) & 0x7
+        ethertype = int.from_bytes(data[offset + 2 : offset + 4], "big")
+        offset += 4
+
+    base = ParsedHeaders(
+        dst_mac=dst_mac,
+        src_mac=src_mac,
+        ethertype=ethertype,
+        vlan_vid=vlan_vid,
+        vlan_pcp=vlan_pcp,
+    )
+    if ethertype != ETHERTYPE_IPV4 or len(data) < offset + 20:
+        return base
+    version = data[offset] >> 4
+    ihl = data[offset] & 0x0F
+    ip_header_len = ihl * 4
+    if version != 4 or ip_header_len < 20:
+        return base
+    # The fixed 20-byte header is present; options may extend past the
+    # parse window — the caller sees that via ip_header_len and decides
+    # (the router punts such packets to software).
+
+    l4 = offset + ip_header_len
+    l4_src: Optional[int] = None
+    l4_dst: Optional[int] = None
+    proto = data[offset + 9]
+    if proto in (6, 17) and len(data) >= l4 + 4:
+        l4_src = int.from_bytes(data[l4 : l4 + 2], "big")
+        l4_dst = int.from_bytes(data[l4 + 2 : l4 + 4], "big")
+
+    return ParsedHeaders(
+        dst_mac=dst_mac,
+        src_mac=src_mac,
+        ethertype=ethertype,
+        vlan_vid=vlan_vid,
+        vlan_pcp=vlan_pcp,
+        ip_src=Ipv4Addr.from_bytes(data[offset + 12 : offset + 16]),
+        ip_dst=Ipv4Addr.from_bytes(data[offset + 16 : offset + 20]),
+        ip_proto=proto,
+        ip_ttl=data[offset + 8],
+        ip_dscp=data[offset + 1] >> 2,
+        ip_header_offset=offset,
+        ip_header_len=ip_header_len,
+        l4_src_port=l4_src,
+        l4_dst_port=l4_dst,
+    )

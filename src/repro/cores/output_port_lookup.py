@@ -1,0 +1,174 @@
+"""The generic output-port-lookup (OPL) engine.
+
+Every reference project differs from the others almost entirely in this
+one stage (§3's modularity story): the NIC, the learning switch and the
+IPv4 router are the same pipeline with a different OPL dropped in.  This
+module implements the shared machinery — header accumulation, the
+decision point, header rewriting, TUSER update, drop handling — and
+subclasses supply a single :meth:`decide` method.
+
+Timing model: the engine releases nothing until it has either
+``HEADER_WINDOW`` bytes or TLAST, then streams cut-through.  With the
+256-bit datapath that is a two-beat decision latency, matching the
+reference OPL's parser+lookup pipeline depth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.axis import AxiStreamBeat, AxiStreamChannel
+from repro.core.module import Module, Resources
+
+#: Header bytes retained for the decision (see header_parser.HEADER_WINDOW).
+HEADER_WINDOW = 64
+#: Elastic buffer bound, in beats, between input and output.
+ENGINE_BUFFER_BEATS = 128
+
+
+@dataclass
+class Decision:
+    """What the lookup decided for one packet."""
+
+    tuser: int
+    rewrites: dict[int, bytes] = field(default_factory=dict)
+    drop: bool = False
+    note: str = "ok"
+
+
+class OutputPortLookup(Module):
+    """Base OPL: buffer header → ``decide()`` → rewrite → stream out.
+
+    ``DECISION_LATENCY_CYCLES`` models the depth of the concrete
+    lookup's pipeline (parser → table walk → action resolution): the
+    packet's release is held that many cycles after the decision point.
+    The reference designs differ here — the NIC's fixed mapping is
+    nearly free while the router's LPM+ARP+checksum chain is the deepest
+    — and experiment E3 reports exactly this difference.
+    """
+
+    DECISION_LATENCY_CYCLES = 2
+
+    def __init__(self, name: str, s_axis: AxiStreamChannel, m_axis: AxiStreamChannel):
+        super().__init__(name)
+        self.s_axis = s_axis
+        self.m_axis = m_axis
+        self._held: list[AxiStreamBeat] = []  # beats awaiting the decision
+        self._header = bytearray()
+        self._first_tuser = 0
+        self._decided = False
+        self._dropping = False
+        self._rewrites: dict[int, bytes] = {}
+        self._out_tuser = 0
+        self._in_offset = 0  # byte offset of the next input beat
+        self._out_offset = 0  # byte offset of the next emitted beat
+        self._emit: deque[AxiStreamBeat] = deque()
+        self._release_countdown = 0  # decision pipeline depth remaining
+        self.counters: dict[str, int] = {}
+        self.packets = 0
+        self.drops = 0
+        for ch in (s_axis, m_axis):
+            for sig in ch.signals():
+                self.adopt_signal(sig)
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    def decide(self, header: bytes, tuser: int) -> Decision:
+        """Map (header bytes, ingress TUSER) to a forwarding decision."""
+        raise NotImplementedError
+
+    def bump(self, counter: str) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Kernel interface
+    # ------------------------------------------------------------------
+    def comb(self) -> None:
+        room = len(self._emit) + len(self._held) < ENGINE_BUFFER_BEATS
+        self.s_axis.set_ready(room)
+        gated = self._release_countdown > 0
+        self.m_axis.drive(self._emit[0] if self._emit and not gated else None)
+
+    def _apply_rewrites(self, beat: AxiStreamBeat, offset: int) -> AxiStreamBeat:
+        if not self._rewrites:
+            return AxiStreamBeat(beat.data, beat.last, self._out_tuser)
+        data = bytearray(beat.data)
+        end = offset + len(data)
+        for rw_offset, replacement in self._rewrites.items():
+            rw_end = rw_offset + len(replacement)
+            if rw_end <= offset or rw_offset >= end:
+                continue
+            # Overlap of [rw_offset, rw_end) with this beat's span.
+            lo = max(rw_offset, offset)
+            hi = min(rw_end, end)
+            data[lo - offset : hi - offset] = replacement[lo - rw_offset : hi - rw_offset]
+        return AxiStreamBeat(bytes(data), beat.last, self._out_tuser)
+
+    def _release_held(self) -> None:
+        offset = 0
+        for held in self._held:
+            self._emit.append(self._apply_rewrites(held, offset))
+            offset += len(held.data)
+        self._out_offset = offset
+        self._held = []
+
+    def _finish_packet(self) -> None:
+        self._decided = False
+        self._dropping = False
+        self._rewrites = {}
+        self._header = bytearray()
+        self._in_offset = 0
+        self._out_offset = 0
+
+    def _make_decision(self) -> None:
+        decision = self.decide(bytes(self._header), self._first_tuser)
+        self.bump(decision.note)
+        self.packets += 1
+        self._decided = True
+        self._release_countdown = self.DECISION_LATENCY_CYCLES
+        if decision.drop:
+            self.drops += 1
+            self._dropping = True
+            self._held = []
+        else:
+            self._out_tuser = decision.tuser
+            self._rewrites = dict(decision.rewrites)
+            self._release_held()
+
+    def tick(self) -> None:
+        self.m_axis.account()
+        if self._release_countdown > 0:
+            self._release_countdown -= 1
+        if self.m_axis.fire:
+            self._emit.popleft()
+        if self.s_axis.fire:
+            beat = self.s_axis.beat
+            assert beat is not None
+            if not self._decided:
+                if not self._held and not self._header:
+                    self._first_tuser = beat.tuser
+                self._held.append(beat)
+                take = HEADER_WINDOW - len(self._header)
+                if take > 0:
+                    self._header += beat.data[:take]
+                self._in_offset += len(beat.data)
+                if beat.last or len(self._header) >= HEADER_WINDOW:
+                    last_seen = beat.last
+                    self._make_decision()
+                    if last_seen:
+                        self._finish_packet()
+            else:
+                if self._dropping:
+                    pass  # swallow the rest of the packet
+                else:
+                    self._emit.append(self._apply_rewrites(beat, self._out_offset))
+                    self._out_offset += len(beat.data)
+                if beat.last:
+                    self._finish_packet()
+
+    def resources(self) -> Resources:
+        # Parser + decision FSM + rewrite mux; table costs are added by
+        # the concrete lookups that own tables.
+        return Resources(luts=2_200, ffs=1_900, brams=1.0)

@@ -1,0 +1,264 @@
+"""Output queues: per-port buffering and the pluggable scheduler.
+
+The final stage of every reference pipeline.  Packets are replicated to
+every port set in their TUSER destination mask (that is how flooding
+works), buffered per port, and drained by a per-port scheduler.
+
+The scheduler is the module's swap point for experiment E7 (the paper's
+§3 scenario of "a researcher ... may choose to explore aspects of
+hardware-based scheduling ... add a new scheduling module to the existing
+reference router design"):
+
+* ``fifo``   — one queue per port, FCFS (the reference behaviour);
+* ``strict`` — ``classes`` priority queues, lowest class index first;
+* ``drr``    — deficit round robin across ``classes`` queues.
+
+Queues are byte-accounted and *drop on full* (the reference OQ drops,
+it does not backpressure the pipeline — backpressuring would head-of-line
+block other ports).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.arbiter import DeficitRoundRobin, StrictPriorityArbiter
+from repro.core.axis import (
+    AxiStreamBeat,
+    AxiStreamChannel,
+    StreamPacket,
+    beats_to_packet,
+    packet_to_beats,
+)
+from repro.core.metadata import SUME_TUSER
+from repro.core.module import Module, Resources
+from repro.cores.header_parser import parse_headers
+
+SCHEDULERS = ("fifo", "strict", "drr")
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Per-port queueing discipline configuration.
+
+    ``ecn_threshold_bytes`` enables a simple AQM: once a port's buffered
+    bytes exceed the threshold, ECN-capable IPv4 packets (ECT(0)/ECT(1))
+    are marked Congestion Experienced on enqueue instead of waiting to
+    be tail-dropped — the standard-queue half of DCTCP-style marking.
+    """
+
+    classes: int = 1
+    capacity_bytes: int = 64 * 1024  # per class
+    scheduler: str = "fifo"
+    drr_quantum: int = 1500
+    ecn_threshold_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(f"scheduler must be one of {SCHEDULERS}")
+        if self.classes <= 0 or self.capacity_bytes <= 0:
+            raise ValueError("classes and capacity must be positive")
+        if self.scheduler == "fifo" and self.classes != 1:
+            raise ValueError("fifo scheduling uses exactly one class")
+        if self.ecn_threshold_bytes is not None and self.ecn_threshold_bytes <= 0:
+            raise ValueError("ECN threshold must be positive")
+
+
+def _mark_ce(packet: StreamPacket) -> Optional[StreamPacket]:
+    """Return a CE-marked copy of an ECN-capable IPv4 packet, else None.
+
+    ECT(0)=0b10 / ECT(1)=0b01 become CE=0b11; the IPv4 header checksum is
+    updated incrementally (RFC 1624), like the hardware would.
+    """
+    from repro.packet.checksum import incremental_update16
+
+    parsed = parse_headers(packet.data[:64])
+    if not parsed.is_ipv4 or parsed.ip_header_offset is None:
+        return None
+    tos_at = parsed.ip_header_offset + 1
+    ecn = packet.data[tos_at] & 0x3
+    if ecn in (0b00, 0b11):  # not-ECT or already CE
+        return None
+    data = bytearray(packet.data)
+    csum_at = parsed.ip_header_offset + 10
+    # The TOS byte shares a 16-bit word with version/IHL.
+    old_word = (data[tos_at - 1] << 8) | data[tos_at]
+    data[tos_at] |= 0x3
+    new_word = (data[tos_at - 1] << 8) | data[tos_at]
+    old_csum = int.from_bytes(data[csum_at : csum_at + 2], "big")
+    new_csum = incremental_update16(old_csum, old_word, new_word)
+    data[csum_at : csum_at + 2] = new_csum.to_bytes(2, "big")
+    return StreamPacket(bytes(data), packet.tuser)
+
+
+def classify_by_dscp(classes: int) -> Callable[[StreamPacket], int]:
+    """Map the IP DSCP field onto ``classes`` bands (high DSCP → class 0)."""
+
+    def classify(packet: StreamPacket) -> int:
+        parsed = parse_headers(packet.data[:64])
+        if parsed.ip_dscp is None:
+            return classes - 1
+        band = parsed.ip_dscp * classes // 64
+        return classes - 1 - min(band, classes - 1)
+
+    return classify
+
+
+class _PortState:
+    """One egress port: its class queues, scheduler and emission state."""
+
+    def __init__(self, port_bit: int, channel: AxiStreamChannel, config: QueueConfig):
+        self.port_bit = port_bit
+        self.channel = channel
+        self.config = config
+        self.queues: list[deque[StreamPacket]] = [deque() for _ in range(config.classes)]
+        self.occupancy = [0] * config.classes
+        self.current: deque[AxiStreamBeat] = deque()
+        if config.scheduler == "strict":
+            self.strict = StrictPriorityArbiter(config.classes)
+        elif config.scheduler == "drr":
+            self.drr = DeficitRoundRobin(config.classes, config.drr_quantum)
+        self.enqueued = 0
+        self.dropped = 0
+        self.dequeued = 0
+        self.bytes_out = 0
+        self.high_watermark = 0
+        self.ecn_marked = 0
+
+    def enqueue(self, packet: StreamPacket, class_idx: int) -> bool:
+        if not 0 <= class_idx < self.config.classes:
+            raise ValueError(f"class {class_idx} out of range")
+        if self.occupancy[class_idx] + packet.length > self.config.capacity_bytes:
+            self.dropped += 1
+            return False
+        threshold = self.config.ecn_threshold_bytes
+        if threshold is not None and sum(self.occupancy) > threshold:
+            marked = _mark_ce(packet)
+            if marked is not None:
+                packet = marked
+                self.ecn_marked += 1
+        self.queues[class_idx].append(packet)
+        self.occupancy[class_idx] += packet.length
+        self.enqueued += 1
+        total = sum(self.occupancy)
+        if total > self.high_watermark:
+            self.high_watermark = total
+        return True
+
+    def _pick_class(self) -> Optional[int]:
+        non_empty = [bool(q) for q in self.queues]
+        if not any(non_empty):
+            return None
+        if self.config.scheduler == "fifo":
+            return 0
+        if self.config.scheduler == "strict":
+            return self.strict.grant(non_empty)
+        heads = [q[0].length if q else None for q in self.queues]
+        return self.drr.next_queue(heads)
+
+    def refill(self, width_bytes: int) -> None:
+        """Pull the next scheduled packet into the emission register."""
+        if self.current:
+            return
+        class_idx = self._pick_class()
+        if class_idx is None:
+            return
+        packet = self.queues[class_idx].popleft()
+        self.occupancy[class_idx] -= packet.length
+        if self.config.scheduler == "strict":
+            self.strict.advance(class_idx)
+        self.dequeued += 1
+        self.bytes_out += packet.length
+        self.current.extend(packet_to_beats(packet, width_bytes))
+
+
+class OutputQueues(Module):
+    """One stream in, one stream out per egress port."""
+
+    def __init__(
+        self,
+        name: str,
+        s_axis: AxiStreamChannel,
+        ports: list[tuple[int, AxiStreamChannel]],
+        config: QueueConfig = QueueConfig(),
+        classify: Optional[Callable[[StreamPacket], int]] = None,
+    ):
+        super().__init__(name)
+        if not ports:
+            raise ValueError("output queues need at least one port")
+        self.s_axis = s_axis
+        self.config = config
+        self.classify = classify if classify is not None else (lambda _p: 0)
+        self.ports = [_PortState(bit, ch, config) for bit, ch in ports]
+        self._assembly: list[AxiStreamBeat] = []
+        self.unroutable = 0
+        for sig in s_axis.signals():
+            self.adopt_signal(sig)
+        for port in self.ports:
+            for sig in port.channel.signals():
+                self.adopt_signal(sig)
+
+    def comb(self) -> None:
+        # The OQ never backpressures the pipeline; it drops on full.
+        self.s_axis.set_ready(True)
+        for port in self.ports:
+            port.channel.drive(port.current[0] if port.current else None)
+
+    def tick(self) -> None:
+        # Egress side first: pop fired beats, then refill idle ports.
+        for port in self.ports:
+            port.channel.account()
+            if port.channel.fire:
+                port.current.popleft()
+            port.refill(port.channel.width_bytes)
+
+        # Ingress side: assemble and route completed packets.
+        if self.s_axis.fire:
+            beat = self.s_axis.beat
+            assert beat is not None
+            self._assembly.append(beat)
+            if beat.last:
+                packet = beats_to_packet(self._assembly)
+                self._assembly = []
+                self._route(packet)
+
+    def _route(self, packet: StreamPacket) -> None:
+        dst_bits = SUME_TUSER.extract(packet.tuser, "dst_port")
+        matched = False
+        class_idx = self.classify(packet)
+        for port in self.ports:
+            if dst_bits & port.port_bit:
+                matched = True
+                port.enqueue(packet, class_idx)
+        if not matched:
+            self.unroutable += 1
+
+    # ------------------------------------------------------------------
+    def port_stats(self) -> list[dict[str, int]]:
+        return [
+            {
+                "port_bit": port.port_bit,
+                "enqueued": port.enqueued,
+                "dequeued": port.dequeued,
+                "dropped": port.dropped,
+                "bytes_out": port.bytes_out,
+                "high_watermark": port.high_watermark,
+                "ecn_marked": port.ecn_marked,
+            }
+            for port in self.ports
+        ]
+
+    def resources(self) -> Resources:
+        # One RAMB36 stores 4.5 KB of packet data.
+        per_port_brams = max(
+            2.0, self.config.capacity_bytes * self.config.classes / 4_500
+        )
+        n = len(self.ports)
+        sched_luts = {"fifo": 150, "strict": 300, "drr": 700}[self.config.scheduler]
+        return Resources(
+            luts=(600 + sched_luts) * n,
+            ffs=500 * n,
+            brams=per_port_brams * n + 1,
+        )

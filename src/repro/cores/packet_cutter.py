@@ -1,0 +1,83 @@
+"""Packet cutter (snap-length truncation).
+
+OSNT's monitor can "cut" captured packets to a snap length so that
+capture bandwidth to the host stays bounded while headers (and the
+embedded timestamp) are preserved — the same trade tcpdump's ``-s``
+makes.  TUSER's ``len`` field keeps the *original* length, so analysis
+knows what was truncated (mirrored by pcap's ``orig_len``).
+"""
+
+from __future__ import annotations
+
+from repro.core.axis import AxiStreamBeat, AxiStreamChannel
+from repro.core.module import Module, Resources
+
+
+class PacketCutter(Module):
+    """Truncates every packet on the stream to ``snap_bytes``."""
+
+    def __init__(
+        self,
+        name: str,
+        s_axis: AxiStreamChannel,
+        m_axis: AxiStreamChannel,
+        snap_bytes: int = 64,
+    ):
+        super().__init__(name)
+        if snap_bytes <= 0:
+            raise ValueError("snap length must be positive")
+        self.s_axis = s_axis
+        self.m_axis = m_axis
+        self.snap_bytes = snap_bytes
+        self._offset = 0
+        self._swallowing = False
+        self.packets = 0
+        self.truncated = 0
+        for ch in (s_axis, m_axis):
+            for sig in ch.signals():
+                self.adopt_signal(sig)
+
+    def _transform(self, beat: AxiStreamBeat) -> AxiStreamBeat | None:
+        """The beat to emit for the current input beat, or None to swallow."""
+        if self._swallowing:
+            return None
+        end = self._offset + len(beat.data)
+        if end <= self.snap_bytes:
+            # Entirely within the snap window; force TLAST if the cut
+            # lands exactly on this beat's end and more data follows.
+            if end == self.snap_bytes and not beat.last:
+                return AxiStreamBeat(beat.data, True, beat.tuser)
+            return beat
+        keep = self.snap_bytes - self._offset
+        if keep <= 0:
+            return None
+        return AxiStreamBeat(beat.data[:keep], True, beat.tuser)
+
+    def comb(self) -> None:
+        beat = self.s_axis.beat if bool(self.s_axis.tvalid) else None
+        out = self._transform(beat) if beat is not None else None
+        self.m_axis.drive(out)
+        if beat is not None and out is None:
+            # Swallowed beat: consume without the output's consent.
+            self.s_axis.set_ready(True)
+        else:
+            self.s_axis.set_ready(bool(self.m_axis.tready))
+
+    def tick(self) -> None:
+        self.m_axis.account()
+        if self.s_axis.fire:
+            beat = self.s_axis.beat
+            assert beat is not None
+            emitted = self._transform(beat)
+            self._offset += len(beat.data)
+            if emitted is not None and emitted.last and not beat.last:
+                self._swallowing = True
+            if beat.last:
+                self.packets += 1
+                if self._offset > self.snap_bytes:
+                    self.truncated += 1
+                self._offset = 0
+                self._swallowing = False
+
+    def resources(self) -> Resources:
+        return Resources(luts=280, ffs=220)

@@ -1,0 +1,81 @@
+"""Token-bucket rate limiter.
+
+OSNT's generator shapes each replayed stream to a configured rate; the
+inter-packet delay module and per-port policers in contributed projects
+are the same mechanism.  The bucket accumulates byte credits every cycle
+and a packet may only start transmission when the bucket covers its full
+length (start-of-packet gating, like the Verilog core).
+"""
+
+from __future__ import annotations
+
+from repro.core.axis import AxiStreamChannel
+from repro.core.module import Module, Resources
+
+
+class RateLimiter(Module):
+    """Pass-through stream brake: limits mean throughput to a byte rate.
+
+    Deficit-style token bucket: a packet may *start* whenever the credit
+    balance is non-negative, and its full length is then debited (the
+    balance may go negative).  This is how hardware shapers avoid the
+    classic token-bucket deadlock on packets longer than the bucket —
+    any packet eventually transmits, and the long-run rate still
+    converges to ``rate_bytes_per_cycle``.  Positive credit is capped at
+    ``burst_bytes`` so an idle stream cannot bank unbounded burst.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        s_axis: AxiStreamChannel,
+        m_axis: AxiStreamChannel,
+        rate_bytes_per_cycle: float,
+        burst_bytes: int = 4096,
+    ):
+        super().__init__(name)
+        if rate_bytes_per_cycle <= 0:
+            raise ValueError("rate must be positive")
+        if burst_bytes <= 0:
+            raise ValueError("burst must be positive")
+        self.s_axis = s_axis
+        self.m_axis = m_axis
+        self.rate = rate_bytes_per_cycle
+        self.burst_bytes = burst_bytes
+        self._credit = float(burst_bytes)
+        self._in_packet = False
+        self.packets_passed = 0
+        self.gated_cycles = 0
+        for ch in (s_axis, m_axis):
+            for sig in ch.signals():
+                self.adopt_signal(sig)
+
+    def _gate_open(self) -> bool:
+        if self._in_packet:
+            return True  # never stall mid-packet — that would underrun a MAC
+        return self.s_axis.beat is not None and self._credit >= 0.0
+
+    def comb(self) -> None:
+        open_ = self._gate_open()
+        if bool(self.s_axis.tvalid) and open_:
+            self.m_axis.drive(self.s_axis.beat)
+            self.s_axis.set_ready(bool(self.m_axis.tready))
+        else:
+            self.m_axis.drive(None)
+            self.s_axis.set_ready(False)
+
+    def tick(self) -> None:
+        self.m_axis.account()
+        self._credit = min(self._credit + self.rate, float(self.burst_bytes))
+        if bool(self.s_axis.tvalid) and not self._gate_open():
+            self.gated_cycles += 1
+        if self.m_axis.fire:
+            beat = self.m_axis.beat
+            assert beat is not None
+            self._credit -= len(beat.data)
+            self._in_packet = not beat.last
+            if beat.last:
+                self.packets_passed += 1
+
+    def resources(self) -> Resources:
+        return Resources(luts=220, ffs=180)

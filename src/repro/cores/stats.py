@@ -1,0 +1,47 @@
+"""Per-port statistics collector with a register-file face.
+
+Every reference project hangs one of these off its datapath: packet and
+byte counters per port, exposed to software over AXI4-Lite — the numbers
+``rwaxi``-style management tools read out.
+"""
+
+from __future__ import annotations
+
+from repro.core.axilite import RegisterFile
+from repro.core.axis import AxiStreamChannel
+from repro.core.module import Module, Resources
+
+
+class StatsCollector(Module):
+    """Passively observes a set of named channels and counts traffic."""
+
+    def __init__(self, name: str, channels: list[tuple[str, AxiStreamChannel]]):
+        super().__init__(name)
+        if not channels:
+            raise ValueError("stats collector needs at least one channel")
+        self._channels = channels
+        self.packets: dict[str, int] = {label: 0 for label, _ in channels}
+        self.bytes: dict[str, int] = {label: 0 for label, _ in channels}
+        self.registers = RegisterFile(f"{name}_regs")
+        for i, (label, _) in enumerate(channels):
+            self.registers.add_register(
+                f"{label}_packets", i * 8, read_only=True,
+                on_read=lambda l=label: self.packets[l] & 0xFFFFFFFF,
+            )
+            self.registers.add_register(
+                f"{label}_bytes", i * 8 + 4, read_only=True,
+                on_read=lambda l=label: self.bytes[l] & 0xFFFFFFFF,
+            )
+
+    def tick(self) -> None:
+        for label, channel in self._channels:
+            if channel.fire:
+                beat = channel.beat
+                assert beat is not None
+                self.bytes[label] += len(beat.data)
+                if beat.last:
+                    self.packets[label] += 1
+
+    def resources(self) -> Resources:
+        n = len(self._channels)
+        return Resources(luts=80 * n, ffs=96 * n)

@@ -1,0 +1,95 @@
+"""Ternary CAM (value/mask matching with priority).
+
+The BlueSwitch/OpenFlow flow tables and the reference router's routing
+table are TCAMs: each entry matches ``(key & mask) == value`` and the
+lowest-index (highest-priority) match wins, exactly like hardware
+priority encoding.  Entries occupy explicit slots so software can manage
+placement, mirroring the register-level interface of the real cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.module import Resources
+
+
+@dataclass(frozen=True)
+class TcamEntry:
+    """One slot: matches when ``(key & mask) == (value & mask)``."""
+
+    value: int
+    mask: int
+    result: int
+
+    def matches(self, key: int) -> bool:
+        return (key & self.mask) == (self.value & self.mask)
+
+
+class Tcam:
+    """Slot-addressed ternary match table with priority = slot order."""
+
+    def __init__(self, slots: int, key_bits: int):
+        if slots <= 0:
+            raise ValueError("TCAM needs at least one slot")
+        if key_bits <= 0:
+            raise ValueError("key width must be positive")
+        self.slots = slots
+        self.key_bits = key_bits
+        self._table: list[Optional[TcamEntry]] = [None] * slots
+        self.lookups = 0
+        self.hits = 0
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} out of range (0..{self.slots - 1})")
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < (1 << self.key_bits):
+            raise ValueError(f"key {key:#x} wider than {self.key_bits} bits")
+
+    def write_slot(self, slot: int, entry: Optional[TcamEntry]) -> None:
+        """Install (or clear, with None) one slot."""
+        self._check_slot(slot)
+        if entry is not None:
+            self._check_key(entry.value)
+            self._check_key(entry.mask)
+        self._table[slot] = entry
+
+    def read_slot(self, slot: int) -> Optional[TcamEntry]:
+        self._check_slot(slot)
+        return self._table[slot]
+
+    def lookup(self, key: int) -> Optional[tuple[int, int]]:
+        """Priority lookup; returns ``(slot, result)`` or None."""
+        self._check_key(key)
+        self.lookups += 1
+        for slot, entry in enumerate(self._table):
+            if entry is not None and entry.matches(key):
+                self.hits += 1
+                return slot, entry.result
+        return None
+
+    def occupancy(self) -> int:
+        return sum(1 for entry in self._table if entry is not None)
+
+    def clear(self) -> None:
+        self._table = [None] * self.slots
+
+    def snapshot(self) -> list[Optional[TcamEntry]]:
+        """A copy of the table — used by consistent-update verification."""
+        return list(self._table)
+
+    def restore(self, entries: list[Optional[TcamEntry]]) -> None:
+        if len(entries) != self.slots:
+            raise ValueError("snapshot size mismatch")
+        self._table = list(entries)
+
+    def resources(self) -> Resources:
+        """SRL/LUT-based TCAM cost: expensive per bit, the reason real
+        designs keep routing tables small (the reference router has 32
+        LPM slots)."""
+        luts = self.slots * self.key_bits  # ~1 LUT per ternary bit
+        ffs = self.slots * (self.key_bits // 2)
+        return Resources(luts=300 + luts, ffs=200 + ffs)

@@ -1,0 +1,64 @@
+"""AXI4-Stream width converter.
+
+Reference designs cross bus widths at domain boundaries (e.g. the 64-bit
+per-MAC streams into the 256-bit shared pipeline).  Narrow→wide packs
+consecutive beats; wide→narrow splits them.  Packet boundaries (TLAST)
+are always honoured — a packed wide beat never spans two packets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.axis import AxiStreamBeat, AxiStreamChannel
+from repro.core.module import Module, Resources
+
+
+class WidthConverter(Module):
+    """Repacks a stream from ``s_axis.width_bytes`` to ``m_axis.width_bytes``."""
+
+    def __init__(self, name: str, s_axis: AxiStreamChannel, m_axis: AxiStreamChannel):
+        super().__init__(name)
+        self.s_axis = s_axis
+        self.m_axis = m_axis
+        self._accum = bytearray()
+        self._tuser = 0
+        self._out: deque[AxiStreamBeat] = deque()
+        self.beats_in = 0
+        self.beats_out = 0
+        for ch in (s_axis, m_axis):
+            for sig in ch.signals():
+                self.adopt_signal(sig)
+
+    def comb(self) -> None:
+        self.s_axis.set_ready(len(self._out) < 64)
+        self.m_axis.drive(self._out[0] if self._out else None)
+
+    def _flush(self, last: bool) -> None:
+        width = self.m_axis.width_bytes
+        while len(self._accum) >= width:
+            chunk = bytes(self._accum[:width])
+            del self._accum[:width]
+            is_last = last and not self._accum
+            self._out.append(AxiStreamBeat(chunk, is_last, self._tuser))
+            self.beats_out += 1
+        if last and self._accum:
+            self._out.append(AxiStreamBeat(bytes(self._accum), True, self._tuser))
+            self._accum.clear()
+            self.beats_out += 1
+
+    def tick(self) -> None:
+        self.m_axis.account()
+        if self.m_axis.fire:
+            self._out.popleft()
+        if self.s_axis.fire:
+            beat = self.s_axis.beat
+            assert beat is not None
+            if not self._accum:
+                self._tuser = beat.tuser
+            self.beats_in += 1
+            self._accum += beat.data
+            self._flush(beat.last)
+
+    def resources(self) -> Resources:
+        return Resources(luts=500, ffs=600, brams=0.5)

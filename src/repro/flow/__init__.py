@@ -1,0 +1,32 @@
+"""The build flow: from project to "configuration file".
+
+§3: "The hardware portion of a project contains the source code for all
+the modules used in the design, as well as a large set of scripts that
+generate the platform's configuration file."  This package is those
+scripts' equivalent: :func:`synthesize` elaborates a project's module
+tree into a :class:`BuildArtifact` — the model's bitstream — performing
+the checks a real flow performs (capacity, address-map, port audit,
+timing-budget) and failing the build the way synthesis would.
+Artifacts serialize to JSON, reload, and :func:`program` onto a board
+model.
+"""
+
+from repro.flow.build import (
+    BuildArtifact,
+    BuildError,
+    ModuleReport,
+    load_artifact,
+    synthesize,
+)
+from repro.flow.program import ProgramError, ProgramReport, program
+
+__all__ = [
+    "BuildArtifact",
+    "BuildError",
+    "ModuleReport",
+    "load_artifact",
+    "synthesize",
+    "ProgramError",
+    "ProgramReport",
+    "program",
+]

@@ -1,0 +1,195 @@
+"""Synthesis: elaborate a project into a build artifact.
+
+The flow performs, in order, the checks that kill real builds:
+
+1. **elaboration** — walk the module tree, collect per-instance
+   resources (the hierarchical utilization report);
+2. **capacity** — the aggregate must fit the target device;
+3. **address map** — control windows must be non-overlapping (enforced
+   at construction by the interconnect; re-audited here);
+4. **timing budget** — every lookup's decision pipeline must fit the
+   per-packet cycle budget at the datapath clock, the model's analogue
+   of closing timing.
+
+The resulting :class:`BuildArtifact` is this model's bitstream: a JSON
+document carrying everything needed to identify, verify and "program"
+the design, including a content checksum.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.board.fpga import FpgaDevice, VIRTEX7_690T
+from repro.core.module import Module
+from repro.cores.output_port_lookup import OutputPortLookup
+from repro.utils.crc import crc32_ethernet
+
+FORMAT_VERSION = 1
+
+#: Decision-latency budget: a minimum-size packet occupies the 256-bit
+#: pipeline for ~3 beats; reference OPLs keep their pipelines within a
+#: small multiple of that so small-packet line rate remains reachable.
+DEFAULT_TIMING_BUDGET_CYCLES = 12
+
+
+class BuildError(RuntimeError):
+    """The build failed one of the flow's checks."""
+
+
+@dataclass(frozen=True)
+class ModuleReport:
+    """One instance's row in the hierarchical utilization report."""
+
+    path: str
+    kind: str
+    luts: int
+    ffs: int
+    brams: float
+    dsps: int
+
+
+@dataclass
+class BuildArtifact:
+    """The model's "configuration file"."""
+
+    format_version: int
+    project: str
+    description: str
+    device: str
+    clock_ns: float
+    modules: list[ModuleReport]
+    total: dict[str, float]
+    utilization_pct: dict[str, float]
+    address_map: list[tuple[int, int, str]]
+    ports: list[str]
+    decision_latencies: dict[str, int]
+    checksum: str = field(default="")
+
+    # ------------------------------------------------------------------
+    def _content_bytes(self) -> bytes:
+        payload = asdict(self)
+        payload.pop("checksum", None)
+        return json.dumps(payload, sort_keys=True).encode()
+
+    def seal(self) -> "BuildArtifact":
+        """Compute and store the content checksum."""
+        self.checksum = f"{crc32_ethernet(self._content_bytes()):08x}"
+        return self
+
+    def verify(self) -> bool:
+        return self.checksum == f"{crc32_ethernet(self._content_bytes()):08x}"
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "BuildArtifact":
+        raw = json.loads(text)
+        if raw.get("format_version") != FORMAT_VERSION:
+            raise BuildError(
+                f"unsupported artifact format {raw.get('format_version')!r}"
+            )
+        raw["modules"] = [ModuleReport(**m) for m in raw["modules"]]
+        raw["address_map"] = [tuple(w) for w in raw["address_map"]]
+        return cls(**raw)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fileobj:
+            fileobj.write(self.to_json())
+
+    def render(self) -> str:
+        lines = [
+            f"build: {self.project} on {self.device} @ {1e3 / self.clock_ns:.0f} MHz",
+            f"  checksum  {self.checksum}",
+            f"  LUT {self.total['luts']:.0f} ({self.utilization_pct['luts']:.2f}%)  "
+            f"FF {self.total['ffs']:.0f} ({self.utilization_pct['ffs']:.2f}%)  "
+            f"BRAM {self.total['brams']:.1f} ({self.utilization_pct['brams']:.2f}%)",
+            f"  {len(self.modules)} module instances, "
+            f"{len(self.address_map)} register windows, {len(self.ports)} ports",
+        ]
+        return "\n".join(lines)
+
+
+def load_artifact(path: str) -> BuildArtifact:
+    with open(path, "r", encoding="utf-8") as fileobj:
+        artifact = BuildArtifact.from_json(fileobj.read())
+    if not artifact.verify():
+        raise BuildError(f"artifact {path} failed its checksum")
+    return artifact
+
+
+# ----------------------------------------------------------------------
+def synthesize(
+    project: Module,
+    device: FpgaDevice = VIRTEX7_690T,
+    clock_ns: float = 5.0,
+    timing_budget_cycles: int = DEFAULT_TIMING_BUDGET_CYCLES,
+) -> BuildArtifact:
+    """Run the flow; raises :class:`BuildError` on any failed check."""
+    # 1. Elaboration.
+    modules = [
+        ModuleReport(
+            path=instance.name,
+            kind=type(instance).__name__,
+            luts=instance.resources().luts,
+            ffs=instance.resources().ffs,
+            brams=instance.resources().brams,
+            dsps=instance.resources().dsps,
+        )
+        for instance in project.walk()
+    ]
+
+    # 2. Capacity.
+    total = project.total_resources()
+    report = device.utilization(total)
+    if not report.fits:
+        raise BuildError(
+            f"{project.name} does not fit {device.name}: "
+            f"LUT {report.lut_pct:.1f}% BRAM {report.bram_pct:.1f}%"
+        )
+
+    # 3. Address map (interconnect enforces non-overlap at attach; the
+    # flow records it into the artifact when the project has one).
+    interconnect = getattr(project, "interconnect", None)
+    address_map = interconnect.memory_map() if interconnect is not None else []
+
+    # 4. Timing budget on every lookup stage.
+    latencies: dict[str, int] = {}
+    for instance in project.walk():
+        if isinstance(instance, OutputPortLookup):
+            latency = type(instance).DECISION_LATENCY_CYCLES
+            latencies[instance.name] = latency
+            if latency > timing_budget_cycles:
+                raise BuildError(
+                    f"timing: {instance.name} needs {latency} decision "
+                    f"cycles, budget is {timing_budget_cycles}"
+                )
+
+    ports = [str(p) for p in getattr(project, "ports", [])]
+    artifact = BuildArtifact(
+        format_version=FORMAT_VERSION,
+        project=project.name,
+        description=getattr(project, "DESCRIPTION", type(project).__name__),
+        device=device.name,
+        clock_ns=clock_ns,
+        modules=modules,
+        total={
+            "luts": float(total.luts),
+            "ffs": float(total.ffs),
+            "brams": float(total.brams),
+            "dsps": float(total.dsps),
+        },
+        utilization_pct={
+            "luts": report.lut_pct,
+            "ffs": report.ff_pct,
+            "brams": report.bram_pct,
+            "dsps": report.dsp_pct,
+        },
+        address_map=address_map,
+        ports=ports,
+        decision_latencies=latencies,
+    )
+    return artifact.seal()

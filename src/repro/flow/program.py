@@ -1,0 +1,51 @@
+"""Programming: load a build artifact onto a board model.
+
+The model analogue of ``xmd``/``program_fpga``: checks the artifact
+against the board (device match, checksum), records it as the board's
+loaded configuration, and reflects the design's static power draw into
+the power model (a configured FPGA burns more than a blank one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.board.sume import NetFpgaSume
+from repro.flow.build import BuildArtifact
+
+
+class ProgramError(RuntimeError):
+    """The artifact cannot be loaded onto this board."""
+
+
+@dataclass(frozen=True)
+class ProgramReport:
+    project: str
+    device: str
+    static_power_delta_w: float
+
+
+def program(board: NetFpgaSume, artifact: BuildArtifact) -> ProgramReport:
+    """Load ``artifact`` onto ``board``; returns a report.
+
+    The board remembers its configuration as ``board.loaded_artifact``
+    (None until first programmed).
+    """
+    if not artifact.verify():
+        raise ProgramError("artifact checksum mismatch — refusing to program")
+    if artifact.device != board.spec.fpga.name:
+        raise ProgramError(
+            f"artifact targets {artifact.device}, board carries "
+            f"{board.spec.fpga.name}"
+        )
+    # Configured-logic static power: scale the core rail's idle draw by
+    # the fraction of the device in use (a coarse but standard estimate).
+    vccint = board.power.rail("vccint")
+    delta = 0.3 * vccint.idle_w * artifact.utilization_pct["luts"] / 100.0
+    vccint.idle_w += delta
+    board.loaded_artifact = artifact  # type: ignore[attr-defined]
+    return ProgramReport(
+        project=artifact.project,
+        device=artifact.device,
+        static_power_delta_w=delta,
+    )

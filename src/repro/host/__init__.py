@@ -1,0 +1,18 @@
+"""Host-side software: "a driver and relevant applications" (§3).
+
+* :mod:`driver` — the NIC driver: DMA descriptor rings, buffer
+  management, batched doorbells, polling receive.
+* :mod:`router_manager` — the reference router's management application:
+  the software slow path (ARP, ICMP) plus routing-table operations.
+* :mod:`switch_manager` — the switch management application: MAC-table
+  inspection over the register interface.
+* :mod:`openflow` — a minimal OpenFlow-style control plane used with the
+  BlueSwitch data plane: messages, a datapath agent and a controller.
+"""
+
+from repro.host.driver import NetFpgaDriver
+from repro.host.router_manager import RouterManager
+from repro.host.firewall_manager import FirewallManager
+from repro.host.switch_manager import SwitchManager
+
+__all__ = ["NetFpgaDriver", "RouterManager", "SwitchManager", "FirewallManager"]

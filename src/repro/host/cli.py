@@ -1,0 +1,259 @@
+"""The platform command-line tools.
+
+NetFPGA ships small host utilities (``nf_info``, register peek/poke,
+test runners); this module is their equivalent over the simulated
+platform, usable as ``python -m repro.host.cli <command>``:
+
+==============  ========================================================
+``info``        board inventory (the §2 subsystem table)
+``selftest``    run the acceptance project's I/O self-test
+``regress``     run the unified regression on sim/hw/both targets
+``utilization`` report any project's resource use on any catalogued FPGA
+``build``       synthesize a project into a checksummed artifact
+``measure``     run an OSNT measurement session and analyse the capture
+``linerate``    print the E2 rate-vs-frame-size table analytically
+``platforms``   list the supported NetFPGA platforms (§1)
+==============  ========================================================
+
+Every command is a plain function returning an exit code, so tests (and
+other tools) can call them directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.board.fpga import FpgaDevice, KINTEX7_325T, VIRTEX5_TX240T, VIRTEX7_690T, report_for_design
+from repro.board.mac import effective_throughput_bps
+from repro.board.sume import ALL_PLATFORMS, NetFpgaSume
+from repro.utils.units import GBPS, format_rate
+
+DEVICES: dict[str, FpgaDevice] = {
+    "xc7v690t": VIRTEX7_690T,
+    "xc5vtx240t": VIRTEX5_TX240T,
+    "xc7k325t": KINTEX7_325T,
+}
+
+
+def _project_factories() -> dict[str, Callable[[], object]]:
+    # Imported lazily: the CLI should start fast for `info`.
+    from repro.projects.acceptance_test import AcceptanceTestProject
+    from repro.projects.firewall import FirewallProject
+    from repro.projects.osnt.gateware import OsntProject
+    from repro.projects.reference_nic import ReferenceNic
+    from repro.projects.reference_router import ReferenceRouter
+    from repro.projects.reference_switch import ReferenceSwitch, ReferenceSwitchLite
+
+    return {
+        "reference_nic": ReferenceNic,
+        "reference_switch": ReferenceSwitch,
+        "reference_switch_lite": ReferenceSwitchLite,
+        "reference_router": ReferenceRouter,
+        "acceptance_test": AcceptanceTestProject,
+        "firewall": FirewallProject,
+        "osnt": OsntProject,
+    }
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_info(_args: argparse.Namespace) -> int:
+    board = NetFpgaSume()
+    print("NetFPGA SUME board inventory:")
+    for key, value in board.inventory():
+        print(f"  {key:22s} {value}")
+    print(f"  {'100g_capable':22s} {board.supports_100g()}")
+    return 0
+
+
+def cmd_platforms(_args: argparse.Namespace) -> int:
+    print(f"{'platform':18s} {'fpga':12s} {'ports':16s} {'max I/O':12s} notes")
+    for platform in ALL_PLATFORMS:
+        ports = f"{platform.phys_ports}x{format_rate(platform.port_rate_bps)}"
+        print(
+            f"{platform.name:18s} {platform.fpga.name:12s} {ports:16s} "
+            f"{format_rate(platform.max_io_bps):12s} {platform.notes}"
+        )
+    return 0
+
+
+def cmd_selftest(_args: argparse.Namespace) -> int:
+    from repro.projects.acceptance_test import IoSelfTest
+
+    selftest = IoSelfTest()
+    selftest.run_all()
+    for result in selftest.results:
+        status = "PASS" if result.passed else "FAIL"
+        print(f"  {result.subsystem:14s} {status}  {result.detail}")
+    if selftest.all_passed:
+        print("self-test: ALL PASS")
+        return 0
+    print("self-test: FAILURES")
+    return 1
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    from repro.testenv.regress import RegressionRunner
+
+    modes = ("sim", "hw") if args.mode == "both" else (args.mode,)
+    runner = RegressionRunner(modes=modes)
+    passed = runner.run()
+    print(runner.render())
+    print("regression: ALL PASS" if passed else "regression: FAILURES")
+    return 0 if passed else 1
+
+
+def cmd_utilization(args: argparse.Namespace) -> int:
+    factories = _project_factories()
+    if args.project not in factories:
+        print(f"unknown project {args.project!r}; have {sorted(factories)}",
+              file=sys.stderr)
+        return 2
+    device = DEVICES[args.device]
+    report = report_for_design(factories[args.project](), device)
+    print(report.render())
+    if not report.fits:
+        print("WARNING: design exceeds device capacity")
+        return 1
+    return 0
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    """An OSNT measurement session: generate, capture, analyse."""
+    from repro.board.mac import EthernetMacModel, Wire
+    from repro.core.eventsim import EventSimulator
+    from repro.packet.analysis import interarrival_stats, size_histogram, summarize
+    from repro.packet.generator import TrafficSpec
+    from repro.projects.osnt import GeneratorConfig, OsntGenerator, OsntMonitor
+
+    sim = EventSimulator()
+    tx = EthernetMacModel(sim, "gen", rate_bps=10 * GBPS)
+    rx = EthernetMacModel(sim, "mon", rate_bps=10 * GBPS)
+    Wire(sim, tx, rx, propagation_delay_ns=args.wire_ns)
+    generator = OsntGenerator(sim, tx)
+    monitor = OsntMonitor(rx)
+    spec = (
+        TrafficSpec.imix(flows=args.flows)
+        if args.profile == "imix"
+        else TrafficSpec.fixed(args.size, flows=args.flows)
+    )
+    generator.load_frames([f.pack() for f in spec.frames(args.count)])
+    rate = args.rate * GBPS if args.rate else None
+    generator.start(GeneratorConfig(rate_bps=rate))
+    sim.run_until_idle()
+
+    summary = summarize(monitor.records)
+    gaps = interarrival_stats(monitor.records)
+    latency = monitor.latency_summary()
+    print(f"capture: {summary.packets} packets, "
+          f"{format_rate(summary.mean_rate_bps)}, "
+          f"mean size {summary.mean_size:.0f}B over {summary.duration_ns / 1e3:.1f} us")
+    print(f"inter-arrival: min {gaps.min_ns:.0f} ns  mean {gaps.mean_ns:.0f} ns  "
+          f"max {gaps.max_ns:.0f} ns  stddev {gaps.stddev_ns:.1f} ns")
+    if latency["count"]:
+        print(f"latency: mean {latency['mean']:.1f} ns  "
+              f"jitter {latency['max'] - latency['min']:.1f} ns  "
+              f"loss {monitor.stats.lost}")
+    print("size distribution:")
+    for label, count in size_histogram(monitor.records):
+        if count:
+            print(f"  {label:>10s}B : {count}")
+    if args.pcap:
+        from repro.packet.pcap import write_pcap
+
+        write_pcap(args.pcap, monitor.records)
+        print(f"wrote capture to {args.pcap}")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    from repro.flow import BuildError, synthesize
+
+    factories = _project_factories()
+    if args.project not in factories:
+        print(f"unknown project {args.project!r}; have {sorted(factories)}",
+              file=sys.stderr)
+        return 2
+    try:
+        artifact = synthesize(factories[args.project](), DEVICES[args.device])
+    except BuildError as exc:
+        print(f"build failed: {exc}", file=sys.stderr)
+        return 1
+    print(artifact.render())
+    if args.output:
+        artifact.save(args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_linerate(args: argparse.Namespace) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    rate = args.rate * GBPS
+    print(f"{'frame B':8s} {'achieved':>12s} {'efficiency':>11s}")
+    for size in sizes:
+        if size < 64:
+            print(f"unsupported frame size {size} (min 64)", file=sys.stderr)
+            return 2
+        achieved = effective_throughput_bps(size, rate)
+        print(f"{size:<8d} {format_rate(achieved):>12s} {achieved / rate:>10.1%}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli", description="NetFPGA platform tools (simulated)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="board inventory").set_defaults(func=cmd_info)
+    sub.add_parser("platforms", help="supported platforms").set_defaults(
+        func=cmd_platforms
+    )
+    sub.add_parser("selftest", help="run the I/O self-test").set_defaults(
+        func=cmd_selftest
+    )
+
+    regress = sub.add_parser("regress", help="run the unified regression")
+    regress.add_argument("--mode", choices=("sim", "hw", "both"), default="both")
+    regress.set_defaults(func=cmd_regress)
+
+    utilization = sub.add_parser("utilization", help="project resource report")
+    utilization.add_argument("--project", default="reference_router")
+    utilization.add_argument("--device", choices=sorted(DEVICES), default="xc7v690t")
+    utilization.set_defaults(func=cmd_utilization)
+
+    build = sub.add_parser("build", help="synthesize a project to an artifact")
+    build.add_argument("--project", default="reference_router")
+    build.add_argument("--device", choices=sorted(DEVICES), default="xc7v690t")
+    build.add_argument("--output", default=None, help="write the artifact JSON here")
+    build.set_defaults(func=cmd_build)
+
+    linerate = sub.add_parser("linerate", help="rate vs frame size table")
+    linerate.add_argument("--rate", type=float, default=10.0, help="line rate in Gb/s")
+    linerate.add_argument("--sizes", default="64,128,256,512,1024,1518")
+    linerate.set_defaults(func=cmd_linerate)
+
+    measure = sub.add_parser("measure", help="run an OSNT measurement session")
+    measure.add_argument("--profile", choices=("fixed", "imix"), default="fixed")
+    measure.add_argument("--size", type=int, default=512, help="frame size (fixed)")
+    measure.add_argument("--count", type=int, default=500)
+    measure.add_argument("--flows", type=int, default=8)
+    measure.add_argument("--rate", type=float, default=None,
+                         help="Gb/s (default: line rate)")
+    measure.add_argument("--wire-ns", type=float, default=1000.0)
+    measure.add_argument("--pcap", default=None, help="export the capture")
+    measure.set_defaults(func=cmd_measure)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""The NetFPGA host driver model.
+
+Manages the DMA descriptor rings of a :class:`~repro.board.sume.NetFpgaSume`
+board exactly the way the real driver does:
+
+* allocates per-slot TX/RX buffers in host memory;
+* posts the full RX ring at attach time;
+* batches TX descriptors and rings the doorbell once per batch (the
+  batching knob experiment E10 sweeps);
+* polls RX completions by scanning for the DONE flag, reposting buffers
+  as they are consumed.
+"""
+
+from __future__ import annotations
+
+from repro.board.pcie import DmaDescriptor, FLAG_DONE, FLAG_VALID
+from repro.board.sume import NetFpgaSume
+
+_TX_BUF_BASE = 0x0400_0000
+_RX_BUF_BASE = 0x0800_0000
+BUF_SIZE = 2048
+
+
+class NetFpgaDriver:
+    """Software owner of the board's DMA rings."""
+
+    def __init__(self, board: NetFpgaSume, project=None):
+        self.board = board
+        self.dma = board.dma
+        self.memory = board.host_memory
+        #: The design behind BAR0 — its AXI4-Lite interconnect serves
+        #: the driver's register reads/writes.
+        self.project = project
+        self._tx_seq = 0  # absolute descriptor count ever posted
+        self._rx_next = 0  # absolute next RX descriptor to poll
+        self.tx_sent = 0
+        self.rx_received = 0
+        self.mmio_reads = 0
+        self.mmio_writes = 0
+        self._attach()
+
+    def _attach(self) -> None:
+        """Post every RX buffer, like the driver's probe() path."""
+        ring = self.dma.rx_ring
+        for i in range(ring.entries):
+            ring.write_desc(
+                i, DmaDescriptor(_RX_BUF_BASE + (i % ring.entries) * BUF_SIZE, BUF_SIZE)
+            )
+        self.dma.post_rx_buffers(ring.entries)
+
+    # ------------------------------------------------------------------
+    # Transmit
+    # ------------------------------------------------------------------
+    def transmit(self, frames: list[tuple[bytes, int]]) -> int:
+        """Send a batch of ``(frame, port)`` with one doorbell.
+
+        Returns the number actually queued (bounded by ring space).
+        """
+        ring = self.dma.tx_ring
+        queued = 0
+        for frame, port in frames:
+            if ring.space - queued <= 0:
+                break
+            if len(frame) > BUF_SIZE:
+                raise ValueError(f"frame of {len(frame)}B exceeds {BUF_SIZE}B buffer")
+            slot = self._tx_seq % ring.entries
+            addr = _TX_BUF_BASE + slot * BUF_SIZE
+            self.memory.write(addr, frame)
+            ring.write_desc(
+                self._tx_seq, DmaDescriptor(addr, len(frame), FLAG_VALID, port)
+            )
+            self._tx_seq += 1
+            queued += 1
+        if queued:
+            self.dma.doorbell_tx(self._tx_seq)
+            self.tx_sent += queued
+        return queued
+
+    def transmit_one(self, frame: bytes, port: int = 0) -> bool:
+        return self.transmit([(frame, port)]) == 1
+
+    # ------------------------------------------------------------------
+    # Receive
+    # ------------------------------------------------------------------
+    def poll_receive(self) -> list[tuple[bytes, int]]:
+        """Harvest completed RX descriptors; repost their buffers."""
+        ring = self.dma.rx_ring
+        out: list[tuple[bytes, int]] = []
+        while True:
+            desc = ring.read_desc(self._rx_next)
+            if not desc.flags & FLAG_DONE:
+                break
+            out.append((self.memory.read(desc.addr, desc.length), desc.port))
+            # Repost the buffer: clear DONE, restore full length.
+            ring.write_desc(
+                self._rx_next, DmaDescriptor(desc.addr, BUF_SIZE, FLAG_VALID)
+            )
+            self._rx_next += 1
+            self.rx_received += 1
+        if out:
+            self.dma.post_rx_buffers(ring.tail + len(out))
+        return out
+
+    # ------------------------------------------------------------------
+    # Interrupt-driven receive
+    # ------------------------------------------------------------------
+    def enable_interrupts(
+        self,
+        handler=None,
+        coalesce_frames: int = 1,
+        coalesce_ns: float = 0.0,
+    ) -> None:
+        """Switch from polling to MSI-driven receive.
+
+        On each interrupt the driver harvests every completed descriptor
+        and passes the batch to ``handler(frames)`` (``frames`` is the
+        ``(bytes, port)`` list); without a handler the batches accumulate
+        in :attr:`irq_frames`.  Coalescing parameters program the
+        engine's moderation — the poll-vs-interrupt CPU/latency trade
+        every NIC driver exposes.
+        """
+        self.irq_frames: list[tuple[bytes, int]] = []
+        self.irqs_serviced = 0
+
+        def service() -> None:
+            self.irqs_serviced += 1
+            batch = self.poll_receive()
+            if handler is not None:
+                handler(batch)
+            else:
+                self.irq_frames.extend(batch)
+
+        self.dma.irq_coalesce_frames = max(1, coalesce_frames)
+        self.dma.irq_coalesce_ns = coalesce_ns
+        self.dma.msi_callback = service
+
+    def disable_interrupts(self) -> None:
+        self.dma.msi_callback = None
+
+    # ------------------------------------------------------------------
+    # Register access (BAR0 → the project's AXI4-Lite interconnect)
+    # ------------------------------------------------------------------
+    def reg_read(self, addr: int) -> int:
+        """MMIO register read — pays the PCIe round trip."""
+        if self.project is None:
+            raise RuntimeError("no project attached behind BAR0")
+        self.board.pcie.mmio_read()
+        self.mmio_reads += 1
+        return self.project.interconnect.read(addr)
+
+    def reg_write(self, addr: int, value: int) -> None:
+        """MMIO register write — posted."""
+        if self.project is None:
+            raise RuntimeError("no project attached behind BAR0")
+        self.board.pcie.mmio_write()
+        self.mmio_writes += 1
+        self.project.interconnect.write(addr, value)

@@ -1,0 +1,90 @@
+"""Firewall management application.
+
+Rule lifecycle (ordered insert/delete, priority = slot order), policy
+switches and statistics, all through the project's register interface
+plus the shared TCAM handle — the same software/hardware seam as the
+router and switch managers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.packet.addresses import Ipv4Addr
+from repro.projects.firewall import AclAction, AclRule, FirewallProject
+
+
+class FirewallManager:
+    """CLI-style operations against a :class:`FirewallProject`."""
+
+    def __init__(self, project: FirewallProject):
+        self.project = project
+        self._rules: list[Optional[AclRule]] = [None] * project.firewall.acl.slots
+
+    # ------------------------------------------------------------------
+    # Rule management
+    # ------------------------------------------------------------------
+    def add_rule(self, slot: int, rule: AclRule) -> None:
+        """Install ``rule`` at ``slot`` (lower slot = higher priority)."""
+        self.project.firewall.acl.write_slot(slot, rule.to_tcam(slot))
+        self._rules[slot] = rule
+
+    def del_rule(self, slot: int) -> bool:
+        if self._rules[slot] is None:
+            return False
+        self.project.firewall.acl.write_slot(slot, None)
+        self._rules[slot] = None
+        return True
+
+    def list_rules(self) -> list[str]:
+        out = []
+        for slot, rule in enumerate(self._rules):
+            if rule is None:
+                continue
+            parts = [f"[{slot}] {rule.action.value}"]
+            if rule.proto is not None:
+                parts.append(f"proto={rule.proto}")
+            if rule.src_ip is not None:
+                parts.append(f"src={Ipv4Addr(rule.src_ip)}/{rule.src_prefix}")
+            if rule.dst_ip is not None:
+                parts.append(f"dst={Ipv4Addr(rule.dst_ip)}/{rule.dst_prefix}")
+            if rule.sport is not None:
+                parts.append(f"sport={rule.sport}")
+            if rule.dport is not None:
+                parts.append(f"dport={rule.dport}")
+            out.append(" ".join(parts))
+        return out
+
+    # Convenience constructors mirroring classic firewall CLI syntax.
+    def deny(self, slot: int, **fields) -> None:
+        self.add_rule(slot, AclRule(AclAction.DENY, **fields))
+
+    def permit(self, slot: int, **fields) -> None:
+        self.add_rule(slot, AclRule(AclAction.PERMIT, **fields))
+
+    # ------------------------------------------------------------------
+    # Policy and statistics
+    # ------------------------------------------------------------------
+    def set_default_policy(self, permit: bool) -> None:
+        regs = self.project.firewall.registers
+        self.project.interconnect.write(regs.offset_of("default_permit"), int(permit))
+
+    def stats(self) -> dict[str, int]:
+        regs = self.project.firewall.registers
+        bus = self.project.interconnect
+        return {
+            name: bus.read(regs.offset_of(name))
+            for name in (
+                "permitted",
+                "acl_denied",
+                "syn_flood_dropped",
+                "non_ip_bridged",
+                "blocked_dst_count",
+            )
+        }
+
+    def blocked_destinations(self) -> list[str]:
+        return [
+            str(Ipv4Addr(value))
+            for value in self.project.firewall.detector.blocked_destinations()
+        ]

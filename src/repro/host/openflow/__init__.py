@@ -1,0 +1,45 @@
+"""A minimal OpenFlow-style control plane for the BlueSwitch data plane.
+
+The paper's §3 names exactly this scenario: "an SDN researcher
+interested in the control plane and lacking any hardware knowledge, can
+use the BlueSwitch OpenFlow switch project as its data plane, and choose
+to write a control plane software application to run on top of it."
+
+This package is that seam: wire-format messages (:mod:`messages`), a
+switch-side agent that applies them (:mod:`datapath`), and a controller
+offering both naive and transactional (BlueSwitch-atomic) update APIs
+(:mod:`controller`).
+"""
+
+from repro.host.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    CommitRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowStatsReply,
+    FlowStatsRequest,
+    PacketIn,
+    PacketOut,
+    TableStatsReply,
+    TableStatsRequest,
+)
+from repro.host.openflow.datapath import DatapathAgent
+from repro.host.openflow.controller import Controller, LearningController
+
+__all__ = [
+    "BarrierReply",
+    "BarrierRequest",
+    "CommitRequest",
+    "FlowMod",
+    "FlowModCommand",
+    "FlowStatsReply",
+    "FlowStatsRequest",
+    "TableStatsReply",
+    "TableStatsRequest",
+    "PacketIn",
+    "PacketOut",
+    "DatapathAgent",
+    "Controller",
+    "LearningController",
+]

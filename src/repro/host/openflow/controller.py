@@ -1,0 +1,148 @@
+"""Controllers: the SDN applications of the §3 scenario.
+
+:class:`Controller` is the base transport: it talks to one
+:class:`~repro.host.openflow.datapath.DatapathAgent` and offers both the
+naive per-FlowMod API and the BlueSwitch transactional one.
+
+:class:`LearningController` is a complete sample application — the
+classic reactive learning switch written *as a control plane program*,
+installing exact-match flows from PacketIn events.  It demonstrates the
+"SDN researcher ... can write a control plane software application to
+run on top of [BlueSwitch]" workflow with zero hardware knowledge.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.metadata import all_phys_ports_mask
+from repro.cores.header_parser import parse_headers
+from repro.host.openflow.datapath import DatapathAgent
+from repro.host.openflow.messages import (
+    BarrierRequest,
+    CommitRequest,
+    FlowMod,
+    FlowModCommand,
+    PacketIn,
+    PacketOut,
+)
+from repro.projects.blueswitch.flow_table import (
+    ActionOutput,
+    FlowEntry,
+    FlowMatch,
+)
+
+
+class Controller:
+    """Base controller: message plumbing plus transactional updates."""
+
+    def __init__(self, agent: DatapathAgent):
+        self.agent = agent
+        self._xids = itertools.count(1)
+        agent.packet_in_handler = self.on_packet_in
+        self.barriers_seen = 0
+
+    # ------------------------------------------------------------------
+    def send_flow_mod(
+        self, table_id: int, slot: int, entry: Optional[FlowEntry]
+    ) -> None:
+        command = FlowModCommand.ADD if entry is not None else FlowModCommand.DELETE
+        self.agent.handle(
+            FlowMod(command, table_id, slot, entry, xid=next(self._xids))
+        )
+
+    def barrier(self) -> None:
+        reply = self.agent.handle(BarrierRequest(xid=next(self._xids)))
+        if reply is not None:
+            self.barriers_seen += 1
+
+    def commit(self) -> None:
+        self.agent.handle(CommitRequest(xid=next(self._xids)))
+
+    def push_update(
+        self, writes: list[tuple[int, int, Optional[FlowEntry]]]
+    ) -> None:
+        """Install a multi-table update.
+
+        In transactional mode this is the BlueSwitch sequence: stage all
+        writes, barrier, commit — packets see old-or-new, never a mix.
+        In naive mode the writes land one by one.
+        """
+        for table_id, slot, entry in writes:
+            self.send_flow_mod(table_id, slot, entry)
+        self.barrier()
+        if self.agent.transactional:
+            self.commit()
+
+    def packet_out(self, frame: bytes, port_bits: int) -> None:
+        self.agent.handle(PacketOut(frame, port_bits, xid=next(self._xids)))
+
+    def flow_stats(self, table_id: int) -> list[tuple[int, int]]:
+        """Per-flow match counters of ``table_id``'s active bank."""
+        from repro.host.openflow.messages import FlowStatsRequest
+
+        reply = self.agent.handle(FlowStatsRequest(table_id, xid=next(self._xids)))
+        assert reply is not None
+        return list(reply.flows)  # type: ignore[union-attr]
+
+    def table_stats(self) -> list[tuple[int, int, int, int]]:
+        """``[(table, active flows, matches, misses)]`` across the pipeline."""
+        from repro.host.openflow.messages import TableStatsRequest
+
+        reply = self.agent.handle(TableStatsRequest(xid=next(self._xids)))
+        assert reply is not None
+        return list(reply.tables)  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------
+    def on_packet_in(self, event: PacketIn) -> None:
+        """Override in applications; base controller ignores."""
+
+
+class LearningController(Controller):
+    """Reactive L2 learning as an SDN app on table 0.
+
+    MAC locations are learned from PacketIn; known destinations get an
+    exact-match flow installed (one slot per destination MAC, LRU-free
+    round-robin slot allocation), unknown ones are flooded via PacketOut.
+    """
+
+    def __init__(self, agent: DatapathAgent, table_id: int = 0):
+        super().__init__(agent)
+        self.table_id = table_id
+        self.mac_to_port: dict[int, int] = {}
+        self._mac_slot: dict[int, int] = {}
+        self._next_slot = 0
+        self.flows_installed = 0
+        self.floods = 0
+
+    def _slot_for(self, dst_mac: int) -> int:
+        slot = self._mac_slot.get(dst_mac)
+        if slot is None:
+            slot = self._next_slot
+            table = self.agent.pipeline.tables[self.table_id]
+            self._next_slot = (self._next_slot + 1) % table.slots
+            self._mac_slot[dst_mac] = slot
+        return slot
+
+    def on_packet_in(self, event: PacketIn) -> None:
+        parsed = parse_headers(event.frame[:64])
+        if parsed.src_mac is None or parsed.dst_mac is None:
+            return
+        self.mac_to_port[parsed.src_mac.value] = event.in_port_bits
+
+        out_bits = self.mac_to_port.get(parsed.dst_mac.value)
+        if out_bits is None or parsed.dst_mac.is_multicast:
+            self.floods += 1
+            flood = all_phys_ports_mask(exclude=event.in_port_bits)
+            self.packet_out(event.frame, flood)
+            return
+        # Install a dst-MAC exact flow, then forward the trigger packet.
+        entry = FlowEntry(
+            FlowMatch(eth_dst=parsed.dst_mac.value), (ActionOutput(out_bits),)
+        )
+        self.push_update(
+            [(self.table_id, self._slot_for(parsed.dst_mac.value), entry)]
+        )
+        self.flows_installed += 1
+        self.packet_out(event.frame, out_bits)

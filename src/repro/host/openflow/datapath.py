@@ -1,0 +1,133 @@
+"""The switch-side agent: applies control messages to the pipeline.
+
+Two programming modes, matching the E6 experiment's arms:
+
+* ``transactional=True`` (BlueSwitch): FlowMods are staged in the shadow
+  banks and take effect only at ``CommitRequest`` — atomically.
+* ``transactional=False`` (naive OpenFlow switch): each FlowMod mutates
+  the live tables immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.host.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    CommitRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowStatsReply,
+    FlowStatsRequest,
+    PacketIn,
+    PacketOut,
+    TableStatsReply,
+    TableStatsRequest,
+)
+from repro.projects.blueswitch.pipeline import BlueSwitchPipeline
+
+Message = Union[
+    FlowMod,
+    BarrierRequest,
+    CommitRequest,
+    PacketOut,
+    FlowStatsRequest,
+    TableStatsRequest,
+]
+Reply = Union[BarrierReply, FlowStatsReply, TableStatsReply]
+
+
+class DatapathAgent:
+    """Receives controller messages; owns a BlueSwitch pipeline."""
+
+    def __init__(self, pipeline: BlueSwitchPipeline, transactional: bool = True):
+        self.pipeline = pipeline
+        self.transactional = transactional
+        self._staged = 0
+        self._staged_slots: set[tuple[int, int]] = set()
+        self.applied_flow_mods = 0
+        self.packet_in_handler: Optional[Callable[[PacketIn], None]] = None
+        #: Frames emitted by PacketOut, collected for the test harness:
+        #: ``(frame, port_bits)``.
+        self.injected: list[tuple[bytes, int]] = []
+        if transactional:
+            # Start with coherent banks so deltas apply cleanly.
+            self.pipeline.sync_shadow()
+
+    # ------------------------------------------------------------------
+    def handle(self, message: Message) -> Optional[Reply]:
+        if isinstance(message, FlowMod):
+            self._flow_mod(message)
+            return None
+        if isinstance(message, BarrierRequest):
+            # All handling here is synchronous, so a barrier is trivially
+            # satisfied — but the reply matters for controller pacing.
+            return BarrierReply(xid=message.xid)
+        if isinstance(message, CommitRequest):
+            self._commit()
+            return None
+        if isinstance(message, PacketOut):
+            self.injected.append((message.frame, message.port_bits))
+            return None
+        if isinstance(message, FlowStatsRequest):
+            table = self.pipeline.tables[message.table_id]
+            return FlowStatsReply(
+                table_id=message.table_id,
+                flows=tuple(table.flow_counts(self.pipeline.active_version)),
+                xid=message.xid,
+            )
+        if isinstance(message, TableStatsRequest):
+            rows = tuple(
+                (
+                    table.table_id,
+                    table.banks[self.pipeline.active_version].occupancy(),
+                    table.matches,
+                    table.misses,
+                )
+                for table in self.pipeline.tables
+            )
+            return TableStatsReply(tables=rows, xid=message.xid)
+        raise TypeError(f"unhandled message {message!r}")
+
+    def _flow_mod(self, mod: FlowMod) -> None:
+        entry = mod.entry if mod.command is FlowModCommand.ADD else None
+        if self.transactional:
+            self.pipeline.write_shadow(mod.table_id, mod.slot, entry)
+            self._staged += 1
+            self._staged_slots.add((mod.table_id, mod.slot))
+        else:
+            self.pipeline.write_active(mod.table_id, mod.slot, entry)
+            # Keep the shadow coherent so a later switch to transactional
+            # mode starts from the live state.
+            self.pipeline.write_shadow(mod.table_id, mod.slot, entry)
+        self.applied_flow_mods += 1
+
+    def _commit(self) -> None:
+        if not self.transactional:
+            raise RuntimeError("commit is only valid in transactional mode")
+        # Counters of flows untouched by this transaction carry over:
+        # the live counts move while writes are staged, so refresh them
+        # in the shadow just before the flip (staged slots start at 0).
+        active = self.pipeline.active_version
+        shadow = self.pipeline.shadow_version
+        for table in self.pipeline.tables:
+            for slot in range(table.slots):
+                if (table.table_id, slot) not in self._staged_slots:
+                    table.hit_counts[shadow][slot] = table.hit_counts[active][slot]
+        self.pipeline.commit()
+        # Resynchronize the (now stale) shadow for the next transaction.
+        self.pipeline.sync_shadow()
+        self._staged = 0
+        self._staged_slots.clear()
+
+    # ------------------------------------------------------------------
+    def process_packet(self, frame: bytes, in_port_bits: int) -> int:
+        """Data-plane entry: classify; punt misses as PacketIn.
+
+        Returns the output port mask (0 = dropped or punted).
+        """
+        result = self.pipeline.classify(frame, in_port_bits)
+        if result.dropped and self.packet_in_handler is not None:
+            self.packet_in_handler(PacketIn(frame, in_port_bits))
+        return 0 if result.dropped else result.output_bits

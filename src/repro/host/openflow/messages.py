@@ -1,0 +1,105 @@
+"""Control-channel messages.
+
+A compact OpenFlow-inspired message set: enough to program the
+BlueSwitch pipeline, carry packet-in/out, and express BlueSwitch's
+transactional extension (``CommitRequest``).  Messages are plain frozen
+dataclasses — the "wire format" of this model is Python objects, since
+both ends live in one process; serialization fidelity is not what [2]
+is about.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.projects.blueswitch.flow_table import FlowEntry
+
+
+class FlowModCommand(enum.Enum):
+    ADD = "add"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class FlowMod:
+    """Install or remove one flow in one (table, slot)."""
+
+    command: FlowModCommand
+    table_id: int
+    slot: int
+    entry: Optional[FlowEntry] = None  # required for ADD
+    xid: int = 0
+
+    def __post_init__(self) -> None:
+        if self.command is FlowModCommand.ADD and self.entry is None:
+            raise ValueError("ADD requires a flow entry")
+
+
+@dataclass(frozen=True)
+class BarrierRequest:
+    """All preceding messages must complete before the reply."""
+
+    xid: int = 0
+
+
+@dataclass(frozen=True)
+class BarrierReply:
+    xid: int = 0
+
+
+@dataclass(frozen=True)
+class CommitRequest:
+    """BlueSwitch extension: atomically activate all staged FlowMods."""
+
+    xid: int = 0
+
+
+@dataclass(frozen=True)
+class PacketOut:
+    """Controller-originated packet injection."""
+
+    frame: bytes
+    port_bits: int
+    xid: int = 0
+
+
+@dataclass(frozen=True)
+class FlowStatsRequest:
+    """Per-flow match counters of one table (active bank)."""
+
+    table_id: int
+    xid: int = 0
+
+
+@dataclass(frozen=True)
+class FlowStatsReply:
+    """``flows`` = [(slot, matches)] for every installed flow."""
+
+    table_id: int
+    flows: tuple[tuple[int, int], ...]
+    xid: int = 0
+
+
+@dataclass(frozen=True)
+class TableStatsRequest:
+    xid: int = 0
+
+
+@dataclass(frozen=True)
+class TableStatsReply:
+    """``tables`` = [(table_id, active_flows, matches, misses)]."""
+
+    tables: tuple[tuple[int, int, int, int], ...]
+    xid: int = 0
+
+
+@dataclass(frozen=True)
+class PacketIn:
+    """Data-plane packet punted to the controller."""
+
+    frame: bytes
+    in_port_bits: int
+    reason: str = "table_miss"
+    xid: int = 0

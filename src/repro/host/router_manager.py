@@ -1,0 +1,287 @@
+"""The reference router's management application — the software slow path.
+
+Hardware punts exception traffic to the CPU over the ingress port's DMA
+queue (see :mod:`repro.cores.router_lookup`); this class is the CPU side:
+
+* **ARP**: answers requests for the router's interface addresses,
+  learns from replies, originates requests for unresolved next hops and
+  queues the data packets that wait on them;
+* **ICMP**: echo reply for packets addressed to the router, Time
+  Exceeded for expiring TTLs, Destination Unreachable for LPM misses;
+* **table management**: the add/del/list operations the router CLI
+  exposes, writing straight into the shared
+  :class:`~repro.cores.router_lookup.RouterTables`.
+
+``handle_cpu_packet`` returns the frames the CPU wants transmitted, as
+``(phys_port_index, frame_bytes)`` — the caller (harness or DMA glue)
+injects them into the pipeline's DMA ports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from repro.cores.lpm import LpmEntry
+from repro.cores.router_lookup import RouterTables
+from repro.packet.addresses import BROADCAST_MAC, Ipv4Addr, MacAddr
+from repro.packet.arp import ARP_OP_REPLY, ARP_OP_REQUEST, ArpPacket
+from repro.packet.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame
+from repro.packet.icmp import (
+    ICMP_DEST_UNREACHABLE,
+    ICMP_ECHO_REQUEST,
+    ICMP_TIME_EXCEEDED,
+    IcmpPacket,
+)
+from repro.packet.ipv4 import IPPROTO_ICMP, Ipv4Packet
+
+#: Cap on data packets parked behind one unresolved ARP entry.
+PENDING_QUEUE_DEPTH = 16
+
+
+class RouterManager:
+    """CPU-side companion of :class:`~repro.projects.reference_router.ReferenceRouter`."""
+
+    def __init__(self, tables: RouterTables):
+        self.tables = tables
+        self._pending: dict[int, list[tuple[int, bytes]]] = defaultdict(list)
+        self.counters: dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Table management (the router CLI operations)
+    # ------------------------------------------------------------------
+    def add_route(
+        self, prefix: str, prefix_len: int, next_hop: str, port: int
+    ) -> bool:
+        return self.tables.add_route(
+            LpmEntry(
+                prefix=Ipv4Addr.parse(prefix),
+                prefix_len=prefix_len,
+                next_hop=Ipv4Addr.parse(next_hop),
+                port_bits=1 << (2 * port),
+            )
+        )
+
+    def del_route(self, prefix: str, prefix_len: int) -> bool:
+        return self.tables.lpm.delete(Ipv4Addr.parse(prefix), prefix_len)
+
+    def list_routes(self) -> list[str]:
+        return [
+            f"{e.prefix}/{e.prefix_len} via {e.next_hop} port_bits={e.port_bits:#04x}"
+            for e in self.tables.lpm.entries()
+        ]
+
+    def add_arp_entry(self, ip: str, mac: str) -> bool:
+        return self.tables.add_arp(Ipv4Addr.parse(ip), MacAddr.parse(mac))
+
+    def list_arp(self) -> list[str]:
+        return [f"{Ipv4Addr(ip)} -> {MacAddr(mac)}" for ip, mac in self.tables.arp]
+
+    # ------------------------------------------------------------------
+    # Slow path
+    # ------------------------------------------------------------------
+    def handle_cpu_packet(self, frame_bytes: bytes, port: int) -> list[tuple[int, bytes]]:
+        """Process one punted frame from physical port ``port``.
+
+        Returns frames to transmit as ``(phys_port_index, frame)``.
+        """
+        try:
+            frame = EthernetFrame.parse(frame_bytes)
+        except ValueError:
+            self.counters["malformed"] += 1
+            return []
+        if frame.ethertype == ETHERTYPE_ARP:
+            return self._handle_arp(frame, port)
+        if frame.ethertype == ETHERTYPE_IPV4:
+            return self._handle_ipv4(frame, port)
+        self.counters["unhandled_ethertype"] += 1
+        return []
+
+    # -- ARP -------------------------------------------------------------
+    def _handle_arp(self, frame: EthernetFrame, port: int) -> list[tuple[int, bytes]]:
+        try:
+            arp = ArpPacket.parse(frame.payload)
+        except ValueError:
+            self.counters["malformed"] += 1
+            return []
+        out: list[tuple[int, bytes]] = []
+        if arp.op == ARP_OP_REQUEST:
+            if arp.target_ip == self.tables.port_ips[port]:
+                self.counters["arp_replied"] += 1
+                reply = ArpPacket(
+                    op=ARP_OP_REPLY,
+                    sender_mac=self.tables.port_macs[port],
+                    sender_ip=self.tables.port_ips[port],
+                    target_mac=arp.sender_mac,
+                    target_ip=arp.sender_ip,
+                )
+                out.append(
+                    (
+                        port,
+                        EthernetFrame(
+                            arp.sender_mac,
+                            self.tables.port_macs[port],
+                            ETHERTYPE_ARP,
+                            reply.pack(),
+                        ).pack(),
+                    )
+                )
+        # Learn from both requests and replies (standard practice).
+        if self.tables.arp.lookup(arp.sender_ip.value) != arp.sender_mac.value:
+            self.tables.add_arp(arp.sender_ip, arp.sender_mac)
+            self.counters["arp_learned"] += 1
+            out.extend(self._drain_pending(arp.sender_ip))
+        return out
+
+    def resolve(self, next_hop: Ipv4Addr, port: int) -> list[tuple[int, bytes]]:
+        """Originate an ARP request for ``next_hop`` out of ``port``."""
+        self.counters["arp_requested"] += 1
+        request = ArpPacket(
+            op=ARP_OP_REQUEST,
+            sender_mac=self.tables.port_macs[port],
+            sender_ip=self.tables.port_ips[port],
+            target_mac=MacAddr(0),
+            target_ip=next_hop,
+        )
+        return [
+            (
+                port,
+                EthernetFrame(
+                    BROADCAST_MAC,
+                    self.tables.port_macs[port],
+                    ETHERTYPE_ARP,
+                    request.pack(),
+                ).pack(),
+            )
+        ]
+
+    def _drain_pending(self, resolved: Ipv4Addr) -> list[tuple[int, bytes]]:
+        """Release data packets that were waiting on an ARP resolution.
+
+        Frames re-entering via DMA bypass the hardware lookup (the CPU
+        has made the decision), so the software performs the forwarding
+        rewrite itself: MACs, TTL, checksum.
+        """
+        out = []
+        for egress, frame in self._pending.pop(resolved.value, []):
+            rewritten = self._forward_in_software(frame, egress)
+            if rewritten is not None:
+                out.append((egress, rewritten))
+        self.counters["pending_released"] += len(out)
+        return out
+
+    def _forward_in_software(self, frame_bytes: bytes, egress: int) -> Optional[bytes]:
+        """The CPU's copy of the forwarding rewrite (MACs, TTL, checksum)."""
+        try:
+            frame = EthernetFrame.parse(frame_bytes)
+            packet = Ipv4Packet.parse(frame.payload)
+        except ValueError:
+            self.counters["malformed"] += 1
+            return None
+        route = self.tables.lpm.lookup(packet.dst)
+        if route is None or packet.ttl <= 1:
+            return None
+        next_hop = packet.dst if route.is_directly_connected else route.next_hop
+        next_mac = self.tables.arp.lookup(next_hop.value)
+        if next_mac is None:
+            return None
+        packet.ttl -= 1
+        return EthernetFrame(
+            MacAddr(next_mac),
+            self.tables.port_macs[egress],
+            ETHERTYPE_IPV4,
+            packet.pack(),
+        ).pack()
+
+    # -- IPv4 ------------------------------------------------------------
+    def _handle_ipv4(self, frame: EthernetFrame, port: int) -> list[tuple[int, bytes]]:
+        try:
+            packet = Ipv4Packet.parse(frame.payload)
+        except ValueError:
+            self.counters["malformed"] += 1
+            return []
+
+        if packet.dst.value in self.tables.ip_filter:
+            return self._handle_local(frame, packet, port)
+        if packet.ttl <= 1:
+            self.counters["icmp_time_exceeded"] += 1
+            return self._icmp_error(packet, port, ICMP_TIME_EXCEEDED, 0)
+
+        # Otherwise: the hardware punted because of an LPM or ARP miss.
+        route = self.tables.lpm.lookup(packet.dst)
+        if route is None:
+            self.counters["icmp_unreachable"] += 1
+            return self._icmp_error(packet, port, ICMP_DEST_UNREACHABLE, 0)
+        next_hop = packet.dst if route.is_directly_connected else route.next_hop
+        if self.tables.arp.lookup(next_hop.value) is None:
+            egress = self._port_of_bits(route.port_bits)
+            queue = self._pending[next_hop.value]
+            if len(queue) < PENDING_QUEUE_DEPTH:
+                # Park the original frame; it re-enters via DMA once
+                # resolution completes.
+                queue.append((egress, frame.pack()))
+                self.counters["pending_parked"] += 1
+            else:
+                self.counters["pending_dropped"] += 1
+            return self.resolve(next_hop, egress)
+        egress = self._port_of_bits(route.port_bits)
+        rewritten = self._forward_in_software(frame.pack(), egress)
+        if rewritten is None:
+            return []
+        self.counters["reinjected"] += 1
+        return [(egress, rewritten)]
+
+    def _handle_local(
+        self, frame: EthernetFrame, packet: Ipv4Packet, port: int
+    ) -> list[tuple[int, bytes]]:
+        if packet.protocol != IPPROTO_ICMP:
+            self.counters["local_delivered"] += 1
+            return []
+        try:
+            icmp = IcmpPacket.parse(packet.payload)
+        except ValueError:
+            self.counters["malformed"] += 1
+            return []
+        if icmp.icmp_type != ICMP_ECHO_REQUEST:
+            self.counters["local_delivered"] += 1
+            return []
+        self.counters["icmp_echo_replied"] += 1
+        reply_ip = Ipv4Packet(
+            src=packet.dst,
+            dst=packet.src,
+            protocol=IPPROTO_ICMP,
+            payload=IcmpPacket.echo_reply_to(icmp).pack(),
+            ttl=64,
+        )
+        reply_frame = EthernetFrame(
+            frame.src, self.tables.port_macs[port], ETHERTYPE_IPV4, reply_ip.pack()
+        )
+        return [(port, reply_frame.pack())]
+
+    def _icmp_error(
+        self, original: Ipv4Packet, port: int, icmp_type: int, code: int
+    ) -> list[tuple[int, bytes]]:
+        """RFC 792 error: IP header + 8 bytes of the offending datagram."""
+        quote = original.pack()[: original.header_length + 8]
+        error_ip = Ipv4Packet(
+            src=self.tables.port_ips[port],
+            dst=original.src,
+            protocol=IPPROTO_ICMP,
+            payload=IcmpPacket(icmp_type, code, 0, quote).pack(),
+            ttl=64,
+        )
+        # Destination MAC: the original sender is on this port's subnet
+        # in the reference topology; resolve via ARP cache if we can.
+        dst_mac_value = self.tables.arp.lookup(original.src.value)
+        dst_mac = MacAddr(dst_mac_value) if dst_mac_value is not None else BROADCAST_MAC
+        error_frame = EthernetFrame(
+            dst_mac, self.tables.port_macs[port], ETHERTYPE_IPV4, error_ip.pack()
+        )
+        return [(port, error_frame.pack())]
+
+    @staticmethod
+    def _port_of_bits(port_bits: int) -> int:
+        for i in range(4):
+            if port_bits & (1 << (2 * i)):
+                return i
+        raise ValueError(f"no physical port in mask {port_bits:#x}")

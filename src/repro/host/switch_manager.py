@@ -1,0 +1,56 @@
+"""Switch management application.
+
+Reads the learning switch's state over its register interface — counter
+registers and the MAC table — and exposes the operations a switch CLI
+offers.  Deliberately built *only* on the AXI4-Lite window plus the
+shared CAM handle, the way the real management tools work.
+"""
+
+from __future__ import annotations
+
+from repro.packet.addresses import MacAddr
+from repro.projects.base import STATS_REG_BASE
+from repro.projects.reference_switch import ReferenceSwitch
+
+
+class SwitchManager:
+    """CLI-style operations against a :class:`ReferenceSwitch`."""
+
+    def __init__(self, switch: ReferenceSwitch):
+        self.switch = switch
+        self._axil = switch.interconnect
+        self._opl_regs = switch.opl.registers  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def lookup_stats(self) -> dict[str, int]:
+        """Hit/miss counters, read over the bus like ``rwaxi`` would."""
+        return {
+            "hits": self._axil.read(self._opl_regs.offset_of("lut_hits")),
+            "floods": self._axil.read(self._opl_regs.offset_of("lut_misses")),
+            "table_entries": self._axil.read(self._opl_regs.offset_of("table_size")),
+        }
+
+    def port_counters(self) -> dict[str, int]:
+        """Per-port packet counters from the stats block."""
+        out = {}
+        for name, offset in self.switch.stats.registers.registers():
+            if name.endswith("_packets"):
+                out[name] = self._axil.read(STATS_REG_BASE + offset)
+        return out
+
+    def show_mac_table(self) -> list[tuple[str, int]]:
+        """``[(mac, port_bits)]`` — the forwarding database dump."""
+        return [
+            (str(MacAddr(key)), port_bits)
+            for key, port_bits in self.switch.mac_table
+        ]
+
+    def clear_mac_table(self) -> None:
+        """Flush the FDB through the register interface."""
+        self._axil.write(self._opl_regs.offset_of("table_clear"), 1)
+
+    def add_static_entry(self, mac: str, port_index: int) -> bool:
+        """Pin a MAC to a physical port (static FDB entry)."""
+        return self.switch.mac_table.insert(
+            MacAddr.parse(mac).value, 1 << (2 * port_index)
+        )

@@ -1,0 +1,113 @@
+"""MAC and IPv4 address value types.
+
+Both types wrap a plain integer, so the hardware models (CAM keys, LPM
+prefixes, TUSER words) can use them directly while software-facing code
+gets parsing and pretty-printing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bitfield import mask
+
+
+@dataclass(frozen=True, order=True)
+class MacAddr:
+    """A 48-bit IEEE 802 MAC address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= mask(48):
+            raise ValueError(f"MAC address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddr":
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"malformed MAC address: {text!r}")
+        try:
+            octets = [int(p, 16) for p in parts]
+        except ValueError as exc:
+            raise ValueError(f"malformed MAC address: {text!r}") from exc
+        if any(not 0 <= o <= 0xFF for o in octets):
+            raise ValueError(f"malformed MAC address: {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MacAddr":
+        if len(data) != 6:
+            raise ValueError(f"MAC address needs 6 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    @property
+    def packed(self) -> bytes:
+        return self.value.to_bytes(6, "big")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == mask(48)
+
+    @property
+    def is_multicast(self) -> bool:
+        """True for group addresses (I/G bit set), including broadcast."""
+        return bool((self.value >> 40) & 0x01)
+
+    def __str__(self) -> str:
+        return ":".join(f"{b:02x}" for b in self.packed)
+
+
+BROADCAST_MAC = MacAddr(mask(48))
+
+
+@dataclass(frozen=True, order=True)
+class Ipv4Addr:
+    """A 32-bit IPv4 address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= mask(32):
+            raise ValueError(f"IPv4 address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Addr":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        try:
+            octets = [int(p, 10) for p in parts]
+        except ValueError as exc:
+            raise ValueError(f"malformed IPv4 address: {text!r}") from exc
+        if any(not 0 <= o <= 255 for o in octets):
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv4Addr":
+        if len(data) != 4:
+            raise ValueError(f"IPv4 address needs 4 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    @property
+    def packed(self) -> bytes:
+        return self.value.to_bytes(4, "big")
+
+    def in_prefix(self, network: "Ipv4Addr", prefix_len: int) -> bool:
+        """True if this address falls inside ``network/prefix_len``."""
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"bad prefix length {prefix_len}")
+        if prefix_len == 0:
+            return True
+        shift = 32 - prefix_len
+        return (self.value >> shift) == (network.value >> shift)
+
+    def __str__(self) -> str:
+        return ".".join(str(b) for b in self.packed)

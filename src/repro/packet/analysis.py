@@ -1,0 +1,163 @@
+"""Capture analysis: what a measurement researcher does with a pcap.
+
+OSNT's output is a timestamped capture; these helpers turn one into the
+numbers papers report — rate over time, inter-arrival statistics, size
+and flow breakdowns.  They operate on
+:class:`~repro.packet.pcap.PcapRecord` sequences, so they work equally
+on OSNT monitor output and on files read back with
+:func:`~repro.packet.pcap.read_pcap`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.cores.header_parser import parse_headers
+from repro.packet.pcap import PcapRecord
+
+
+@dataclass(frozen=True)
+class CaptureSummary:
+    """Headline statistics of one capture."""
+
+    packets: int
+    bytes: int
+    duration_ns: int
+    mean_rate_bps: float
+    mean_size: float
+    min_size: int
+    max_size: int
+
+
+def summarize(records: Sequence[PcapRecord]) -> CaptureSummary:
+    """The `capinfos`-style one-liner."""
+    if not records:
+        return CaptureSummary(0, 0, 0, 0.0, 0.0, 0, 0)
+    sizes = [r.original_length for r in records]
+    total = sum(sizes)
+    duration = records[-1].timestamp_ns - records[0].timestamp_ns
+    # Rate convention: bytes of all-but-last over the span (each interval
+    # carries the packet that opened it).
+    rate = (total - sizes[-1]) * 8 / (duration * 1e-9) if duration > 0 else 0.0
+    return CaptureSummary(
+        packets=len(records),
+        bytes=total,
+        duration_ns=duration,
+        mean_rate_bps=rate,
+        mean_size=total / len(records),
+        min_size=min(sizes),
+        max_size=max(sizes),
+    )
+
+
+def interarrival_ns(records: Sequence[PcapRecord]) -> list[int]:
+    """Gaps between consecutive arrivals."""
+    return [
+        b.timestamp_ns - a.timestamp_ns for a, b in zip(records, records[1:])
+    ]
+
+
+@dataclass(frozen=True)
+class InterarrivalStats:
+    count: int
+    min_ns: int
+    mean_ns: float
+    max_ns: int
+    stddev_ns: float
+
+
+def interarrival_stats(records: Sequence[PcapRecord]) -> InterarrivalStats:
+    gaps = interarrival_ns(records)
+    if not gaps:
+        return InterarrivalStats(0, 0, 0.0, 0, 0.0)
+    mean = sum(gaps) / len(gaps)
+    variance = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+    return InterarrivalStats(
+        count=len(gaps),
+        min_ns=min(gaps),
+        mean_ns=mean,
+        max_ns=max(gaps),
+        stddev_ns=variance**0.5,
+    )
+
+
+def rate_timeseries(
+    records: Sequence[PcapRecord], bin_ns: int
+) -> list[tuple[int, float]]:
+    """``[(bin_start_ns, bits_per_second)]`` — throughput over time."""
+    if bin_ns <= 0:
+        raise ValueError("bin width must be positive")
+    if not records:
+        return []
+    start = records[0].timestamp_ns
+    bins: Counter[int] = Counter()
+    for record in records:
+        bins[(record.timestamp_ns - start) // bin_ns] += record.original_length
+    last_bin = max(bins)
+    return [
+        (start + i * bin_ns, bins.get(i, 0) * 8 / (bin_ns * 1e-9))
+        for i in range(last_bin + 1)
+    ]
+
+
+def size_histogram(
+    records: Sequence[PcapRecord],
+    edges: Sequence[int] = (64, 128, 256, 512, 1024, 1519),
+) -> list[tuple[str, int]]:
+    """RMON-style frame-size buckets (upper edges inclusive)."""
+    if list(edges) != sorted(edges) or not edges:
+        raise ValueError("edges must be ascending and non-empty")
+    counts = [0] * (len(edges) + 1)
+    for record in records:
+        size = record.original_length
+        for i, edge in enumerate(edges):
+            if size <= edge:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    labels = []
+    low = 0
+    for edge in edges:
+        labels.append(f"{low}-{edge}")
+        low = edge + 1
+    labels.append(f">{edges[-1]}")
+    return list(zip(labels, counts))
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """The classic 5-tuple (missing layers zeroed)."""
+
+    ip_src: int
+    ip_dst: int
+    proto: int
+    sport: int
+    dport: int
+
+
+def flow_breakdown(
+    records: Iterable[PcapRecord], top: Optional[int] = None
+) -> list[tuple[FlowKey, int, int]]:
+    """``[(flow, packets, bytes)]`` sorted by bytes, descending."""
+    packets: Counter[FlowKey] = Counter()
+    volume: Counter[FlowKey] = Counter()
+    for record in records:
+        parsed = parse_headers(record.data[:64])
+        key = FlowKey(
+            ip_src=parsed.ip_src.value if parsed.ip_src else 0,
+            ip_dst=parsed.ip_dst.value if parsed.ip_dst else 0,
+            proto=parsed.ip_proto or 0,
+            sport=parsed.l4_src_port or 0,
+            dport=parsed.l4_dst_port or 0,
+        )
+        packets[key] += 1
+        volume[key] += record.original_length
+    flows = sorted(
+        ((key, packets[key], volume[key]) for key in packets),
+        key=lambda item: item[2],
+        reverse=True,
+    )
+    return flows[:top] if top is not None else flows

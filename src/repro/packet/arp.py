@@ -1,0 +1,65 @@
+"""ARP for IPv4-over-Ethernet (RFC 826).
+
+The reference router's software slow path answers ARP requests for the
+router's interfaces and resolves next hops; both sides use this encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.packet.addresses import Ipv4Addr, MacAddr
+
+ARP_OP_REQUEST = 1
+ARP_OP_REPLY = 2
+
+HTYPE_ETHERNET = 1
+PTYPE_IPV4 = 0x0800
+PACKET_SIZE = 28
+
+
+@dataclass
+class ArpPacket:
+    """An Ethernet/IPv4 ARP packet."""
+
+    op: int
+    sender_mac: MacAddr
+    sender_ip: Ipv4Addr
+    target_mac: MacAddr
+    target_ip: Ipv4Addr
+
+    def __post_init__(self) -> None:
+        if self.op not in (ARP_OP_REQUEST, ARP_OP_REPLY):
+            raise ValueError(f"unsupported ARP op {self.op}")
+
+    def pack(self) -> bytes:
+        return (
+            HTYPE_ETHERNET.to_bytes(2, "big")
+            + PTYPE_IPV4.to_bytes(2, "big")
+            + bytes([6, 4])
+            + self.op.to_bytes(2, "big")
+            + self.sender_mac.packed
+            + self.sender_ip.packed
+            + self.target_mac.packed
+            + self.target_ip.packed
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "ArpPacket":
+        if len(data) < PACKET_SIZE:
+            raise ValueError(f"too short for ARP: {len(data)}B")
+        htype = int.from_bytes(data[0:2], "big")
+        ptype = int.from_bytes(data[2:4], "big")
+        hlen, plen = data[4], data[5]
+        if (htype, ptype, hlen, plen) != (HTYPE_ETHERNET, PTYPE_IPV4, 6, 4):
+            raise ValueError(
+                f"unsupported ARP encoding htype={htype} ptype={ptype:#x} "
+                f"hlen={hlen} plen={plen}"
+            )
+        return cls(
+            op=int.from_bytes(data[6:8], "big"),
+            sender_mac=MacAddr.from_bytes(data[8:14]),
+            sender_ip=Ipv4Addr.from_bytes(data[14:18]),
+            target_mac=MacAddr.from_bytes(data[18:24]),
+            target_ip=Ipv4Addr.from_bytes(data[24:28]),
+        )

@@ -1,0 +1,99 @@
+"""Ethernet II framing.
+
+The MAC models deal in frames *without* FCS (the NetFPGA datapath strips
+and regenerates FCS at the MAC boundary, so TUSER ``len`` excludes it);
+``pack()`` therefore emits header+payload and the FCS helpers are explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.packet.addresses import MacAddr
+from repro.utils.crc import crc32_ethernet
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_VLAN = 0x8100
+
+HEADER_SIZE = 14
+#: Minimum/maximum Ethernet frame sizes including FCS (64..1518 untagged).
+MIN_FRAME_SIZE = 64
+MAX_FRAME_SIZE = 1518
+FCS_SIZE = 4
+#: Line overhead per frame: 7B preamble + 1B SFD + 12B inter-frame gap.
+PREAMBLE_SFD_IFG = 20
+
+
+@dataclass
+class EthernetFrame:
+    """An Ethernet II frame (dst, src, ethertype, payload), FCS excluded."""
+
+    dst: MacAddr
+    src: MacAddr
+    ethertype: int
+    payload: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise ValueError(f"ethertype out of range: {self.ethertype:#x}")
+
+    def pack(self, pad: bool = True) -> bytes:
+        """Serialize; pads to the 60-byte minimum (64 with FCS) by default."""
+        raw = (
+            self.dst.packed
+            + self.src.packed
+            + self.ethertype.to_bytes(2, "big")
+            + self.payload
+        )
+        if pad and len(raw) < MIN_FRAME_SIZE - FCS_SIZE:
+            raw += b"\x00" * (MIN_FRAME_SIZE - FCS_SIZE - len(raw))
+        return raw
+
+    def pack_with_fcs(self, pad: bool = True) -> bytes:
+        raw = self.pack(pad=pad)
+        return raw + crc32_ethernet(raw).to_bytes(4, "little")
+
+    @classmethod
+    def parse(cls, data: bytes) -> "EthernetFrame":
+        if len(data) < HEADER_SIZE:
+            raise ValueError(f"frame too short for Ethernet header: {len(data)}B")
+        return cls(
+            dst=MacAddr.from_bytes(data[0:6]),
+            src=MacAddr.from_bytes(data[6:12]),
+            ethertype=int.from_bytes(data[12:14], "big"),
+            payload=data[14:],
+        )
+
+    @classmethod
+    def parse_with_fcs(cls, data: bytes) -> "EthernetFrame":
+        """Parse a frame carrying FCS; raises on a CRC mismatch."""
+        if len(data) < HEADER_SIZE + FCS_SIZE:
+            raise ValueError(f"frame too short for Ethernet+FCS: {len(data)}B")
+        body, fcs = data[:-FCS_SIZE], data[-FCS_SIZE:]
+        expected = crc32_ethernet(body).to_bytes(4, "little")
+        if fcs != expected:
+            raise ValueError(
+                f"FCS mismatch: got {fcs.hex()}, expected {expected.hex()}"
+            )
+        return cls.parse(body)
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire including FCS (before preamble/IFG)."""
+        return max(len(self.pack(pad=False)), MIN_FRAME_SIZE - FCS_SIZE) + FCS_SIZE
+
+    def __len__(self) -> int:
+        return HEADER_SIZE + len(self.payload)
+
+
+def wire_time_ns(frame_bytes_with_fcs: int, line_rate_bps: float) -> float:
+    """Serialization time of one frame including preamble, SFD and IFG.
+
+    This is the quantity that turns into the classic rate-vs-frame-size
+    curve: small frames pay the fixed 20-byte overhead proportionally more.
+    """
+    if line_rate_bps <= 0:
+        raise ValueError("line rate must be positive")
+    total_bytes = frame_bytes_with_fcs + PREAMBLE_SFD_IFG
+    return total_bytes * 8 / line_rate_bps * 1e9

@@ -1,0 +1,65 @@
+"""ICMP (RFC 792): echo and the error messages the router generates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.packet.checksum import internet_checksum
+
+ICMP_ECHO_REPLY = 0
+ICMP_DEST_UNREACHABLE = 3
+ICMP_ECHO_REQUEST = 8
+ICMP_TIME_EXCEEDED = 11
+
+HEADER_SIZE = 8
+
+
+@dataclass
+class IcmpPacket:
+    """An ICMP message; the 32-bit "rest of header" is type-dependent."""
+
+    icmp_type: int
+    code: int = 0
+    rest: int = 0
+    payload: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.icmp_type <= 0xFF:
+            raise ValueError(f"ICMP type out of range: {self.icmp_type}")
+        if not 0 <= self.code <= 0xFF:
+            raise ValueError(f"ICMP code out of range: {self.code}")
+        if not 0 <= self.rest <= 0xFFFFFFFF:
+            raise ValueError(f"ICMP rest-of-header out of range: {self.rest:#x}")
+
+    def pack(self) -> bytes:
+        body = (
+            bytes([self.icmp_type, self.code])
+            + b"\x00\x00"
+            + self.rest.to_bytes(4, "big")
+            + self.payload
+        )
+        checksum = internet_checksum(body)
+        return body[:2] + checksum.to_bytes(2, "big") + body[4:]
+
+    @classmethod
+    def parse(cls, data: bytes, verify: bool = True) -> "IcmpPacket":
+        if len(data) < HEADER_SIZE:
+            raise ValueError(f"too short for ICMP: {len(data)}B")
+        if verify and internet_checksum(data) != 0:
+            raise ValueError("ICMP checksum mismatch")
+        return cls(
+            icmp_type=data[0],
+            code=data[1],
+            rest=int.from_bytes(data[4:8], "big"),
+            payload=data[8:],
+        )
+
+    @classmethod
+    def echo_request(cls, ident: int, seq: int, payload: bytes = b"") -> "IcmpPacket":
+        return cls(ICMP_ECHO_REQUEST, 0, (ident << 16) | seq, payload)
+
+    @classmethod
+    def echo_reply_to(cls, request: "IcmpPacket") -> "IcmpPacket":
+        if request.icmp_type != ICMP_ECHO_REQUEST:
+            raise ValueError("not an echo request")
+        return cls(ICMP_ECHO_REPLY, 0, request.rest, request.payload)

@@ -1,0 +1,107 @@
+"""IPv4 header handling (RFC 791), options supported, no fragmentation reassembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.packet.addresses import Ipv4Addr
+from repro.packet.checksum import internet_checksum
+
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+MIN_HEADER_SIZE = 20
+
+
+@dataclass
+class Ipv4Packet:
+    """An IPv4 packet; ``pack()`` computes total length and checksum."""
+
+    src: Ipv4Addr
+    dst: Ipv4Addr
+    protocol: int
+    payload: bytes = field(default=b"")
+    ttl: int = 64
+    dscp: int = 0
+    ecn: int = 0
+    identification: int = 0
+    flags: int = 0  # bit 1 = DF, bit 0 = MF (in the 3-bit field: [evil,DF,MF])
+    fragment_offset: int = 0
+    options: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.protocol <= 0xFF:
+            raise ValueError(f"protocol out of range: {self.protocol}")
+        if not 0 <= self.ttl <= 0xFF:
+            raise ValueError(f"TTL out of range: {self.ttl}")
+        if len(self.options) % 4 != 0:
+            raise ValueError("IPv4 options must be 32-bit padded")
+        if len(self.options) > 40:
+            raise ValueError("IPv4 options exceed 40 bytes")
+        if not 0 <= self.fragment_offset <= 0x1FFF:
+            raise ValueError(f"fragment offset out of range: {self.fragment_offset}")
+
+    @property
+    def header_length(self) -> int:
+        return MIN_HEADER_SIZE + len(self.options)
+
+    @property
+    def total_length(self) -> int:
+        return self.header_length + len(self.payload)
+
+    def pack(self) -> bytes:
+        ihl = self.header_length // 4
+        version_ihl = (4 << 4) | ihl
+        tos = (self.dscp << 2) | self.ecn
+        flags_frag = (self.flags << 13) | self.fragment_offset
+        header = bytearray()
+        header.append(version_ihl)
+        header.append(tos)
+        header += self.total_length.to_bytes(2, "big")
+        header += self.identification.to_bytes(2, "big")
+        header += flags_frag.to_bytes(2, "big")
+        header.append(self.ttl)
+        header.append(self.protocol)
+        header += b"\x00\x00"  # checksum placeholder
+        header += self.src.packed
+        header += self.dst.packed
+        header += self.options
+        checksum = internet_checksum(bytes(header))
+        header[10:12] = checksum.to_bytes(2, "big")
+        return bytes(header) + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes, verify: bool = True) -> "Ipv4Packet":
+        if len(data) < MIN_HEADER_SIZE:
+            raise ValueError(f"too short for IPv4 header: {len(data)}B")
+        version = data[0] >> 4
+        if version != 4:
+            raise ValueError(f"not IPv4 (version {version})")
+        ihl = data[0] & 0x0F
+        header_len = ihl * 4
+        if header_len < MIN_HEADER_SIZE or len(data) < header_len:
+            raise ValueError(f"bad IHL {ihl}")
+        total_length = int.from_bytes(data[2:4], "big")
+        if total_length < header_len or total_length > len(data):
+            raise ValueError(
+                f"bad total length {total_length} (have {len(data)}B, "
+                f"header {header_len}B)"
+            )
+        if verify and internet_checksum(data[:header_len]) != 0:
+            raise ValueError("IPv4 header checksum mismatch")
+        tos = data[1]
+        flags_frag = int.from_bytes(data[6:8], "big")
+        return cls(
+            src=Ipv4Addr.from_bytes(data[12:16]),
+            dst=Ipv4Addr.from_bytes(data[16:20]),
+            protocol=data[9],
+            payload=data[header_len:total_length],
+            ttl=data[8],
+            dscp=tos >> 2,
+            ecn=tos & 0x3,
+            identification=int.from_bytes(data[4:6], "big"),
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            options=data[MIN_HEADER_SIZE:header_len],
+        )

@@ -1,0 +1,129 @@
+"""Classic pcap file format (libpcap 2.4), from scratch.
+
+OSNT replays pcap traces and writes captures back out; the unified test
+environment exchanges expected/actual packet sets as pcap.  Both
+microsecond and nanosecond (magic ``0xA1B23C4D``) variants are supported,
+as is reading foreign-endian files.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator
+
+MAGIC_US = 0xA1B2C3D4
+MAGIC_NS = 0xA1B23C4D
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured packet: timestamp (ns since epoch) and frame bytes."""
+
+    timestamp_ns: int
+    data: bytes
+    orig_len: int = -1  # -1 = same as len(data)
+
+    @property
+    def original_length(self) -> int:
+        return len(self.data) if self.orig_len < 0 else self.orig_len
+
+    @property
+    def truncated(self) -> bool:
+        return self.original_length > len(self.data)
+
+
+class PcapWriter:
+    """Writes nanosecond-resolution pcap; context-manager friendly."""
+
+    def __init__(self, fileobj: IO[bytes], snaplen: int = 65535, nanosecond: bool = True):
+        self._file = fileobj
+        self.snaplen = snaplen
+        self.nanosecond = nanosecond
+        self._file.write(
+            _GLOBAL_HEADER.pack(
+                MAGIC_NS if nanosecond else MAGIC_US,
+                2,
+                4,
+                0,
+                0,
+                snaplen,
+                LINKTYPE_ETHERNET,
+            )
+        )
+        self.records_written = 0
+
+    def write(self, record: PcapRecord) -> None:
+        data = record.data[: self.snaplen]
+        if self.nanosecond:
+            sec, frac = divmod(record.timestamp_ns, 1_000_000_000)
+        else:
+            sec, frac = divmod(record.timestamp_ns // 1000, 1_000_000)
+        self._file.write(
+            _RECORD_HEADER.pack(sec, frac, len(data), record.original_length)
+        )
+        self._file.write(data)
+        self.records_written += 1
+
+    def write_packets(self, packets: Iterable[bytes], interval_ns: int = 1000) -> None:
+        """Convenience: write raw frames with synthetic evenly spaced stamps."""
+        for i, data in enumerate(packets):
+            self.write(PcapRecord(timestamp_ns=i * interval_ns, data=data))
+
+
+class PcapReader:
+    """Iterates :class:`PcapRecord` from any endian/resolution pcap file."""
+
+    def __init__(self, fileobj: IO[bytes]):
+        self._file = fileobj
+        header = fileobj.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise ValueError("truncated pcap global header")
+        magic_le = struct.unpack("<I", header[:4])[0]
+        magic_be = struct.unpack(">I", header[:4])[0]
+        if magic_le in (MAGIC_US, MAGIC_NS):
+            self._endian, magic = "<", magic_le
+        elif magic_be in (MAGIC_US, MAGIC_NS):
+            self._endian, magic = ">", magic_be
+        else:
+            raise ValueError(f"not a pcap file (magic {header[:4].hex()})")
+        self.nanosecond = magic == MAGIC_NS
+        fields = struct.unpack(self._endian + "IHHiIII", header)
+        self.snaplen = fields[5]
+        self.linktype = fields[6]
+        self._record = struct.Struct(self._endian + "IIII")
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        while True:
+            header = self._file.read(self._record.size)
+            if not header:
+                return
+            if len(header) < self._record.size:
+                raise ValueError("truncated pcap record header")
+            sec, frac, incl_len, orig_len = self._record.unpack(header)
+            data = self._file.read(incl_len)
+            if len(data) < incl_len:
+                raise ValueError("truncated pcap record body")
+            if self.nanosecond:
+                timestamp_ns = sec * 1_000_000_000 + frac
+            else:
+                timestamp_ns = (sec * 1_000_000 + frac) * 1000
+            yield PcapRecord(timestamp_ns=timestamp_ns, data=data, orig_len=orig_len)
+
+
+def write_pcap(path: str, records: Iterable[PcapRecord], nanosecond: bool = True) -> int:
+    """Write records to ``path``; returns the record count."""
+    with open(path, "wb") as fileobj:
+        writer = PcapWriter(fileobj, nanosecond=nanosecond)
+        for record in records:
+            writer.write(record)
+        return writer.records_written
+
+
+def read_pcap(path: str) -> list[PcapRecord]:
+    with open(path, "rb") as fileobj:
+        return list(PcapReader(fileobj))

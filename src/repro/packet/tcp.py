@@ -1,0 +1,89 @@
+"""TCP segment encoding (RFC 793) — header-level only.
+
+The platform's projects treat TCP as opaque payload beyond the header
+fields used for classification (BlueSwitch match keys, OSNT flow hashing),
+so no state machine is provided; packing/parsing is byte-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.packet.addresses import Ipv4Addr
+from repro.packet.checksum import transport_checksum
+from repro.packet.ipv4 import IPPROTO_TCP
+
+MIN_HEADER_SIZE = 20
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+FLAG_URG = 0x20
+
+
+@dataclass
+class TcpSegment:
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = FLAG_ACK
+    window: int = 0xFFFF
+    urgent: int = 0
+    options: bytes = field(default=b"")
+    payload: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"port out of range: {port}")
+        if len(self.options) % 4 != 0:
+            raise ValueError("TCP options must be 32-bit padded")
+        if len(self.options) > 40:
+            raise ValueError("TCP options exceed 40 bytes")
+        if not 0 <= self.seq <= 0xFFFFFFFF or not 0 <= self.ack <= 0xFFFFFFFF:
+            raise ValueError("seq/ack out of range")
+
+    @property
+    def header_length(self) -> int:
+        return MIN_HEADER_SIZE + len(self.options)
+
+    def pack(self, src_ip: Ipv4Addr | None = None, dst_ip: Ipv4Addr | None = None) -> bytes:
+        data_offset = self.header_length // 4
+        header = (
+            self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + self.seq.to_bytes(4, "big")
+            + self.ack.to_bytes(4, "big")
+            + bytes([(data_offset << 4), self.flags & 0x3F])
+            + self.window.to_bytes(2, "big")
+            + b"\x00\x00"
+            + self.urgent.to_bytes(2, "big")
+            + self.options
+        )
+        segment = header + self.payload
+        if src_ip is None or dst_ip is None:
+            return segment
+        checksum = transport_checksum(src_ip.packed, dst_ip.packed, IPPROTO_TCP, segment)
+        return segment[:16] + checksum.to_bytes(2, "big") + segment[18:]
+
+    @classmethod
+    def parse(cls, data: bytes) -> "TcpSegment":
+        if len(data) < MIN_HEADER_SIZE:
+            raise ValueError(f"too short for TCP: {len(data)}B")
+        data_offset = (data[12] >> 4) * 4
+        if data_offset < MIN_HEADER_SIZE or data_offset > len(data):
+            raise ValueError(f"bad TCP data offset {data_offset}")
+        return cls(
+            src_port=int.from_bytes(data[0:2], "big"),
+            dst_port=int.from_bytes(data[2:4], "big"),
+            seq=int.from_bytes(data[4:8], "big"),
+            ack=int.from_bytes(data[8:12], "big"),
+            flags=data[13] & 0x3F,
+            window=int.from_bytes(data[14:16], "big"),
+            urgent=int.from_bytes(data[18:20], "big"),
+            options=data[MIN_HEADER_SIZE:data_offset],
+            payload=data[data_offset:],
+        )

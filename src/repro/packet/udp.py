@@ -1,0 +1,59 @@
+"""UDP (RFC 768) with full pseudo-header checksum support."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.packet.addresses import Ipv4Addr
+from repro.packet.checksum import transport_checksum
+from repro.packet.ipv4 import IPPROTO_UDP
+
+HEADER_SIZE = 8
+
+
+@dataclass
+class UdpDatagram:
+    """A UDP datagram.  Checksums need the IPv4 endpoints, so packing with
+    a valid checksum is ``pack(src_ip, dst_ip)``; ``pack()`` emits zero
+    (checksum disabled), which is legal for UDP over IPv4."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"port out of range: {port}")
+
+    @property
+    def length(self) -> int:
+        return HEADER_SIZE + len(self.payload)
+
+    def pack(self, src_ip: Ipv4Addr | None = None, dst_ip: Ipv4Addr | None = None) -> bytes:
+        header = (
+            self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + self.length.to_bytes(2, "big")
+        )
+        if src_ip is None or dst_ip is None:
+            return header + b"\x00\x00" + self.payload
+        checksum = transport_checksum(
+            src_ip.packed, dst_ip.packed, IPPROTO_UDP, header + b"\x00\x00" + self.payload
+        )
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+        return header + checksum.to_bytes(2, "big") + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> "UdpDatagram":
+        if len(data) < HEADER_SIZE:
+            raise ValueError(f"too short for UDP: {len(data)}B")
+        length = int.from_bytes(data[4:6], "big")
+        if length < HEADER_SIZE or length > len(data):
+            raise ValueError(f"bad UDP length {length} (have {len(data)}B)")
+        return cls(
+            src_port=int.from_bytes(data[0:2], "big"),
+            dst_port=int.from_bytes(data[2:4], "big"),
+            payload=data[HEADER_SIZE:length],
+        )

@@ -1,0 +1,55 @@
+"""IEEE 802.1Q VLAN tagging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.packet.ethernet import ETHERTYPE_VLAN, EthernetFrame
+
+
+@dataclass(frozen=True)
+class VlanTag:
+    """The 802.1Q TCI fields: priority (PCP), drop-eligible (DEI), VID."""
+
+    vid: int
+    pcp: int = 0
+    dei: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vid <= 0xFFF:
+            raise ValueError(f"VLAN ID out of range: {self.vid}")
+        if not 0 <= self.pcp <= 7:
+            raise ValueError(f"PCP out of range: {self.pcp}")
+
+    @property
+    def tci(self) -> int:
+        return (self.pcp << 13) | (int(self.dei) << 12) | self.vid
+
+    @classmethod
+    def from_tci(cls, tci: int) -> "VlanTag":
+        return cls(vid=tci & 0xFFF, pcp=(tci >> 13) & 0x7, dei=bool((tci >> 12) & 1))
+
+
+def tag_frame(frame: EthernetFrame, tag: VlanTag) -> EthernetFrame:
+    """Insert an 802.1Q tag, pushing the original ethertype inward."""
+    inner = frame.ethertype.to_bytes(2, "big") + frame.payload
+    return EthernetFrame(
+        dst=frame.dst,
+        src=frame.src,
+        ethertype=ETHERTYPE_VLAN,
+        payload=tag.tci.to_bytes(2, "big") + inner,
+    )
+
+
+def untag_frame(frame: EthernetFrame) -> tuple[EthernetFrame, VlanTag]:
+    """Strip the outer 802.1Q tag; raises if the frame is untagged."""
+    if frame.ethertype != ETHERTYPE_VLAN:
+        raise ValueError(f"frame is not VLAN-tagged (ethertype {frame.ethertype:#x})")
+    if len(frame.payload) < 4:
+        raise ValueError("truncated VLAN tag")
+    tag = VlanTag.from_tci(int.from_bytes(frame.payload[0:2], "big"))
+    inner_type = int.from_bytes(frame.payload[2:4], "big")
+    return (
+        EthernetFrame(frame.dst, frame.src, inner_type, frame.payload[4:]),
+        tag,
+    )

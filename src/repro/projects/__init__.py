@@ -1,0 +1,46 @@
+"""NetFPGA reference and contributed projects.
+
+Each project mirrors the structure §3 describes — "Each project consists
+of hardware, software, testing and documentation components":
+
+* hardware — a composition of :mod:`repro.cores` blocks on the kernel;
+* software — register maps consumed by :mod:`repro.host` managers;
+* testing  — harness scenarios under ``tests/`` via :mod:`repro.testenv`;
+* documentation — the class docstrings and DESIGN.md entries.
+
+Reference projects (every release ships these four):
+``reference_nic``, ``reference_switch`` (+ ``_lite``),
+``reference_router``, ``acceptance_test`` (the I/O exerciser).
+
+Contributed projects: :mod:`repro.projects.osnt` (the Open Source Network
+Tester [1]) and :mod:`repro.projects.blueswitch` (consistent OpenFlow
+switch configuration [2]).
+"""
+
+from repro.projects.base import PortRef, ReferencePipeline
+from repro.projects.reference_nic import ReferenceNic
+from repro.projects.reference_switch import ReferenceSwitch, ReferenceSwitchLite
+from repro.projects.reference_router import ReferenceRouter, default_router_tables
+from repro.projects.acceptance_test import AcceptanceTestProject, IoSelfTest
+from repro.projects.firewall import (
+    AclAction,
+    AclRule,
+    FirewallProject,
+    SynFloodDetector,
+)
+
+__all__ = [
+    "PortRef",
+    "ReferencePipeline",
+    "ReferenceNic",
+    "ReferenceSwitch",
+    "ReferenceSwitchLite",
+    "ReferenceRouter",
+    "default_router_tables",
+    "AcceptanceTestProject",
+    "IoSelfTest",
+    "AclAction",
+    "AclRule",
+    "FirewallProject",
+    "SynFloodDetector",
+]

@@ -1,0 +1,156 @@
+"""The shared reference-pipeline skeleton.
+
+All four reference projects are the same five-stage pipeline —
+
+    rx ports → input arbiter → output port lookup → output queues → tx ports
+
+— differing *only* in the OPL stage (and its tables).  This class builds
+the common structure once; projects inject their lookup through a
+factory.  That one-line swap is the modularity claim C3 made executable,
+and what experiment E7 exercises for the scheduler stage.
+
+Port convention: 8 logical ports — physical nf0..nf3 (one-hot bits
+0,2,4,6) and DMA queues 0..3 (bits 1,3,5,7), per
+:mod:`repro.core.metadata`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.axilite import AxiLiteInterconnect
+from repro.core.axis import AxiStreamChannel, StreamPacket
+from repro.core.metadata import (
+    NUM_DMA_PORTS,
+    NUM_PHYS_PORTS,
+    SUME_TUSER,
+    dma_port_bit,
+    phys_port_bit,
+)
+from repro.core.module import Module
+from repro.cores.input_arbiter import InputArbiter
+from repro.cores.output_port_lookup import OutputPortLookup
+from repro.cores.output_queues import OutputQueues, QueueConfig
+from repro.cores.stats import StatsCollector
+
+#: Register window bases shared by all projects (64 KiB each).
+OPL_REG_BASE = 0x0000_0000
+STATS_REG_BASE = 0x0001_0000
+PROJECT_REG_SIZE = 0x1_0000
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """A logical port: ('phys'|'dma', index)."""
+
+    kind: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("phys", "dma"):
+            raise ValueError(f"unknown port kind {self.kind!r}")
+        limit = NUM_PHYS_PORTS if self.kind == "phys" else NUM_DMA_PORTS
+        if not 0 <= self.index < limit:
+            raise ValueError(f"{self.kind} port index {self.index} out of range")
+
+    @property
+    def bit(self) -> int:
+        if self.kind == "phys":
+            return phys_port_bit(self.index)
+        return dma_port_bit(self.index)
+
+    def __str__(self) -> str:
+        return f"nf{self.index}" if self.kind == "phys" else f"dma{self.index}"
+
+
+ALL_PORTS: tuple[PortRef, ...] = tuple(
+    [PortRef("phys", i) for i in range(NUM_PHYS_PORTS)]
+    + [PortRef("dma", i) for i in range(NUM_DMA_PORTS)]
+)
+
+
+class ReferencePipeline(Module):
+    """rx → arbiter → OPL → output queues → tx, with stats and registers."""
+
+    def __init__(
+        self,
+        name: str,
+        opl_factory: Callable[
+            [str, AxiStreamChannel, AxiStreamChannel], OutputPortLookup
+        ],
+        queue_config: QueueConfig = QueueConfig(),
+        classify: Optional[Callable[[StreamPacket], int]] = None,
+    ):
+        super().__init__(name)
+        self.ports = ALL_PORTS
+        self.rx = {p: AxiStreamChannel(f"{name}.rx_{p}") for p in self.ports}
+        self.tx = {p: AxiStreamChannel(f"{name}.tx_{p}") for p in self.ports}
+        arb_to_opl = AxiStreamChannel(f"{name}.arb_to_opl")
+        opl_to_oq = AxiStreamChannel(f"{name}.opl_to_oq")
+
+        self.arbiter = self.submodule(
+            InputArbiter(f"{name}.arbiter", [self.rx[p] for p in self.ports], arb_to_opl)
+        )
+        self.opl = self.submodule(opl_factory(f"{name}.opl", arb_to_opl, opl_to_oq))
+        self.oq = self.submodule(
+            OutputQueues(
+                f"{name}.oq",
+                opl_to_oq,
+                [(p.bit, self.tx[p]) for p in self.ports],
+                config=queue_config,
+                classify=classify,
+            )
+        )
+        self.stats = self.submodule(
+            StatsCollector(
+                f"{name}.stats",
+                [(f"rx_{p}", self.rx[p]) for p in self.ports]
+                + [(f"tx_{p}", self.tx[p]) for p in self.ports],
+            )
+        )
+
+        # Control plane: the project's register address map.
+        self.interconnect = AxiLiteInterconnect(f"{name}.axil")
+        opl_regs = getattr(self.opl, "registers", None)
+        if opl_regs is not None:
+            self.interconnect.attach(OPL_REG_BASE, PROJECT_REG_SIZE, opl_regs)
+        self.interconnect.attach(STATS_REG_BASE, PROJECT_REG_SIZE, self.stats.registers)
+
+    # ------------------------------------------------------------------
+    # Convenience lookups
+    # ------------------------------------------------------------------
+    def phys(self, index: int) -> PortRef:
+        return PortRef("phys", index)
+
+    def dma(self, index: int) -> PortRef:
+        return PortRef("dma", index)
+
+    # ------------------------------------------------------------------
+    # Behavioural ("hw mode") forwarding — same decision logic, no kernel
+    # ------------------------------------------------------------------
+    def forward_behavioural(
+        self, frame: bytes, src: PortRef
+    ) -> list[tuple[PortRef, bytes]]:
+        """One-shot forwarding using the OPL's decide() directly.
+
+        This is the fast path the unified test environment's ``hw`` mode
+        and the large benchmark sweeps use; experiment E11 checks it
+        agrees packet-for-packet with the cycle kernel.
+        """
+        tuser = SUME_TUSER.pack(len=len(frame), src_port=src.bit)
+        decision = self.opl.decide(frame[:64], tuser)
+        self.opl.bump(decision.note)
+        self.opl.packets += 1
+        if decision.drop:
+            self.opl.drops += 1
+            return []
+        data = bytearray(frame)
+        for offset, replacement in decision.rewrites.items():
+            data[offset : offset + len(replacement)] = replacement
+        dst_bits = SUME_TUSER.extract(decision.tuser, "dst_port")
+        out = []
+        for port in self.ports:
+            if dst_bits & port.bit:
+                out.append((port, bytes(data)))
+        return out

@@ -1,0 +1,47 @@
+"""BlueSwitch: provably consistent switch configuration (reference [2]).
+
+Han et al.'s BlueSwitch (ANCS 2015) is a NetFPGA-hosted OpenFlow switch
+whose headline property is *atomic* multi-table configuration update:
+every packet is processed entirely by the old configuration or entirely
+by the new one, never a mixture.  The mechanism is double-buffered flow
+tables plus per-packet version tagging at ingress — reproduced here
+bit-for-bit in behaviour:
+
+* :mod:`flow_table` — match/action types and the double-banked TCAM table;
+* :mod:`pipeline` — the multi-table match pipeline with version tagging;
+* :mod:`consistent_update` — naive vs. atomic updaters and the
+  cycle-stepped experiment (E6) that counts misforwarded packets.
+"""
+
+from repro.projects.blueswitch.flow_table import (
+    ActionDrop,
+    ActionGoto,
+    ActionOutput,
+    FlowEntry,
+    FlowMatch,
+    FlowTable,
+    FLOW_KEY,
+    flow_key_of,
+)
+from repro.projects.blueswitch.pipeline import BlueSwitchPipeline, PipelineResult
+from repro.projects.blueswitch.consistent_update import (
+    UpdateReport,
+    UpdateWrite,
+    run_update_experiment,
+)
+
+__all__ = [
+    "ActionDrop",
+    "ActionGoto",
+    "ActionOutput",
+    "FlowEntry",
+    "FlowMatch",
+    "FlowTable",
+    "FLOW_KEY",
+    "flow_key_of",
+    "BlueSwitchPipeline",
+    "PipelineResult",
+    "UpdateReport",
+    "UpdateWrite",
+    "run_update_experiment",
+]

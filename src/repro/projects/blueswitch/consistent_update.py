@@ -1,0 +1,242 @@
+"""Naive vs. atomic configuration update — the BlueSwitch experiment (E6).
+
+A cycle-stepped model of a store-and-forward pipeline under
+reconfiguration:
+
+* Packets enter one per ``arrival_gap`` cycles; a packet tagged at cycle
+  *t* performs its table-*k* lookup at cycle ``t + k * stage_cycles``.
+* A **naive** updater applies ``writes_per_cycle`` in-place writes per
+  cycle to the live tables, starting at ``update_start``.  A packet in
+  flight across the update window can match old state in one table and
+  new state in the next.
+* The **consistent** (BlueSwitch) updater stages the same writes in the
+  shadow banks (invisible), then flips the version in a single cycle;
+  packets keep the bank their ingress tag names.
+
+Every packet's actual output is compared against its output under the
+pure-old and pure-new configurations.  ``misforwarded`` counts packets
+whose output matches *neither* — the quantity BlueSwitch drives to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.projects.blueswitch.flow_table import FlowEntry
+from repro.projects.blueswitch.pipeline import BlueSwitchPipeline
+
+
+@dataclass(frozen=True)
+class UpdateWrite:
+    """One table write of an update plan."""
+
+    table_id: int
+    slot: int
+    entry: Optional[FlowEntry]  # None clears the slot
+
+
+@dataclass
+class UpdateReport:
+    """Outcome of one update experiment."""
+
+    mode: str
+    packets: int = 0
+    old_consistent: int = 0
+    new_consistent: int = 0
+    ambiguous: int = 0  # same output under both configs
+    misforwarded: int = 0
+    update_cycles: int = 0
+    details: list[tuple[int, int, int, int]] = field(default_factory=list)
+    # details rows: (packet idx, actual, old, new) output bit masks
+
+    @property
+    def misforward_rate(self) -> float:
+        return self.misforwarded / self.packets if self.packets else 0.0
+
+
+def _outputs_under(pipeline: BlueSwitchPipeline, traffic, version: int) -> list[int]:
+    """Classify the whole stream against one frozen configuration."""
+    outs = []
+    for frame, in_port in traffic:
+        result = pipeline.classify(frame, in_port, version=version)
+        outs.append(0 if result.dropped else result.output_bits)
+    return outs
+
+
+def run_update_experiment(
+    pipeline: BlueSwitchPipeline,
+    plan: list[UpdateWrite],
+    traffic: list[tuple[bytes, int]],
+    mode: str = "naive",
+    stage_cycles: int = 4,
+    arrival_gap: int = 1,
+    update_start: int = 0,
+    writes_per_cycle: int = 1,
+) -> UpdateReport:
+    """Run one reconfiguration under load and audit every packet.
+
+    The pipeline's *current active bank* is the old configuration; the
+    plan applied on top of it is the new one.  The pipeline is left in
+    the new configuration afterwards.
+    """
+    if mode not in ("naive", "consistent"):
+        raise ValueError("mode must be 'naive' or 'consistent'")
+    if not traffic:
+        raise ValueError("need traffic to measure")
+
+    old_version = pipeline.active_version
+    new_version = pipeline.shadow_version
+
+    # Build the full new configuration in the shadow bank (both modes
+    # need it: the consistent updater to flip to, the audit to compare
+    # against).
+    pipeline.sync_shadow()
+    for write in plan:
+        pipeline.write_shadow(write.table_id, write.slot, write.entry)
+
+    old_outputs = _outputs_under(pipeline, traffic, old_version)
+    new_outputs = _outputs_under(pipeline, traffic, new_version)
+
+    num_tables = len(pipeline.tables)
+    report = UpdateReport(mode=mode, packets=len(traffic))
+
+    # --- cycle-stepped run -------------------------------------------
+    # Lookup schedule: packet i is tagged at cycle i*arrival_gap and
+    # visits table k at tag_cycle + k*stage_cycles.  We replay lookups
+    # in global time order, interleaving the updater's writes.
+    if mode == "naive":
+        # The naive switch has one live bank: apply writes to the OLD
+        # (active) bank over time; packets always read the active bank.
+        writes = list(plan)
+        total_cycles = (
+            len(traffic) * arrival_gap
+            + num_tables * stage_cycles
+            + update_start
+            + (len(writes) + writes_per_cycle - 1) // writes_per_cycle
+        )
+        report.update_cycles = (len(writes) + writes_per_cycle - 1) // writes_per_cycle
+
+        # Precompute, for each packet and table, the lookup cycle.
+        actual_outputs: list[int] = []
+        for i, (frame, in_port) in enumerate(traffic):
+            tag_cycle = i * arrival_gap
+            # Determine, table by table, the table state at lookup time:
+            # writes with (write index // writes_per_cycle) + update_start
+            # <= lookup_cycle have landed.  We emulate by temporarily
+            # applying the prefix of writes, classifying table-by-table.
+            output = _classify_timed_naive(
+                pipeline,
+                frame,
+                in_port,
+                old_version,
+                tag_cycle,
+                stage_cycles,
+                writes,
+                update_start,
+                writes_per_cycle,
+            )
+            actual_outputs.append(output)
+        # Leave the switch fully updated: flip to the new bank (it holds
+        # the complete new configuration) for state cleanliness.
+        pipeline.commit()
+    else:
+        # Consistent: shadow already holds the new config; the flip
+        # happens at update_start.  A packet tagged before the flip uses
+        # the old bank for its whole walk; tagged at/after uses the new.
+        report.update_cycles = 1
+        actual_outputs = []
+        for i, (frame, in_port) in enumerate(traffic):
+            tag_cycle = i * arrival_gap
+            version = old_version if tag_cycle < update_start else new_version
+            result = pipeline.classify(frame, in_port, version=version)
+            actual_outputs.append(0 if result.dropped else result.output_bits)
+        pipeline.commit()
+
+    # --- audit ---------------------------------------------------------
+    for i, actual in enumerate(actual_outputs):
+        old, new = old_outputs[i], new_outputs[i]
+        if old == new:
+            if actual == old:
+                report.ambiguous += 1
+            else:
+                report.misforwarded += 1
+                report.details.append((i, actual, old, new))
+        elif actual == old:
+            report.old_consistent += 1
+        elif actual == new:
+            report.new_consistent += 1
+        else:
+            report.misforwarded += 1
+            report.details.append((i, actual, old, new))
+    return report
+
+
+def _classify_timed_naive(
+    pipeline: BlueSwitchPipeline,
+    frame: bytes,
+    in_port: int,
+    bank: int,
+    tag_cycle: int,
+    stage_cycles: int,
+    writes: list[UpdateWrite],
+    update_start: int,
+    writes_per_cycle: int,
+) -> int:
+    """Classify one packet while the active bank mutates under it.
+
+    For each table the packet visits, exactly the writes that landed by
+    that table's lookup cycle are visible.  Implemented by applying
+    write prefixes to the bank around each per-table lookup, then
+    restoring — semantically identical to a time-ordered interleaving
+    and much simpler than a full event queue.
+    """
+    from repro.projects.blueswitch.flow_table import ActionDrop, ActionGoto, ActionOutput
+    from repro.projects.blueswitch.flow_table import flow_key_of
+
+    # Snapshot the bank so we can restore after temporary mutations.
+    snapshots = [
+        (table.banks[bank].snapshot(), list(table._actions[bank]))
+        for table in pipeline.tables
+    ]
+
+    def writes_landed_by(cycle: int) -> int:
+        if cycle < update_start:
+            return 0
+        return min(len(writes), (cycle - update_start + 1) * writes_per_cycle)
+
+    output_bits = 0
+    dropped = False
+    table_id = 0
+    applied = 0
+    try:
+        while table_id < len(pipeline.tables):
+            lookup_cycle = tag_cycle + table_id * stage_cycles
+            landed = writes_landed_by(lookup_cycle)
+            # Apply any writes that have landed since the last table.
+            while applied < landed:
+                write = writes[applied]
+                pipeline.tables[write.table_id].write(bank, write.slot, write.entry)
+                applied += 1
+            actions = pipeline.tables[table_id].lookup(
+                bank, flow_key_of(frame, in_port)
+            )
+            if actions is None:
+                dropped = True
+                break
+            next_table = None
+            for action in actions:
+                if isinstance(action, ActionOutput):
+                    output_bits |= action.port_bits
+                elif isinstance(action, ActionDrop):
+                    dropped = True
+                elif isinstance(action, ActionGoto):
+                    next_table = action.table_id
+            if next_table is None:
+                break
+            table_id = next_table
+    finally:
+        for table, (tcam_snapshot, action_snapshot) in zip(pipeline.tables, snapshots):
+            table.banks[bank].restore(tcam_snapshot)
+            table._actions[bank] = action_snapshot
+    return 0 if dropped else output_bits

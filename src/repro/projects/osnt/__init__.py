@@ -1,0 +1,34 @@
+"""OSNT: the Open Source Network Tester (Antichi et al., reference [1]).
+
+A NetFPGA-hosted traffic generator and monitor.  The generator replays
+pcap traces (or synthetic specs) per port with precise rate control and
+embeds hardware timestamps; the monitor filters, optionally truncates
+("cuts") and captures traffic with arrival timestamps, from which
+latency and rate statistics fall out.
+
+The kernel-level building blocks (:class:`~repro.cores.timestamp.TimestampCore`,
+:class:`~repro.cores.rate_limiter.RateLimiter`,
+:class:`~repro.cores.packet_cutter.PacketCutter`) model the gateware;
+the classes here are the behavioural instruments used by experiment E5
+and by any test that needs calibrated traffic.
+"""
+
+from repro.projects.osnt.generator import GeneratorConfig, OsntGenerator, STAMP_OFFSET
+from repro.projects.osnt.monitor import FilterRule, MonitorStats, OsntMonitor
+from repro.projects.osnt.gateware import (
+    OsntGeneratorPath,
+    OsntMonitorPath,
+    OsntProject,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "OsntGenerator",
+    "STAMP_OFFSET",
+    "FilterRule",
+    "MonitorStats",
+    "OsntMonitor",
+    "OsntGeneratorPath",
+    "OsntMonitorPath",
+    "OsntProject",
+]

@@ -1,0 +1,134 @@
+"""OSNT traffic monitor.
+
+Attaches to a MAC's receive side and, per arriving frame: applies the
+configured 5-tuple filters, records an arrival timestamp, optionally
+cuts the frame to a snap length, accumulates statistics, and stores a
+:class:`~repro.packet.pcap.PcapRecord` for export.  If frames carry the
+generator's embedded stamp, per-packet latency and loss (sequence gaps)
+are computed — OSNT's measurement workflow end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.board.mac import EthernetMacModel
+from repro.cores.header_parser import parse_headers
+from repro.packet.pcap import PcapRecord
+from repro.projects.osnt.generator import STAMP_OFFSET, STAMP_SIZE
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    """A 5-tuple filter; ``None`` fields are wildcards."""
+
+    ip_src: Optional[int] = None
+    ip_dst: Optional[int] = None
+    ip_proto: Optional[int] = None
+    l4_src: Optional[int] = None
+    l4_dst: Optional[int] = None
+
+    def matches(self, data: bytes) -> bool:
+        parsed = parse_headers(data[:64])
+        if not parsed.is_ipv4:
+            # Non-IP traffic only matches the all-wildcard rule.
+            return all(
+                f is None
+                for f in (self.ip_src, self.ip_dst, self.ip_proto, self.l4_src, self.l4_dst)
+            )
+        checks = (
+            (self.ip_src, parsed.ip_src.value if parsed.ip_src else None),
+            (self.ip_dst, parsed.ip_dst.value if parsed.ip_dst else None),
+            (self.ip_proto, parsed.ip_proto),
+            (self.l4_src, parsed.l4_src_port),
+            (self.l4_dst, parsed.l4_dst_port),
+        )
+        return all(want is None or want == have for want, have in checks)
+
+
+@dataclass
+class MonitorStats:
+    frames: int = 0
+    bytes: int = 0
+    filtered_out: int = 0
+    truncated: int = 0
+    stamped_frames: int = 0
+    lost: int = 0  # sequence gaps seen
+
+
+class OsntMonitor:
+    """One capture port: filter → timestamp → cut → record."""
+
+    def __init__(
+        self,
+        mac: EthernetMacModel,
+        rules: Optional[list[FilterRule]] = None,
+        snap_bytes: Optional[int] = None,
+    ):
+        self.mac = mac
+        self.rules = rules  # None = capture everything
+        self.snap_bytes = snap_bytes
+        self.stats = MonitorStats()
+        self.records: list[PcapRecord] = []
+        self.latencies_ns: list[float] = []
+        self._next_seq: Optional[int] = None
+        mac.rx_callback = self._on_frame
+
+    # ------------------------------------------------------------------
+    def _passes(self, data: bytes) -> bool:
+        if self.rules is None:
+            return True
+        return any(rule.matches(data) for rule in self.rules)
+
+    def _extract_stamp(self, data: bytes, arrival_ns: float) -> None:
+        if len(data) < STAMP_OFFSET + STAMP_SIZE:
+            return
+        seq = int.from_bytes(data[STAMP_OFFSET : STAMP_OFFSET + 4], "little")
+        t_ns = int.from_bytes(
+            data[STAMP_OFFSET + 4 : STAMP_OFFSET + STAMP_SIZE], "little"
+        )
+        if t_ns > arrival_ns:
+            return  # implausible: not a stamp we wrote
+        self.stats.stamped_frames += 1
+        self.latencies_ns.append(arrival_ns - t_ns)
+        if self._next_seq is not None and seq > self._next_seq:
+            self.stats.lost += seq - self._next_seq
+        self._next_seq = seq + 1
+
+    def _on_frame(self, data: bytes, arrival_ns: float) -> None:
+        if not self._passes(data):
+            self.stats.filtered_out += 1
+            return
+        self.stats.frames += 1
+        self.stats.bytes += len(data)
+        self._extract_stamp(data, arrival_ns)
+        stored = data
+        if self.snap_bytes is not None and len(data) > self.snap_bytes:
+            stored = data[: self.snap_bytes]
+            self.stats.truncated += 1
+        self.records.append(
+            PcapRecord(timestamp_ns=int(arrival_ns), data=stored, orig_len=len(data))
+        )
+
+    # ------------------------------------------------------------------
+    def mean_rate_bps(self) -> float:
+        """Mean captured payload rate between first and last arrival."""
+        if len(self.records) < 2:
+            return 0.0
+        span_ns = self.records[-1].timestamp_ns - self.records[0].timestamp_ns
+        if span_ns <= 0:
+            return 0.0
+        payload_bits = sum(r.original_length * 8 for r in self.records[:-1])
+        return payload_bits / (span_ns * 1e-9)
+
+    def latency_summary(self) -> dict[str, float]:
+        if not self.latencies_ns:
+            return {"count": 0.0, "min": 0.0, "mean": 0.0, "max": 0.0}
+        lat = self.latencies_ns
+        return {
+            "count": float(len(lat)),
+            "min": min(lat),
+            "mean": sum(lat) / len(lat),
+            "max": max(lat),
+        }

@@ -1,0 +1,33 @@
+"""Reference NIC project.
+
+The simplest reference design (§3): four 10G ports wired straight to the
+four host DMA queues.  Hardware does no forwarding decisions beyond the
+fixed port↔queue mapping, so the project is dominated by infrastructure —
+which makes it the utilization baseline in experiment E4.
+
+The software half (driver, rings) lives in :mod:`repro.host.driver`;
+:meth:`ReferenceNic.attach_dma` bridges a board DMA engine into the
+pipeline's DMA-side ports for full host-to-wire simulations.
+"""
+
+from __future__ import annotations
+
+from repro.core.axis import AxiStreamChannel
+from repro.cores.lookups import NicLookup
+from repro.cores.output_port_lookup import OutputPortLookup
+from repro.cores.output_queues import QueueConfig
+from repro.projects.base import ReferencePipeline
+
+
+class ReferenceNic(ReferencePipeline):
+    """The reference NIC: phys *i* ↔ DMA queue *i*."""
+
+    DESCRIPTION = "Reference NIC: 4x10G ports bridged to host DMA queues"
+
+    def __init__(self, name: str = "reference_nic"):
+        def make_opl(
+            opl_name: str, s: AxiStreamChannel, m: AxiStreamChannel
+        ) -> OutputPortLookup:
+            return NicLookup(opl_name, s, m)
+
+        super().__init__(name, make_opl, QueueConfig(capacity_bytes=64 * 1024))

@@ -1,0 +1,58 @@
+"""Reference IPv4 router project.
+
+The flagship reference design: hardware LPM forwarding with a software
+slow path.  The hardware half is :class:`~repro.cores.router_lookup.RouterLookup`
+inside the standard pipeline; the software half (ARP resolution, ICMP
+generation, routing-table management) is
+:class:`repro.host.router_manager.RouterManager`, which talks to the
+same :class:`~repro.cores.router_lookup.RouterTables` the hardware reads
+— mirroring how the real project shares tables between the Verilog and
+the management application through registers.
+"""
+
+from __future__ import annotations
+
+from repro.core.axis import AxiStreamChannel
+from repro.cores.lpm import LpmEntry
+from repro.cores.output_port_lookup import OutputPortLookup
+from repro.cores.output_queues import QueueConfig
+from repro.cores.router_lookup import RouterLookup, RouterTables
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.projects.base import ReferencePipeline
+
+
+def default_router_tables() -> RouterTables:
+    """The demo topology used by docs, tests and the quickstart example.
+
+    Port *i* is interface 10.0.*i*.1/24 with MAC 02:53:55:4d:45:0*i*
+    (the ASCII of "SUME" in the OUI bytes, a NetFPGA in-joke).
+    """
+    macs = [MacAddr(0x02_53_55_4D_45_00 + i) for i in range(4)]
+    ips = [Ipv4Addr.parse(f"10.0.{i}.1") for i in range(4)]
+    tables = RouterTables(macs, ips)
+    for i in range(4):
+        tables.add_route(
+            LpmEntry(
+                prefix=Ipv4Addr.parse(f"10.0.{i}.0"),
+                prefix_len=24,
+                next_hop=Ipv4Addr(0),  # directly connected
+                port_bits=1 << (2 * i),
+            )
+        )
+    return tables
+
+
+class ReferenceRouter(ReferencePipeline):
+    """IPv4 router: LPM + ARP cache in hardware, exceptions to the CPU."""
+
+    DESCRIPTION = "Reference IPv4 router: hardware LPM/ARP, software slow path"
+
+    def __init__(self, name: str = "reference_router", tables: RouterTables | None = None):
+        self.tables = tables if tables is not None else default_router_tables()
+
+        def make_opl(
+            opl_name: str, s: AxiStreamChannel, m: AxiStreamChannel
+        ) -> OutputPortLookup:
+            return RouterLookup(opl_name, s, m, self.tables)
+
+        super().__init__(name, make_opl, QueueConfig(capacity_bytes=256 * 1024))

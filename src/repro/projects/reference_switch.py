@@ -1,0 +1,51 @@
+"""Reference switch projects: the learning switch and switch_lite.
+
+The learning switch is the reference Ethernet switch shipped with every
+NetFPGA release: MAC learning into an exact-match CAM, flooding on miss.
+``switch_lite`` is the table-free variant with a static port crossing —
+the cheapest design that still switches, and the throughput upper bound
+among the reference projects (experiment E3).
+"""
+
+from __future__ import annotations
+
+from repro.core.axis import AxiStreamChannel
+from repro.cores.lookups import LearningSwitchLookup, SwitchLiteLookup
+from repro.cores.output_port_lookup import OutputPortLookup
+from repro.cores.output_queues import QueueConfig
+from repro.projects.base import ReferencePipeline
+
+
+class ReferenceSwitch(ReferencePipeline):
+    """Learning Ethernet switch with a configurable MAC table size."""
+
+    DESCRIPTION = "Reference learning switch: CAM MAC table, flood on miss"
+
+    def __init__(self, name: str = "reference_switch", table_size: int = 512):
+        self.table_size = table_size
+
+        def make_opl(
+            opl_name: str, s: AxiStreamChannel, m: AxiStreamChannel
+        ) -> OutputPortLookup:
+            return LearningSwitchLookup(opl_name, s, m, table_size=table_size)
+
+        super().__init__(name, make_opl, QueueConfig(capacity_bytes=128 * 1024))
+
+    @property
+    def mac_table(self):
+        """The switch's CAM, for software-side inspection."""
+        return self.opl.mac_table  # type: ignore[attr-defined]
+
+
+class ReferenceSwitchLite(ReferencePipeline):
+    """Static port-pair switch: no tables, minimum logic."""
+
+    DESCRIPTION = "Reference switch_lite: static port pairing, no learning"
+
+    def __init__(self, name: str = "reference_switch_lite"):
+        def make_opl(
+            opl_name: str, s: AxiStreamChannel, m: AxiStreamChannel
+        ) -> OutputPortLookup:
+            return SwitchLiteLookup(opl_name, s, m)
+
+        super().__init__(name, make_opl, QueueConfig(capacity_bytes=64 * 1024))

@@ -1,0 +1,37 @@
+"""Soft-core processor subsystem.
+
+§3: "The software portion contains embedded code (for a soft-core
+processor) ...".  This package provides the processor that embedded code
+runs on: a small load/store RISC core (:mod:`isa`, :mod:`cpu`) whose
+data bus is the project's AXI4-Lite interconnect — so firmware reads the
+same statistics registers and writes the same table registers as host
+software, just from inside the FPGA.  :mod:`assembler` turns assembly
+text into images and :mod:`firmware` ships sample programs.
+"""
+
+from repro.soft.assembler import AssemblerError, assemble
+from repro.soft.cpu import SoftCore
+from repro.soft.isa import (
+    Instruction,
+    Opcode,
+    decode,
+    disassemble,
+    disassemble_program,
+    encode,
+)
+from repro.soft.firmware import COUNTER_SUM, MEMTEST, blink_program
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "SoftCore",
+    "Instruction",
+    "Opcode",
+    "decode",
+    "disassemble",
+    "disassemble_program",
+    "encode",
+    "COUNTER_SUM",
+    "MEMTEST",
+    "blink_program",
+]

@@ -1,0 +1,116 @@
+"""Two-pass assembler for the soft core.
+
+Syntax, one instruction per line::
+
+    ; comments with ';' or '#'
+    start:                  ; labels end with ':'
+        movi  r1, 0         ; registers are r0..r15
+        addi  r1, r1, 1
+        blt   r1, r2, start ; branch targets may be labels
+        sw    r1, r0, 0x20  ; immediates accept decimal / hex / labels
+        halt
+
+Branch/JAL label operands are converted to instruction-relative offsets;
+everywhere else a label resolves to its absolute instruction index.
+"""
+
+from __future__ import annotations
+
+from repro.soft.isa import (
+    IMM_MAX,
+    IMM_MIN,
+    Instruction,
+    NUM_REGS,
+    Opcode,
+    SIGNATURES,
+    encode,
+)
+
+
+class AssemblerError(ValueError):
+    """A malformed source line, with its line number."""
+
+
+_RELATIVE_OPS = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.JAL}
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        if marker in line:
+            line = line[: line.index(marker)]
+    return line.strip()
+
+
+def _parse_register(token: str, lineno: int) -> int:
+    token = token.lower()
+    if not token.startswith("r"):
+        raise AssemblerError(f"line {lineno}: expected register, got {token!r}")
+    try:
+        reg = int(token[1:])
+    except ValueError as exc:
+        raise AssemblerError(f"line {lineno}: bad register {token!r}") from exc
+    if not 0 <= reg < NUM_REGS:
+        raise AssemblerError(f"line {lineno}: register {token} out of range")
+    return reg
+
+
+def _parse_imm(token: str, labels: dict[str, int], pc: int, op: Opcode, lineno: int) -> int:
+    if token in labels:
+        target = labels[token]
+        value = target - (pc + 1) if op in _RELATIVE_OPS else target
+    else:
+        try:
+            value = int(token, 0)
+        except ValueError as exc:
+            raise AssemblerError(
+                f"line {lineno}: bad immediate or unknown label {token!r}"
+            ) from exc
+    if not IMM_MIN <= value <= IMM_MAX:
+        raise AssemblerError(f"line {lineno}: immediate {value} does not fit")
+    return value
+
+
+def assemble(source: str) -> list[int]:
+    """Assemble ``source`` into a list of instruction words."""
+    # Pass 1: strip, collect labels, keep (lineno, mnemonic, operands).
+    program: list[tuple[int, str, list[str]]] = []
+    labels: dict[str, int] = {}
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(program)
+            line = rest.strip()
+        if not line:
+            continue
+        parts = line.replace(",", " ").split()
+        program.append((lineno, parts[0].lower(), parts[1:]))
+
+    # Pass 2: encode.
+    words: list[int] = []
+    for pc, (lineno, mnemonic, operands) in enumerate(program):
+        try:
+            op = Opcode[mnemonic.upper()]
+        except KeyError as exc:
+            raise AssemblerError(f"line {lineno}: unknown mnemonic {mnemonic!r}") from exc
+        signature = SIGNATURES[op]
+        if len(operands) != len(signature):
+            raise AssemblerError(
+                f"line {lineno}: {mnemonic} takes {len(signature)} operands "
+                f"({', '.join(signature)}), got {len(operands)}"
+            )
+        fields: dict[str, int] = {}
+        for field, token in zip(signature, operands):
+            if field == "imm":
+                fields[field] = _parse_imm(token, labels, pc, op, lineno)
+            else:
+                fields[field] = _parse_register(token, lineno)
+        words.append(encode(Instruction(op=op, **fields)))
+    return words

@@ -1,0 +1,156 @@
+"""The soft core itself.
+
+Loads and stores go over an :class:`~repro.core.axilite.AxiLiteInterconnect`
+— the same bus, same address map, as host MMIO — plus a private scratch
+RAM window.  One instruction retires per :meth:`step` call; the core is
+deliberately unpipelined (management firmware is not the datapath).
+"""
+
+from __future__ import annotations
+
+from repro.core.axilite import AxiLiteError, AxiLiteInterconnect
+from repro.core.module import Resources
+from repro.soft.isa import NUM_REGS, Opcode, decode
+
+WORD = 0xFFFFFFFF
+
+#: Scratch RAM: a 4 KiB window high in the address space, kept out of the
+#: way of project register windows.
+SCRATCH_BASE = 0xFFFF_0000
+SCRATCH_SIZE = 0x1000
+
+
+class CpuFault(RuntimeError):
+    """An illegal access or instruction; carries the faulting pc."""
+
+
+class SoftCore:
+    """A 16-register RISC core on the project's control bus."""
+
+    def __init__(self, bus: AxiLiteInterconnect, program: list[int] | None = None):
+        self.bus = bus
+        self.imem: list[int] = list(program) if program else []
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.halted = False
+        self.cycles = 0
+        self.faults: list[str] = []
+        self._scratch = bytearray(SCRATCH_SIZE)
+
+    def load_program(self, words: list[int]) -> None:
+        self.imem = list(words)
+        self.reset()
+
+    def reset(self) -> None:
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.halted = False
+        self.cycles = 0
+
+    # ------------------------------------------------------------------
+    # Bus access with the scratch window overlaid
+    # ------------------------------------------------------------------
+    def _load(self, addr: int) -> int:
+        addr &= WORD
+        if SCRATCH_BASE <= addr < SCRATCH_BASE + SCRATCH_SIZE:
+            offset = addr - SCRATCH_BASE
+            return int.from_bytes(self._scratch[offset : offset + 4], "little")
+        return self.bus.read(addr)
+
+    def _store(self, addr: int, value: int) -> None:
+        addr &= WORD
+        if SCRATCH_BASE <= addr < SCRATCH_BASE + SCRATCH_SIZE:
+            offset = addr - SCRATCH_BASE
+            self._scratch[offset : offset + 4] = (value & WORD).to_bytes(4, "little")
+            return
+        self.bus.write(addr, value)
+
+    # ------------------------------------------------------------------
+    def step(self, max_instructions: int = 1) -> int:
+        """Execute up to ``max_instructions``; returns how many retired."""
+        retired = 0
+        while retired < max_instructions and not self.halted:
+            self._step_one()
+            retired += 1
+        return retired
+
+    def run(self, max_instructions: int = 100_000) -> int:
+        """Run until HALT; raises :class:`CpuFault` on runaway firmware."""
+        retired = self.step(max_instructions)
+        if not self.halted:
+            raise CpuFault(
+                f"firmware did not halt within {max_instructions} instructions "
+                f"(pc={self.pc})"
+            )
+        return retired
+
+    def _step_one(self) -> None:
+        if not 0 <= self.pc < len(self.imem):
+            self.halted = True
+            self.faults.append(f"pc {self.pc} outside program")
+            return
+        instr = decode(self.imem[self.pc])
+        self.cycles += 1
+        regs = self.regs
+        next_pc = self.pc + 1
+        op = instr.op
+        if op is Opcode.HALT:
+            self.halted = True
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.MOVI:
+            regs[instr.rd] = instr.imm & WORD
+        elif op is Opcode.LUI:
+            regs[instr.rd] = ((instr.imm & WORD) << 18 | (regs[instr.rd] & 0x3FFFF)) & WORD
+        elif op is Opcode.ADD:
+            regs[instr.rd] = (regs[instr.rs1] + regs[instr.rs2]) & WORD
+        elif op is Opcode.SUB:
+            regs[instr.rd] = (regs[instr.rs1] - regs[instr.rs2]) & WORD
+        elif op is Opcode.AND:
+            regs[instr.rd] = regs[instr.rs1] & regs[instr.rs2]
+        elif op is Opcode.OR:
+            regs[instr.rd] = regs[instr.rs1] | regs[instr.rs2]
+        elif op is Opcode.XOR:
+            regs[instr.rd] = regs[instr.rs1] ^ regs[instr.rs2]
+        elif op is Opcode.ADDI:
+            regs[instr.rd] = (regs[instr.rs1] + instr.imm) & WORD
+        elif op is Opcode.SHL:
+            regs[instr.rd] = (regs[instr.rs1] << (instr.imm & 31)) & WORD
+        elif op is Opcode.SHR:
+            regs[instr.rd] = (regs[instr.rs1] & WORD) >> (instr.imm & 31)
+        elif op is Opcode.LW:
+            addr = (regs[instr.rs1] + instr.imm) & WORD
+            try:
+                regs[instr.rd] = self._load(addr)
+            except AxiLiteError as exc:
+                self.halted = True
+                self.faults.append(f"load fault at pc {self.pc}: {exc}")
+        elif op is Opcode.SW:
+            addr = (regs[instr.rs1] + instr.imm) & WORD
+            try:
+                self._store(addr, regs[instr.rs2])
+            except AxiLiteError as exc:
+                self.halted = True
+                self.faults.append(f"store fault at pc {self.pc}: {exc}")
+        elif op is Opcode.BEQ:
+            if regs[instr.rs1] == regs[instr.rs2]:
+                next_pc = self.pc + 1 + instr.imm
+        elif op is Opcode.BNE:
+            if regs[instr.rs1] != regs[instr.rs2]:
+                next_pc = self.pc + 1 + instr.imm
+        elif op is Opcode.BLT:
+            lhs = regs[instr.rs1] - (1 << 32) if regs[instr.rs1] >> 31 else regs[instr.rs1]
+            rhs = regs[instr.rs2] - (1 << 32) if regs[instr.rs2] >> 31 else regs[instr.rs2]
+            if lhs < rhs:
+                next_pc = self.pc + 1 + instr.imm
+        elif op is Opcode.JAL:
+            regs[instr.rd] = self.pc + 1
+            next_pc = self.pc + 1 + instr.imm
+        elif op is Opcode.JR:
+            next_pc = regs[instr.rs1]
+        regs[0] = 0  # r0 is hardwired zero, RISC style
+        self.pc = next_pc
+
+    def resources(self) -> Resources:
+        """A MicroBlaze-class footprint."""
+        return Resources(luts=1_900, ffs=1_500, brams=4.0, dsps=3)

@@ -1,0 +1,94 @@
+"""Sample firmware: the "embedded code" of a reference project.
+
+Programs are assembly source strings; :func:`repro.soft.assembler.assemble`
+turns them into images.  Addresses reference the standard project map
+(:mod:`repro.projects.base`): the stats block lives at ``0x10000`` with
+``{port}_packets`` registers at stride 8.
+
+Wide constants are built with the ``movi``/``shl``/``or`` idiom because
+immediates are 14-bit: e.g. scratch base 0xFFFF0000 is
+``(-1 << 18) | (3 << 16)``.
+"""
+
+from __future__ import annotations
+
+#: Sums the rx packet counters of the 8 rx ports (stats regs at
+#: 0x10000 + i*8) into r5, stores the total at scratch[0], halts.
+COUNTER_SUM = """
+    ; r1 = stats base (0x10000 = 4 << 14)
+    movi  r1, 4
+    shl   r1, r1, 14
+    movi  r2, 0        ; port index
+    movi  r3, 8        ; port count
+    movi  r5, 0        ; running total
+loop:
+    lw    r4, r1, 0    ; rx_<port>_packets
+    add   r5, r5, r4
+    addi  r1, r1, 8    ; next port's packet counter
+    addi  r2, r2, 1
+    bne   r2, r3, loop
+    ; store total to scratch[0] (0xFFFF0000 = (-1 << 18) | (3 << 16))
+    movi  r6, -1
+    shl   r6, r6, 18
+    movi  r7, 3
+    shl   r7, r7, 16
+    or    r6, r6, r7
+    sw    r5, r6, 0
+    halt
+"""
+
+#: Writes an incrementing pattern into scratch then verifies it,
+#: leaving 1 in r10 on success, 0 on mismatch.
+MEMTEST = """
+    movi  r6, -1
+    shl   r6, r6, 18
+    movi  r7, 3
+    shl   r7, r7, 16
+    or    r6, r6, r7   ; r6 = scratch base 0xFFFF0000
+    movi  r1, 0        ; index
+    movi  r2, 64       ; words
+write:
+    sw    r1, r6, 0
+    addi  r6, r6, 4
+    addi  r1, r1, 1
+    bne   r1, r2, write
+    ; rewind and verify
+    movi  r1, 0
+    movi  r3, 256      ; 64 words * 4 bytes
+    sub   r6, r6, r3
+check:
+    lw    r4, r6, 0
+    bne   r4, r1, fail
+    addi  r6, r6, 4
+    addi  r1, r1, 1
+    bne   r1, r2, check
+    movi  r10, 1
+    halt
+fail:
+    movi  r10, 0
+    halt
+"""
+
+
+def blink_program(led_register_addr: int, blinks: int) -> str:
+    """Generate a program toggling an LED register ``blinks`` times.
+
+    The classic first NetFPGA exercise.  ``led_register_addr`` must fit
+    in 13 bits (projects map a GPIO register low for exactly this).
+    """
+    if not 0 <= led_register_addr < (1 << 13):
+        raise ValueError("LED register must sit in the low 8 KiB for imm14")
+    if blinks <= 0 or blinks > 8000:
+        raise ValueError("blinks must be in 1..8000 (imm14 counter)")
+    return f"""
+        movi  r1, 0          ; LED state
+        movi  r2, 0          ; blink counter
+        movi  r3, {blinks}
+        movi  r4, 1          ; toggle mask
+    blink:
+        xor   r1, r1, r4
+        sw    r1, r0, {led_register_addr}
+        addi  r2, r2, 1
+        bne   r2, r3, blink
+        halt
+    """

@@ -1,0 +1,135 @@
+"""The soft core's instruction set.
+
+A 16-register, 32-bit load/store machine, small enough to audit and
+sufficient for management firmware.  Encoding (32-bit word)::
+
+    [31:26] opcode   [25:22] rd   [21:18] rs1   [17:14] rs2   [13:0] imm14
+
+``imm14`` is sign-extended for arithmetic/branches and zero-extended for
+shifts.  Branch offsets are in *instructions*, relative to the next pc.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.bitfield import mask
+
+NUM_REGS = 16
+IMM_BITS = 14
+IMM_MIN = -(1 << (IMM_BITS - 1))
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+
+
+class Opcode(enum.IntEnum):
+    NOP = 0
+    HALT = 1
+    MOVI = 2  # rd = imm (sign-extended)
+    LUI = 3  # rd = (rd & 0xFFFF) | (imm << 18) — builds wide constants
+    ADD = 4  # rd = rs1 + rs2
+    SUB = 5
+    AND = 6
+    OR = 7
+    XOR = 8
+    ADDI = 9  # rd = rs1 + imm
+    SHL = 10  # rd = rs1 << imm
+    SHR = 11  # rd = rs1 >> imm (logical)
+    LW = 12  # rd = bus[rs1 + imm]
+    SW = 13  # bus[rs1 + imm] = rs2
+    BEQ = 14  # if rs1 == rs2: pc += imm
+    BNE = 15
+    BLT = 16  # signed less-than
+    JAL = 17  # rd = pc + 1; pc += imm
+    JR = 18  # pc = rs1
+
+
+#: Which fields each opcode uses — the assembler and disassembler share it.
+SIGNATURES: dict[Opcode, tuple[str, ...]] = {
+    Opcode.NOP: (),
+    Opcode.HALT: (),
+    Opcode.MOVI: ("rd", "imm"),
+    Opcode.LUI: ("rd", "imm"),
+    Opcode.ADD: ("rd", "rs1", "rs2"),
+    Opcode.SUB: ("rd", "rs1", "rs2"),
+    Opcode.AND: ("rd", "rs1", "rs2"),
+    Opcode.OR: ("rd", "rs1", "rs2"),
+    Opcode.XOR: ("rd", "rs1", "rs2"),
+    Opcode.ADDI: ("rd", "rs1", "imm"),
+    Opcode.SHL: ("rd", "rs1", "imm"),
+    Opcode.SHR: ("rd", "rs1", "imm"),
+    Opcode.LW: ("rd", "rs1", "imm"),
+    Opcode.SW: ("rs2", "rs1", "imm"),
+    Opcode.BEQ: ("rs1", "rs2", "imm"),
+    Opcode.BNE: ("rs1", "rs2", "imm"),
+    Opcode.BLT: ("rs1", "rs2", "imm"),
+    Opcode.JAL: ("rd", "imm"),
+    Opcode.JR: ("rs1",),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    op: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for reg in (self.rd, self.rs1, self.rs2):
+            if not 0 <= reg < NUM_REGS:
+                raise ValueError(f"register r{reg} out of range")
+        if not IMM_MIN <= self.imm <= IMM_MAX:
+            raise ValueError(f"immediate {self.imm} outside [{IMM_MIN},{IMM_MAX}]")
+
+
+def encode(instr: Instruction) -> int:
+    imm = instr.imm & mask(IMM_BITS)
+    return (
+        (int(instr.op) << 26)
+        | (instr.rd << 22)
+        | (instr.rs1 << 18)
+        | (instr.rs2 << 14)
+        | imm
+    )
+
+
+def disassemble(word: int) -> str:
+    """Render one instruction word as assembly text.
+
+    The output re-assembles to the same word (tested), which makes this
+    the debugger's view of firmware images.
+    """
+    instr = decode(word)
+    operands = []
+    for field in SIGNATURES[instr.op]:
+        if field == "imm":
+            operands.append(str(instr.imm))
+        else:
+            operands.append(f"r{getattr(instr, field)}")
+    name = instr.op.name.lower()
+    return f"{name} {', '.join(operands)}" if operands else name
+
+
+def disassemble_program(words: list[int]) -> list[str]:
+    """Disassemble a whole image, one line per instruction."""
+    return [f"{pc:4d}: {disassemble(word)}" for pc, word in enumerate(words)]
+
+
+def decode(word: int) -> Instruction:
+    opcode_value = (word >> 26) & mask(6)
+    try:
+        op = Opcode(opcode_value)
+    except ValueError as exc:
+        raise ValueError(f"illegal opcode {opcode_value} in {word:#010x}") from exc
+    imm = word & mask(IMM_BITS)
+    if imm >= 1 << (IMM_BITS - 1):
+        imm -= 1 << IMM_BITS
+    return Instruction(
+        op=op,
+        rd=(word >> 22) & mask(4),
+        rs1=(word >> 18) & mask(4),
+        rs2=(word >> 14) & mask(4),
+        imm=imm,
+    )

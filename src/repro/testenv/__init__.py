@@ -1,0 +1,49 @@
+"""The unified test environment (§3, claim C6).
+
+"The test environment provides unified tests for simulation and hardware
+test, allowing simple validation of designs."  In NetFPGA, one test
+description runs both against the Verilog simulator and against the
+physical board.  Here the two targets are:
+
+* ``sim``  — the cycle-driven kernel (:class:`repro.core.Simulator`);
+* ``hw``   — the projects' behavioural fast path
+  (:meth:`~repro.projects.base.ReferencePipeline.forward_behavioural`),
+  standing in for the real device.
+
+:class:`~repro.testenv.harness.NetFpgaTest` is the test description;
+:func:`~repro.testenv.harness.run_test` executes it in either mode with
+identical expectations, and :mod:`~repro.testenv.regress` sweeps the
+standard scenarios across every reference project — the release
+regression suite.
+"""
+
+from repro.testenv.harness import (
+    HarnessResult,
+    NetFpgaTest,
+    Stimulus,
+    run_hw,
+    run_sim,
+    run_test,
+)
+from repro.testenv.regress import RegressionRunner, standard_scenarios
+from repro.testenv.topology import (
+    Attachment,
+    Delivery,
+    Network,
+    TopologyError,
+)
+
+__all__ = [
+    "HarnessResult",
+    "NetFpgaTest",
+    "Stimulus",
+    "run_hw",
+    "run_sim",
+    "run_test",
+    "RegressionRunner",
+    "standard_scenarios",
+    "Attachment",
+    "Delivery",
+    "Network",
+    "TopologyError",
+]

@@ -1,0 +1,216 @@
+"""The harness: one test description, two execution targets.
+
+A :class:`NetFpgaTest` names a project factory, the stimuli to inject
+and the packets expected at each port.  ``run_test(test, mode)`` builds
+a *fresh* project (so sim and hw runs cannot contaminate each other),
+executes, and checks expectations; per-port packet order must match, but
+cross-port interleaving is unspecified (as on real hardware).
+
+An optional ``cpu_handler`` models the software slow path: packets that
+arrive at DMA ports are handed to it and the frames it returns are
+re-injected through the corresponding DMA source, iterating until the
+system quiesces — the router's ARP/ICMP round trips run under both
+modes this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.axis import StreamPacket, StreamSink, StreamSource
+from repro.core.simulator import Simulator
+from repro.projects.base import ALL_PORTS, PortRef, ReferencePipeline
+
+#: cpu_handler(frame, phys_port_index) -> [(phys_port_index, frame), ...]
+CpuHandler = Callable[[bytes, int], list[tuple[int, bytes]]]
+
+#: Safety bound on sim length per round.
+MAX_CYCLES = 200_000
+#: Rounds of CPU reinjection before declaring non-quiescence.
+MAX_CPU_ROUNDS = 8
+
+
+@dataclass(frozen=True)
+class Stimulus:
+    """One injected packet."""
+
+    port: PortRef
+    frame: bytes
+
+
+@dataclass
+class HarnessResult:
+    """Everything a check needs: per-port outputs and run metadata."""
+
+    mode: str
+    outputs: dict[PortRef, list[bytes]]
+    cycles: int = 0
+    cpu_rounds: int = 0
+
+    def at(self, port: PortRef) -> list[bytes]:
+        return self.outputs.get(port, [])
+
+    def total_packets(self) -> int:
+        return sum(len(v) for v in self.outputs.values())
+
+
+@dataclass
+class NetFpgaTest:
+    """A unified test description (the ``.py`` test files of NetFPGA)."""
+
+    name: str
+    project_factory: Callable[[], ReferencePipeline]
+    stimuli: list[Stimulus]
+    expected: dict[PortRef, list[bytes]] = field(default_factory=dict)
+    cpu_handler_factory: Optional[Callable[[ReferencePipeline], CpuHandler]] = None
+    #: Ports with expectations are checked exactly; others must be empty
+    #: unless listed here.
+    ignore_ports: tuple[PortRef, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# sim target
+# ----------------------------------------------------------------------
+def run_sim(
+    project: ReferencePipeline,
+    stimuli: list[Stimulus],
+    cpu_handler: Optional[CpuHandler] = None,
+    egress_pacing: Optional[Callable[[int], bool]] = None,
+) -> HarnessResult:
+    """Execute against the cycle-driven kernel.
+
+    ``egress_pacing(cycle) -> stall?`` throttles the physical-port sinks,
+    modelling the MAC drain rate (e.g. ``lambda c: c % 5 != 0`` ≈ 10G on
+    the 256-bit/200MHz pipeline).  Without it sinks are always ready, so
+    the internal pipeline never congests — fine for functional tests,
+    wrong for queueing experiments.
+    """
+    sim = Simulator()
+    sources = {p: StreamSource(f"tb_src_{p}", project.rx[p]) for p in ALL_PORTS}
+    sinks = {
+        p: StreamSink(
+            f"tb_snk_{p}",
+            project.tx[p],
+            backpressure=egress_pacing if p.kind == "phys" else None,
+        )
+        for p in ALL_PORTS
+    }
+    for module in (*sources.values(), project, *sinks.values()):
+        sim.add(module)
+
+    for stim in stimuli:
+        packet = StreamPacket(stim.frame).with_src_port(stim.port.bit)
+        sources[stim.port].send(packet)
+
+    consumed_dma: dict[PortRef, int] = {p: 0 for p in ALL_PORTS if p.kind == "dma"}
+    cpu_rounds = 0
+
+    def drain() -> None:
+        quiet_streak = 0
+        last_tx_beats = -1
+        for _ in range(MAX_CYCLES):
+            sim.step()
+            tx_beats = sum(project.tx[p].beats_transferred for p in ALL_PORTS)
+            if all(src.idle for src in sources.values()) and tx_beats == last_tx_beats:
+                quiet_streak += 1
+            else:
+                quiet_streak = 0
+            last_tx_beats = tx_beats
+            # Quiescent: sources empty and no egress beat for a window
+            # longer than any pacing gap — queued packets have flushed.
+            if quiet_streak >= 256:
+                return
+        raise RuntimeError(f"simulation did not drain within {MAX_CYCLES} cycles")
+
+    drain()
+    if cpu_handler is not None:
+        for cpu_rounds in range(1, MAX_CPU_ROUNDS + 1):
+            reinjected = 0
+            for port in consumed_dma:
+                fresh = sinks[port].packets[consumed_dma[port] :]
+                consumed_dma[port] = len(sinks[port].packets)
+                for packet in fresh:
+                    for out_port, frame in cpu_handler(packet.data, port.index):
+                        dma_port = PortRef("dma", out_port)
+                        sources[dma_port].send(
+                            StreamPacket(frame).with_src_port(dma_port.bit)
+                        )
+                        reinjected += 1
+            if reinjected == 0:
+                break
+            drain()
+
+    outputs: dict[PortRef, list[bytes]] = {}
+    for port, sink in sinks.items():
+        if port.kind == "dma" and cpu_handler is not None:
+            # DMA arrivals were consumed by the CPU model.
+            outputs[port] = []
+            continue
+        outputs[port] = [packet.data for packet in sink.packets]
+    return HarnessResult("sim", outputs, cycles=sim.cycle, cpu_rounds=cpu_rounds)
+
+
+# ----------------------------------------------------------------------
+# hw target (behavioural fast path)
+# ----------------------------------------------------------------------
+def run_hw(
+    project: ReferencePipeline,
+    stimuli: list[Stimulus],
+    cpu_handler: Optional[CpuHandler] = None,
+) -> HarnessResult:
+    """Execute against the behavioural model — the 'real device' stand-in."""
+    outputs: dict[PortRef, list[bytes]] = {p: [] for p in ALL_PORTS}
+    work: list[tuple[PortRef, bytes]] = [(s.port, s.frame) for s in stimuli]
+    cpu_rounds = 0
+    for round_idx in range(MAX_CPU_ROUNDS + 1):
+        next_work: list[tuple[PortRef, bytes]] = []
+        for port, frame in work:
+            for out_port, out_frame in project.forward_behavioural(frame, port):
+                if out_port.kind == "dma" and cpu_handler is not None:
+                    for egress, reply in cpu_handler(out_frame, out_port.index):
+                        next_work.append((PortRef("dma", egress), reply))
+                else:
+                    outputs[out_port].append(out_frame)
+        if not next_work:
+            break
+        work = next_work
+        cpu_rounds = round_idx + 1
+    else:
+        raise RuntimeError("CPU slow path did not quiesce")
+    return HarnessResult("hw", outputs, cpu_rounds=cpu_rounds)
+
+
+# ----------------------------------------------------------------------
+# unified entry
+# ----------------------------------------------------------------------
+def run_test(test: NetFpgaTest, mode: str) -> HarnessResult:
+    """Run one test in ``'sim'`` or ``'hw'`` mode and check expectations."""
+    if mode not in ("sim", "hw"):
+        raise ValueError("mode must be 'sim' or 'hw'")
+    project = test.project_factory()
+    cpu_handler = (
+        test.cpu_handler_factory(project) if test.cpu_handler_factory else None
+    )
+    runner = run_sim if mode == "sim" else run_hw
+    result = runner(project, test.stimuli, cpu_handler)
+
+    for port in ALL_PORTS:
+        if port in test.ignore_ports:
+            continue
+        got = result.at(port)
+        want = test.expected.get(port, [])
+        if got != want:
+            raise AssertionError(
+                f"[{test.name}/{mode}] port {port}: expected "
+                f"{len(want)} packets, got {len(got)}"
+                + _first_diff(want, got)
+            )
+    return result
+
+
+def _first_diff(want: list[bytes], got: list[bytes]) -> str:
+    for i, (w, g) in enumerate(zip(want, got)):
+        if w != g:
+            return f"; first mismatch at index {i}: want {w[:32].hex()}…, got {g[:32].hex()}…"
+    return ""

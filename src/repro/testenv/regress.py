@@ -1,0 +1,150 @@
+"""The release regression: standard scenarios across every project.
+
+NetFPGA releases run each project's unified tests before shipping; this
+module encodes the equivalent sweep.  :func:`standard_scenarios` builds
+the per-project :class:`~repro.testenv.harness.NetFpgaTest` descriptions
+(forwarding behaviour differs per project, so expectations are computed
+per design), and :class:`RegressionRunner` executes the full matrix in
+both modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.generator import make_udp_frame
+from repro.projects.base import PortRef
+from repro.projects.reference_nic import ReferenceNic
+from repro.projects.reference_router import ReferenceRouter
+from repro.projects.reference_switch import ReferenceSwitch, ReferenceSwitchLite
+from repro.testenv.harness import NetFpgaTest, Stimulus, run_test
+
+
+def _mac(i: int) -> MacAddr:
+    return MacAddr(0x02_00_00_00_00_10 + i)
+
+
+def _frame(src: int, dst: int, size: int = 96) -> bytes:
+    return make_udp_frame(
+        _mac(src),
+        _mac(dst),
+        Ipv4Addr(0x0A00_0000 + src),
+        Ipv4Addr(0x0A00_0000 + dst),
+        size=size,
+    ).pack()
+
+
+def standard_scenarios() -> list[NetFpgaTest]:
+    """One canonical unified test per reference project."""
+    tests: list[NetFpgaTest] = []
+
+    # NIC: wire → host and host → wire on every port pair.
+    nic_stimuli = [Stimulus(PortRef("phys", i), _frame(i, 10 + i)) for i in range(4)]
+    nic_stimuli += [Stimulus(PortRef("dma", i), _frame(10 + i, i)) for i in range(4)]
+    tests.append(
+        NetFpgaTest(
+            name="nic_port_host_bridge",
+            project_factory=ReferenceNic,
+            stimuli=nic_stimuli,
+            expected={
+                **{PortRef("dma", i): [_frame(i, 10 + i)] for i in range(4)},
+                **{PortRef("phys", i): [_frame(10 + i, i)] for i in range(4)},
+            },
+        )
+    )
+
+    # Learning switch: unknown floods, learned unicast follows.
+    flood_frame = _frame(1, 2)
+    reply_frame = _frame(2, 1)
+    tests.append(
+        NetFpgaTest(
+            name="switch_learn_and_forward",
+            project_factory=ReferenceSwitch,
+            stimuli=[
+                Stimulus(PortRef("phys", 0), flood_frame),
+                Stimulus(PortRef("phys", 2), reply_frame),
+            ],
+            expected={
+                PortRef("phys", 0): [reply_frame],
+                PortRef("phys", 1): [flood_frame],
+                PortRef("phys", 2): [flood_frame],
+                PortRef("phys", 3): [flood_frame],
+            },
+        )
+    )
+
+    # switch_lite: static pairs 0↔1, 2↔3.
+    a, b = _frame(3, 4), _frame(4, 3)
+    tests.append(
+        NetFpgaTest(
+            name="switch_lite_static_pairs",
+            project_factory=ReferenceSwitchLite,
+            stimuli=[
+                Stimulus(PortRef("phys", 0), a),
+                Stimulus(PortRef("phys", 3), b),
+            ],
+            expected={
+                PortRef("phys", 1): [a],
+                PortRef("phys", 2): [b],
+            },
+        )
+    )
+
+    # Router: a fully resolved forward between two connected subnets.
+    def router_factory() -> ReferenceRouter:
+        router = ReferenceRouter()
+        # Host 10.0.1.2 lives behind port 1.
+        router.tables.add_arp(Ipv4Addr.parse("10.0.1.2"), _mac(42))
+        return router
+
+    router = router_factory()  # a reference instance to compute expectation
+    in_frame = make_udp_frame(
+        _mac(7),
+        router.tables.port_macs[0],
+        Ipv4Addr.parse("10.0.0.9"),
+        Ipv4Addr.parse("10.0.1.2"),
+        size=96,
+        ttl=9,
+    ).pack()
+    out_frame = (
+        router_factory().forward_behavioural(in_frame, PortRef("phys", 0))[0][1]
+    )
+    tests.append(
+        NetFpgaTest(
+            name="router_forward_connected",
+            project_factory=router_factory,
+            stimuli=[Stimulus(PortRef("phys", 0), in_frame)],
+            expected={PortRef("phys", 1): [out_frame]},
+        )
+    )
+    return tests
+
+
+@dataclass
+class RegressionRunner:
+    """Runs the matrix and accumulates a report."""
+
+    modes: tuple[str, ...] = ("sim", "hw")
+    results: list[tuple[str, str, bool, str]] = field(default_factory=list)
+
+    def run(self, tests: list[NetFpgaTest] | None = None) -> bool:
+        suite = tests if tests is not None else standard_scenarios()
+        passed_all = True
+        for test in suite:
+            for mode in self.modes:
+                try:
+                    run_test(test, mode)
+                    self.results.append((test.name, mode, True, ""))
+                except (AssertionError, RuntimeError) as exc:
+                    self.results.append((test.name, mode, False, str(exc)))
+                    passed_all = False
+        return passed_all
+
+    def render(self) -> str:
+        lines = [f"{'test':34s} {'mode':4s} result"]
+        for name, mode, ok, detail in self.results:
+            lines.append(
+                f"{name:34s} {mode:4s} {'PASS' if ok else 'FAIL ' + detail}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Multi-device network topologies over the behavioural target.
+
+§1 motivates NetFPGA with datacenter-scale evaluation: experiments need
+*networks* of devices, not single boards.  :class:`Network` wires any
+number of project instances together by their physical ports and
+propagates packets hop by hop using each device's behavioural
+forwarding — with per-device CPU slow paths, edge-host attachment and a
+hop limit standing in for TTL on L2 storms.
+
+The model is transaction-level: one injected packet is carried to
+quiescence before the next (the same semantics as the ``hw`` harness
+target, extended across devices).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.projects.base import PortRef, ReferencePipeline
+
+#: cpu_handler(frame, phys_port_index) -> [(phys_port_index, frame), ...]
+CpuHandler = Callable[[bytes, int], list[tuple[int, bytes]]]
+
+#: Default bound on forwarding hops for one injected packet (and all the
+#: copies flooding creates).  Generous for real topologies, small enough
+#: to terminate a broadcast storm quickly.
+DEFAULT_HOP_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class Attachment:
+    """A device port: ``("s1", PortRef("phys", 2))``."""
+
+    device: str
+    port: PortRef
+
+
+@dataclass
+class Delivery:
+    """A packet that exited the network at an edge port."""
+
+    at: Attachment
+    frame: bytes
+    hops: int
+
+
+class TopologyError(RuntimeError):
+    """Bad wiring: unknown device, port reuse, self-links."""
+
+
+class Network:
+    """A set of devices, point-to-point links, and edge ports."""
+
+    def __init__(self, hop_limit: int = DEFAULT_HOP_LIMIT):
+        self.hop_limit = hop_limit
+        self._devices: dict[str, ReferencePipeline] = {}
+        self._cpu: dict[str, CpuHandler] = {}
+        self._links: dict[Attachment, Attachment] = {}
+        self.deliveries: list[Delivery] = []
+        self.dropped_hop_limit = 0
+        self.forwarded_hops = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_device(
+        self,
+        name: str,
+        project: ReferencePipeline,
+        cpu_handler: Optional[CpuHandler] = None,
+    ) -> ReferencePipeline:
+        if name in self._devices:
+            raise TopologyError(f"duplicate device name {name!r}")
+        self._devices[name] = project
+        if cpu_handler is not None:
+            self._cpu[name] = cpu_handler
+        return project
+
+    def device(self, name: str) -> ReferencePipeline:
+        if name not in self._devices:
+            raise TopologyError(f"unknown device {name!r}")
+        return self._devices[name]
+
+    def link(self, a_device: str, a_port: int, b_device: str, b_port: int) -> None:
+        """Connect two physical ports with a full-duplex cable."""
+        a = Attachment(a_device, PortRef("phys", a_port))
+        b = Attachment(b_device, PortRef("phys", b_port))
+        for end in (a, b):
+            if end.device not in self._devices:
+                raise TopologyError(f"unknown device {end.device!r}")
+            if end in self._links:
+                raise TopologyError(f"port {end} already cabled")
+        if a == b:
+            raise TopologyError("cannot cable a port to itself")
+        self._links[a] = b
+        self._links[b] = a
+
+    def edge_ports(self, device: str) -> list[PortRef]:
+        """The device's un-cabled physical ports (host attachment points)."""
+        self.device(device)
+        return [
+            PortRef("phys", i)
+            for i in range(4)
+            if Attachment(device, PortRef("phys", i)) not in self._links
+        ]
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def inject(self, device: str, port: int, frame: bytes) -> list[Delivery]:
+        """Carry one packet (and every copy it spawns) to quiescence.
+
+        Returns the deliveries this injection produced (also appended to
+        :attr:`deliveries`).
+        """
+        first = len(self.deliveries)
+        work: deque[tuple[Attachment, bytes, int]] = deque(
+            [(Attachment(device, PortRef("phys", port)), frame, 0)]
+        )
+        while work:
+            at, data, hops = work.popleft()
+            project = self.device(at.device)
+            outputs = project.forward_behavioural(data, at.port)
+            handled: list[tuple[PortRef, bytes]] = []
+            for out_port, out_frame in outputs:
+                if out_port.kind == "dma":
+                    cpu = self._cpu.get(at.device)
+                    if cpu is None:
+                        continue  # no software attached: punted = dropped
+                    for egress, reply in cpu(out_frame, out_port.index):
+                        handled.append((PortRef("dma", egress), reply))
+                else:
+                    handled.append((out_port, out_frame))
+            # Re-run CPU-injected frames through the same device.
+            requeued = []
+            for out_port, out_frame in handled:
+                if out_port.kind == "dma":
+                    requeued.extend(
+                        project.forward_behavioural(out_frame, out_port)
+                    )
+                else:
+                    requeued.append((out_port, out_frame))
+            for out_port, out_frame in requeued:
+                if out_port.kind != "phys":
+                    continue
+                self.forwarded_hops += 1
+                exit_at = Attachment(at.device, out_port)
+                peer = self._links.get(exit_at)
+                if peer is None:
+                    self.deliveries.append(Delivery(exit_at, out_frame, hops + 1))
+                    continue
+                if hops + 1 >= self.hop_limit:
+                    self.dropped_hop_limit += 1
+                    continue
+                work.append((peer, out_frame, hops + 1))
+        return self.deliveries[first:]
+
+    def run(self, traffic: list[tuple[str, int, bytes]]) -> list[Delivery]:
+        """Inject a sequence of ``(device, port, frame)``; returns all
+        deliveries in order."""
+        for device, port, frame in traffic:
+            self.inject(device, port, frame)
+        return self.deliveries
+
+    # ------------------------------------------------------------------
+    def delivered_at(self, device: str, port: int) -> list[bytes]:
+        want = Attachment(device, PortRef("phys", port))
+        return [d.frame for d in self.deliveries if d.at == want]
+
+    def describe(self) -> str:
+        lines = [f"network: {len(self._devices)} devices, "
+                 f"{len(self._links) // 2} links"]
+        for name, project in sorted(self._devices.items()):
+            cabled = [
+                f"{attachment.port}->{self._links[attachment].device}"
+                for attachment in self._links
+                if attachment.device == name
+            ]
+            lines.append(f"  {name} ({type(project).__name__}): "
+                         f"{', '.join(sorted(cabled)) or 'no links'}")
+        return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Low-level helpers shared by every repro subsystem.
+
+The utilities here deliberately have no dependencies on the simulation
+kernel or the board models so that they can be reused by tests, benchmarks
+and host-side tooling alike.
+"""
+
+from repro.utils.bitfield import BitField, bits_to_bytes, bytes_to_bits, mask
+from repro.utils.crc import crc32_ethernet, crc32_update, CRC32_INIT
+from repro.utils.units import (
+    GBPS,
+    KIB,
+    MBPS,
+    MIB,
+    Bandwidth,
+    TimeNS,
+    format_rate,
+    format_size,
+)
+
+__all__ = [
+    "BitField",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "mask",
+    "crc32_ethernet",
+    "crc32_update",
+    "CRC32_INIT",
+    "GBPS",
+    "MBPS",
+    "KIB",
+    "MIB",
+    "Bandwidth",
+    "TimeNS",
+    "format_rate",
+    "format_size",
+]

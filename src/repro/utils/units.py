@@ -1,0 +1,38 @@
+"""Units used throughout the board models.
+
+All internal rates are bits/second and all internal times are nanoseconds,
+held as plain floats.  The tiny wrapper types exist to make signatures
+self-documenting (``def serialize(rate: Bandwidth)``) without imposing a
+heavyweight quantity framework.
+"""
+
+from __future__ import annotations
+
+# Type aliases — semantic documentation for signatures.
+Bandwidth = float  # bits per second
+TimeNS = float  # nanoseconds
+
+MBPS: Bandwidth = 1e6
+GBPS: Bandwidth = 1e9
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def format_rate(bits_per_second: Bandwidth) -> str:
+    """Human-readable rate: ``format_rate(10e9) == "10.00 Gb/s"``."""
+    if bits_per_second >= 1e9:
+        return f"{bits_per_second / 1e9:.2f} Gb/s"
+    if bits_per_second >= 1e6:
+        return f"{bits_per_second / 1e6:.2f} Mb/s"
+    if bits_per_second >= 1e3:
+        return f"{bits_per_second / 1e3:.2f} Kb/s"
+    return f"{bits_per_second:.0f} b/s"
+
+
+def format_size(num_bytes: float) -> str:
+    """Human-readable size: ``format_size(2048) == "2.0 KiB"``."""
+    for unit, factor in (("GiB", 1024**3), ("MiB", 1024**2), ("KiB", 1024)):
+        if num_bytes >= factor:
+            return f"{num_bytes / factor:.1f} {unit}"
+    return f"{num_bytes:.0f} B"

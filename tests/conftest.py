@@ -1,0 +1,40 @@
+"""Shared test fixtures and frame-building helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.generator import make_udp_frame
+
+
+def mac(i: int) -> MacAddr:
+    """A deterministic locally administered unicast MAC."""
+    return MacAddr(0x02_00_00_00_00_00 + i)
+
+
+def ip(i: int) -> Ipv4Addr:
+    """A deterministic 10.x address."""
+    return Ipv4Addr(0x0A_00_00_00 + i)
+
+
+def udp_frame(src: int = 1, dst: int = 2, size: int = 96, ttl: int = 64) -> bytes:
+    """A well-formed UDP frame between test hosts ``src`` and ``dst``."""
+    return make_udp_frame(
+        mac(src), mac(dst), ip(src), ip(dst), sport=1000 + src,
+        dport=2000 + dst, size=size, ttl=ttl,
+    ).pack()
+
+
+@pytest.fixture
+def event_sim():
+    from repro.core.eventsim import EventSimulator
+
+    return EventSimulator()
+
+
+@pytest.fixture
+def cycle_sim():
+    from repro.core.simulator import Simulator
+
+    return Simulator()

@@ -1,0 +1,126 @@
+"""IEEE 802.3x PAUSE flow control in the MAC model."""
+
+import pytest
+
+from repro.board.mac import (
+    EthernetMacModel,
+    PAUSE_QUANTUM_BITS,
+    Wire,
+    build_pause_frame,
+    parse_pause_frame,
+    serialization_time_ns,
+)
+from repro.core.eventsim import EventSimulator
+from repro.utils.units import GBPS
+
+from tests.conftest import udp_frame
+
+
+def _link():
+    sim = EventSimulator()
+    a = EthernetMacModel(sim, "a", rate_bps=10 * GBPS)
+    b = EthernetMacModel(sim, "b", rate_bps=10 * GBPS)
+    Wire(sim, a, b)
+    return sim, a, b
+
+
+class TestPauseFrameCodec:
+    def test_roundtrip(self):
+        frame = build_pause_frame(b"\x02\x00\x00\x00\x00\x07", quanta=100)
+        assert len(frame) == 60  # padded to minimum
+        assert parse_pause_frame(frame) == 100
+
+    def test_zero_quanta(self):
+        assert parse_pause_frame(build_pause_frame(b"\x02" * 6, 0)) == 0
+
+    def test_not_pause(self):
+        assert parse_pause_frame(udp_frame()) is None
+        assert parse_pause_frame(b"\x00" * 10) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_pause_frame(b"\x02" * 6, quanta=0x10000)
+        with pytest.raises(ValueError):
+            build_pause_frame(b"\x02" * 3, quanta=1)
+
+
+class TestPauseBehaviour:
+    def test_pause_duration_is_quanta_times_512_bit_times(self):
+        sim, a, b = _link()
+        quanta = 1000
+        b.send_pause(quanta)
+        sim.run_until_idle()
+        pause_ns = quanta * PAUSE_QUANTUM_BITS / (10 * GBPS) * 1e9
+        assert a._paused_until_ns == pytest.approx(sim.now_ns, abs=pause_ns)
+        assert a._paused_until_ns - sim.now_ns <= pause_ns
+
+    def test_pause_measured_delay(self):
+        sim, a, b = _link()
+        arrivals = []
+        b.rx_callback = lambda f, t: arrivals.append(t)
+        quanta = 2000
+        b.send_pause(quanta)
+        sim.run_until_idle()
+        paused_at = a._paused_until_ns
+        assert paused_at > 0
+        a.transmit(udp_frame(size=128))
+        sim.run_until_idle()
+        expected_earliest = paused_at + serialization_time_ns(128, 10 * GBPS)
+        assert arrivals[0] == pytest.approx(expected_earliest, rel=0.01)
+
+    def test_pause_consumed_not_delivered(self):
+        sim, a, b = _link()
+        delivered = []
+        a.rx_callback = lambda f, t: delivered.append(f)
+        b.send_pause(500)
+        sim.run_until_idle()
+        assert delivered == []
+        assert a.rx_stats.pause_frames == 1
+        assert a.rx_stats.frames == 0
+
+    def test_quanta_zero_resumes_immediately(self):
+        sim, a, b = _link()
+        arrivals = []
+        b.rx_callback = lambda f, t: arrivals.append(t)
+        b.send_pause(0xFFFF)
+        sim.run_until_idle()
+        b.send_pause(0)  # X-OFF then X-ON
+        sim.run_until_idle()
+        resume_at = sim.now_ns
+        a.transmit(udp_frame(size=128))
+        sim.run_until_idle()
+        assert arrivals[0] < resume_at + 300  # no residual pause
+
+    def test_flow_control_disable(self):
+        sim, a, b = _link()
+        a.flow_control = False
+        arrivals = []
+        b.rx_callback = lambda f, t: arrivals.append(t)
+        b.send_pause(0xFFFF)
+        sim.run_until_idle()
+        a.transmit(udp_frame(size=128))
+        sim.run_until_idle()
+        assert arrivals  # transmitted straight through
+        assert a.rx_stats.pause_frames == 1  # counted anyway
+
+    def test_mid_frame_not_aborted(self):
+        """A pause arriving during a transmission lets it finish (802.3x)."""
+        sim, a, b = _link()
+        arrivals = []
+        b.rx_callback = lambda f, t: arrivals.append(t)
+        a.transmit(udp_frame(size=1500))  # long frame in flight
+        b.send_pause(0xFFFF)
+        sim.run_until_idle()
+        assert len(arrivals) == 1  # the in-flight frame completed
+
+    def test_queued_frames_resume_in_order(self):
+        sim, a, b = _link()
+        payloads = []
+        b.rx_callback = lambda f, t: payloads.append(f)
+        b.send_pause(1500)
+        sim.run_until_idle()
+        frames = [udp_frame(src=i + 1, size=128) for i in range(4)]
+        for frame in frames:
+            a.transmit(frame)
+        sim.run_until_idle()
+        assert payloads == frames

@@ -1,0 +1,92 @@
+"""FPGA capacity model and utilization reports."""
+
+import pytest
+
+from repro.board.fpga import (
+    CapacityError,
+    FpgaDevice,
+    KINTEX7_325T,
+    VIRTEX5_TX240T,
+    VIRTEX7_690T,
+    report_for_design,
+)
+from repro.core.module import Module, Resources
+
+
+class Block(Module):
+    def __init__(self, name, resources):
+        super().__init__(name)
+        self._resources = resources
+
+    def resources(self):
+        return self._resources
+
+
+class TestUtilization:
+    def test_percentages(self):
+        report = VIRTEX7_690T.utilization(Resources(luts=43_320, ffs=86_640, brams=147))
+        assert report.lut_pct == pytest.approx(10.0)
+        assert report.ff_pct == pytest.approx(10.0)
+        assert report.bram_pct == pytest.approx(10.0)
+        assert report.fits
+
+    def test_over_capacity(self):
+        report = VIRTEX7_690T.utilization(Resources(luts=500_000))
+        assert not report.fits
+        with pytest.raises(CapacityError):
+            report.check()
+
+    def test_check_returns_self_when_fitting(self):
+        report = VIRTEX7_690T.utilization(Resources(luts=10))
+        assert report.check() is report
+
+    def test_rows_and_render(self):
+        report = VIRTEX7_690T.utilization(Resources(luts=100, ffs=200, brams=3, dsps=1))
+        rows = dict((r[0], r[3]) for r in report.rows())
+        assert set(rows) == {"LUT", "FF", "BRAM36", "DSP48"}
+        assert "xc7v690t" in report.render()
+
+    def test_zero_dsp_device(self):
+        tiny = FpgaDevice("tiny", luts=100, ffs=100, brams=10, dsps=0)
+        assert tiny.utilization(Resources(luts=1)).dsp_pct == 0.0
+
+
+class TestDeviceCatalogue:
+    def test_sume_device_is_largest(self):
+        assert VIRTEX7_690T.luts > KINTEX7_325T.luts > VIRTEX5_TX240T.luts
+
+    def test_report_for_design_aggregates_tree(self):
+        top = Block("top", Resources(luts=100))
+        top.submodule(Block("a", Resources(luts=50, brams=2)))
+        top.submodule(Block("b", Resources(ffs=70)))
+        report = report_for_design(top)
+        assert report.used.luts == 150
+        assert report.used.ffs == 70
+        assert report.used.brams == 2
+
+    def test_reference_designs_fit_690t(self):
+        from repro.projects import (
+            ReferenceNic,
+            ReferenceRouter,
+            ReferenceSwitch,
+            ReferenceSwitchLite,
+        )
+
+        for factory in (ReferenceNic, ReferenceSwitchLite, ReferenceSwitch, ReferenceRouter):
+            report = report_for_design(factory())
+            report.check()
+            # Reference designs are small relative to the 690T (§2).
+            assert report.lut_pct < 25.0
+
+    def test_utilization_ordering_across_projects(self):
+        """C4: richer lookup stages cost more logic."""
+        from repro.projects import (
+            ReferenceRouter,
+            ReferenceSwitch,
+            ReferenceSwitchLite,
+        )
+
+        lite = report_for_design(ReferenceSwitchLite()).used.luts
+        switch = report_for_design(ReferenceSwitch()).used.luts
+        router = report_for_design(ReferenceRouter()).used.luts
+        assert lite < switch < router

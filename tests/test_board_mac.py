@@ -1,0 +1,165 @@
+"""Ethernet MAC model: timing, FCS, loopback, failure injection."""
+
+import pytest
+
+from repro.board.mac import (
+    EthernetMacModel,
+    Wire,
+    effective_throughput_bps,
+    frame_wire_bytes,
+    serialization_time_ns,
+)
+from repro.core.eventsim import EventSimulator
+from repro.utils.units import GBPS
+
+from tests.conftest import udp_frame
+
+
+def _link(rate=10 * GBPS, delay=10.0):
+    sim = EventSimulator()
+    a = EthernetMacModel(sim, "a", rate_bps=rate)
+    b = EthernetMacModel(sim, "b", rate_bps=rate)
+    Wire(sim, a, b, propagation_delay_ns=delay)
+    return sim, a, b
+
+
+class TestTimingMath:
+    def test_serialization_64b_at_10g(self):
+        assert serialization_time_ns(64, 10 * GBPS) == pytest.approx(67.2)
+
+    def test_effective_throughput_shape(self):
+        # Larger frames always achieve more of the line rate.
+        rates = [effective_throughput_bps(s, 10 * GBPS) for s in (64, 128, 512, 1518)]
+        assert rates == sorted(rates)
+        assert rates[0] == pytest.approx(7.62 * GBPS, rel=0.01)
+        assert rates[-1] == pytest.approx(9.87 * GBPS, rel=0.01)
+
+    def test_frame_wire_bytes_pads(self):
+        assert frame_wire_bytes(b"x" * 10) == 64
+        assert frame_wire_bytes(b"x" * 100) == 104
+
+    def test_100g_is_10x_10g(self):
+        for size in (64, 512, 1518):
+            assert effective_throughput_bps(size, 100 * GBPS) == pytest.approx(
+                10 * effective_throughput_bps(size, 10 * GBPS)
+            )
+
+
+class TestTransmitReceive:
+    def test_loopback_delivery(self):
+        sim, a, b = _link()
+        received = []
+        b.rx_callback = lambda frame, t: received.append((frame, t))
+        payload = udp_frame(size=256)
+        a.transmit(payload)
+        sim.run_until_idle()
+        assert len(received) == 1
+        frame, t = received[0]
+        assert frame == payload
+        # Arrival after serialization (276B incl overhead) + wire delay.
+        assert t == pytest.approx(serialization_time_ns(256, 10 * GBPS) + 10.0)
+
+    def test_short_frames_padded_on_wire(self):
+        sim, a, b = _link()
+        received = []
+        b.rx_callback = lambda frame, t: received.append(frame)
+        a.transmit(b"\x02" * 20)
+        sim.run_until_idle()
+        assert len(received[0]) == 60  # padded, FCS stripped
+
+    def test_back_to_back_frames_spaced_by_wire_time(self):
+        sim, a, b = _link()
+        stamps = []
+        b.rx_callback = lambda frame, t: stamps.append(t)
+        for _ in range(3):
+            a.transmit(udp_frame(size=512))
+        sim.run_until_idle()
+        gap = stamps[1] - stamps[0]
+        assert gap == pytest.approx(serialization_time_ns(512, 10 * GBPS))
+
+    def test_rate_determines_spacing(self):
+        sim = EventSimulator()
+        fast = EthernetMacModel(sim, "fast", rate_bps=100 * GBPS)
+        peer = EthernetMacModel(sim, "peer", rate_bps=100 * GBPS)
+        Wire(sim, fast, peer)
+        stamps = []
+        peer.rx_callback = lambda frame, t: stamps.append(t)
+        fast.transmit(udp_frame(size=512))
+        fast.transmit(udp_frame(size=512))
+        sim.run_until_idle()
+        assert stamps[1] - stamps[0] == pytest.approx(
+            serialization_time_ns(512, 100 * GBPS)
+        )
+
+    def test_tx_queue_overflow_drops(self):
+        sim = EventSimulator()
+        mac = EthernetMacModel(sim, "m", tx_queue_frames=4)
+        for i in range(10):
+            mac.transmit(udp_frame(size=128))
+        # 1 in flight + 4 queued accepted; the rest tail-dropped.
+        assert mac.tx_stats.dropped == 5
+
+    def test_oversize_rejected(self):
+        sim = EventSimulator()
+        mac = EthernetMacModel(sim, "m", max_frame_bytes=1518)
+        assert not mac.transmit(b"\x00" * 2000)
+        assert mac.tx_stats.oversize == 1
+
+    def test_stats_accumulate(self):
+        sim, a, b = _link()
+        b.rx_callback = lambda f, t: None
+        for _ in range(5):
+            a.transmit(udp_frame(size=96))
+        sim.run_until_idle()
+        assert a.tx_stats.frames == 5
+        assert a.tx_stats.bytes == 5 * 96
+        assert b.rx_stats.frames == 5
+
+    def test_tx_idle_and_backlog(self):
+        sim, a, b = _link()
+        assert a.tx_idle
+        a.transmit(udp_frame())
+        a.transmit(udp_frame())
+        assert a.tx_backlog == 2
+        sim.run_until_idle()
+        assert a.tx_idle
+
+
+class TestFailureInjection:
+    def test_corrupted_frame_counted_not_delivered(self):
+        sim, a, b = _link()
+        received = []
+        b.rx_callback = lambda frame, t: received.append(frame)
+
+        def flip_bit(wire_bytes: bytes) -> bytes:
+            corrupted = bytearray(wire_bytes)
+            corrupted[30] ^= 0x40
+            return bytes(corrupted)
+
+        b.corrupt = flip_bit
+        a.transmit(udp_frame(size=200))
+        sim.run_until_idle()
+        assert received == []
+        assert b.rx_stats.fcs_errors == 1
+
+    def test_undersize_counted(self):
+        sim, a, b = _link()
+        b.deliver(b"\x00" * 10)
+        assert b.rx_stats.undersize == 1
+
+
+class TestEventModelMatchesAnalyticModel:
+    """The E2 bench relies on these two agreeing."""
+
+    @pytest.mark.parametrize("size", [64, 256, 1518])
+    def test_achieved_rate(self, size):
+        sim, a, b = _link()
+        stamps = []
+        b.rx_callback = lambda frame, t: stamps.append(t)
+        count = 50
+        for _ in range(count):
+            a.transmit(udp_frame(size=size))
+        sim.run_until_idle()
+        span_s = (stamps[-1] - stamps[0]) * 1e-9
+        measured = (count - 1) * size * 8 / span_s
+        assert measured == pytest.approx(effective_throughput_bps(size, 10 * GBPS), rel=0.001)

@@ -1,0 +1,157 @@
+"""QDRII+ and DDR3 models: latency structure and bandwidth envelopes."""
+
+import pytest
+
+from repro.board.ddr3 import Ddr3Model, SUME_DDR3
+from repro.board.qdr import QdrIIModel, SUME_QDR
+from repro.core.eventsim import EventSimulator
+
+
+class TestQdr:
+    def test_write_read_back(self, event_sim):
+        qdr = QdrIIModel(event_sim)
+        word = qdr.config.word_bytes
+        qdr.write(0, b"\xaa" * word)
+        got = []
+        qdr.read(0, got.append)
+        event_sim.run_until_idle()
+        assert got == [b"\xaa" * word]
+
+    def test_uniform_fixed_latency(self, event_sim):
+        """Every isolated read costs exactly the pipeline latency."""
+        qdr = QdrIIModel(event_sim)
+        expected = SUME_QDR.read_latency_cycles * SUME_QDR.clock_period_ns
+        for addr in (0, 1 << 12, 1 << 20):  # wherever in the device
+            addr -= addr % qdr.config.word_bytes
+            event_sim.now_ns += 100  # idle gap: port free
+            done = qdr.read(addr, lambda d: None)
+            assert done - event_sim.now_ns == pytest.approx(expected)
+
+    def test_issue_rate_one_per_cycle(self, event_sim):
+        qdr = QdrIIModel(event_sim)
+        completions = [qdr.read(0, lambda d: None) for _ in range(10)]
+        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        assert all(g == pytest.approx(SUME_QDR.clock_period_ns) for g in gaps)
+
+    def test_read_write_ports_independent(self, event_sim):
+        """QDR's separate ports: writes do not delay reads."""
+        qdr = QdrIIModel(event_sim)
+        word = qdr.config.word_bytes
+        for i in range(32):
+            qdr.write(i * word, bytes(word))
+        done = qdr.read(0, lambda d: None)
+        expected = SUME_QDR.read_latency_cycles * SUME_QDR.clock_period_ns
+        assert done == pytest.approx(expected)
+
+    def test_alignment_and_bounds(self, event_sim):
+        qdr = QdrIIModel(event_sim)
+        with pytest.raises(ValueError):
+            qdr.write(3, b"\x00" * qdr.config.word_bytes)
+        with pytest.raises(ValueError):
+            qdr.write(qdr.config.capacity_bytes, b"\x00" * qdr.config.word_bytes)
+        with pytest.raises(ValueError):
+            qdr.write(0, b"\x00")
+
+    def test_unwritten_reads_zero(self, event_sim):
+        qdr = QdrIIModel(event_sim)
+        assert qdr.read_sync(0) == b"\x00" * qdr.config.word_bytes
+
+    def test_port_bandwidth(self):
+        # 36 bits DDR at 500 MHz per port = 36 Gb/s per direction.
+        assert SUME_QDR.port_bandwidth_bps == pytest.approx(36e9)
+
+
+class TestDdr3:
+    def test_write_read_back(self, event_sim):
+        ddr = Ddr3Model(event_sim)
+        burst = ddr.config.burst_bytes
+        ddr.write(0, b"\x5a" * burst)
+        got = []
+        ddr.read(0, got.append)
+        event_sim.run_until_idle()
+        assert got == [b"\x5a" * burst]
+
+    def test_row_hit_cheaper_than_miss(self, event_sim):
+        ddr = Ddr3Model(event_sim)
+        burst = ddr.config.burst_bytes
+        t0 = ddr.read(0, lambda d: None)  # opens a row (miss)
+        t1 = ddr.read(burst, lambda d: None) - t0  # same row (hit)
+        far = ddr.config.row_bytes * ddr.config.banks * 8  # same bank, other row
+        t2 = ddr.read(far, lambda d: None) - t0 - t1  # conflict (precharge)
+        assert t1 < t2
+        assert ddr.row_hits == 1
+        assert ddr.row_misses == 2
+
+    def test_sequential_mostly_hits(self, event_sim):
+        ddr = Ddr3Model(event_sim)
+        burst = ddr.config.burst_bytes
+        for i in range(512):
+            ddr.read(i * burst, lambda d: None)
+        assert ddr.row_hit_rate > 0.9
+
+    def test_random_mostly_misses(self, event_sim):
+        import random
+
+        rng = random.Random(1)
+        ddr = Ddr3Model(event_sim)
+        burst = ddr.config.burst_bytes
+        for _ in range(512):
+            addr = rng.randrange(0, ddr.config.capacity_bytes // burst) * burst
+            ddr.read(addr, lambda d: None)
+        assert ddr.row_hit_rate < 0.2
+
+    def test_refresh_steals_time(self, event_sim):
+        ddr = Ddr3Model(event_sim)
+        burst = ddr.config.burst_bytes
+        # Two reads separated by more than tREFI: refresh must intervene.
+        ddr.read(0, lambda d: None)
+        event_sim.now_ns += 2 * ddr.config.timing.tREFI_ns
+        ddr.read(burst, lambda d: None)
+        assert ddr.refreshes >= 1
+
+    def test_refresh_closes_rows(self, event_sim):
+        ddr = Ddr3Model(event_sim)
+        burst = ddr.config.burst_bytes
+        ddr.read(0, lambda d: None)
+        event_sim.now_ns += 2 * ddr.config.timing.tREFI_ns
+        ddr.read(burst, lambda d: None)  # same row, but refresh closed it
+        assert ddr.row_hits == 0
+
+    def test_peak_bandwidth(self):
+        # 64-bit @ 1866 MT/s ≈ 119.4 Gb/s.
+        assert SUME_DDR3.peak_bandwidth_bps == pytest.approx(119.4e9, rel=0.01)
+
+    def test_sequential_bandwidth_near_peak(self, event_sim):
+        ddr = Ddr3Model(event_sim)
+        burst = ddr.config.burst_bytes
+        n = 2000
+        last = 0.0
+        for i in range(n):
+            last = ddr.read(i * burst, lambda d: None)
+        achieved = n * burst * 8 / (last * 1e-9)
+        assert achieved > 0.7 * SUME_DDR3.peak_bandwidth_bps
+
+    def test_write_burst_size_enforced(self, event_sim):
+        ddr = Ddr3Model(event_sim)
+        with pytest.raises(ValueError):
+            ddr.write(0, b"\x00" * 5)
+
+    def test_bounds(self, event_sim):
+        ddr = Ddr3Model(event_sim)
+        with pytest.raises(ValueError):
+            ddr.read(ddr.config.capacity_bytes + 64, lambda d: None)
+
+
+class TestQdrVsDdr3:
+    """The E9 headline: SRAM latency beats DRAM, DRAM bandwidth wins."""
+
+    def test_qdr_latency_below_ddr3_random(self):
+        sim = EventSimulator()
+        qdr = QdrIIModel(sim)
+        ddr = Ddr3Model(sim)
+        qdr_done = qdr.read(0, lambda d: None)
+        ddr_done = ddr.read(0, lambda d: None)
+        assert qdr_done < ddr_done
+
+    def test_ddr3_sequential_bandwidth_beats_qdr(self):
+        assert SUME_DDR3.peak_bandwidth_bps > SUME_QDR.port_bandwidth_bps

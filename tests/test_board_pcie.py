@@ -1,0 +1,165 @@
+"""PCIe link, host memory, descriptor rings and the DMA engine."""
+
+import pytest
+
+from repro.board.pcie import (
+    DESC_SIZE,
+    DescriptorRing,
+    DmaDescriptor,
+    DmaEngine,
+    FLAG_DONE,
+    FLAG_VALID,
+    HostMemory,
+    PCIE_GEN3_X8,
+    PcieLink,
+)
+from repro.core.eventsim import EventSimulator
+
+from tests.conftest import udp_frame
+
+
+class TestLinkMath:
+    def test_gen3_x8_raw_bandwidth(self):
+        # 8 GT/s * 8 lanes * 128/130 ≈ 63 Gb/s.
+        assert PCIE_GEN3_X8.raw_bandwidth_bps == pytest.approx(63.0e9, rel=0.01)
+
+    def test_effective_below_raw(self):
+        assert PCIE_GEN3_X8.effective_bandwidth_bps < PCIE_GEN3_X8.raw_bandwidth_bps
+        assert PCIE_GEN3_X8.payload_efficiency == pytest.approx(256 / 282)
+
+    def test_occupancy_serializes(self, event_sim):
+        link = PcieLink(event_sim)
+        t1 = link.dma_write(1024)
+        t2 = link.dma_write(1024)
+        assert t2 > t1
+        assert link.bytes_moved == 2048
+
+
+class TestHostMemory:
+    def test_rw_within_page(self):
+        mem = HostMemory()
+        mem.write(100, b"hello")
+        assert mem.read(100, 5) == b"hello"
+
+    def test_rw_across_page_boundary(self):
+        mem = HostMemory()
+        data = bytes(range(200))
+        mem.write(4096 - 100, data)
+        assert mem.read(4096 - 100, 200) == data
+
+    def test_unwritten_reads_zero(self):
+        mem = HostMemory()
+        assert mem.read(12345, 8) == b"\x00" * 8
+
+    def test_bounds(self):
+        mem = HostMemory(size=8192)
+        with pytest.raises(ValueError):
+            mem.write(8190, b"abcd")
+        with pytest.raises(ValueError):
+            mem.read(-1, 4)
+
+
+class TestDescriptors:
+    def test_pack_parse_roundtrip(self):
+        desc = DmaDescriptor(addr=0xDEADBEEF00, length=1500, flags=FLAG_VALID, port=3)
+        assert DmaDescriptor.parse(desc.pack()) == desc
+        assert len(desc.pack()) == DESC_SIZE
+
+    def test_ring_occupancy_and_space(self):
+        ring = DescriptorRing(HostMemory(), base=0, entries=8)
+        assert ring.occupancy == 0 and ring.space == 8
+        ring.tail = 5
+        assert ring.occupancy == 5 and ring.space == 3
+
+    def test_ring_wraparound_indexing(self):
+        ring = DescriptorRing(HostMemory(), base=0, entries=4)
+        desc = DmaDescriptor(0x1000, 64)
+        ring.write_desc(6, desc)  # 6 % 4 == slot 2
+        assert ring.read_desc(2) == desc
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            DescriptorRing(HostMemory(), base=0, entries=6)
+
+
+def _engine(entries=16):
+    sim = EventSimulator()
+    memory = HostMemory()
+    link = PcieLink(sim)
+    engine = DmaEngine(
+        sim,
+        link,
+        memory,
+        tx_ring=DescriptorRing(memory, 0x1000, entries),
+        rx_ring=DescriptorRing(memory, 0x2000, entries),
+    )
+    return sim, memory, engine
+
+
+class TestDmaTx:
+    def test_frames_delivered_in_order(self):
+        sim, memory, engine = _engine()
+        delivered = []
+        engine.tx_callback = lambda frame, port: delivered.append((frame, port))
+        frames = [udp_frame(src=i + 1, size=128) for i in range(4)]
+        for i, frame in enumerate(frames):
+            memory.write(0x10000 + i * 2048, frame)
+            engine.tx_ring.write_desc(
+                i, DmaDescriptor(0x10000 + i * 2048, len(frame), FLAG_VALID, port=i)
+            )
+        engine.doorbell_tx(4)
+        sim.run_until_idle()
+        assert [f for f, _ in delivered] == frames
+        assert [p for _, p in delivered] == [0, 1, 2, 3]
+        assert engine.tx_idle
+
+    def test_second_doorbell_while_running(self):
+        sim, memory, engine = _engine()
+        count = []
+        engine.tx_callback = lambda frame, port: count.append(frame)
+        frame = udp_frame(size=64)
+        for i in range(8):
+            memory.write(0x10000 + i * 2048, frame)
+            engine.tx_ring.write_desc(i, DmaDescriptor(0x10000 + i * 2048, len(frame)))
+        engine.doorbell_tx(4)
+        engine.doorbell_tx(8)  # extend the batch mid-flight
+        sim.run_until_idle()
+        assert len(count) == 8
+
+    def test_tx_takes_time(self):
+        sim, memory, engine = _engine()
+        engine.tx_callback = lambda frame, port: None
+        frame = udp_frame(size=1024)
+        memory.write(0x10000, frame)
+        engine.tx_ring.write_desc(0, DmaDescriptor(0x10000, len(frame)))
+        engine.doorbell_tx(1)
+        sim.run_until_idle()
+        assert engine.last_tx_complete_ns > 500  # fetch RTT + data RTT
+
+
+class TestDmaRx:
+    def test_receive_lands_in_host_memory(self):
+        sim, memory, engine = _engine()
+        engine.rx_ring.write_desc(0, DmaDescriptor(0x20000, 2048))
+        engine.post_rx_buffers(1)
+        frame = udp_frame(size=300)
+        assert engine.receive(frame, port=2)
+        sim.run_until_idle()
+        assert memory.read(0x20000, len(frame)) == frame
+        done = engine.rx_ring.read_desc(0)
+        assert done.flags & FLAG_DONE
+        assert done.port == 2
+        assert done.length == len(frame)
+
+    def test_drop_without_buffers(self):
+        sim, memory, engine = _engine()
+        assert not engine.receive(udp_frame())
+        assert engine.rx_dropped_no_desc == 1
+
+    def test_frame_truncated_to_buffer(self):
+        sim, memory, engine = _engine()
+        engine.rx_ring.write_desc(0, DmaDescriptor(0x20000, 100))
+        engine.post_rx_buffers(1)
+        engine.receive(b"\x11" * 300)
+        sim.run_until_idle()
+        assert engine.rx_ring.read_desc(0).length == 100

@@ -1,0 +1,115 @@
+"""Power rails, telemetry, and the storage subsystem."""
+
+import pytest
+
+from repro.board.power import PowerModel, PowerRail, SUME_RAILS
+from repro.board.storage import (
+    BlockDevice,
+    MICROSD_CARD,
+    SATA_SSD,
+    StorageSubsystem,
+)
+from repro.core.eventsim import EventSimulator
+
+
+class TestPowerRail:
+    def test_linear_model(self):
+        rail = PowerRail("test", 1.0, idle_w=2.0, max_dynamic_w=8.0)
+        assert rail.power_w == 2.0
+        rail.set_activity(0.5)
+        assert rail.power_w == 6.0
+        rail.set_activity(1.0)
+        assert rail.power_w == 10.0
+
+    def test_current_from_power(self):
+        rail = PowerRail("test", 2.0, idle_w=4.0, max_dynamic_w=0.0)
+        assert rail.current_a == 2.0
+
+    def test_activity_range(self):
+        rail = PowerRail("test", 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            rail.set_activity(1.5)
+        with pytest.raises(ValueError):
+            rail.set_activity(-0.1)
+
+
+class TestPowerModel:
+    def test_sume_rail_set(self):
+        model = PowerModel()
+        names = {rail.name for rail in model.rails}
+        assert {"vccint", "mgtavcc", "vcc1v5_ddr3", "vcc1v8_qdr"} <= names
+
+    def test_idle_power_plausible(self):
+        # SUME idles in the mid-teens of watts.
+        model = PowerModel()
+        assert 10.0 < model.total_power_w < 25.0
+
+    def test_subsystem_activity(self):
+        model = PowerModel()
+        idle = model.total_power_w
+        model.set_subsystem_activity("serial", 1.0)
+        assert model.total_power_w > idle
+        with pytest.raises(KeyError):
+            model.set_subsystem_activity("warp_drive", 1.0)
+
+    def test_rail_lookup(self):
+        model = PowerModel()
+        assert model.rail("vccint").subsystem == "fpga_core"
+        with pytest.raises(KeyError):
+            model.rail("nope")
+
+    def test_telemetry_shape(self):
+        telemetry = PowerModel().telemetry()
+        assert len(telemetry) == len(SUME_RAILS())
+        for name, volts, amps, watts in telemetry:
+            assert watts == pytest.approx(volts * amps)
+
+    def test_instances_independent(self):
+        a, b = PowerModel(), PowerModel()
+        a.rail("vccint").set_activity(1.0)
+        assert b.rail("vccint").activity == 0.0
+
+
+class TestBlockDevice:
+    def test_write_read_back(self, event_sim):
+        dev = BlockDevice(event_sim, MICROSD_CARD)
+        data = bytes(range(256)) * 4  # 2 blocks
+        dev.write(10, data)
+        got = []
+        dev.read(10, len(data), got.append)
+        event_sim.run_until_idle()
+        assert got == [data]
+
+    def test_partial_blocks_rejected(self, event_sim):
+        dev = BlockDevice(event_sim, SATA_SSD)
+        with pytest.raises(ValueError):
+            dev.write(0, b"\x00" * 100)
+
+    def test_capacity_bound(self, event_sim):
+        dev = BlockDevice(event_sim, MICROSD_CARD)
+        last_lba = MICROSD_CARD.capacity_bytes // 512
+        with pytest.raises(ValueError):
+            dev.write(last_lba, b"\x00" * 512)
+
+    def test_ssd_faster_than_sd(self):
+        sim = EventSimulator()
+        sd = BlockDevice(sim, MICROSD_CARD)
+        ssd = BlockDevice(sim, SATA_SSD)
+        data = b"\x00" * (512 * 64)
+        assert ssd.write(0, data) < sd.write(0, data)
+
+    def test_unwritten_reads_zero(self, event_sim):
+        dev = BlockDevice(event_sim, SATA_SSD)
+        got = []
+        dev.read(0, 512, got.append)
+        event_sim.run_until_idle()
+        assert got == [b"\x00" * 512]
+
+
+class TestStorageSubsystem:
+    def test_complement(self, event_sim):
+        storage = StorageSubsystem(event_sim)
+        assert len(storage.devices()) == 3  # microSD + 2x SATA (§2)
+        inventory = storage.inventory()
+        assert inventory[0][0] == "microsd_uhs1"
+        assert inventory[1][0] == inventory[2][0] == "sata3_ssd"

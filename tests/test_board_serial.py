@@ -1,0 +1,75 @@
+"""Serial link bank, SFP+ bring-up, encodings."""
+
+import pytest
+
+from repro.board.serial import (
+    ENC_64B66B,
+    ENC_8B10B,
+    MAX_LANE_RATE_BPS,
+    SerialLink,
+    SerialLinkBank,
+    SfpCage,
+)
+from repro.utils.units import GBPS
+
+
+class TestSerialLink:
+    def test_allocate_release(self):
+        link = SerialLink(0, "qth")
+        link.allocate("user", 10 * GBPS)
+        assert link.in_use and link.allocated_to == "user"
+        link.release()
+        assert not link.in_use
+
+    def test_double_allocation_rejected(self):
+        link = SerialLink(0, "qth")
+        link.allocate("a", 1 * GBPS)
+        with pytest.raises(RuntimeError):
+            link.allocate("b", 1 * GBPS)
+
+    def test_rate_ceiling(self):
+        link = SerialLink(0, "qth")
+        with pytest.raises(ValueError):
+            link.allocate("too_fast", 14 * GBPS)
+
+
+class TestBank:
+    def test_lane_budget_matches_board(self):
+        bank = SerialLinkBank()
+        assert len(bank) == 30  # §2: "30 serial links"
+        assert len(bank.available("sfp")) == 4
+        assert len(bank.available("pcie")) == 8
+        assert len(bank.available("sata")) == 2
+        assert len(bank.available("qth")) == 16
+
+    def test_aggregate_headline(self):
+        bank = SerialLinkBank()
+        # 30 x 13.1G = 393G raw: comfortably past the 100G claim.
+        assert bank.aggregate_capacity_bps() == pytest.approx(30 * 13.1 * GBPS)
+
+    def test_group_allocation_and_exhaustion(self):
+        bank = SerialLinkBank()
+        lanes = bank.allocate("caui", 10, 10.3125 * GBPS, group="qth")
+        assert len(lanes) == 10
+        assert len(bank.available("qth")) == 6
+        with pytest.raises(RuntimeError):
+            bank.allocate("more", 7, 10 * GBPS, group="qth")
+
+    def test_inventory(self):
+        bank = SerialLinkBank()
+        bank.allocate("x", 2, 5 * GBPS, group="qth")
+        inventory = bank.inventory()
+        assert inventory["qth"]["in_use"] == 2
+        assert inventory["sfp"]["lanes"] == 4
+
+
+class TestEncodings:
+    def test_payload_fractions(self):
+        assert ENC_8B10B.payload_rate(10 * GBPS) == pytest.approx(8 * GBPS)
+        assert ENC_64B66B.payload_rate(10.3125 * GBPS) == pytest.approx(10 * GBPS)
+
+    def test_sfp_cage_brings_up_exactly_10g(self):
+        bank = SerialLinkBank()
+        cage = SfpCage(index=0, link=bank.available("sfp")[0])
+        assert cage.bring_up() == pytest.approx(10 * GBPS)
+        assert bank.available("sfp")[0].index != cage.link.index

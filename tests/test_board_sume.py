@@ -1,0 +1,75 @@
+"""The integrated SUME board model: §2 inventory (experiment E1's basis)."""
+
+import pytest
+
+from repro.board.sume import (
+    ALL_PLATFORMS,
+    NETFPGA_1G_CML,
+    NETFPGA_10G,
+    NETFPGA_SUME,
+    NetFpgaSume,
+)
+from repro.utils.units import GBPS
+
+
+@pytest.fixture(scope="module")
+def board():
+    return NetFpgaSume()
+
+
+class TestBoardBringUp:
+    def test_four_sfp_ports_at_10g(self, board):
+        assert len(board.macs) == 4
+        for mac in board.macs:
+            assert mac.rate_bps == pytest.approx(10 * GBPS)
+
+    def test_memory_complement(self, board):
+        sram, dram = board.total_memory_bytes()
+        assert sram == 3 * 9 * 1024 * 1024  # 3x 9MB QDRII+
+        assert dram == 2 * 4 * 1024**3  # 2x 4GB DDR3
+
+    def test_serial_budget_after_bringup(self, board):
+        # SFP(4) + PCIe(8) + SATA(2) allocated; 16 QTH free.
+        assert len(board.serial.available()) == 16
+        assert board.supports_100g()
+
+    def test_pcie_complex_wired(self, board):
+        assert board.dma.tx_ring.entries == 1024
+        assert board.pcie.config.generation == 3
+
+    def test_inventory_covers_every_subsystem(self, board):
+        keys = {key for key, _ in board.inventory()}
+        assert {
+            "fpga",
+            "serial_links",
+            "aggregate_serial_io",
+            "sfp_ports",
+            "sram_qdrii+",
+            "dram_ddr3",
+            "pcie",
+            "storage",
+            "power_rails",
+            "clocks",
+        } <= keys
+
+    def test_clock_tree(self, board):
+        assert board.clocks["axi_datapath"].freq_mhz == 200.0
+        assert board.clocks["qdr_refclk"].period_ns == pytest.approx(2.0)
+        with pytest.raises(KeyError):
+            board.clocks["bogus"]
+
+
+class TestPlatformCatalogue:
+    def test_three_platforms(self):
+        """§1 names exactly these three supported platforms."""
+        names = {platform.name for platform in ALL_PLATFORMS}
+        assert names == {"NetFPGA SUME", "NetFPGA-10G", "NetFPGA-1G-CML"}
+
+    def test_sume_is_the_100g_platform(self):
+        assert NETFPGA_SUME.max_io_bps == 100 * GBPS
+        assert NETFPGA_10G.max_io_bps == 40 * GBPS
+        assert NETFPGA_1G_CML.max_io_bps == 4 * GBPS
+
+    def test_port_rates(self):
+        assert NETFPGA_SUME.port_rate_bps == 10 * GBPS
+        assert NETFPGA_1G_CML.port_rate_bps == 1 * GBPS

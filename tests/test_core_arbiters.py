@@ -1,0 +1,138 @@
+"""Arbitration primitives: round robin, strict priority, DRR."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arbiter import DeficitRoundRobin, RoundRobinArbiter, StrictPriorityArbiter
+
+
+class TestRoundRobin:
+    def test_rotates_after_grant(self):
+        arb = RoundRobinArbiter(3)
+        assert arb.grant([True, True, True]) == 0
+        arb.advance(0)
+        assert arb.grant([True, True, True]) == 1
+        arb.advance(1)
+        assert arb.grant([True, True, True]) == 2
+        arb.advance(2)
+        assert arb.grant([True, True, True]) == 0
+
+    def test_skips_idle_requesters(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([False, False, True, False]) == 2
+
+    def test_no_requests(self):
+        arb = RoundRobinArbiter(2)
+        assert arb.grant([False, False]) is None
+
+    def test_grant_without_advance_is_stable(self):
+        arb = RoundRobinArbiter(2)
+        assert arb.grant([True, True]) == 0
+        assert arb.grant([True, True]) == 0  # pure query, no state change
+
+    def test_fairness_under_full_load(self):
+        arb = RoundRobinArbiter(4)
+        for _ in range(400):
+            granted = arb.grant([True] * 4)
+            arb.advance(granted)
+        assert arb.grants == [100, 100, 100, 100]
+
+    @given(st.lists(st.lists(st.booleans(), min_size=3, max_size=3), min_size=1, max_size=200))
+    def test_work_conserving_property(self, request_rounds):
+        """Whenever anyone requests, someone is granted."""
+        arb = RoundRobinArbiter(3)
+        for requests in request_rounds:
+            granted = arb.grant(requests)
+            if any(requests):
+                assert granted is not None and requests[granted]
+                arb.advance(granted)
+            else:
+                assert granted is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+        arb = RoundRobinArbiter(2)
+        with pytest.raises(ValueError):
+            arb.grant([True])
+        with pytest.raises(ValueError):
+            arb.advance(5)
+
+
+class TestStrictPriority:
+    def test_always_lowest_index(self):
+        arb = StrictPriorityArbiter(3)
+        for _ in range(10):
+            granted = arb.grant([True, True, True])
+            assert granted == 0
+            arb.advance(granted)
+
+    def test_starvation_by_design(self):
+        arb = StrictPriorityArbiter(2)
+        grants = []
+        for _ in range(50):
+            granted = arb.grant([True, True])
+            grants.append(granted)
+            arb.advance(granted)
+        assert all(g == 0 for g in grants)
+
+    def test_lower_priorities_served_when_high_idle(self):
+        arb = StrictPriorityArbiter(3)
+        assert arb.grant([False, False, True]) == 2
+
+
+class TestDeficitRoundRobin:
+    def test_equal_packets_equal_service(self):
+        drr = DeficitRoundRobin(2, quantum_bytes=100)
+        for _ in range(100):
+            drr.next_queue([100, 100])
+        assert abs(drr.grants[0] - drr.grants[1]) <= 1
+
+    def test_byte_fairness_with_mixed_sizes(self):
+        # Queue 0 sends 100B packets, queue 1 sends 1000B packets.
+        # Byte-fair service means ~10x as many small packets.
+        drr = DeficitRoundRobin(2, quantum_bytes=500)
+        for _ in range(550):
+            drr.next_queue([100, 1000])
+        bytes0 = drr.grants[0] * 100
+        bytes1 = drr.grants[1] * 1000
+        assert bytes0 == pytest.approx(bytes1, rel=0.1)
+
+    def test_jumbo_larger_than_quantum_still_served(self):
+        drr = DeficitRoundRobin(2, quantum_bytes=1500)
+        served = drr.next_queue([9000, None])
+        assert served == 0  # accumulates rounds, never reports starvation
+
+    def test_idle_resets_deficit(self):
+        drr = DeficitRoundRobin(2, quantum_bytes=100)
+        drr.next_queue([100, None])
+        assert drr.next_queue([None, None]) is None
+        assert drr.deficit == [0, 0]
+
+    def test_empty_queue_skipped(self):
+        drr = DeficitRoundRobin(3, quantum_bytes=100)
+        grants = [drr.next_queue([None, 50, None]) for _ in range(5)]
+        assert grants == [1] * 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeficitRoundRobin(0)
+        with pytest.raises(ValueError):
+            DeficitRoundRobin(2, quantum_bytes=0)
+        drr = DeficitRoundRobin(2)
+        with pytest.raises(ValueError):
+            drr.next_queue([100])
+
+    @settings(max_examples=50)
+    @given(
+        sizes=st.lists(
+            st.tuples(st.integers(60, 1500), st.integers(60, 1500)),
+            min_size=20,
+            max_size=100,
+        )
+    )
+    def test_served_queue_is_nonempty_property(self, sizes):
+        drr = DeficitRoundRobin(2, quantum_bytes=1500)
+        for a, b in sizes:
+            served = drr.next_queue([a, b])
+            assert served in (0, 1)

@@ -1,0 +1,122 @@
+"""AXI4-Lite register files and interconnect decode."""
+
+import pytest
+
+from repro.core.axilite import AxiLiteError, AxiLiteInterconnect, RegisterFile
+
+
+class TestRegisterFile:
+    def test_plain_storage(self):
+        rf = RegisterFile("rf")
+        rf.add_register("ctrl", 0x0, init=7)
+        assert rf.read(0x0) == 7
+        rf.write(0x0, 99)
+        assert rf.read(0x0) == 99
+
+    def test_values_masked_to_32_bits(self):
+        rf = RegisterFile("rf")
+        rf.add_register("wide", 0x0)
+        rf.write(0x0, 0x1_FFFF_FFFF)
+        assert rf.read(0x0) == 0xFFFF_FFFF
+
+    def test_read_only_enforced(self):
+        rf = RegisterFile("rf")
+        rf.add_register("version", 0x0, init=0x10, read_only=True)
+        with pytest.raises(AxiLiteError):
+            rf.write(0x0, 1)
+
+    def test_callbacks(self):
+        rf = RegisterFile("rf")
+        hits = [0]
+        written = []
+        rf.add_register("live", 0x0, on_read=lambda: hits[0])
+        rf.add_register("cmd", 0x4, on_write=written.append)
+        hits[0] = 42
+        assert rf.read(0x0) == 42
+        rf.write(0x4, 5)
+        assert written == [5]
+
+    def test_unmapped_offset(self):
+        rf = RegisterFile("rf")
+        with pytest.raises(AxiLiteError):
+            rf.read(0x100)
+        with pytest.raises(AxiLiteError):
+            rf.write(0x100, 0)
+
+    def test_alignment_and_collisions(self):
+        rf = RegisterFile("rf")
+        with pytest.raises(AxiLiteError):
+            rf.add_register("odd", 0x2)
+        rf.add_register("a", 0x0)
+        with pytest.raises(AxiLiteError):
+            rf.add_register("b", 0x0)
+        with pytest.raises(AxiLiteError):
+            rf.add_register("a", 0x4)
+
+    def test_by_name_access(self):
+        rf = RegisterFile("rf")
+        rf.add_register("x", 0x8, init=3)
+        assert rf.offset_of("x") == 0x8
+        assert rf.peek("x") == 3
+        rf.poke("x", 4)
+        assert rf.peek("x") == 4
+
+    def test_register_map_sorted(self):
+        rf = RegisterFile("rf")
+        rf.add_register("b", 0x4)
+        rf.add_register("a", 0x0)
+        assert rf.registers() == [("a", 0x0), ("b", 0x4)]
+
+
+class TestInterconnect:
+    def _bus(self):
+        bus = AxiLiteInterconnect()
+        rf1, rf2 = RegisterFile("one"), RegisterFile("two")
+        rf1.add_register("r", 0x0, init=1)
+        rf2.add_register("r", 0x0, init=2)
+        bus.attach(0x0000, 0x1000, rf1)
+        bus.attach(0x1000, 0x1000, rf2)
+        return bus
+
+    def test_decode_by_base(self):
+        bus = self._bus()
+        assert bus.read(0x0000) == 1
+        assert bus.read(0x1000) == 2
+
+    def test_offset_within_window(self):
+        bus = AxiLiteInterconnect()
+        rf = RegisterFile("rf")
+        rf.add_register("deep", 0x20, init=5)
+        bus.attach(0x4000, 0x1000, rf)
+        assert bus.read(0x4020) == 5
+
+    def test_unmapped_address(self):
+        bus = self._bus()
+        with pytest.raises(AxiLiteError):
+            bus.read(0x9000)
+
+    def test_overlap_rejected(self):
+        bus = self._bus()
+        with pytest.raises(AxiLiteError):
+            bus.attach(0x0800, 0x1000, RegisterFile("bad"))
+
+    def test_adjacent_windows_allowed(self):
+        bus = self._bus()
+        bus.attach(0x2000, 0x1000, RegisterFile("three"))
+
+    def test_access_counters(self):
+        bus = self._bus()
+        bus.read(0x0000)
+        bus.write(0x1000, 9)
+        assert bus.reads == 1 and bus.writes == 1
+
+    def test_memory_map_listing(self):
+        bus = self._bus()
+        assert bus.memory_map() == [(0x0000, 0x1000, "one"), (0x1000, 0x1000, "two")]
+
+    def test_bad_window(self):
+        bus = AxiLiteInterconnect()
+        with pytest.raises(AxiLiteError):
+            bus.attach(0x2, 0x100, RegisterFile("x"))
+        with pytest.raises(AxiLiteError):
+            bus.attach(0x0, 0, RegisterFile("x"))

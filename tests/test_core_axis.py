@@ -1,0 +1,172 @@
+"""AXI4-Stream model: beats, channels, sources/sinks, monitors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.axis import (
+    AxiStreamBeat,
+    AxiStreamChannel,
+    StreamMonitor,
+    StreamPacket,
+    StreamSink,
+    StreamSource,
+    beats_to_packet,
+    packet_to_beats,
+)
+from repro.core.metadata import SUME_TUSER
+from repro.core.simulator import Simulator
+
+
+class TestBeats:
+    def test_empty_beat_rejected(self):
+        with pytest.raises(ValueError):
+            AxiStreamBeat(b"", last=True)
+
+    def test_packet_to_beats_sizes(self):
+        beats = packet_to_beats(StreamPacket(b"x" * 70), width_bytes=32)
+        assert [len(b.data) for b in beats] == [32, 32, 6]
+        assert [b.last for b in beats] == [False, False, True]
+
+    def test_exact_multiple(self):
+        beats = packet_to_beats(StreamPacket(b"x" * 64), width_bytes=32)
+        assert [b.last for b in beats] == [False, True]
+
+    def test_empty_packet_rejected(self):
+        with pytest.raises(ValueError):
+            packet_to_beats(StreamPacket(b""))
+
+    def test_reassembly_errors(self):
+        with pytest.raises(ValueError):
+            beats_to_packet([])
+        with pytest.raises(ValueError):
+            beats_to_packet([AxiStreamBeat(b"a", last=False)])
+        with pytest.raises(ValueError):
+            beats_to_packet(
+                [AxiStreamBeat(b"a", last=True), AxiStreamBeat(b"b", last=True)]
+            )
+
+    @given(st.binary(min_size=1, max_size=300), st.sampled_from([1, 8, 32, 64]))
+    def test_roundtrip_property(self, data, width):
+        packet = StreamPacket(data, tuser=0x1234)
+        assert beats_to_packet(packet_to_beats(packet, width)) == packet
+
+
+class TestStreamPacketMetadata:
+    def test_with_ports_and_len(self):
+        packet = StreamPacket(b"abc").with_src_port(0x04).with_dst_port(0x40).with_len()
+        assert packet.src_port == 0x04
+        assert packet.dst_port == 0x40
+        assert SUME_TUSER.extract(packet.tuser, "len") == 3
+
+    def test_length_property(self):
+        assert StreamPacket(b"hello").length == 5
+
+
+class TestChannel:
+    def test_width_enforced(self):
+        channel = AxiStreamChannel("ch", width_bytes=4)
+        with pytest.raises(ValueError):
+            channel.drive(AxiStreamBeat(b"12345", last=True))
+
+    def test_fire_needs_both(self):
+        channel = AxiStreamChannel("ch")
+        channel.drive(AxiStreamBeat(b"x", last=True))
+        assert not channel.fire
+        channel.set_ready(True)
+        assert channel.fire
+        channel.drive(None)
+        assert not channel.fire
+
+
+def _wire_up(source_kwargs=None, sink_kwargs=None):
+    sim = Simulator()
+    channel = AxiStreamChannel("ch")
+    source = StreamSource("src", channel, **(source_kwargs or {}))
+    sink = StreamSink("snk", channel, **(sink_kwargs or {}))
+    sim.add(source)
+    sim.add(sink)
+    return sim, source, sink
+
+
+class TestSourceSink:
+    def test_transfer_preserves_data_and_order(self):
+        sim, source, sink = _wire_up()
+        payloads = [bytes([i]) * (10 + i) for i in range(5)]
+        for payload in payloads:
+            source.send(StreamPacket(payload))
+        sim.run_until(lambda: len(sink.packets) == 5)
+        assert [p.data for p in sink.packets] == payloads
+
+    def test_tuser_len_autofilled(self):
+        sim, source, sink = _wire_up()
+        source.send(StreamPacket(b"z" * 77))
+        sim.run_until(lambda: sink.packets)
+        assert SUME_TUSER.extract(sink.packets[0].tuser, "len") == 77
+
+    def test_backpressure_slows_but_loses_nothing(self):
+        sim, source, sink = _wire_up(
+            sink_kwargs={"backpressure": lambda cycle: cycle % 3 != 0}
+        )
+        payloads = [bytes([i % 256]) * 40 for i in range(8)]
+        for payload in payloads:
+            source.send(StreamPacket(payload))
+        sim.run_until(lambda: len(sink.packets) == 8, max_cycles=10_000)
+        assert [p.data for p in sink.packets] == payloads
+        assert sink.channel.stall_cycles > 0  # the stalls were visible on the wire
+
+    def test_gap_cycles_spacing(self):
+        sim, source, sink = _wire_up(source_kwargs={"gap_cycles": 10})
+        source.send(StreamPacket(b"a" * 32))
+        source.send(StreamPacket(b"b" * 32))
+        sim.run_until(lambda: len(sink.packets) == 2, max_cycles=1000)
+        assert sink.arrival_cycles[1] - sink.arrival_cycles[0] >= 10
+
+    def test_pacing_holds_source(self):
+        sim, source, sink = _wire_up(
+            source_kwargs={"pacing": lambda cycle: cycle >= 20}
+        )
+        source.send(StreamPacket(b"q" * 16))
+        sim.step(19)
+        assert not sink.packets
+        sim.run_until(lambda: sink.packets, max_cycles=100)
+
+    def test_idle_flag(self):
+        sim, source, sink = _wire_up()
+        assert source.idle
+        source.send(StreamPacket(b"x"))
+        assert not source.idle
+        sim.run_until(lambda: sink.packets)
+        assert source.idle
+
+
+class TestMonitor:
+    def test_counts_and_rate(self):
+        sim = Simulator()
+        channel = AxiStreamChannel("ch")
+        source = StreamSource("src", channel)
+        sink = StreamSink("snk", channel)
+        monitor = StreamMonitor("mon", channel)
+        for module in (source, monitor, sink):
+            sim.add(module)
+        source.send(StreamPacket(b"a" * 64))
+        source.send(StreamPacket(b"b" * 64))
+        sim.run_until(lambda: len(sink.packets) == 2)
+        assert monitor.packets == 2
+        assert monitor.bytes == 128
+        assert monitor.beats == 4
+        # Back-to-back 2x64B over 4 cycles at 5ns = 51.2 Gb/s.
+        rate = monitor.observed_rate_bps(5.0)
+        assert rate == pytest.approx(128 * 8 / (4 * 5e-9), rel=0.01)
+
+    def test_idle_and_stall_accounting(self):
+        sim = Simulator()
+        channel = AxiStreamChannel("ch")
+        source = StreamSource("src", channel)
+        sink = StreamSink("snk", channel, backpressure=lambda c: c < 5)
+        monitor = StreamMonitor("mon", channel)
+        for module in (source, monitor, sink):
+            sim.add(module)
+        source.send(StreamPacket(b"x" * 32))
+        sim.step(10)
+        assert monitor.stall_cycles >= 4
+        assert monitor.packets == 1

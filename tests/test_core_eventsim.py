@@ -1,0 +1,109 @@
+"""Event engine: ordering, determinism, processes."""
+
+import pytest
+
+from repro.core.eventsim import EventSimulator, Process
+
+
+class TestScheduling:
+    def test_time_order(self):
+        sim = EventSimulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+        assert sim.now_ns == 30
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = EventSimulator()
+        order = []
+        for label in "abc":
+            sim.schedule(5, lambda l=label: order.append(l))
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_past_scheduling_rejected(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule_at(100, lambda: seen.append(sim.now_ns))
+        sim.run_until_idle()
+        assert seen == [100]
+
+    def test_run_until_stops_clock(self):
+        sim = EventSimulator()
+        sim.schedule(100, lambda: None)
+        sim.run(until_ns=50)
+        assert sim.now_ns == 50
+        assert sim.pending == 1
+        sim.run_until_idle()
+        assert sim.now_ns == 100
+
+    def test_events_during_events(self):
+        sim = EventSimulator()
+        seen = []
+
+        def first():
+            seen.append(("first", sim.now_ns))
+            sim.schedule(5, lambda: seen.append(("second", sim.now_ns)))
+
+        sim.schedule(10, first)
+        sim.run_until_idle()
+        assert seen == [("first", 10), ("second", 15)]
+
+    def test_runaway_guard(self):
+        sim = EventSimulator()
+
+        def loop():
+            sim.schedule(1, loop)
+
+        sim.schedule(0, loop)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_determinism(self):
+        def run_once():
+            sim = EventSimulator()
+            log = []
+            for i in range(50):
+                sim.schedule((i * 7919) % 100, lambda i=i: log.append(i))
+            sim.run_until_idle()
+            return log
+
+        assert run_once() == run_once()
+
+
+class TestProcess:
+    def test_yields_become_delays(self):
+        sim = EventSimulator()
+        stamps = []
+
+        def worker():
+            for _ in range(3):
+                yield 10
+                stamps.append(sim.now_ns)
+
+        proc = Process(sim, worker())
+        sim.run_until_idle()
+        assert stamps == [10, 20, 30]
+        assert proc.finished
+
+    def test_two_processes_interleave(self):
+        sim = EventSimulator()
+        log = []
+
+        def ticker(name, period):
+            for _ in range(2):
+                yield period
+                log.append((name, sim.now_ns))
+
+        Process(sim, ticker("fast", 3))
+        Process(sim, ticker("slow", 5))
+        sim.run_until_idle()
+        assert log == [("fast", 3), ("slow", 5), ("fast", 6), ("slow", 10)]

@@ -1,0 +1,96 @@
+"""FIFOs: the plain structure and the stream FIFO module."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.axis import AxiStreamChannel, StreamPacket, StreamSink, StreamSource
+from repro.core.fifo import AxiStreamFifo, Fifo
+from repro.core.simulator import Simulator
+
+
+class TestFifo:
+    def test_order(self):
+        fifo = Fifo()
+        for i in range(5):
+            fifo.push(i)
+        assert [fifo.pop() for _ in range(5)] == list(range(5))
+
+    def test_bounded_drop(self):
+        fifo = Fifo(capacity=2)
+        assert fifo.push(1) and fifo.push(2)
+        assert not fifo.push(3)
+        assert fifo.drops == 1
+        assert len(fifo) == 2
+
+    def test_peek(self):
+        fifo = Fifo()
+        fifo.push("a")
+        assert fifo.peek() == "a" and len(fifo) == 1
+
+    def test_flags(self):
+        fifo = Fifo(capacity=1)
+        assert fifo.empty and not fifo.full
+        fifo.push(1)
+        assert fifo.full and not fifo.empty
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Fifo(capacity=0)
+
+
+def _fifo_chain(depth, backpressure=None):
+    sim = Simulator()
+    upstream = AxiStreamChannel("up")
+    downstream = AxiStreamChannel("down")
+    source = StreamSource("src", upstream)
+    fifo = AxiStreamFifo("fifo", upstream, downstream, depth_beats=depth)
+    sink = StreamSink("snk", downstream, backpressure=backpressure)
+    for module in (source, fifo, sink):
+        sim.add(module)
+    return sim, source, fifo, sink
+
+
+class TestAxiStreamFifo:
+    def test_passes_packets_in_order(self):
+        sim, source, fifo, sink = _fifo_chain(depth=64)
+        payloads = [bytes([i]) * 50 for i in range(6)]
+        for payload in payloads:
+            source.send(StreamPacket(payload))
+        sim.run_until(lambda: len(sink.packets) == 6)
+        assert [p.data for p in sink.packets] == payloads
+
+    def test_backpressure_fills_then_stalls_upstream(self):
+        sim, source, fifo, sink = _fifo_chain(depth=4, backpressure=lambda c: True)
+        source.send(StreamPacket(b"x" * 320))  # 10 beats > depth 4
+        sim.step(50)
+        assert fifo.occupancy == 4
+        assert not bool(fifo.s_axis.tready)  # upstream held off, no loss
+
+    def test_lossless_under_random_backpressure(self):
+        import random
+
+        rng = random.Random(7)
+        pattern = [rng.random() < 0.6 for _ in range(4096)]
+        sim, source, fifo, sink = _fifo_chain(
+            depth=8, backpressure=lambda c: pattern[c % len(pattern)]
+        )
+        payloads = [bytes([i % 256]) * (1 + (i * 37) % 90) for i in range(25)]
+        for payload in payloads:
+            source.send(StreamPacket(payload))
+        sim.run_until(lambda: len(sink.packets) == 25, max_cycles=50_000)
+        assert [p.data for p in sink.packets] == payloads
+
+    def test_max_occupancy_tracked(self):
+        sim, source, fifo, sink = _fifo_chain(depth=16, backpressure=lambda c: c < 30)
+        source.send(StreamPacket(b"y" * 256))
+        sim.run_until(lambda: sink.packets, max_cycles=1000)
+        assert 1 <= fifo.max_occupancy <= 16
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            AxiStreamFifo("f", AxiStreamChannel("a"), AxiStreamChannel("b"), 0)
+
+    def test_resources_scale_with_depth(self):
+        small = AxiStreamFifo("s", AxiStreamChannel("a1"), AxiStreamChannel("b1"), 128)
+        large = AxiStreamFifo("l", AxiStreamChannel("a2"), AxiStreamChannel("b2"), 1024)
+        assert large.resources().brams > small.resources().brams

@@ -1,0 +1,141 @@
+"""Kernel semantics: settle loop, two-phase ticks, loop detection."""
+
+import pytest
+
+from repro.core.module import Module, Resources
+from repro.core.signal import Signal
+from repro.core.simulator import CombLoopError, SimulationError, Simulator
+
+
+class Chain(Module):
+    """out = in + 1, combinational — builds deep comb chains."""
+
+    def __init__(self, name, src, dst):
+        super().__init__(name)
+        self.src = src
+        self.dst = self.adopt_signal(dst)
+
+    def comb(self):
+        self.dst.set(self.src.get() + 1)
+
+
+class Counter(Module):
+    def __init__(self, name):
+        super().__init__(name)
+        self.out = self.signal("out", 0)
+        self._value = 0
+
+    def comb(self):
+        self.out.set(self._value)
+
+    def tick(self):
+        self._value += 1
+
+    def resources(self):
+        return Resources(luts=10, ffs=32)
+
+
+class Oscillator(Module):
+    """A genuine combinational loop: out = not out."""
+
+    def __init__(self):
+        super().__init__("osc")
+        self.out = self.signal("out", False)
+
+    def comb(self):
+        self.out.set(not self.out.get())
+
+
+class TestSettle:
+    def test_deep_chain_settles_regardless_of_order(self):
+        # Register modules in worst-case (reverse) order; settle must
+        # still propagate through the whole chain in one cycle.
+        sim = Simulator()
+        signals = [Signal(f"s{i}", 0) for i in range(10)]
+        modules = [Chain(f"m{i}", signals[i], signals[i + 1]) for i in range(9)]
+        for module in reversed(modules):
+            sim.add(module)
+        signals[0].set(100)
+        sim.step()
+        assert signals[9].get() == 109
+
+    def test_comb_loop_detected(self):
+        sim = Simulator()
+        sim.add(Oscillator())
+        with pytest.raises(CombLoopError):
+            sim.step()
+
+
+class TestTwoPhase:
+    def test_tick_sees_settled_values(self):
+        sim = Simulator()
+        counter = sim.add(Counter("c"))
+        observed = []
+
+        class Observer(Module):
+            def tick(self):
+                observed.append(counter.out.get())
+
+        sim.add(Observer("o"))
+        sim.step(3)
+        # Observer always sees the value driven for that cycle.
+        assert observed == [0, 1, 2]
+
+    def test_cycle_and_time(self):
+        sim = Simulator(clock_period_ns=4.0)
+        sim.step(10)
+        assert sim.cycle == 10
+        assert sim.now_ns == 40.0
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(clock_period_ns=0)
+
+
+class TestRunUntil:
+    def test_returns_elapsed(self):
+        sim = Simulator()
+        counter = sim.add(Counter("c"))
+        elapsed = sim.run_until(lambda: counter._value >= 5)
+        assert elapsed == 5
+
+    def test_timeout_raises(self):
+        sim = Simulator()
+        sim.add(Counter("c"))
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda: False, max_cycles=10)
+
+
+class TestCycleHooks:
+    def test_hook_called_each_cycle(self):
+        sim = Simulator()
+        seen = []
+        sim.add_cycle_hook(seen.append)
+        sim.step(4)
+        assert seen == [1, 2, 3, 4]
+
+
+class TestModuleTree:
+    def test_walk_and_resources(self):
+        parent = Counter("p")
+        child = Counter("c")
+        grandchild = Counter("g")
+        child.submodule(grandchild)
+        parent.submodule(child)
+        assert [m.name for m in parent.walk()] == ["p", "c", "g"]
+        total = parent.total_resources()
+        assert total.luts == 30 and total.ffs == 96
+
+    def test_resources_add_and_scale(self):
+        r = Resources(luts=10, ffs=20, brams=1.5, dsps=2)
+        doubled = r + r
+        assert doubled.brams == 3.0 and doubled.dsps == 4
+        assert r.scaled(2.0).luts == 20
+
+    def test_signal_change_tracking(self):
+        sig = Signal("x", 0)
+        v0 = sig._version
+        sig.set(0)  # unchanged: no version bump
+        assert sig._version == v0
+        sig.set(1)
+        assert sig._version == v0 + 1

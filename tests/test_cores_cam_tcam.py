@@ -1,0 +1,153 @@
+"""Exact-match CAM and ternary CAM."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cores.cam import BinaryCam
+from repro.cores.tcam import Tcam, TcamEntry
+
+
+class TestBinaryCam:
+    def test_insert_lookup(self):
+        cam = BinaryCam(capacity=8, key_bits=48)
+        cam.insert(0xAABB, 3)
+        assert cam.lookup(0xAABB) == 3
+        assert cam.lookup(0xCCDD) is None
+
+    def test_update_in_place(self):
+        cam = BinaryCam(capacity=2, key_bits=16)
+        cam.insert(1, 10)
+        cam.insert(1, 20)
+        assert cam.lookup(1) == 20
+        assert len(cam) == 1
+
+    def test_fifo_eviction(self):
+        cam = BinaryCam(capacity=2, key_bits=16, evict_oldest=True)
+        cam.insert(1, 1)
+        cam.insert(2, 2)
+        cam.insert(3, 3)
+        assert cam.lookup(1) is None  # oldest evicted
+        assert cam.lookup(3) == 3
+        assert cam.evictions == 1
+
+    def test_reject_mode(self):
+        cam = BinaryCam(capacity=1, key_bits=16, evict_oldest=False)
+        cam.insert(1, 1)
+        assert not cam.insert(2, 2)
+        assert cam.lookup(1) == 1
+        assert cam.rejects == 1
+
+    def test_delete_and_clear(self):
+        cam = BinaryCam(capacity=4, key_bits=16)
+        cam.insert(5, 50)
+        assert cam.delete(5)
+        assert not cam.delete(5)
+        cam.insert(6, 60)
+        cam.clear()
+        assert len(cam) == 0
+
+    def test_hit_rate(self):
+        cam = BinaryCam(capacity=4, key_bits=16)
+        cam.insert(1, 1)
+        cam.lookup(1)
+        cam.lookup(2)
+        assert cam.hit_rate == 0.5
+
+    def test_key_width_enforced(self):
+        cam = BinaryCam(capacity=4, key_bits=8)
+        with pytest.raises(ValueError):
+            cam.lookup(0x100)
+
+    def test_iteration_order_is_insertion(self):
+        cam = BinaryCam(capacity=4, key_bits=8)
+        for key in (3, 1, 2):
+            cam.insert(key, key * 10)
+        assert [k for k, _ in cam] == [3, 1, 2]
+
+    def test_resources_scale_with_capacity(self):
+        small = BinaryCam(capacity=16, key_bits=48)
+        big = BinaryCam(capacity=1024, key_bits=48)
+        assert big.resources().brams > small.resources().brams
+
+    @given(st.dictionaries(st.integers(0, 0xFFFF), st.integers(0, 100), max_size=32))
+    def test_behaves_like_dict_property(self, mapping):
+        cam = BinaryCam(capacity=64, key_bits=16)
+        for key, value in mapping.items():
+            cam.insert(key, value)
+        for key, value in mapping.items():
+            assert cam.lookup(key) == value
+
+
+class TestTcam:
+    def test_exact_entry(self):
+        tcam = Tcam(slots=4, key_bits=32)
+        tcam.write_slot(0, TcamEntry(value=0xAABBCCDD, mask=0xFFFFFFFF, result=7))
+        assert tcam.lookup(0xAABBCCDD) == (0, 7)
+        assert tcam.lookup(0xAABBCCDE) is None
+
+    def test_wildcard_bits(self):
+        tcam = Tcam(slots=4, key_bits=32)
+        tcam.write_slot(0, TcamEntry(value=0x0A000000, mask=0xFF000000, result=1))
+        assert tcam.lookup(0x0A123456) == (0, 1)
+        assert tcam.lookup(0x0B000000) is None
+
+    def test_priority_is_slot_order(self):
+        tcam = Tcam(slots=4, key_bits=32)
+        tcam.write_slot(2, TcamEntry(0, 0, result=99))  # match-all, low priority
+        tcam.write_slot(1, TcamEntry(0x10, 0xFF, result=5))
+        assert tcam.lookup(0x10) == (1, 5)
+        assert tcam.lookup(0x20) == (2, 99)
+
+    def test_clear_slot(self):
+        tcam = Tcam(slots=2, key_bits=8)
+        tcam.write_slot(0, TcamEntry(1, 0xFF, result=1))
+        tcam.write_slot(0, None)
+        assert tcam.lookup(1) is None
+
+    def test_occupancy(self):
+        tcam = Tcam(slots=4, key_bits=8)
+        tcam.write_slot(1, TcamEntry(0, 0, 0))
+        tcam.write_slot(3, TcamEntry(0, 0, 0))
+        assert tcam.occupancy() == 2
+        tcam.clear()
+        assert tcam.occupancy() == 0
+
+    def test_snapshot_restore(self):
+        tcam = Tcam(slots=2, key_bits=8)
+        tcam.write_slot(0, TcamEntry(5, 0xFF, result=1))
+        snapshot = tcam.snapshot()
+        tcam.write_slot(0, None)
+        tcam.restore(snapshot)
+        assert tcam.lookup(5) == (0, 1)
+
+    def test_restore_size_checked(self):
+        tcam = Tcam(slots=2, key_bits=8)
+        with pytest.raises(ValueError):
+            tcam.restore([None])
+
+    def test_slot_and_key_validation(self):
+        tcam = Tcam(slots=2, key_bits=8)
+        with pytest.raises(ValueError):
+            tcam.write_slot(5, None)
+        with pytest.raises(ValueError):
+            tcam.lookup(0x100)
+        with pytest.raises(ValueError):
+            tcam.write_slot(0, TcamEntry(0x100, 0, 0))
+
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 0xFF), st.integers(0, 0xFF)), max_size=8
+        ),
+        key=st.integers(0, 0xFF),
+    )
+    def test_first_match_wins_property(self, entries, key):
+        tcam = Tcam(slots=8, key_bits=8)
+        for slot, (value, mask) in enumerate(entries):
+            tcam.write_slot(slot, TcamEntry(value, mask, result=slot))
+        hit = tcam.lookup(key)
+        expected = None
+        for slot, (value, mask) in enumerate(entries):
+            if (key & mask) == (value & mask):
+                expected = (slot, slot)
+                break
+        assert hit == expected

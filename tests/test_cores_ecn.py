@@ -1,0 +1,101 @@
+"""ECN marking (AQM) in the output queues."""
+
+import pytest
+
+from repro.core.axis import AxiStreamChannel, StreamPacket, StreamSink, StreamSource
+from repro.core.metadata import phys_port_bit
+from repro.core.simulator import Simulator
+from repro.cores.output_queues import OutputQueues, QueueConfig, _mark_ce
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.checksum import internet_checksum
+from repro.packet.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.packet.ipv4 import Ipv4Packet
+from repro.packet.udp import UdpDatagram
+
+from tests.conftest import ip, mac
+
+
+def ect_frame(ecn: int = 0b10, size: int = 500) -> bytes:
+    udp = UdpDatagram(1000, 2000, b"\xa5" * (size - 46))
+    packet = Ipv4Packet(ip(1), ip(2), 17, udp.pack(ip(1), ip(2)), ecn=ecn)
+    return EthernetFrame(mac(2), mac(1), ETHERTYPE_IPV4, packet.pack()).pack()
+
+
+class TestMarkHelper:
+    @pytest.mark.parametrize("ecn", [0b01, 0b10])
+    def test_ect_marked_to_ce(self, ecn):
+        marked = _mark_ce(StreamPacket(ect_frame(ecn=ecn)))
+        assert marked is not None
+        packet = Ipv4Packet.parse(EthernetFrame.parse(marked.data).payload)
+        assert packet.ecn == 0b11
+
+    def test_checksum_stays_valid(self):
+        marked = _mark_ce(StreamPacket(ect_frame()))
+        header = marked.data[14:34]
+        assert internet_checksum(header) == 0
+
+    def test_not_ect_untouched(self):
+        assert _mark_ce(StreamPacket(ect_frame(ecn=0b00))) is None
+
+    def test_already_ce_untouched(self):
+        assert _mark_ce(StreamPacket(ect_frame(ecn=0b11))) is None
+
+    def test_non_ip_untouched(self):
+        assert _mark_ce(StreamPacket(b"\x00" * 60)) is None
+
+    def test_only_ecn_bits_change(self):
+        original = ect_frame()
+        marked = _mark_ce(StreamPacket(original))
+        diffs = [i for i, (a, b) in enumerate(zip(original, marked.data)) if a != b]
+        # TOS byte (15) and the two checksum bytes (24, 25) only.
+        assert diffs == [15, 24] or diffs == [15, 24, 25] or diffs == [15, 25]
+
+
+class TestMarkingInQueues:
+    def _run(self, frames, threshold):
+        sim = Simulator()
+        s_axis = AxiStreamChannel("in")
+        source = StreamSource("src", s_axis)
+        out = AxiStreamChannel("out")
+        oq = OutputQueues(
+            "oq", s_axis, [(phys_port_bit(0), out)],
+            config=QueueConfig(capacity_bytes=1 << 20,
+                               ecn_threshold_bytes=threshold),
+        )
+        sink = StreamSink("snk", out, backpressure=lambda c: c < 2000)
+        for module in (source, oq, sink):
+            sim.add(module)
+        for frame in frames:
+            source.send(StreamPacket(frame).with_dst_port(phys_port_bit(0)))
+        sim.run_until(lambda: len(sink.packets) == len(frames), max_cycles=100_000)
+        return oq, sink
+
+    def test_deep_queue_marks_ect_traffic(self):
+        frames = [ect_frame(size=500) for _ in range(12)]
+        oq, sink = self._run(frames, threshold=1500)
+        stats = oq.port_stats()[0]
+        assert stats["ecn_marked"] > 0
+        assert stats["dropped"] == 0
+        ce_count = 0
+        for packet in sink.packets:
+            parsed = Ipv4Packet.parse(EthernetFrame.parse(packet.data).payload)
+            if parsed.ecn == 0b11:
+                ce_count += 1
+        assert ce_count == stats["ecn_marked"]
+
+    def test_shallow_queue_marks_nothing(self):
+        frames = [ect_frame(size=500) for _ in range(3)]
+        oq, sink = self._run(frames, threshold=1 << 19)
+        assert oq.port_stats()[0]["ecn_marked"] == 0
+
+    def test_non_ect_never_marked(self):
+        frames = [ect_frame(ecn=0b00, size=500) for _ in range(12)]
+        oq, sink = self._run(frames, threshold=500)
+        assert oq.port_stats()[0]["ecn_marked"] == 0
+        for packet in sink.packets:
+            parsed = Ipv4Packet.parse(EthernetFrame.parse(packet.data).payload)
+            assert parsed.ecn == 0b00
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            QueueConfig(ecn_threshold_bytes=0)

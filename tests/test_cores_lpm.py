@@ -1,0 +1,138 @@
+"""Longest-prefix match: trie vs oracle, plus routing-table semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cores.lpm import LpmEntry, LpmTable, NaiveLpm
+from repro.packet.addresses import Ipv4Addr
+
+
+def entry(prefix: str, length: int, port: int = 1, next_hop: str = "0.0.0.0") -> LpmEntry:
+    return LpmEntry(
+        prefix=Ipv4Addr.parse(prefix),
+        prefix_len=length,
+        next_hop=Ipv4Addr.parse(next_hop),
+        port_bits=port,
+    )
+
+
+class TestLpmEntry:
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            entry("10.0.0.1", 24)
+
+    def test_host_route_allowed(self):
+        entry("10.0.0.1", 32)
+
+    def test_directly_connected(self):
+        assert entry("10.0.0.0", 24).is_directly_connected
+        assert not entry("10.0.0.0", 24, next_hop="10.0.0.254").is_directly_connected
+
+    def test_bad_prefix_len(self):
+        with pytest.raises(ValueError):
+            entry("10.0.0.0", 33)
+
+
+class TestLpmTable:
+    def test_longest_wins(self):
+        table = LpmTable()
+        table.insert(entry("10.0.0.0", 8, port=1))
+        table.insert(entry("10.1.0.0", 16, port=2))
+        table.insert(entry("10.1.2.0", 24, port=3))
+        assert table.lookup(Ipv4Addr.parse("10.1.2.3")).port_bits == 3
+        assert table.lookup(Ipv4Addr.parse("10.1.9.9")).port_bits == 2
+        assert table.lookup(Ipv4Addr.parse("10.9.9.9")).port_bits == 1
+        assert table.lookup(Ipv4Addr.parse("11.0.0.1")) is None
+
+    def test_default_route(self):
+        table = LpmTable()
+        table.insert(entry("0.0.0.0", 0, port=9))
+        assert table.lookup(Ipv4Addr.parse("8.8.8.8")).port_bits == 9
+
+    def test_replace_same_prefix(self):
+        table = LpmTable()
+        table.insert(entry("10.0.0.0", 24, port=1))
+        table.insert(entry("10.0.0.0", 24, port=2))
+        assert table.size == 1
+        assert table.lookup(Ipv4Addr.parse("10.0.0.1")).port_bits == 2
+
+    def test_delete(self):
+        table = LpmTable()
+        table.insert(entry("10.0.0.0", 24))
+        table.insert(entry("10.0.0.0", 16))
+        assert table.delete(Ipv4Addr.parse("10.0.0.0"), 24)
+        assert table.lookup(Ipv4Addr.parse("10.0.0.1")).prefix_len == 16
+        assert not table.delete(Ipv4Addr.parse("10.0.0.0"), 24)
+        assert table.size == 1
+
+    def test_capacity(self):
+        table = LpmTable(capacity=1)
+        assert table.insert(entry("10.0.0.0", 24))
+        assert not table.insert(entry("11.0.0.0", 24))
+        assert table.insert(entry("10.0.0.0", 24, port=5))  # replace is free
+
+    def test_entries_listing(self):
+        table = LpmTable()
+        table.insert(entry("10.0.0.0", 24))
+        table.insert(entry("0.0.0.0", 0))
+        lengths = [e.prefix_len for e in table.entries()]
+        assert lengths == [0, 24]
+
+    def test_hit_counters(self):
+        table = LpmTable()
+        table.insert(entry("10.0.0.0", 8))
+        table.lookup(Ipv4Addr.parse("10.1.1.1"))
+        table.lookup(Ipv4Addr.parse("192.168.0.1"))
+        assert table.lookups == 2 and table.hits == 1
+
+
+# Strategy: canonical (prefix, length) pairs.
+@st.composite
+def routes(draw):
+    length = draw(st.integers(0, 32))
+    addr = draw(st.integers(0, (1 << 32) - 1))
+    if length < 32:
+        addr &= ~((1 << (32 - length)) - 1)
+    port = draw(st.integers(1, 255))
+    return LpmEntry(Ipv4Addr(addr), length, Ipv4Addr(0), port)
+
+
+class TestTrieAgainstOracle:
+    @settings(max_examples=200)
+    @given(
+        route_list=st.lists(routes(), max_size=40),
+        queries=st.lists(st.integers(0, (1 << 32) - 1), min_size=1, max_size=20),
+    )
+    def test_equivalence_property(self, route_list, queries):
+        trie, oracle = LpmTable(), NaiveLpm()
+        for route in route_list:
+            trie.insert(route)
+            oracle.insert(route)
+        for query in queries:
+            addr = Ipv4Addr(query)
+            expected = oracle.lookup(addr)
+            got = trie.lookup(addr)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got.prefix_len == expected.prefix_len
+                assert got.prefix == expected.prefix
+
+    @settings(max_examples=50)
+    @given(route_list=st.lists(routes(), min_size=1, max_size=20), data=st.data())
+    def test_delete_equivalence_property(self, route_list, data):
+        trie, oracle = LpmTable(), NaiveLpm()
+        for route in route_list:
+            trie.insert(route)
+            oracle.insert(route)
+        victim = data.draw(st.sampled_from(route_list))
+        trie.delete(victim.prefix, victim.prefix_len)
+        oracle.delete(victim.prefix, victim.prefix_len)
+        for probe in route_list:
+            addr = probe.prefix
+            expected = oracle.lookup(addr)
+            got = trie.lookup(addr)
+            assert (got is None) == (expected is None)
+            if got is not None:
+                assert got.prefix_len == expected.prefix_len

@@ -1,0 +1,243 @@
+"""The OPL engine and the NIC/switch-family lookups."""
+
+import pytest
+
+from repro.core.axis import AxiStreamChannel, StreamPacket, StreamSink, StreamSource
+from repro.core.metadata import (
+    SUME_TUSER,
+    all_phys_ports_mask,
+    dma_port_bit,
+    phys_port_bit,
+)
+from repro.core.simulator import Simulator
+from repro.cores.lookups import (
+    LearningSwitchLookup,
+    NicLookup,
+    PassthroughLookup,
+    SwitchLiteLookup,
+)
+from repro.cores.output_port_lookup import Decision, OutputPortLookup
+
+from tests.conftest import udp_frame
+
+
+def _run_opl(opl_class, packets, **opl_kwargs):
+    """Push (frame, src_bits[, dst_bits]) tuples through one OPL instance."""
+    sim = Simulator()
+    s_axis, m_axis = AxiStreamChannel("s"), AxiStreamChannel("m")
+    source = StreamSource("src", s_axis)
+    opl = opl_class("opl", s_axis, m_axis, **opl_kwargs)
+    sink = StreamSink("snk", m_axis)
+    for module in (source, opl, sink):
+        sim.add(module)
+    for item in packets:
+        frame, src_bits = item[0], item[1]
+        packet = StreamPacket(frame).with_src_port(src_bits)
+        if len(item) > 2:
+            packet = packet.with_dst_port(item[2])
+        source.send(packet)
+    sim.run_until(lambda: source.idle, max_cycles=20_000)
+    sim.step(200)
+    return opl, sink
+
+
+class TestEngineMechanics:
+    def test_rewrites_cross_beat_boundaries(self):
+        class RewriteEverywhere(OutputPortLookup):
+            def decide(self, header, tuser):
+                # Rewrite spans bytes 30..40: crosses the 32B beat edge.
+                return Decision(
+                    SUME_TUSER.insert(tuser, "dst_port", 0x01),
+                    rewrites={30: bytes(range(10))},
+                )
+
+        frame = udp_frame(size=96)
+        _, sink = _run_opl(RewriteEverywhere, [(frame, 0x01)])
+        out = sink.packets[0].data
+        assert out[30:40] == bytes(range(10))
+        assert out[:30] == frame[:30]
+        assert out[40:] == frame[40:]
+
+    def test_drop_swallows_whole_packet(self):
+        class DropAll(OutputPortLookup):
+            def decide(self, header, tuser):
+                return Decision(tuser, drop=True, note="nope")
+
+        opl, sink = _run_opl(DropAll, [(udp_frame(size=500), 0x01)])
+        assert sink.packets == []
+        assert opl.drops == 1
+        assert opl.counters == {"nope": 1}
+
+    def test_decision_uses_first_64_bytes_only(self):
+        seen = {}
+
+        class Spy(OutputPortLookup):
+            def decide(self, header, tuser):
+                seen["header_len"] = len(header)
+                return Decision(SUME_TUSER.insert(tuser, "dst_port", 0x01))
+
+        _run_opl(Spy, [(udp_frame(size=512), 0x01)])
+        assert seen["header_len"] == 64
+
+    def test_short_packet_decides_at_last_beat(self):
+        seen = {}
+
+        class Spy(OutputPortLookup):
+            def decide(self, header, tuser):
+                seen["header_len"] = len(header)
+                return Decision(SUME_TUSER.insert(tuser, "dst_port", 0x01))
+
+        frame = udp_frame(size=64)  # 60B without FCS: 2 beats
+        _run_opl(Spy, [(frame, 0x01)])
+        assert seen["header_len"] == 60
+
+    def test_back_to_back_packets_keep_identity(self):
+        class Echo(OutputPortLookup):
+            def decide(self, header, tuser):
+                return Decision(SUME_TUSER.insert(tuser, "dst_port", 0x01))
+
+        frames = [udp_frame(src=i + 1, size=80 + i * 40) for i in range(5)]
+        _, sink = _run_opl(Echo, [(f, 0x01) for f in frames])
+        assert [p.data for p in sink.packets] == frames
+
+
+class TestNicLookup:
+    def test_phys_to_dma(self):
+        for i in range(4):
+            opl, sink = _run_opl(NicLookup, [(udp_frame(), phys_port_bit(i))])
+            assert sink.packets[0].dst_port == dma_port_bit(i)
+
+    def test_dma_to_phys(self):
+        for i in range(4):
+            opl, sink = _run_opl(NicLookup, [(udp_frame(), dma_port_bit(i))])
+            assert sink.packets[0].dst_port == phys_port_bit(i)
+
+    def test_unknown_source_dropped(self):
+        opl, sink = _run_opl(NicLookup, [(udp_frame(), 0)])
+        assert opl.counters.get("unknown_source") == 1
+        assert sink.packets == []
+
+
+class TestPassthroughLookup:
+    def test_honours_preset_destination(self):
+        _, sink = _run_opl(
+            PassthroughLookup, [(udp_frame(), phys_port_bit(0), phys_port_bit(3))]
+        )
+        assert sink.packets[0].dst_port == phys_port_bit(3)
+
+    def test_no_destination_drops(self):
+        opl, sink = _run_opl(PassthroughLookup, [(udp_frame(), phys_port_bit(0))])
+        assert sink.packets == []
+        assert opl.counters.get("no_destination") == 1
+
+
+class TestSwitchLite:
+    def test_static_pairs(self):
+        cases = {
+            phys_port_bit(0): phys_port_bit(1),
+            phys_port_bit(1): phys_port_bit(0),
+            phys_port_bit(2): phys_port_bit(3),
+            phys_port_bit(3): phys_port_bit(2),
+        }
+        for src, expected in cases.items():
+            _, sink = _run_opl(SwitchLiteLookup, [(udp_frame(), src)])
+            assert sink.packets[0].dst_port == expected
+
+    def test_dma_maps_to_paired_phys(self):
+        _, sink = _run_opl(SwitchLiteLookup, [(udp_frame(), dma_port_bit(2))])
+        assert sink.packets[0].dst_port == phys_port_bit(2)
+
+
+class TestLearningSwitch:
+    def test_miss_floods_all_but_ingress(self):
+        _, sink = _run_opl(LearningSwitchLookup, [(udp_frame(1, 2), phys_port_bit(1))])
+        assert sink.packets[0].dst_port == all_phys_ports_mask(exclude=phys_port_bit(1))
+
+    def test_learning_enables_unicast(self):
+        opl, sink = _run_opl(
+            LearningSwitchLookup,
+            [
+                (udp_frame(src=1, dst=2), phys_port_bit(0)),
+                (udp_frame(src=2, dst=1), phys_port_bit(2)),
+            ],
+        )
+        assert sink.packets[1].dst_port == phys_port_bit(0)
+        assert opl.counters == {"flood": 1, "hit": 1}
+
+    def test_same_port_filtered(self):
+        opl, sink = _run_opl(
+            LearningSwitchLookup,
+            [
+                (udp_frame(src=1, dst=2), phys_port_bit(0)),
+                (udp_frame(src=2, dst=1), phys_port_bit(0)),  # dst is on same port
+            ],
+        )
+        assert len(sink.packets) == 1  # second one filtered
+        assert opl.counters.get("same_port_filter") == 1
+
+    def test_multicast_never_learned_always_flooded(self):
+        frame = bytearray(udp_frame(src=1, dst=2))
+        frame[6] |= 0x01  # make the *source* MAC a group address
+        opl, sink = _run_opl(LearningSwitchLookup, [(bytes(frame), phys_port_bit(0))])
+        assert len(opl.mac_table) == 0
+
+    def test_learning_disabled(self):
+        opl, _ = _run_opl(
+            LearningSwitchLookup,
+            [(udp_frame(src=1, dst=2), phys_port_bit(0))],
+            learn=False,
+        )
+        assert len(opl.mac_table) == 0
+
+    def test_register_file(self):
+        opl, _ = _run_opl(
+            LearningSwitchLookup,
+            [
+                (udp_frame(src=1, dst=2), phys_port_bit(0)),
+                (udp_frame(src=2, dst=1), phys_port_bit(2)),
+            ],
+        )
+        assert opl.registers.peek("lut_hits") == 1
+        assert opl.registers.peek("lut_misses") == 1
+        assert opl.registers.peek("table_size") == 2
+        opl.registers.poke("table_clear", 1)
+        assert opl.registers.peek("table_size") == 0
+
+    def test_table_capacity_eviction(self):
+        opl, _ = _run_opl(
+            LearningSwitchLookup,
+            [(udp_frame(src=i + 1, dst=99), phys_port_bit(i % 4)) for i in range(8)],
+            table_size=4,
+        )
+        assert len(opl.mac_table) == 4
+        assert opl.mac_table.evictions == 4
+
+
+class TestEngineBackpressure:
+    def test_jammed_output_backpressures_never_drops(self):
+        """The OPL's elastic buffer fills, then tready deasserts upstream;
+        nothing is lost when the jam clears."""
+        from repro.core.simulator import Simulator
+        from repro.core.axis import AxiStreamChannel, StreamPacket, StreamSink, StreamSource
+
+        class Echo(OutputPortLookup):
+            def decide(self, header, tuser):
+                return Decision(SUME_TUSER.insert(tuser, "dst_port", 0x01))
+
+        sim = Simulator()
+        s_axis, m_axis = AxiStreamChannel("s"), AxiStreamChannel("m")
+        source = StreamSource("src", s_axis)
+        opl = Echo("opl", s_axis, m_axis)
+        sink = StreamSink("snk", m_axis, backpressure=lambda c: c < 400)
+        for module in (source, opl, sink):
+            sim.add(module)
+        frames = [udp_frame(src=i + 1, size=1000) for i in range(8)]
+        for frame in frames:
+            source.send(StreamPacket(frame).with_src_port(0x01))
+        sim.step(300)
+        # Mid-jam: the engine buffer is bounded and upstream is stalled.
+        held = len(opl._emit) + len(opl._held)
+        assert held <= 128  # ENGINE_BUFFER_BEATS
+        assert not bool(s_axis.tready)
+        sim.run_until(lambda: len(sink.packets) == 8, max_cycles=20_000)
+        assert [p.data for p in sink.packets] == frames

@@ -1,0 +1,175 @@
+"""Output queues: routing, replication, drops, and the three schedulers."""
+
+import pytest
+
+from repro.core.axis import AxiStreamChannel, StreamPacket, StreamSink, StreamSource
+from repro.core.metadata import phys_port_bit
+from repro.core.simulator import Simulator
+from repro.cores.output_queues import OutputQueues, QueueConfig, classify_by_dscp
+
+from tests.conftest import udp_frame
+
+
+def _build(config=QueueConfig(), classify=None, n_ports=4, backpressure=None):
+    sim = Simulator()
+    s_axis = AxiStreamChannel("in")
+    source = StreamSource("src", s_axis)
+    ports = [(phys_port_bit(i), AxiStreamChannel(f"out{i}")) for i in range(n_ports)]
+    oq = OutputQueues("oq", s_axis, ports, config=config, classify=classify)
+    sinks = [
+        StreamSink(f"snk{i}", ch, backpressure=backpressure)
+        for i, (_, ch) in enumerate(ports)
+    ]
+    for module in (source, oq, *sinks):
+        sim.add(module)
+    return sim, source, oq, sinks
+
+
+def _send(source, frame, dst_bits, tuser_extra=0):
+    packet = StreamPacket(frame).with_dst_port(dst_bits)
+    source.send(packet)
+
+
+class TestRouting:
+    def test_unicast(self):
+        sim, source, oq, sinks = _build()
+        _send(source, udp_frame(), phys_port_bit(2))
+        sim.run_until(lambda: sinks[2].packets, max_cycles=1000)
+        assert [len(s.packets) for s in sinks] == [0, 0, 1, 0]
+
+    def test_multicast_replicates(self):
+        sim, source, oq, sinks = _build()
+        dst = phys_port_bit(0) | phys_port_bit(1) | phys_port_bit(3)
+        _send(source, udp_frame(size=200), dst)
+        sim.run_until(
+            lambda: sum(len(s.packets) for s in sinks) == 3, max_cycles=2000
+        )
+        assert [len(s.packets) for s in sinks] == [1, 1, 0, 1]
+        # The replicas are byte-identical.
+        assert sinks[0].packets[0].data == sinks[3].packets[0].data
+
+    def test_unroutable_counted(self):
+        sim, source, oq, sinks = _build()
+        _send(source, udp_frame(), 0)
+        sim.step(50)
+        assert oq.unroutable == 1
+
+    def test_per_port_order_preserved(self):
+        sim, source, oq, sinks = _build()
+        frames = [udp_frame(src=i + 1, size=64 + 16 * i) for i in range(6)]
+        for frame in frames:
+            _send(source, frame, phys_port_bit(1))
+        sim.run_until(lambda: len(sinks[1].packets) == 6, max_cycles=5000)
+        assert [p.data for p in sinks[1].packets] == frames
+
+
+class TestDropOnFull:
+    def test_drops_when_capacity_exceeded(self):
+        config = QueueConfig(capacity_bytes=2048)
+        # Sink jammed: queue can hold ~2 x 1000B packets, rest drop.
+        sim, source, oq, sinks = _build(config=config, backpressure=lambda c: True)
+        for _ in range(6):
+            _send(source, udp_frame(size=1000), phys_port_bit(0))
+        sim.run_until(lambda: source.idle, max_cycles=10_000)
+        sim.step(100)
+        stats = oq.port_stats()[0]
+        assert stats["dropped"] >= 3
+        assert stats["enqueued"] + stats["dropped"] == 6
+
+    def test_input_never_backpressured(self):
+        sim, source, oq, sinks = _build(
+            config=QueueConfig(capacity_bytes=1024), backpressure=lambda c: True
+        )
+        for _ in range(10):
+            _send(source, udp_frame(size=512), phys_port_bit(0))
+        cycles = 0
+        while not source.idle and cycles < 5000:
+            sim.step()
+            cycles += 1
+        # Input drained at full speed despite jammed output.
+        assert source.idle
+
+    def test_high_watermark(self):
+        sim, source, oq, sinks = _build(backpressure=lambda c: c < 100)
+        for _ in range(3):
+            _send(source, udp_frame(size=500), phys_port_bit(0))
+        sim.run_until(lambda: len(sinks[0].packets) == 3, max_cycles=5000)
+        assert oq.port_stats()[0]["high_watermark"] >= 900
+
+
+def _frame_with_dscp(size, dscp):
+    from repro.packet.checksum import internet_checksum
+
+    frame = bytearray(udp_frame(size=size))
+    frame[15] = dscp << 2
+    frame[24:26] = b"\x00\x00"
+    frame[24:26] = internet_checksum(bytes(frame[14:34])).to_bytes(2, "big")
+    return bytes(frame)
+
+
+class TestSchedulers:
+    def _run_classes(self, scheduler):
+        config = QueueConfig(classes=4, capacity_bytes=64 * 1024, scheduler=scheduler)
+        sim, source, oq, sinks = _build(
+            config=config,
+            classify=classify_by_dscp(4),
+            backpressure=lambda c: c < 400,  # hold output so queues fill
+        )
+        # Interleave low-priority bulk and high-priority small frames.
+        for _ in range(8):
+            _send(source, _frame_with_dscp(600, 0), phys_port_bit(0))
+            _send(source, _frame_with_dscp(80, 46), phys_port_bit(0))
+        sim.run_until(lambda: len(sinks[0].packets) == 16, max_cycles=30_000)
+        return [len(p.data) for p in sinks[0].packets]
+
+    def test_strict_priority_reorders(self):
+        sizes = self._run_classes("strict")
+        small_positions = [i for i, s in enumerate(sizes) if s < 200]
+        large_positions = [i for i, s in enumerate(sizes) if s >= 200]
+        assert max(small_positions) < max(large_positions)
+        # All smalls that were queued at release come out first.
+        assert small_positions[0] < large_positions[0] or sizes[0] >= 200
+
+    def test_drr_interleaves_by_bytes(self):
+        sizes = self._run_classes("drr")
+        # DRR must serve both classes in the first half of departures.
+        first_half = sizes[: len(sizes) // 2]
+        assert any(s < 200 for s in first_half)
+        assert any(s >= 200 for s in first_half)
+
+    def test_fifo_keeps_arrival_order(self):
+        config = QueueConfig()
+        sim, source, oq, sinks = _build(config=config, backpressure=lambda c: c < 200)
+        frames = [udp_frame(size=100 + 50 * i) for i in range(5)]
+        for frame in frames:
+            _send(source, frame, phys_port_bit(0))
+        sim.run_until(lambda: len(sinks[0].packets) == 5, max_cycles=10_000)
+        assert [p.data for p in sinks[0].packets] == frames
+
+    def test_scheduler_validation(self):
+        with pytest.raises(ValueError):
+            QueueConfig(scheduler="wfq")
+        with pytest.raises(ValueError):
+            QueueConfig(scheduler="fifo", classes=2)
+        with pytest.raises(ValueError):
+            QueueConfig(classes=0)
+
+    def test_classify_by_dscp_bands(self):
+        classify = classify_by_dscp(4)
+        high = StreamPacket(_frame_with_dscp(100, 63))
+        low = StreamPacket(_frame_with_dscp(100, 0))
+        assert classify(high) == 0
+        assert classify(low) == 3
+
+    def test_classify_non_ip_gets_lowest(self):
+        classify = classify_by_dscp(4)
+        assert classify(StreamPacket(b"\x00" * 60)) == 3
+
+    def test_class_out_of_range_rejected(self):
+        sim, source, oq, sinks = _build(
+            config=QueueConfig(classes=2, scheduler="strict"),
+            classify=lambda p: 7,
+        )
+        _send(source, udp_frame(), phys_port_bit(0))
+        with pytest.raises(ValueError):
+            sim.step(20)

@@ -1,0 +1,101 @@
+"""Header parser: field extraction and total robustness."""
+
+from hypothesis import given, strategies as st
+
+from repro.cores.header_parser import parse_headers
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame
+from repro.packet.generator import make_arp_request, make_udp_frame
+from repro.packet.ipv4 import Ipv4Packet
+from repro.packet.tcp import TcpSegment
+from repro.packet.vlan import VlanTag, tag_frame
+
+from tests.conftest import ip, mac
+
+
+class TestFieldExtraction:
+    def test_udp_frame_fields(self):
+        frame = make_udp_frame(mac(1), mac(2), ip(1), ip(2), sport=7, dport=8, size=128)
+        parsed = parse_headers(frame.pack()[:64])
+        assert parsed.src_mac == mac(1)
+        assert parsed.dst_mac == mac(2)
+        assert parsed.ethertype == ETHERTYPE_IPV4
+        assert parsed.ip_src == ip(1)
+        assert parsed.ip_dst == ip(2)
+        assert parsed.ip_proto == 17
+        assert parsed.l4_src_port == 7
+        assert parsed.l4_dst_port == 8
+        assert parsed.is_ipv4
+
+    def test_tcp_ports(self):
+        seg = TcpSegment(8080, 443)
+        packet = Ipv4Packet(ip(1), ip(2), 6, seg.pack(ip(1), ip(2)))
+        frame = EthernetFrame(mac(2), mac(1), ETHERTYPE_IPV4, packet.pack())
+        parsed = parse_headers(frame.pack()[:64])
+        assert (parsed.l4_src_port, parsed.l4_dst_port) == (8080, 443)
+
+    def test_arp_not_ipv4(self):
+        frame = make_arp_request(mac(1), ip(1), ip(2))
+        parsed = parse_headers(frame.pack()[:64])
+        assert parsed.ethertype == ETHERTYPE_ARP
+        assert not parsed.is_ipv4
+        assert parsed.ip_dst is None
+
+    def test_vlan_tagged(self):
+        inner = make_udp_frame(mac(1), mac(2), ip(1), ip(2), size=128)
+        tagged = tag_frame(inner, VlanTag(vid=7, pcp=5))
+        parsed = parse_headers(tagged.pack()[:64])
+        assert parsed.vlan_vid == 7
+        assert parsed.vlan_pcp == 5
+        assert parsed.ethertype == ETHERTYPE_IPV4  # inner type after tag
+        assert parsed.ip_dst == ip(2)
+
+    def test_dscp_and_ttl(self):
+        packet = Ipv4Packet(ip(1), ip(2), 17, b"", ttl=7, dscp=46)
+        frame = EthernetFrame(mac(2), mac(1), ETHERTYPE_IPV4, packet.pack())
+        parsed = parse_headers(frame.pack()[:64])
+        assert parsed.ip_ttl == 7
+        assert parsed.ip_dscp == 46
+
+    def test_ip_options_shift_l4(self):
+        seg = TcpSegment(1, 2)
+        packet = Ipv4Packet(ip(1), ip(2), 6, seg.pack(), options=b"\x01" * 4)
+        frame = EthernetFrame(mac(2), mac(1), ETHERTYPE_IPV4, packet.pack())
+        parsed = parse_headers(frame.pack()[:64])
+        assert parsed.ip_header_len == 24
+        assert parsed.l4_src_port == 1
+
+    def test_non_tcp_udp_has_no_ports(self):
+        packet = Ipv4Packet(ip(1), ip(2), 1, b"\x08\x00\x00\x00\x00\x00\x00\x00")
+        frame = EthernetFrame(mac(2), mac(1), ETHERTYPE_IPV4, packet.pack())
+        parsed = parse_headers(frame.pack()[:64])
+        assert parsed.ip_proto == 1
+        assert parsed.l4_src_port is None
+
+
+class TestRobustness:
+    def test_runt(self):
+        assert parse_headers(b"\x00" * 10).dst_mac is None
+
+    def test_truncated_after_ethernet(self):
+        frame = EthernetFrame(mac(1), mac(2), ETHERTYPE_IPV4, b"\x45")
+        parsed = parse_headers(frame.pack(pad=False))
+        assert parsed.ethertype == ETHERTYPE_IPV4
+        assert not parsed.is_ipv4
+
+    def test_truncated_vlan(self):
+        raw = mac(1).packed + mac(2).packed + (0x8100).to_bytes(2, "big") + b"\x00"
+        parsed = parse_headers(raw)
+        assert parsed.vlan_vid is None
+
+    def test_bad_ihl(self):
+        header = bytearray(make_udp_frame(mac(1), mac(2), ip(1), ip(2), size=128).pack())
+        header[14] = 0x41  # IHL=1: invalid
+        parsed = parse_headers(bytes(header[:64]))
+        assert not parsed.is_ipv4  # falls back to L2-only view
+        assert parsed.ethertype == ETHERTYPE_IPV4
+
+    @given(st.binary(max_size=80))
+    def test_never_raises_property(self, data):
+        """Hardware parsers do not throw; neither does this one."""
+        parse_headers(data)

@@ -1,0 +1,205 @@
+"""The router OPL: every path of the reference forwarding pipeline."""
+
+import pytest
+
+from repro.core.axis import AxiStreamChannel, StreamPacket, StreamSink, StreamSource
+from repro.core.metadata import SUME_TUSER, dma_port_bit, phys_port_bit
+from repro.core.simulator import Simulator
+from repro.cores.router_lookup import RouterLookup, RouterTables
+from repro.cores.lpm import LpmEntry
+from repro.packet.addresses import BROADCAST_MAC, Ipv4Addr, MacAddr
+from repro.packet.checksum import internet_checksum
+from repro.packet.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.packet.generator import make_arp_request, make_udp_frame
+from repro.packet.ipv4 import Ipv4Packet
+
+PORT_MACS = [MacAddr(0x02_53_55_4D_45_00 + i) for i in range(4)]
+PORT_IPS = [Ipv4Addr.parse(f"10.0.{i}.1") for i in range(4)]
+HOST_B_MAC = MacAddr.parse("02:bb:00:00:00:01")
+
+
+def make_tables() -> RouterTables:
+    tables = RouterTables(PORT_MACS, PORT_IPS)
+    for i in range(4):
+        tables.add_route(
+            LpmEntry(Ipv4Addr.parse(f"10.0.{i}.0"), 24, Ipv4Addr(0), 1 << (2 * i))
+        )
+    # A via route: 192.168/16 via 10.0.3.254 on port 3.
+    tables.add_route(
+        LpmEntry(Ipv4Addr.parse("192.168.0.0"), 16,
+                 Ipv4Addr.parse("10.0.3.254"), 1 << 6)
+    )
+    tables.add_arp(Ipv4Addr.parse("10.0.1.2"), HOST_B_MAC)
+    tables.add_arp(Ipv4Addr.parse("10.0.3.254"), MacAddr.parse("02:cc:00:00:00:01"))
+    return tables
+
+
+def run_router(frames_and_srcs, tables=None):
+    sim = Simulator()
+    s_axis, m_axis = AxiStreamChannel("s"), AxiStreamChannel("m")
+    source = StreamSource("src", s_axis)
+    opl = RouterLookup("router", s_axis, m_axis, tables or make_tables())
+    sink = StreamSink("snk", m_axis)
+    for module in (source, opl, sink):
+        sim.add(module)
+    for frame, src_bits in frames_and_srcs:
+        source.send(StreamPacket(frame).with_src_port(src_bits))
+    sim.run_until(lambda: source.idle, max_cycles=20_000)
+    sim.step(100)
+    return opl, sink
+
+
+def data_frame(dst_ip: str, ttl: int = 64, ingress: int = 0, size: int = 96,
+               dst_mac: MacAddr | None = None) -> bytes:
+    return make_udp_frame(
+        MacAddr.parse("02:aa:00:00:00:09"),
+        dst_mac if dst_mac is not None else PORT_MACS[ingress],
+        Ipv4Addr.parse("10.0.0.9"),
+        Ipv4Addr.parse(dst_ip),
+        size=size,
+        ttl=ttl,
+    ).pack()
+
+
+class TestForwarding:
+    def test_connected_route_rewrites_everything(self):
+        in_frame = data_frame("10.0.1.2", ttl=10)
+        opl, sink = run_router([(in_frame, phys_port_bit(0))])
+        assert opl.counters == {"forwarded": 1}
+        out = sink.packets[0]
+        assert out.dst_port == phys_port_bit(1)
+        frame = EthernetFrame.parse(out.data)
+        assert frame.dst == HOST_B_MAC  # ARP-resolved next hop
+        assert frame.src == PORT_MACS[1]  # egress interface MAC
+        packet = Ipv4Packet.parse(frame.payload)  # checksum verifies
+        assert packet.ttl == 9
+
+    def test_checksum_still_valid_after_rewrite(self):
+        in_frame = data_frame("10.0.1.2", ttl=200)
+        _, sink = run_router([(in_frame, phys_port_bit(0))])
+        out = EthernetFrame.parse(sink.packets[0].data)
+        ihl = (out.payload[0] & 0xF) * 4
+        assert internet_checksum(out.payload[:ihl]) == 0
+
+    def test_via_route_uses_next_hop_arp(self):
+        in_frame = data_frame("192.168.7.7")
+        _, sink = run_router([(in_frame, phys_port_bit(0))])
+        out = EthernetFrame.parse(sink.packets[0].data)
+        assert out.dst == MacAddr.parse("02:cc:00:00:00:01")
+        assert sink.packets[0].dst_port == phys_port_bit(3)
+
+    def test_longest_prefix_wins(self):
+        tables = make_tables()
+        tables.add_route(
+            LpmEntry(Ipv4Addr.parse("192.168.7.0"), 24, Ipv4Addr(0), 1 << 4)
+        )
+        tables.add_arp(Ipv4Addr.parse("192.168.7.7"), MacAddr(0x02DD00000001))
+        _, sink = run_router([(data_frame("192.168.7.7"), phys_port_bit(0))], tables)
+        assert sink.packets[0].dst_port == phys_port_bit(2)
+
+    def test_payload_untouched(self):
+        in_frame = data_frame("10.0.1.2", size=512)
+        _, sink = run_router([(in_frame, phys_port_bit(0))])
+        assert sink.packets[0].data[34:] == in_frame[34:]
+
+
+class TestExceptionPaths:
+    def test_wrong_dst_mac_dropped(self):
+        frame = data_frame("10.0.1.2", dst_mac=MacAddr(0x02EE00000001))
+        opl, sink = run_router([(frame, phys_port_bit(0))])
+        assert opl.counters == {"bad_mac": 1}
+        assert sink.packets == []
+
+    def test_broadcast_mac_accepted(self):
+        arp = make_arp_request(
+            MacAddr.parse("02:aa:00:00:00:09"),
+            Ipv4Addr.parse("10.0.0.9"),
+            PORT_IPS[0],
+        ).pack()
+        opl, sink = run_router([(arp, phys_port_bit(0))])
+        assert opl.counters.get("non_ip_to_cpu") == 1
+        assert sink.packets[0].dst_port == dma_port_bit(0)
+
+    def test_bad_checksum_dropped(self):
+        frame = bytearray(data_frame("10.0.1.2"))
+        frame[24] ^= 0xFF  # corrupt the IP checksum
+        opl, sink = run_router([(bytes(frame), phys_port_bit(0))])
+        assert opl.counters == {"bad_checksum": 1}
+        assert sink.packets == []
+
+    def test_ttl_expiry_to_cpu(self):
+        for ttl in (0, 1):
+            opl, sink = run_router([(data_frame("10.0.1.2", ttl=ttl), phys_port_bit(0))])
+            assert opl.counters.get("ttl_expired") == 1
+            assert sink.packets[0].dst_port == dma_port_bit(0)
+
+    def test_local_ip_to_cpu_before_ttl_check(self):
+        # Packets *for the router* with TTL 1 are deliveries, not errors.
+        opl, sink = run_router([(data_frame("10.0.0.1", ttl=1), phys_port_bit(0))])
+        assert opl.counters.get("local_ip") == 1
+
+    def test_lpm_miss_to_cpu(self):
+        opl, sink = run_router([(data_frame("172.16.0.1"), phys_port_bit(0))])
+        assert opl.counters.get("lpm_miss") == 1
+        assert sink.packets[0].dst_port == dma_port_bit(0)
+
+    def test_arp_miss_to_cpu(self):
+        opl, sink = run_router([(data_frame("10.0.2.9"), phys_port_bit(0))])
+        assert opl.counters.get("arp_miss") == 1
+
+    def test_from_cpu_bypasses_lookup(self):
+        frame = data_frame("172.16.0.1")  # would be an LPM miss from wire
+        opl, sink = run_router([(frame, dma_port_bit(2))])
+        assert opl.counters == {"from_cpu": 1}
+        assert sink.packets[0].dst_port == phys_port_bit(2)
+        assert sink.packets[0].data == frame  # untouched
+
+    def test_counters_reachable_over_registers(self):
+        opl, _ = run_router(
+            [
+                (data_frame("10.0.1.2"), phys_port_bit(0)),
+                (data_frame("172.16.0.1"), phys_port_bit(0)),
+            ]
+        )
+        assert opl.registers.peek("forwarded") == 1
+        assert opl.registers.peek("lpm_miss") == 1
+        assert opl.registers.peek("to_cpu") == 1
+
+
+class TestTablesValidation:
+    def test_port_count_enforced(self):
+        with pytest.raises(ValueError):
+            RouterTables(PORT_MACS[:2], PORT_IPS[:2])
+
+    def test_ip_filter_includes_own_interfaces(self):
+        tables = make_tables()
+        for port_ip in PORT_IPS:
+            assert port_ip.value in tables.ip_filter
+
+    def test_add_filter(self):
+        tables = make_tables()
+        tables.add_filter(Ipv4Addr.parse("224.0.0.5"))  # OSPF AllSPFRouters
+        opl, sink = run_router(
+            [(data_frame("224.0.0.5"), phys_port_bit(0))], tables
+        )
+        assert opl.counters.get("local_ip") == 1
+
+
+class TestLongHeaders:
+    def test_options_past_window_punt_to_cpu(self):
+        """IP options pushing the header beyond the 64B parse window take
+        the software path rather than being mis-parsed."""
+        from repro.packet.ipv4 import Ipv4Packet
+        from repro.packet.ethernet import ETHERTYPE_IPV4, EthernetFrame
+
+        packet = Ipv4Packet(
+            Ipv4Addr.parse("10.0.0.9"), Ipv4Addr.parse("10.0.1.2"), 17,
+            b"\x00" * 16, options=b"\x01" * 40,  # IHL 15: 60B header
+        )
+        frame = EthernetFrame(
+            PORT_MACS[0], MacAddr.parse("02:aa:00:00:00:09"),
+            ETHERTYPE_IPV4, packet.pack(),
+        ).pack()
+        opl, sink = run_router([(frame, phys_port_bit(0))])
+        assert opl.counters.get("long_header_to_cpu") == 1
+        assert sink.packets[0].dst_port == dma_port_bit(0)

@@ -1,0 +1,130 @@
+"""The VLAN-aware learning switch enhancement (802.1Q segmentation)."""
+
+import pytest
+
+from repro.core.axis import AxiStreamChannel, StreamPacket, StreamSink, StreamSource
+from repro.core.metadata import all_phys_ports_mask, phys_port_bit
+from repro.core.simulator import Simulator
+from repro.cores.lookups import LearningSwitchLookup
+from repro.packet.generator import make_udp_frame
+from repro.packet.vlan import VlanTag, tag_frame
+
+from tests.conftest import ip, mac, udp_frame
+
+
+def tagged_frame(src: int, dst: int, vid: int) -> bytes:
+    inner = make_udp_frame(mac(src), mac(dst), ip(src), ip(dst), size=128)
+    return tag_frame(inner, VlanTag(vid=vid)).pack()
+
+
+def _run(packets, **kwargs):
+    sim = Simulator()
+    s_axis, m_axis = AxiStreamChannel("s"), AxiStreamChannel("m")
+    source = StreamSource("src", s_axis)
+    opl = LearningSwitchLookup("opl", s_axis, m_axis, vlan_aware=True, **kwargs)
+    sink = StreamSink("snk", m_axis)
+    for module in (source, opl, sink):
+        sim.add(module)
+    for frame, src_bits in packets:
+        source.send(StreamPacket(frame).with_src_port(src_bits))
+    sim.run_until(lambda: source.idle, max_cycles=20_000)
+    sim.step(100)
+    return opl, sink
+
+
+class TestVlanFlooding:
+    def test_flood_confined_to_vlan_members(self):
+        opl, sink = _run([(tagged_frame(1, 2, vid=10), phys_port_bit(0))])
+        # Restrict nothing: floods everywhere first.
+        assert sink.packets[0].dst_port == all_phys_ports_mask(
+            exclude=phys_port_bit(0)
+        )
+
+    def test_membership_restricts_flood(self):
+        members = phys_port_bit(0) | phys_port_bit(1)
+        opl, sink = _run_with_members(
+            [(tagged_frame(1, 2, vid=10), phys_port_bit(0))], {10: members}
+        )
+        assert sink.packets[0].dst_port == phys_port_bit(1)
+
+    def test_ingress_outside_vlan_dropped(self):
+        opl, sink = _run_with_members(
+            [(tagged_frame(1, 2, vid=10), phys_port_bit(3))],
+            {10: phys_port_bit(0) | phys_port_bit(1)},
+        )
+        assert sink.packets == []
+        assert opl.counters.get("vlan_violation") == 1
+
+
+def _run_with_members(packets, members):
+    sim = Simulator()
+    s_axis, m_axis = AxiStreamChannel("s"), AxiStreamChannel("m")
+    source = StreamSource("src", s_axis)
+    opl = LearningSwitchLookup("opl", s_axis, m_axis, vlan_aware=True)
+    for vid, mask_value in members.items():
+        opl.set_vlan_members(vid, mask_value)
+    sink = StreamSink("snk", m_axis)
+    for module in (source, opl, sink):
+        sim.add(module)
+    for frame, src_bits in packets:
+        source.send(StreamPacket(frame).with_src_port(src_bits))
+    sim.run_until(lambda: source.idle, max_cycles=20_000)
+    sim.step(100)
+    return opl, sink
+
+
+class TestPerVlanLearning:
+    def test_same_mac_different_vlans_independent(self):
+        """The same MAC may live on different ports per VLAN."""
+        opl, sink = _run(
+            [
+                (tagged_frame(1, 9, vid=10), phys_port_bit(0)),  # learn on vid 10
+                (tagged_frame(1, 9, vid=20), phys_port_bit(2)),  # learn on vid 20
+                (tagged_frame(3, 1, vid=10), phys_port_bit(1)),  # towards mac1 in 10
+                (tagged_frame(3, 1, vid=20), phys_port_bit(3)),  # towards mac1 in 20
+            ]
+        )
+        # Unicast followed the per-VLAN learning: packet 3 -> port0,
+        # packet 4 -> port2.
+        assert sink.packets[2].dst_port == phys_port_bit(0)
+        assert sink.packets[3].dst_port == phys_port_bit(2)
+        assert len(opl.mac_table) == 4  # (mac1,10) (mac1,20) (mac3,10) (mac3,20)
+
+    def test_untagged_uses_vid_zero(self):
+        opl, sink = _run(
+            [
+                (udp_frame(src=1, dst=2), phys_port_bit(0)),  # untagged learn
+                (tagged_frame(9, 1, vid=5), phys_port_bit(2)),  # vid 5 miss
+            ]
+        )
+        # The tagged frame cannot hit the untagged (vid 0) FDB entry.
+        assert sink.packets[1].dst_port == all_phys_ports_mask(
+            exclude=phys_port_bit(2)
+        )
+
+    def test_vid_validation(self):
+        sim = Simulator()
+        opl = LearningSwitchLookup(
+            "opl", AxiStreamChannel("a"), AxiStreamChannel("b"), vlan_aware=True
+        )
+        with pytest.raises(ValueError):
+            opl.set_vlan_members(4096, 0xFF)
+
+    def test_non_vlan_mode_unchanged(self):
+        """Default switches ignore tags entirely (one flat FDB)."""
+        sim = Simulator()
+        s_axis, m_axis = AxiStreamChannel("s"), AxiStreamChannel("m")
+        source = StreamSource("src", s_axis)
+        opl = LearningSwitchLookup("opl", s_axis, m_axis)  # vlan_aware=False
+        sink = StreamSink("snk", m_axis)
+        for module in (source, opl, sink):
+            sim.add(module)
+        for frame, bits in [
+            (tagged_frame(1, 9, vid=10), phys_port_bit(0)),
+            (tagged_frame(3, 1, vid=20), phys_port_bit(2)),  # different VID
+        ]:
+            source.send(StreamPacket(frame).with_src_port(bits))
+        sim.run_until(lambda: source.idle, max_cycles=20_000)
+        sim.step(100)
+        # Flat FDB: the vid-20 frame still hits mac1 learned via vid 10.
+        assert sink.packets[1].dst_port == phys_port_bit(0)

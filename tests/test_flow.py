@@ -1,0 +1,122 @@
+"""The build flow: synthesis checks, artifacts, programming."""
+
+import pytest
+
+from repro.board.fpga import FpgaDevice, VIRTEX5_TX240T, VIRTEX7_690T
+from repro.board.sume import NetFpgaSume
+from repro.flow import (
+    BuildError,
+    ProgramError,
+    load_artifact,
+    program,
+    synthesize,
+)
+from repro.projects.firewall import FirewallProject
+from repro.projects.reference_nic import ReferenceNic
+from repro.projects.reference_router import ReferenceRouter
+from repro.projects.reference_switch import ReferenceSwitch, ReferenceSwitchLite
+
+
+ALL_PROJECTS = (
+    ReferenceNic,
+    ReferenceSwitch,
+    ReferenceSwitchLite,
+    ReferenceRouter,
+    FirewallProject,
+)
+
+
+class TestSynthesize:
+    @pytest.mark.parametrize("factory", ALL_PROJECTS)
+    def test_every_project_builds(self, factory):
+        artifact = synthesize(factory())
+        assert artifact.verify()
+        assert artifact.total["luts"] > 0
+        assert artifact.utilization_pct["luts"] < 100
+        assert len(artifact.modules) > 3
+        assert artifact.ports  # the 8 logical ports
+        assert artifact.decision_latencies  # one OPL at least
+
+    def test_hierarchical_report_covers_tree(self):
+        project = ReferenceRouter()
+        artifact = synthesize(project)
+        paths = {m.path for m in artifact.modules}
+        assert project.name in paths
+        assert any("arbiter" in p for p in paths)
+        assert any(".oq" in p for p in paths)
+
+    def test_capacity_failure(self):
+        tiny = FpgaDevice("tiny", luts=100, ffs=100, brams=1, dsps=0)
+        with pytest.raises(BuildError, match="does not fit"):
+            synthesize(ReferenceNic(), device=tiny)
+
+    def test_timing_failure(self):
+        with pytest.raises(BuildError, match="timing"):
+            synthesize(ReferenceRouter(), timing_budget_cycles=4)
+
+    def test_address_map_recorded(self):
+        artifact = synthesize(ReferenceSwitch())
+        names = [name for _, _, name in artifact.address_map]
+        assert any("stats" in name for name in names)
+
+    def test_render(self):
+        text = synthesize(ReferenceNic()).render()
+        assert "xc7v690t" in text and "LUT" in text
+
+
+class TestArtifactRoundTrip:
+    def test_json_roundtrip(self, tmp_path):
+        artifact = synthesize(ReferenceSwitch())
+        path = str(tmp_path / "switch.bit.json")
+        artifact.save(path)
+        loaded = load_artifact(path)
+        assert loaded == artifact
+
+    def test_tampered_artifact_rejected(self, tmp_path):
+        artifact = synthesize(ReferenceNic())
+        path = str(tmp_path / "nic.bit.json")
+        artifact.save(path)
+        text = open(path).read().replace('"reference_nic"', '"evil_nic"')
+        open(path, "w").write(text)
+        with pytest.raises(BuildError, match="checksum"):
+            load_artifact(path)
+
+    def test_wrong_format_version(self, tmp_path):
+        artifact = synthesize(ReferenceNic())
+        path = str(tmp_path / "nic.bit.json")
+        artifact.save(path)
+        text = open(path).read().replace('"format_version": 1', '"format_version": 99')
+        open(path, "w").write(text)
+        with pytest.raises(BuildError, match="format"):
+            load_artifact(path)
+
+
+class TestProgram:
+    def test_program_onto_board(self):
+        board = NetFpgaSume()
+        idle_before = board.power.total_power_w
+        artifact = synthesize(ReferenceRouter())
+        report = program(board, artifact)
+        assert board.loaded_artifact is artifact
+        assert report.static_power_delta_w > 0
+        assert board.power.total_power_w > idle_before
+
+    def test_device_mismatch_rejected(self):
+        board = NetFpgaSume()
+        artifact = synthesize(ReferenceNic(), device=VIRTEX5_TX240T)
+        with pytest.raises(ProgramError, match="targets"):
+            program(board, artifact)
+
+    def test_corrupted_artifact_rejected(self):
+        board = NetFpgaSume()
+        artifact = synthesize(ReferenceNic())
+        artifact.checksum = "00000000"
+        with pytest.raises(ProgramError, match="checksum"):
+            program(board, artifact)
+
+    def test_reprogram_replaces(self):
+        board = NetFpgaSume()
+        program(board, synthesize(ReferenceNic()))
+        second = synthesize(ReferenceSwitch())
+        program(board, second)
+        assert board.loaded_artifact.project == "reference_switch"

@@ -1,0 +1,95 @@
+"""The platform CLI tools."""
+
+import pytest
+
+from repro.host.cli import main
+
+
+class TestInfoCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "xc7v690t" in out
+        assert "sram_qdrii+" in out
+        assert "100g_capable" in out
+
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "NetFPGA SUME" in out
+        assert "NetFPGA-1G-CML" in out
+        assert "network-security" in out
+
+
+class TestSelftest:
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL PASS" in out
+        assert "pcie_dma" in out
+
+
+class TestRegress:
+    @pytest.mark.parametrize("mode", ["sim", "hw", "both"])
+    def test_regress_modes(self, capsys, mode):
+        assert main(["regress", "--mode", mode]) == 0
+        out = capsys.readouterr().out
+        assert "ALL PASS" in out
+        expected = 8 if mode == "both" else 4
+        assert out.count("PASS") >= expected
+
+
+class TestUtilization:
+    def test_default_router(self, capsys):
+        assert main(["utilization"]) == 0
+        out = capsys.readouterr().out
+        assert "xc7v690t" in out and "LUT" in out
+
+    def test_firewall_on_kintex(self, capsys):
+        assert main(["utilization", "--project", "firewall",
+                     "--device", "xc7k325t"]) == 0
+        assert "xc7k325t" in capsys.readouterr().out
+
+    def test_unknown_project(self, capsys):
+        assert main(["utilization", "--project", "warp_router"]) == 2
+        assert "unknown project" in capsys.readouterr().err
+
+
+class TestLinerate:
+    def test_table(self, capsys):
+        assert main(["linerate", "--rate", "10", "--sizes", "64,1518"]) == 0
+        out = capsys.readouterr().out
+        assert "7.62 Gb/s" in out
+        assert "98.7%" in out
+
+    def test_bad_size(self, capsys):
+        assert main(["linerate", "--sizes", "32"]) == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["fizzbuzz"])
+
+
+class TestMeasure:
+    def test_fixed_profile(self, capsys, tmp_path):
+        pcap_path = str(tmp_path / "cap.pcap")
+        assert main(["measure", "--size", "256", "--count", "50",
+                     "--rate", "2", "--pcap", pcap_path]) == 0
+        out = capsys.readouterr().out
+        assert "capture: 50 packets" in out
+        assert "latency" in out
+        from repro.packet.pcap import read_pcap
+
+        assert len(read_pcap(pcap_path)) == 50
+
+    def test_imix_profile(self, capsys):
+        assert main(["measure", "--profile", "imix", "--count", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "size distribution" in out
+        assert "0-64B" in out  # imix smalls present

@@ -1,0 +1,70 @@
+"""Driver MMIO path: register access through PCIe to a project's bus."""
+
+import pytest
+
+from repro.board.sume import NetFpgaSume
+from repro.host.driver import NetFpgaDriver
+from repro.projects.base import PortRef, STATS_REG_BASE
+from repro.projects.reference_switch import ReferenceSwitch
+from repro.testenv.harness import Stimulus, run_sim
+
+from tests.conftest import udp_frame
+
+
+class TestDriverMmio:
+    def test_reads_live_hardware_counters(self):
+        switch = ReferenceSwitch()
+        run_sim(switch, [Stimulus(PortRef("phys", 0), udp_frame(src=1, dst=2))])
+        board = NetFpgaSume()
+        driver = NetFpgaDriver(board, project=switch)
+        regs = switch.opl.registers
+        assert driver.reg_read(regs.offset_of("lut_misses")) == 1
+        packets = driver.reg_read(
+            STATS_REG_BASE + switch.stats.registers.offset_of("rx_nf0_packets")
+        )
+        assert packets == 1
+
+    def test_writes_trigger_side_effects(self):
+        switch = ReferenceSwitch()
+        run_sim(switch, [Stimulus(PortRef("phys", 0), udp_frame(src=1, dst=2))])
+        board = NetFpgaSume()
+        driver = NetFpgaDriver(board, project=switch)
+        regs = switch.opl.registers
+        assert driver.reg_read(regs.offset_of("table_size")) == 1
+        driver.reg_write(regs.offset_of("table_clear"), 1)
+        assert driver.reg_read(regs.offset_of("table_size")) == 0
+
+    def test_mmio_costs_link_time(self):
+        board = NetFpgaSume()
+        driver = NetFpgaDriver(board, project=ReferenceSwitch())
+        before = board.pcie.transactions
+        driver.reg_read(0x0)
+        driver.reg_write(0xC, 1)
+        assert board.pcie.transactions - before == 2
+        assert driver.mmio_reads == 1 and driver.mmio_writes == 1
+
+    def test_no_project_attached(self):
+        driver = NetFpgaDriver(NetFpgaSume())
+        with pytest.raises(RuntimeError, match="BAR0"):
+            driver.reg_read(0)
+        with pytest.raises(RuntimeError, match="BAR0"):
+            driver.reg_write(0, 0)
+
+
+class TestCliBuild:
+    def test_build_command(self, capsys, tmp_path):
+        from repro.host.cli import main
+
+        out_path = str(tmp_path / "router.bit.json")
+        assert main(["build", "--project", "reference_router",
+                     "--output", out_path]) == 0
+        text = capsys.readouterr().out
+        assert "reference_router" in text and "checksum" in text
+        from repro.flow import load_artifact
+
+        assert load_artifact(out_path).project == "reference_router"
+
+    def test_build_failure_exit_code(self, capsys):
+        from repro.host.cli import main
+
+        assert main(["build", "--project", "nonexistent"]) == 2

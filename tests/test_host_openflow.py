@@ -1,0 +1,217 @@
+"""OpenFlow control plane: agent modes, controller, learning application."""
+
+import pytest
+
+from repro.core.metadata import all_phys_ports_mask, phys_port_bit
+from repro.host.openflow import (
+    BarrierRequest,
+    CommitRequest,
+    Controller,
+    DatapathAgent,
+    FlowMod,
+    FlowModCommand,
+    LearningController,
+    PacketOut,
+)
+from repro.host.switch_manager import SwitchManager
+from repro.projects.blueswitch import (
+    ActionOutput,
+    BlueSwitchPipeline,
+    FlowEntry,
+    FlowMatch,
+)
+
+from tests.conftest import udp_frame
+
+
+def _flow(out_port=1):
+    return FlowEntry(FlowMatch(), (ActionOutput(phys_port_bit(out_port)),))
+
+
+class TestDatapathAgent:
+    def test_transactional_staging_invisible_until_commit(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1), transactional=True)
+        agent.handle(FlowMod(FlowModCommand.ADD, 0, 0, _flow()))
+        assert agent.process_packet(udp_frame(), phys_port_bit(0)) == 0  # still miss
+        agent.handle(CommitRequest())
+        assert agent.process_packet(udp_frame(), phys_port_bit(0)) == phys_port_bit(1)
+
+    def test_naive_mode_immediate(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1), transactional=False)
+        agent.handle(FlowMod(FlowModCommand.ADD, 0, 0, _flow()))
+        assert agent.process_packet(udp_frame(), phys_port_bit(0)) == phys_port_bit(1)
+
+    def test_commit_in_naive_mode_rejected(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1), transactional=False)
+        with pytest.raises(RuntimeError):
+            agent.handle(CommitRequest())
+
+    def test_barrier_reply_echoes_xid(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1))
+        reply = agent.handle(BarrierRequest(xid=42))
+        assert reply is not None and reply.xid == 42
+
+    def test_delete_flow(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1), transactional=False)
+        agent.handle(FlowMod(FlowModCommand.ADD, 0, 0, _flow()))
+        agent.handle(FlowMod(FlowModCommand.DELETE, 0, 0))
+        assert agent.process_packet(udp_frame(), phys_port_bit(0)) == 0
+
+    def test_packet_out_collected(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1))
+        agent.handle(PacketOut(b"\x00" * 60, phys_port_bit(2)))
+        assert agent.injected == [(b"\x00" * 60, phys_port_bit(2))]
+
+    def test_packet_in_on_miss(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1))
+        events = []
+        agent.packet_in_handler = events.append
+        agent.process_packet(udp_frame(), phys_port_bit(3))
+        assert len(events) == 1
+        assert events[0].in_port_bits == phys_port_bit(3)
+
+    def test_add_requires_entry(self):
+        with pytest.raises(ValueError):
+            FlowMod(FlowModCommand.ADD, 0, 0, None)
+
+
+class TestController:
+    def test_push_update_transactional_sequence(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=2), transactional=True)
+        controller = Controller(agent)
+        controller.push_update([(0, 0, _flow(1)), (1, 0, _flow(2))])
+        assert controller.barriers_seen == 1
+        assert agent.pipeline.commits == 1
+        # Installed config live immediately after push_update returns.
+        assert agent.process_packet(udp_frame(), 0) == phys_port_bit(1)
+
+    def test_push_update_naive(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1), transactional=False)
+        Controller(agent).push_update([(0, 0, _flow(3))])
+        assert agent.pipeline.commits == 0
+        assert agent.process_packet(udp_frame(), 0) == phys_port_bit(3)
+
+
+class TestLearningController:
+    def _converse(self, controller, agent, conversation):
+        outcomes = []
+        for src, dst in conversation:
+            out = agent.process_packet(
+                udp_frame(src=src, dst=dst), phys_port_bit(src)
+            )
+            outcomes.append(out)
+        return outcomes
+
+    def test_flood_then_hardware_flow(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1, slots_per_table=16))
+        controller = LearningController(agent)
+        outcomes = self._converse(
+            controller, agent, [(0, 1), (1, 0), (0, 1), (0, 1)]
+        )
+        # pkt1: miss -> flood via PacketOut (hw output is 0).
+        assert outcomes[0] == 0
+        assert controller.floods == 1
+        _flood_frame, flood_ports = agent.injected[0]
+        assert flood_ports == all_phys_ports_mask(exclude=phys_port_bit(0))
+        # pkt2: controller knows host0 now -> flow for dst host0 installed.
+        # pkt3: first packet towards host1 after host1 was learned ->
+        # installs the dst-host1 flow reactively.
+        assert controller.flows_installed == 2
+        # pkt4: handled entirely in hardware, no controller involvement.
+        assert outcomes[3] == phys_port_bit(1)
+        assert controller.floods == 1  # no further floods
+
+    def test_learned_locations(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1, slots_per_table=16))
+        controller = LearningController(agent)
+        self._converse(controller, agent, [(0, 1), (2, 0), (3, 2)])
+        from tests.conftest import mac
+
+        assert controller.mac_to_port[mac(0).value] == phys_port_bit(0)
+        assert controller.mac_to_port[mac(2).value] == phys_port_bit(2)
+
+    def test_slot_reuse_for_same_destination(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1, slots_per_table=4))
+        controller = LearningController(agent)
+        # Repeated traffic to one destination must not consume new slots.
+        self._converse(controller, agent, [(0, 1), (1, 0), (2, 0), (3, 0)])
+        occupied = agent.pipeline.tables[0].banks[
+            agent.pipeline.active_version
+        ].occupancy()
+        assert occupied <= 2
+
+
+class TestSwitchManager:
+    def test_manager_over_registers(self):
+        from repro.projects.reference_switch import ReferenceSwitch
+        from repro.projects.base import PortRef
+        from repro.testenv.harness import Stimulus, run_sim
+
+        switch = ReferenceSwitch()
+        run_sim(
+            switch,
+            [
+                Stimulus(PortRef("phys", 0), udp_frame(src=1, dst=2)),
+                Stimulus(PortRef("phys", 1), udp_frame(src=2, dst=1)),
+            ],
+        )
+        manager = SwitchManager(switch)
+        stats = manager.lookup_stats()
+        assert stats["hits"] == 1 and stats["floods"] == 1
+        assert stats["table_entries"] == 2
+        table = dict(manager.show_mac_table())
+        assert len(table) == 2
+        counters = manager.port_counters()
+        assert counters["rx_nf0_packets"] == 1
+
+    def test_static_entry_and_clear(self):
+        from repro.projects.reference_switch import ReferenceSwitch
+
+        switch = ReferenceSwitch()
+        manager = SwitchManager(switch)
+        assert manager.add_static_entry("02:00:00:00:00:99", 2)
+        assert manager.lookup_stats()["table_entries"] == 1
+        manager.clear_mac_table()
+        assert manager.lookup_stats()["table_entries"] == 0
+
+
+class TestStatistics:
+    def test_flow_counters_count_matches(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1, slots_per_table=8),
+                              transactional=False)
+        controller = Controller(agent)
+        controller.send_flow_mod(0, 2, _flow(1))
+        for _ in range(5):
+            agent.process_packet(udp_frame(), phys_port_bit(0))
+        assert controller.flow_stats(0) == [(2, 5)]
+
+    def test_table_stats_matches_and_misses(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=2, slots_per_table=8),
+                              transactional=False)
+        controller = Controller(agent)
+        controller.send_flow_mod(0, 0, _flow(1))
+        agent.process_packet(udp_frame(), phys_port_bit(0))  # hit table 0
+        rows = controller.table_stats()
+        assert rows[0] == (0, 1, 1, 0)
+        assert rows[1][0] == 1 and rows[1][1] == 0  # table 1 empty
+
+    def test_rewriting_a_flow_resets_its_counter(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1, slots_per_table=8),
+                              transactional=False)
+        controller = Controller(agent)
+        controller.send_flow_mod(0, 0, _flow(1))
+        agent.process_packet(udp_frame(), phys_port_bit(0))
+        controller.send_flow_mod(0, 0, _flow(2))  # replace
+        assert controller.flow_stats(0) == [(0, 0)]
+
+    def test_counters_survive_commit(self):
+        agent = DatapathAgent(BlueSwitchPipeline(num_tables=1, slots_per_table=8),
+                              transactional=True)
+        controller = Controller(agent)
+        controller.push_update([(0, 0, _flow(1))])
+        for _ in range(3):
+            agent.process_packet(udp_frame(), phys_port_bit(0))
+        # An unrelated transactional update must not zero slot 0's count.
+        controller.push_update([(0, 5, _flow(2))])
+        stats = dict(controller.flow_stats(0))
+        assert stats[0] == 3

@@ -1,0 +1,180 @@
+"""The router's software slow path: ARP, ICMP, table ops, pending queue."""
+
+import pytest
+
+from repro.cores.router_lookup import RouterTables
+from repro.host.router_manager import PENDING_QUEUE_DEPTH, RouterManager
+from repro.packet.addresses import BROADCAST_MAC, Ipv4Addr, MacAddr
+from repro.packet.arp import ARP_OP_REPLY, ARP_OP_REQUEST, ArpPacket
+from repro.packet.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame
+from repro.packet.generator import make_arp_request, make_udp_frame
+from repro.packet.icmp import (
+    ICMP_DEST_UNREACHABLE,
+    ICMP_ECHO_REPLY,
+    ICMP_TIME_EXCEEDED,
+    IcmpPacket,
+)
+from repro.packet.ipv4 import IPPROTO_ICMP, Ipv4Packet
+
+PORT_MACS = [MacAddr(0x02_53_55_4D_45_00 + i) for i in range(4)]
+PORT_IPS = [Ipv4Addr.parse(f"10.0.{i}.1") for i in range(4)]
+HOST_MAC = MacAddr.parse("02:aa:00:00:00:07")
+HOST_IP = Ipv4Addr.parse("10.0.0.9")
+
+
+@pytest.fixture
+def manager():
+    tables = RouterTables(PORT_MACS, PORT_IPS)
+    mgr = RouterManager(tables)
+    for i in range(4):
+        mgr.add_route(f"10.0.{i}.0", 24, "0.0.0.0", i)
+    return mgr
+
+
+class TestTableOps:
+    def test_route_lifecycle(self, manager):
+        assert manager.add_route("192.168.0.0", 16, "10.0.3.254", 3)
+        assert any("192.168.0.0/16" in r for r in manager.list_routes())
+        assert manager.del_route("192.168.0.0", 16)
+        assert not manager.del_route("192.168.0.0", 16)
+
+    def test_arp_ops(self, manager):
+        assert manager.add_arp_entry("10.0.1.2", "02:bb:00:00:00:01")
+        assert "10.0.1.2 -> 02:bb:00:00:00:01" in manager.list_arp()
+
+
+class TestArpHandling:
+    def test_replies_to_request_for_our_ip(self, manager):
+        request = make_arp_request(HOST_MAC, HOST_IP, PORT_IPS[0]).pack()
+        out = manager.handle_cpu_packet(request, port=0)
+        assert len(out) == 1
+        port, frame_bytes = out[0]
+        assert port == 0
+        frame = EthernetFrame.parse(frame_bytes)
+        assert frame.dst == HOST_MAC
+        reply = ArpPacket.parse(frame.payload)
+        assert reply.op == ARP_OP_REPLY
+        assert reply.sender_mac == PORT_MACS[0]
+        assert reply.sender_ip == PORT_IPS[0]
+
+    def test_ignores_request_for_other_ip(self, manager):
+        request = make_arp_request(HOST_MAC, HOST_IP, Ipv4Addr.parse("10.0.0.200")).pack()
+        out = manager.handle_cpu_packet(request, port=0)
+        assert out == []  # learned, but no reply
+
+    def test_learns_sender(self, manager):
+        request = make_arp_request(HOST_MAC, HOST_IP, PORT_IPS[0]).pack()
+        manager.handle_cpu_packet(request, port=0)
+        assert manager.tables.arp.lookup(HOST_IP.value) == HOST_MAC.value
+
+    def test_resolve_builds_broadcast_request(self, manager):
+        out = manager.resolve(Ipv4Addr.parse("10.0.2.9"), port=2)
+        frame = EthernetFrame.parse(out[0][1])
+        assert frame.dst == BROADCAST_MAC
+        arp = ArpPacket.parse(frame.payload)
+        assert arp.op == ARP_OP_REQUEST
+        assert arp.target_ip == Ipv4Addr.parse("10.0.2.9")
+
+
+def _data_frame(dst_ip: str, ttl: int = 32, size: int = 128) -> bytes:
+    return make_udp_frame(
+        HOST_MAC, PORT_MACS[0], HOST_IP, Ipv4Addr.parse(dst_ip), size=size, ttl=ttl
+    ).pack()
+
+
+class TestIcmpGeneration:
+    def test_echo_reply(self, manager):
+        manager.add_arp_entry(str(HOST_IP), str(HOST_MAC))
+        ping = EthernetFrame(
+            PORT_MACS[0], HOST_MAC, ETHERTYPE_IPV4,
+            Ipv4Packet(HOST_IP, PORT_IPS[0], IPPROTO_ICMP,
+                       IcmpPacket.echo_request(9, 1, b"abc").pack()).pack(),
+        ).pack()
+        out = manager.handle_cpu_packet(ping, port=0)
+        frame = EthernetFrame.parse(out[0][1])
+        packet = Ipv4Packet.parse(frame.payload)
+        reply = IcmpPacket.parse(packet.payload)
+        assert reply.icmp_type == ICMP_ECHO_REPLY
+        assert reply.payload == b"abc"
+        assert packet.src == PORT_IPS[0]
+        assert packet.dst == HOST_IP
+
+    def test_time_exceeded_quotes_original(self, manager):
+        manager.add_arp_entry(str(HOST_IP), str(HOST_MAC))
+        out = manager.handle_cpu_packet(_data_frame("10.0.1.2", ttl=1), port=0)
+        frame = EthernetFrame.parse(out[0][1])
+        packet = Ipv4Packet.parse(frame.payload)
+        icmp = IcmpPacket.parse(packet.payload)
+        assert icmp.icmp_type == ICMP_TIME_EXCEEDED
+        # RFC 792: the error quotes the offending IP header + 8 bytes.
+        assert icmp.payload[:1] == b"\x45"
+        assert len(icmp.payload) == 20 + 8
+
+    def test_destination_unreachable_on_lpm_miss(self, manager):
+        manager.add_arp_entry(str(HOST_IP), str(HOST_MAC))
+        out = manager.handle_cpu_packet(_data_frame("172.16.0.1"), port=0)
+        frame = EthernetFrame.parse(out[0][1])
+        icmp = IcmpPacket.parse(Ipv4Packet.parse(frame.payload).payload)
+        assert icmp.icmp_type == ICMP_DEST_UNREACHABLE
+
+    def test_non_icmp_local_delivery_consumed(self, manager):
+        frame = _data_frame("10.0.0.1")  # UDP to the router itself
+        out = manager.handle_cpu_packet(frame, port=0)
+        assert out == []
+        assert manager.counters["local_delivered"] == 1
+
+
+class TestPendingQueue:
+    def test_park_then_release_on_arp_reply(self, manager):
+        data = _data_frame("10.0.1.2")
+        out = manager.handle_cpu_packet(data, port=0)
+        # An ARP request goes out port 1; the data packet is parked.
+        assert len(out) == 1
+        assert ArpPacket.parse(EthernetFrame.parse(out[0][1]).payload).op == ARP_OP_REQUEST
+        assert manager.counters["pending_parked"] == 1
+
+        reply = EthernetFrame(
+            PORT_MACS[1],
+            MacAddr.parse("02:bb:00:00:00:01"),
+            ETHERTYPE_ARP,
+            ArpPacket(
+                ARP_OP_REPLY,
+                MacAddr.parse("02:bb:00:00:00:01"),
+                Ipv4Addr.parse("10.0.1.2"),
+                PORT_MACS[1],
+                PORT_IPS[1],
+            ).pack(),
+        ).pack()
+        released = manager.handle_cpu_packet(reply, port=1)
+        assert len(released) == 1
+        port, frame_bytes = released[0]
+        assert port == 1
+        frame = EthernetFrame.parse(frame_bytes)
+        assert frame.dst == MacAddr.parse("02:bb:00:00:00:01")
+        assert frame.src == PORT_MACS[1]
+        packet = Ipv4Packet.parse(frame.payload)
+        assert packet.ttl == 31  # software did the forwarding rewrite
+
+    def test_queue_depth_bounded(self, manager):
+        for _ in range(PENDING_QUEUE_DEPTH + 5):
+            manager.handle_cpu_packet(_data_frame("10.0.1.2"), port=0)
+        assert manager.counters["pending_parked"] == PENDING_QUEUE_DEPTH
+        assert manager.counters["pending_dropped"] == 5
+
+    def test_reinjection_when_arp_already_known(self, manager):
+        manager.add_arp_entry("10.0.1.2", "02:bb:00:00:00:01")
+        out = manager.handle_cpu_packet(_data_frame("10.0.1.2"), port=0)
+        assert manager.counters["reinjected"] == 1
+        packet = Ipv4Packet.parse(EthernetFrame.parse(out[0][1]).payload)
+        assert packet.ttl == 31
+
+
+class TestRobustness:
+    def test_malformed_frames_counted(self, manager):
+        assert manager.handle_cpu_packet(b"\x00" * 4, port=0) == []
+        assert manager.counters["malformed"] == 1
+
+    def test_unknown_ethertype(self, manager):
+        frame = EthernetFrame(PORT_MACS[0], HOST_MAC, 0x86DD, b"\x00" * 40).pack()
+        assert manager.handle_cpu_packet(frame, port=0) == []
+        assert manager.counters["unhandled_ethertype"] == 1

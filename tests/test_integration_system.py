@@ -1,0 +1,153 @@
+"""Whole-platform integration: board + driver + project + software planes.
+
+These tests wire several subsystems together the way a deployed NetFPGA
+system is wired, crossing every layer boundary at least once.
+"""
+
+import pytest
+
+from repro.board.mac import EthernetMacModel, Wire
+from repro.board.sume import NetFpgaSume
+from repro.host.driver import NetFpgaDriver
+from repro.host.router_manager import RouterManager
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.ethernet import EthernetFrame
+from repro.packet.generator import make_udp_frame
+from repro.packet.ipv4 import Ipv4Packet
+from repro.projects.base import PortRef
+from repro.projects.reference_nic import ReferenceNic
+from repro.projects.reference_router import ReferenceRouter
+from repro.testenv.harness import Stimulus, run_sim
+
+from tests.conftest import udp_frame
+
+
+class TestHostToWire:
+    """Driver → DMA → NIC datapath (behavioural) → MAC → wire → peer."""
+
+    def test_full_transmit_path(self):
+        board = NetFpgaSume()
+        driver = NetFpgaDriver(board)
+        nic = ReferenceNic()
+
+        # Glue: board DMA delivers into the NIC pipeline's DMA port;
+        # the pipeline's physical output feeds the on-board MAC.
+        def on_dma_tx(frame: bytes, queue: int) -> None:
+            for out_port, out_frame in nic.forward_behavioural(
+                frame, PortRef("dma", queue)
+            ):
+                if out_port.kind == "phys":
+                    board.macs[out_port.index].transmit(out_frame)
+
+        board.dma.tx_callback = on_dma_tx
+
+        # Peer test equipment on port 2's fibre.
+        peer = EthernetMacModel(board.sim, "peer", rate_bps=board.macs[2].rate_bps)
+        Wire(board.sim, board.macs[2], peer)
+        captured = []
+        peer.rx_callback = lambda frame, t: captured.append(frame)
+
+        frames = [udp_frame(src=i + 1, size=400) for i in range(5)]
+        driver.transmit([(frame, 2) for frame in frames])
+        board.sim.run_until_idle()
+        assert captured == frames
+
+    def test_full_receive_path(self):
+        board = NetFpgaSume()
+        driver = NetFpgaDriver(board)
+        nic = ReferenceNic()
+
+        def on_wire_rx(frame: bytes, _t: float, port: int) -> None:
+            for out_port, out_frame in nic.forward_behavioural(
+                frame, PortRef("phys", port)
+            ):
+                if out_port.kind == "dma":
+                    board.dma.receive(out_frame, out_port.index)
+
+        peer = EthernetMacModel(board.sim, "peer", rate_bps=board.macs[1].rate_bps)
+        Wire(board.sim, board.macs[1], peer)
+        board.macs[1].rx_callback = lambda f, t: on_wire_rx(f, t, 1)
+
+        frames = [udp_frame(src=i + 1, size=256) for i in range(4)]
+        for frame in frames:
+            peer.transmit(frame)
+        board.sim.run_until_idle()
+        received = driver.poll_receive()
+        assert [f for f, _ in received] == frames
+        assert all(port == 1 for _, port in received)
+
+
+class TestRoutedNetwork:
+    """Two hosts, one router, full ARP + forwarding round trip in-kernel."""
+
+    def test_cold_start_conversation(self):
+        router = ReferenceRouter()
+        manager = RouterManager(router.tables)
+        host_a_mac = MacAddr.parse("02:aa:00:00:00:01")
+        host_b_mac = MacAddr.parse("02:bb:00:00:00:02")
+        host_a_ip = Ipv4Addr.parse("10.0.0.9")
+        host_b_ip = Ipv4Addr.parse("10.0.1.2")
+        manager.add_arp_entry(str(host_a_ip), str(host_a_mac))
+
+        data = make_udp_frame(
+            host_a_mac, router.tables.port_macs[0], host_a_ip, host_b_ip,
+            size=150, ttl=20,
+        ).pack()
+        from repro.packet.arp import ARP_OP_REPLY, ArpPacket
+        from repro.packet.ethernet import ETHERTYPE_ARP
+
+        arp_reply = EthernetFrame(
+            router.tables.port_macs[1], host_b_mac, ETHERTYPE_ARP,
+            ArpPacket(ARP_OP_REPLY, host_b_mac, host_b_ip,
+                      router.tables.port_macs[1], router.tables.port_ips[1]).pack(),
+        ).pack()
+
+        result = run_sim(
+            router,
+            [
+                Stimulus(PortRef("phys", 0), data),  # triggers ARP miss
+                Stimulus(PortRef("phys", 1), arp_reply),  # resolves it
+            ],
+            cpu_handler=manager.handle_cpu_packet,
+        )
+        towards_b = result.at(PortRef("phys", 1))
+        # The router's own ARP request plus the released data packet.
+        assert len(towards_b) == 2
+        delivered = EthernetFrame.parse(towards_b[-1])
+        assert delivered.dst == host_b_mac
+        packet = Ipv4Packet.parse(delivered.payload)
+        assert packet.ttl == 19
+        assert manager.counters["pending_released"] == 1
+
+    def test_hardware_fast_path_after_warmup(self):
+        """Once ARP is warm, packets never visit the CPU."""
+        router = ReferenceRouter()
+        manager = RouterManager(router.tables)
+        manager.add_arp_entry("10.0.1.2", "02:bb:00:00:00:02")
+        data = make_udp_frame(
+            MacAddr.parse("02:aa:00:00:00:01"), router.tables.port_macs[0],
+            Ipv4Addr.parse("10.0.0.9"), Ipv4Addr.parse("10.0.1.2"),
+            size=128, ttl=9,
+        ).pack()
+        result = run_sim(
+            router,
+            [Stimulus(PortRef("phys", 0), data)] * 5,
+            cpu_handler=manager.handle_cpu_packet,
+        )
+        assert len(result.at(PortRef("phys", 1))) == 5
+        assert result.cpu_rounds <= 1
+        assert router.opl.counters.get("forwarded") == 5
+        assert not manager.counters  # CPU untouched
+
+
+class TestAcceptancePlusUtilization:
+    def test_board_selftest_then_design_fit(self):
+        """The bring-up story: self-test the board, then check the design."""
+        from repro.board.fpga import report_for_design
+        from repro.projects.acceptance_test import IoSelfTest
+
+        selftest = IoSelfTest()
+        selftest.run_all()
+        assert selftest.all_passed
+        report = report_for_design(ReferenceRouter())
+        assert report.check().fits

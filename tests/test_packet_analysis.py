@@ -1,0 +1,129 @@
+"""Capture analysis helpers."""
+
+import pytest
+
+from repro.packet.analysis import (
+    CaptureSummary,
+    flow_breakdown,
+    interarrival_stats,
+    rate_timeseries,
+    size_histogram,
+    summarize,
+)
+from repro.packet.pcap import PcapRecord
+
+from tests.conftest import udp_frame
+
+
+def _capture(count=10, gap_ns=1000, size=200) -> list[PcapRecord]:
+    return [
+        PcapRecord(timestamp_ns=i * gap_ns, data=udp_frame(size=size))
+        for i in range(count)
+    ]
+
+
+class TestSummarize:
+    def test_basic(self):
+        records = _capture(count=10, gap_ns=1000, size=200)
+        summary = summarize(records)
+        assert summary.packets == 10
+        assert summary.duration_ns == 9000
+        assert summary.mean_size == 196.0  # frames are size-4 (FCS stripped)
+        # 9 frames of 196B over 9 us.
+        assert summary.mean_rate_bps == pytest.approx(9 * 196 * 8 / 9e-6)
+
+    def test_empty(self):
+        assert summarize([]) == CaptureSummary(0, 0, 0, 0.0, 0.0, 0, 0)
+
+    def test_respects_orig_len_for_cut_captures(self):
+        records = [PcapRecord(0, b"\x00" * 60, orig_len=1514)]
+        assert summarize(records).mean_size == 1514
+
+
+class TestInterarrival:
+    def test_uniform_gaps(self):
+        stats = interarrival_stats(_capture(count=20, gap_ns=500))
+        assert stats.count == 19
+        assert stats.min_ns == stats.max_ns == 500
+        assert stats.stddev_ns == 0.0
+
+    def test_jittered_gaps(self):
+        records = [
+            PcapRecord(t, b"\x00" * 60) for t in (0, 100, 300, 600, 1000)
+        ]
+        stats = interarrival_stats(records)
+        assert stats.min_ns == 100 and stats.max_ns == 400
+        assert stats.mean_ns == 250
+        assert stats.stddev_ns > 0
+
+    def test_single_record(self):
+        assert interarrival_stats(_capture(count=1)).count == 0
+
+
+class TestRateTimeseries:
+    def test_constant_rate(self):
+        records = _capture(count=100, gap_ns=1000, size=104)  # 100B stored
+        series = rate_timeseries(records, bin_ns=10_000)
+        assert len(series) == 10
+        rates = [rate for _, rate in series]
+        # 10 frames x 100B = 8000 bits per 10us bin = 800 Mb/s.
+        assert all(r == pytest.approx(800e6) for r in rates)
+
+    def test_burst_then_silence(self):
+        records = _capture(count=10, gap_ns=100, size=104)
+        records.append(PcapRecord(100_000, udp_frame(size=104)))
+        series = rate_timeseries(records, bin_ns=10_000)
+        rates = [rate for _, rate in series]
+        assert rates[0] > 0
+        assert all(r == 0 for r in rates[1:-1])
+        assert rates[-1] > 0
+
+    def test_bad_bin(self):
+        with pytest.raises(ValueError):
+            rate_timeseries([], bin_ns=0)
+
+
+class TestSizeHistogram:
+    def test_buckets(self):
+        records = [
+            PcapRecord(0, b"\x00" * 60, orig_len=64),
+            PcapRecord(1, b"\x00" * 60, orig_len=65),
+            PcapRecord(2, b"\x00" * 60, orig_len=1514),
+            PcapRecord(3, b"\x00" * 60, orig_len=9000),
+        ]
+        histogram = dict(size_histogram(records))
+        assert histogram["0-64"] == 1
+        assert histogram["65-128"] == 1
+        assert histogram["1025-1519"] == 1
+        assert histogram[">1519"] == 1
+
+    def test_edges_validated(self):
+        with pytest.raises(ValueError):
+            size_histogram([], edges=(128, 64))
+
+
+class TestFlowBreakdown:
+    def test_groups_by_five_tuple(self):
+        records = [
+            PcapRecord(i, udp_frame(src=1, dst=2, size=200)) for i in range(3)
+        ] + [
+            PcapRecord(10 + i, udp_frame(src=3, dst=4, size=1000)) for i in range(2)
+        ]
+        flows = flow_breakdown(records)
+        assert len(flows) == 2
+        # Sorted by bytes: the two big frames outweigh three small ones.
+        assert flows[0][1] == 2 and flows[0][2] == 2 * 996
+        assert flows[1][1] == 3
+
+    def test_top_n(self):
+        records = [
+            PcapRecord(i, udp_frame(src=i % 5 + 1, dst=9, size=128))
+            for i in range(25)
+        ]
+        assert len(flow_breakdown(records, top=3)) == 3
+
+    def test_non_ip_grouped_together(self):
+        records = [PcapRecord(i, b"\x01" * 60) for i in range(4)]
+        flows = flow_breakdown(records)
+        assert len(flows) == 1
+        assert flows[0][1] == 4

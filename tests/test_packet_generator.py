@@ -1,0 +1,116 @@
+"""Workload generators: determinism, well-formedness, distributions."""
+
+import pytest
+
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.arp import ArpPacket
+from repro.packet.ethernet import EthernetFrame, MIN_FRAME_SIZE
+from repro.packet.generator import (
+    TrafficSpec,
+    make_arp_request,
+    make_udp_frame,
+    random_frame,
+    uniform_random_frames,
+)
+from repro.packet.ipv4 import Ipv4Packet
+from repro.packet.udp import UdpDatagram
+
+MAC_A = MacAddr.parse("02:00:00:00:00:01")
+MAC_B = MacAddr.parse("02:00:00:00:00:02")
+IP_A = Ipv4Addr.parse("10.0.0.1")
+IP_B = Ipv4Addr.parse("10.0.0.2")
+
+
+class TestMakeUdpFrame:
+    def test_exact_wire_size(self):
+        for size in (64, 65, 128, 1518):
+            frame = make_udp_frame(MAC_A, MAC_B, IP_A, IP_B, size=size)
+            assert len(frame.pack()) + 4 == size  # +FCS
+
+    def test_layers_parse(self):
+        frame = make_udp_frame(MAC_A, MAC_B, IP_A, IP_B, sport=5, dport=6, size=200)
+        ip_packet = Ipv4Packet.parse(frame.payload)
+        udp = UdpDatagram.parse(ip_packet.payload)
+        assert (udp.src_port, udp.dst_port) == (5, 6)
+        assert (ip_packet.src, ip_packet.dst) == (IP_A, IP_B)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            make_udp_frame(MAC_A, MAC_B, IP_A, IP_B, size=45)
+
+    def test_ttl_propagates(self):
+        frame = make_udp_frame(MAC_A, MAC_B, IP_A, IP_B, ttl=3, size=100)
+        assert Ipv4Packet.parse(frame.payload).ttl == 3
+
+
+class TestArpRequest:
+    def test_broadcast_and_parse(self):
+        frame = make_arp_request(MAC_A, IP_A, IP_B)
+        assert frame.dst.is_broadcast
+        arp = ArpPacket.parse(frame.payload)
+        assert arp.target_ip == IP_B
+        assert arp.sender_mac == MAC_A
+
+
+class TestRandomFrames:
+    def test_deterministic_under_seed(self):
+        frames_a = [f.pack() for f in uniform_random_frames(10, seed=3)]
+        frames_b = [f.pack() for f in uniform_random_frames(10, seed=3)]
+        assert frames_a == frames_b
+
+    def test_different_seeds_differ(self):
+        a = uniform_random_frames(5, seed=1)[0].pack()
+        b = uniform_random_frames(5, seed=2)[0].pack()
+        assert a != b
+
+    def test_all_parse(self):
+        for frame in uniform_random_frames(30, seed=9):
+            parsed = EthernetFrame.parse(frame.pack())
+            Ipv4Packet.parse(parsed.payload)
+
+    def test_fixed_size(self):
+        for frame in uniform_random_frames(10, seed=0, size=256):
+            assert len(frame.pack()) + 4 == 256
+
+    def test_generated_macs_are_unicast(self):
+        for frame in uniform_random_frames(20, seed=5):
+            assert not frame.src.is_multicast
+
+
+class TestTrafficSpec:
+    def test_imix_mean(self):
+        spec = TrafficSpec.imix()
+        # 7:4:1 of 64/576/1518.
+        expected = (7 * 64 + 4 * 576 + 1 * 1518) / 12
+        assert spec.mean_size() == pytest.approx(expected)
+
+    def test_fixed_spec(self):
+        spec = TrafficSpec.fixed(512)
+        frames = list(spec.frames(10))
+        assert all(len(f.pack()) + 4 == 512 for f in frames)
+
+    def test_imix_distribution_roughly_matches(self):
+        spec = TrafficSpec.imix(seed=1)
+        sizes = [len(f.pack()) + 4 for f in spec.frames(1200)]
+        small = sum(1 for s in sizes if s == 64)
+        # 7/12 of frames should be small, generously bounded.
+        assert 0.45 < small / len(sizes) < 0.70
+
+    def test_flows_cycle(self):
+        spec = TrafficSpec.fixed(128, flows=4)
+        frames = list(spec.frames(8))
+        srcs = [Ipv4Packet.parse(f.payload).src for f in frames]
+        assert srcs[0] == srcs[4] and len(set(srcs[:4])) == 4
+
+    def test_determinism(self):
+        a = [f.pack() for f in TrafficSpec.imix(flows=3, seed=7).frames(20)]
+        b = [f.pack() for f in TrafficSpec.imix(flows=3, seed=7).frames(20)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(sizes=(64,), weights=(1, 2))
+        with pytest.raises(ValueError):
+            TrafficSpec(sizes=(), weights=())
+        with pytest.raises(ValueError):
+            TrafficSpec(flows=0)

@@ -1,0 +1,283 @@
+"""Protocol encoders/decoders: Ethernet, VLAN, ARP, IPv4, ICMP, UDP, TCP."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.packet.addresses import BROADCAST_MAC, Ipv4Addr, MacAddr
+from repro.packet.arp import ARP_OP_REPLY, ARP_OP_REQUEST, ArpPacket
+from repro.packet.ethernet import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    wire_time_ns,
+)
+from repro.packet.icmp import ICMP_ECHO_REPLY, ICMP_ECHO_REQUEST, IcmpPacket
+from repro.packet.ipv4 import Ipv4Packet
+from repro.packet.tcp import FLAG_ACK, FLAG_SYN, TcpSegment
+from repro.packet.udp import UdpDatagram
+from repro.packet.vlan import VlanTag, tag_frame, untag_frame
+
+MAC_A = MacAddr.parse("02:00:00:00:00:0a")
+MAC_B = MacAddr.parse("02:00:00:00:00:0b")
+IP_A = Ipv4Addr.parse("10.0.0.1")
+IP_B = Ipv4Addr.parse("10.0.0.2")
+
+macs = st.integers(0, (1 << 48) - 1).map(MacAddr)
+ips = st.integers(0, (1 << 32) - 1).map(Ipv4Addr)
+
+
+class TestEthernet:
+    def test_pack_parse_roundtrip(self):
+        frame = EthernetFrame(MAC_A, MAC_B, ETHERTYPE_IPV4, b"payload" * 10)
+        parsed = EthernetFrame.parse(frame.pack())
+        assert (parsed.dst, parsed.src, parsed.ethertype) == (MAC_A, MAC_B, ETHERTYPE_IPV4)
+        assert parsed.payload.startswith(b"payload")
+
+    def test_padding_to_minimum(self):
+        frame = EthernetFrame(MAC_A, MAC_B, ETHERTYPE_IPV4, b"x")
+        assert len(frame.pack()) == 60  # 64 with FCS
+        assert len(frame.pack(pad=False)) == 15
+
+    def test_fcs_roundtrip(self):
+        frame = EthernetFrame(MAC_A, MAC_B, ETHERTYPE_IPV4, b"data" * 20)
+        wire = frame.pack_with_fcs()
+        parsed = EthernetFrame.parse_with_fcs(wire)
+        assert parsed.src == MAC_B
+
+    def test_fcs_corruption_detected(self):
+        wire = bytearray(EthernetFrame(MAC_A, MAC_B, 0x0800, b"y" * 50).pack_with_fcs())
+        wire[20] ^= 0x01
+        with pytest.raises(ValueError, match="FCS"):
+            EthernetFrame.parse_with_fcs(bytes(wire))
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetFrame.parse(b"\x00" * 10)
+
+    def test_bad_ethertype(self):
+        with pytest.raises(ValueError):
+            EthernetFrame(MAC_A, MAC_B, 0x10000, b"")
+
+    def test_wire_time_small_vs_large(self):
+        # 64B frame: (64+20)*8 bits at 10G = 67.2 ns.
+        assert wire_time_ns(64, 10e9) == pytest.approx(67.2)
+        assert wire_time_ns(1518, 10e9) == pytest.approx(1230.4)
+
+    @given(macs, macs, st.integers(0, 0xFFFF), st.binary(max_size=100))
+    def test_roundtrip_property(self, dst, src, ethertype, payload):
+        frame = EthernetFrame(dst, src, ethertype, payload)
+        parsed = EthernetFrame.parse(frame.pack(pad=False))
+        assert parsed == frame
+
+
+class TestVlan:
+    def test_tci_roundtrip(self):
+        tag = VlanTag(vid=100, pcp=5, dei=True)
+        assert VlanTag.from_tci(tag.tci) == tag
+
+    def test_tag_untag_roundtrip(self):
+        frame = EthernetFrame(MAC_A, MAC_B, ETHERTYPE_IPV4, b"inner")
+        tagged = tag_frame(frame, VlanTag(vid=42, pcp=3))
+        assert tagged.ethertype == 0x8100
+        inner, tag = untag_frame(tagged)
+        assert inner == frame
+        assert tag == VlanTag(vid=42, pcp=3)
+
+    def test_untag_plain_frame_rejected(self):
+        with pytest.raises(ValueError):
+            untag_frame(EthernetFrame(MAC_A, MAC_B, ETHERTYPE_IPV4, b""))
+
+    def test_bad_vid_pcp(self):
+        with pytest.raises(ValueError):
+            VlanTag(vid=4096)
+        with pytest.raises(ValueError):
+            VlanTag(vid=0, pcp=8)
+
+    @given(st.integers(0, 0xFFF), st.integers(0, 7), st.booleans())
+    def test_tci_roundtrip_property(self, vid, pcp, dei):
+        tag = VlanTag(vid=vid, pcp=pcp, dei=dei)
+        assert VlanTag.from_tci(tag.tci) == tag
+
+
+class TestArp:
+    def test_roundtrip(self):
+        arp = ArpPacket(ARP_OP_REQUEST, MAC_A, IP_A, MacAddr(0), IP_B)
+        assert ArpPacket.parse(arp.pack()) == arp
+
+    def test_reply_roundtrip(self):
+        arp = ArpPacket(ARP_OP_REPLY, MAC_B, IP_B, MAC_A, IP_A)
+        assert ArpPacket.parse(arp.pack()) == arp
+
+    def test_bad_op(self):
+        with pytest.raises(ValueError):
+            ArpPacket(3, MAC_A, IP_A, MAC_B, IP_B)
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            ArpPacket.parse(b"\x00" * 20)
+
+    def test_wrong_encoding(self):
+        good = ArpPacket(ARP_OP_REQUEST, MAC_A, IP_A, MacAddr(0), IP_B).pack()
+        bad = b"\x00\x02" + good[2:]  # htype=2
+        with pytest.raises(ValueError):
+            ArpPacket.parse(bad)
+
+
+class TestIpv4:
+    def test_roundtrip(self):
+        packet = Ipv4Packet(IP_A, IP_B, 17, b"hello", ttl=33, dscp=46, ecn=1,
+                            identification=777, flags=2)
+        assert Ipv4Packet.parse(packet.pack()) == packet
+
+    def test_checksum_valid_on_pack(self):
+        from repro.packet.checksum import internet_checksum
+
+        raw = Ipv4Packet(IP_A, IP_B, 6, b"x" * 9).pack()
+        assert internet_checksum(raw[:20]) == 0
+
+    def test_corrupted_checksum_detected(self):
+        raw = bytearray(Ipv4Packet(IP_A, IP_B, 6, b"x").pack())
+        raw[8] ^= 0xFF  # mangle TTL without fixing checksum
+        with pytest.raises(ValueError, match="checksum"):
+            Ipv4Packet.parse(bytes(raw))
+        # verify=False lets the caller decide.
+        Ipv4Packet.parse(bytes(raw), verify=False)
+
+    def test_options_roundtrip(self):
+        packet = Ipv4Packet(IP_A, IP_B, 17, b"pp", options=b"\x01" * 8)
+        parsed = Ipv4Packet.parse(packet.pack())
+        assert parsed.options == b"\x01" * 8
+        assert parsed.header_length == 28
+
+    def test_bad_options(self):
+        with pytest.raises(ValueError):
+            Ipv4Packet(IP_A, IP_B, 17, b"", options=b"\x01")  # not 32-bit
+        with pytest.raises(ValueError):
+            Ipv4Packet(IP_A, IP_B, 17, b"", options=b"\x01" * 44)  # too long
+
+    def test_not_ipv4_rejected(self):
+        raw = bytearray(Ipv4Packet(IP_A, IP_B, 17, b"").pack())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(ValueError, match="version"):
+            Ipv4Packet.parse(bytes(raw))
+
+    def test_length_field_validation(self):
+        raw = Ipv4Packet(IP_A, IP_B, 17, b"abc").pack()
+        with pytest.raises(ValueError):
+            Ipv4Packet.parse(raw[:20])  # total_length says 23, have 20
+
+    @given(ips, ips, st.integers(0, 255), st.binary(max_size=64),
+           st.integers(1, 255))
+    def test_roundtrip_property(self, src, dst, proto, payload, ttl):
+        packet = Ipv4Packet(src, dst, proto, payload, ttl=ttl)
+        assert Ipv4Packet.parse(packet.pack()) == packet
+
+
+class TestIcmp:
+    def test_echo_roundtrip(self):
+        echo = IcmpPacket.echo_request(ident=5, seq=9, payload=b"ping")
+        parsed = IcmpPacket.parse(echo.pack())
+        assert parsed == echo
+        assert parsed.icmp_type == ICMP_ECHO_REQUEST
+
+    def test_echo_reply_helper(self):
+        request = IcmpPacket.echo_request(1, 2, b"data")
+        reply = IcmpPacket.echo_reply_to(request)
+        assert reply.icmp_type == ICMP_ECHO_REPLY
+        assert reply.rest == request.rest
+        assert reply.payload == request.payload
+
+    def test_reply_to_non_request_rejected(self):
+        with pytest.raises(ValueError):
+            IcmpPacket.echo_reply_to(IcmpPacket(0, 0))
+
+    def test_checksum_verified(self):
+        raw = bytearray(IcmpPacket.echo_request(1, 1).pack())
+        raw[0] = 13
+        with pytest.raises(ValueError, match="checksum"):
+            IcmpPacket.parse(bytes(raw))
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 0xFFFFFFFF),
+           st.binary(max_size=64))
+    def test_roundtrip_property(self, icmp_type, code, rest, payload):
+        packet = IcmpPacket(icmp_type, code, rest, payload)
+        assert IcmpPacket.parse(packet.pack()) == packet
+
+
+class TestUdp:
+    def test_roundtrip_no_checksum(self):
+        udp = UdpDatagram(1000, 2000, b"data")
+        assert UdpDatagram.parse(udp.pack()) == udp
+
+    def test_checksum_verifies(self):
+        from repro.packet.checksum import transport_checksum
+
+        udp = UdpDatagram(53, 5353, b"query")
+        raw = udp.pack(IP_A, IP_B)
+        assert transport_checksum(IP_A.packed, IP_B.packed, 17, raw) == 0
+
+    def test_length_validation(self):
+        raw = bytearray(UdpDatagram(1, 2, b"abcdef").pack())
+        raw[4:6] = (3).to_bytes(2, "big")  # impossible length
+        with pytest.raises(ValueError):
+            UdpDatagram.parse(bytes(raw))
+
+    def test_bad_port(self):
+        with pytest.raises(ValueError):
+            UdpDatagram(70000, 1)
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF), st.binary(max_size=64))
+    def test_roundtrip_property(self, sport, dport, payload):
+        udp = UdpDatagram(sport, dport, payload)
+        assert UdpDatagram.parse(udp.pack()) == udp
+
+
+class TestTcp:
+    def test_roundtrip(self):
+        seg = TcpSegment(80, 443, seq=1000, ack=2000, flags=FLAG_SYN | FLAG_ACK,
+                         window=512, options=b"\x02\x04\x05\xb4", payload=b"GET /")
+        assert TcpSegment.parse(seg.pack()) == seg
+
+    def test_checksum_verifies(self):
+        from repro.packet.checksum import transport_checksum
+
+        raw = TcpSegment(1, 2, payload=b"xyz").pack(IP_A, IP_B)
+        assert transport_checksum(IP_A.packed, IP_B.packed, 6, raw) == 0
+
+    def test_data_offset_validation(self):
+        raw = bytearray(TcpSegment(1, 2).pack())
+        raw[12] = 2 << 4  # offset 8 bytes < minimum 20
+        with pytest.raises(ValueError):
+            TcpSegment.parse(bytes(raw))
+
+    def test_bad_options(self):
+        with pytest.raises(ValueError):
+            TcpSegment(1, 2, options=b"\x01\x02")
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF),
+           st.integers(0, 0xFFFFFFFF), st.binary(max_size=32))
+    def test_roundtrip_property(self, sport, dport, seq, payload):
+        seg = TcpSegment(sport, dport, seq=seq, payload=payload)
+        assert TcpSegment.parse(seg.pack()) == seg
+
+
+class TestNesting:
+    """Full-stack compose/decompose, the way projects consume frames."""
+
+    def test_udp_in_ip_in_ethernet(self):
+        udp = UdpDatagram(5000, 6000, b"nested")
+        ip_packet = Ipv4Packet(IP_A, IP_B, 17, udp.pack(IP_A, IP_B))
+        frame = EthernetFrame(MAC_B, MAC_A, ETHERTYPE_IPV4, ip_packet.pack())
+        wire = frame.pack_with_fcs()
+
+        recovered = EthernetFrame.parse_with_fcs(wire)
+        inner_ip = Ipv4Packet.parse(recovered.payload)
+        inner_udp = UdpDatagram.parse(inner_ip.payload)
+        assert inner_udp.payload == b"nested"
+
+    def test_arp_in_ethernet(self):
+        arp = ArpPacket(ARP_OP_REQUEST, MAC_A, IP_A, MacAddr(0), IP_B)
+        frame = EthernetFrame(BROADCAST_MAC, MAC_A, ETHERTYPE_ARP, arp.pack())
+        parsed_frame = EthernetFrame.parse(frame.pack())
+        # Padding extends the payload; ARP parse must still work.
+        assert ArpPacket.parse(parsed_frame.payload) == arp

@@ -1,0 +1,109 @@
+"""pcap file format: round-trips, endianness, resolutions, truncation."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.packet.pcap import (
+    MAGIC_NS,
+    MAGIC_US,
+    PcapReader,
+    PcapRecord,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+
+
+def _records(n=5):
+    return [
+        PcapRecord(timestamp_ns=i * 1_000_000 + i, data=bytes([i]) * (60 + i))
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_nanosecond_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ns.pcap")
+        records = _records()
+        assert write_pcap(path, records) == 5
+        back = read_pcap(path)
+        assert [(r.timestamp_ns, r.data) for r in back] == [
+            (r.timestamp_ns, r.data) for r in records
+        ]
+
+    def test_microsecond_resolution_truncates(self, tmp_path):
+        path = str(tmp_path / "us.pcap")
+        write_pcap(path, [PcapRecord(1234, b"x" * 60)], nanosecond=False)
+        back = read_pcap(path)
+        # 1234ns truncates to 1us resolution = 1000ns.
+        assert back[0].timestamp_ns == 1000
+
+    # pcap stores seconds in a u32, so timestamps are bounded by 2106.
+    @given(st.lists(
+        st.tuples(st.integers(0, (2**32 - 1) * 10**9), st.binary(min_size=1, max_size=100)),
+        min_size=1, max_size=20,
+    ))
+    def test_roundtrip_property(self, items):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for ts, data in items:
+            writer.write(PcapRecord(ts, data))
+        buffer.seek(0)
+        back = list(PcapReader(buffer))
+        assert [(r.timestamp_ns, r.data) for r in back] == items
+
+
+class TestHeaderHandling:
+    def test_magic_detection(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer, nanosecond=True)
+        buffer.seek(0)
+        assert PcapReader(buffer).nanosecond
+
+    def test_big_endian_file_readable(self):
+        # Hand-build a big-endian microsecond pcap with one record.
+        header = struct.pack(">IHHiIII", MAGIC_US, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 1, 500, 4, 4) + b"abcd"
+        reader = PcapReader(io.BytesIO(header + record))
+        records = list(reader)
+        assert records[0].data == b"abcd"
+        assert records[0].timestamp_ns == 1_000_500_000
+
+    def test_not_pcap_rejected(self):
+        with pytest.raises(ValueError, match="not a pcap"):
+            PcapReader(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            PcapReader(io.BytesIO(b"\xd4\xc3"))
+
+
+class TestTruncation:
+    def test_snaplen_cuts_but_keeps_orig_len(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=32)
+        writer.write(PcapRecord(0, b"z" * 100))
+        buffer.seek(0)
+        record = next(iter(PcapReader(buffer)))
+        assert len(record.data) == 32
+        assert record.original_length == 100
+        assert record.truncated
+
+    def test_truncated_record_body_detected(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(PcapRecord(0, b"full record"))
+        corrupted = buffer.getvalue()[:-4]
+        with pytest.raises(ValueError, match="truncated"):
+            list(PcapReader(io.BytesIO(corrupted)))
+
+    def test_write_packets_convenience(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write_packets([b"a" * 60, b"b" * 60], interval_ns=500)
+        buffer.seek(0)
+        records = list(PcapReader(buffer))
+        assert records[1].timestamp_ns - records[0].timestamp_ns == 500

@@ -1,0 +1,240 @@
+"""BlueSwitch: flow tables, version-tagged pipeline, atomic updates (E6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.metadata import phys_port_bit
+from repro.projects.blueswitch import (
+    ActionDrop,
+    ActionGoto,
+    ActionOutput,
+    BlueSwitchPipeline,
+    FlowEntry,
+    FlowMatch,
+    FlowTable,
+    FLOW_KEY,
+    UpdateWrite,
+    flow_key_of,
+    run_update_experiment,
+)
+
+from tests.conftest import ip, mac, udp_frame
+
+
+class TestFlowKey:
+    def test_fields_extracted_from_frame(self):
+        frame = udp_frame(src=1, dst=2)
+        key = flow_key_of(frame, phys_port_bit(3))
+        fields = FLOW_KEY.unpack(key)
+        assert fields["in_port"] == phys_port_bit(3)
+        assert fields["eth_type"] == 0x0800
+        assert fields["ip_src"] == ip(1).value
+        assert fields["ip_dst"] == ip(2).value
+        assert fields["ip_proto"] == 17
+        assert fields["eth_src"] == mac(1).value
+        assert fields["eth_dst"] == mac(2).value
+
+    def test_non_ip_fields_zero(self):
+        key = flow_key_of(b"\xff" * 60, phys_port_bit(0))
+        fields = FLOW_KEY.unpack(key)
+        assert fields["ip_src"] == 0 and fields["l4_dst"] == 0
+
+
+class TestFlowMatch:
+    def test_exact_match_compiles(self):
+        entry = FlowMatch(ip_dst=ip(2).value).to_tcam(result=5)
+        assert entry.matches(flow_key_of(udp_frame(dst=2), 0))
+        assert not entry.matches(flow_key_of(udp_frame(dst=3), 0))
+
+    def test_prefix_match(self):
+        match = FlowMatch(ip_dst=0x0A000000, ip_dst_prefix=8)
+        entry = match.to_tcam()
+        assert entry.matches(flow_key_of(udp_frame(dst=200), 0))  # 10.x
+        other = FlowMatch(ip_dst=0x0B000000, ip_dst_prefix=8).to_tcam()
+        assert not other.matches(flow_key_of(udp_frame(dst=200), 0))
+
+    def test_wildcard_matches_all(self):
+        entry = FlowMatch().to_tcam()
+        assert entry.matches(flow_key_of(udp_frame(), phys_port_bit(2)))
+        assert entry.matches(0)
+
+    def test_in_port_match(self):
+        entry = FlowMatch(in_port=phys_port_bit(1)).to_tcam()
+        assert entry.matches(flow_key_of(udp_frame(), phys_port_bit(1)))
+        assert not entry.matches(flow_key_of(udp_frame(), phys_port_bit(2)))
+
+    def test_eth_dst_match(self):
+        entry = FlowMatch(eth_dst=mac(2).value).to_tcam()
+        assert entry.matches(flow_key_of(udp_frame(dst=2), 0))
+        assert not entry.matches(flow_key_of(udp_frame(dst=3), 0))
+
+    def test_entry_requires_actions(self):
+        with pytest.raises(ValueError):
+            FlowEntry(FlowMatch(), ())
+
+
+class TestFlowTable:
+    def test_double_banks_independent(self):
+        table = FlowTable(0, slots=4)
+        flow = FlowEntry(FlowMatch(), (ActionOutput(1),))
+        table.write(0, 0, flow)
+        key = flow_key_of(udp_frame(), 0)
+        assert table.lookup(0, key) == flow.actions
+        assert table.lookup(1, key) is None  # other bank untouched
+
+    def test_copy_bank(self):
+        table = FlowTable(0, slots=4)
+        flow = FlowEntry(FlowMatch(ip_proto=17), (ActionOutput(2),))
+        table.write(0, 1, flow)
+        table.copy_bank(0, 1)
+        assert table.lookup(1, flow_key_of(udp_frame(), 0)) == flow.actions
+
+    def test_clear_slot(self):
+        table = FlowTable(0, slots=4)
+        table.write(0, 0, FlowEntry(FlowMatch(), (ActionOutput(1),)))
+        table.write(0, 0, None)
+        assert table.lookup(0, 0) is None
+
+
+def _policy_pipeline():
+    pipe = BlueSwitchPipeline(num_tables=3, slots_per_table=16)
+    pipe.write_active(0, 0, FlowEntry(FlowMatch(eth_type=0x0800), (ActionGoto(1),)))
+    pipe.write_active(
+        1, 0, FlowEntry(FlowMatch(ip_dst=ip(2).value), (ActionGoto(2),))
+    )
+    pipe.write_active(
+        2, 0, FlowEntry(FlowMatch(ip_proto=17), (ActionOutput(phys_port_bit(1)),))
+    )
+    return pipe
+
+
+class TestPipeline:
+    def test_multi_table_walk(self):
+        pipe = _policy_pipeline()
+        result = pipe.classify(udp_frame(dst=2), phys_port_bit(0))
+        assert result.forwarded
+        assert result.output_bits == phys_port_bit(1)
+        assert result.tables_visited == [0, 1, 2]
+
+    def test_miss_drops(self):
+        pipe = _policy_pipeline()
+        result = pipe.classify(udp_frame(dst=3), phys_port_bit(0))  # table1 miss
+        assert result.dropped
+        assert pipe.table_miss_drops == 1
+
+    def test_explicit_drop_action(self):
+        pipe = BlueSwitchPipeline(num_tables=1)
+        pipe.write_active(0, 0, FlowEntry(FlowMatch(), (ActionDrop(),)))
+        assert pipe.classify(udp_frame(), 0).dropped
+
+    def test_multiple_outputs_accumulate(self):
+        pipe = BlueSwitchPipeline(num_tables=1)
+        pipe.write_active(
+            0,
+            0,
+            FlowEntry(
+                FlowMatch(),
+                (ActionOutput(phys_port_bit(0)), ActionOutput(phys_port_bit(2))),
+            ),
+        )
+        result = pipe.classify(udp_frame(), 0)
+        assert result.output_bits == phys_port_bit(0) | phys_port_bit(2)
+
+    def test_goto_must_move_forward(self):
+        pipe = BlueSwitchPipeline(num_tables=2)
+        pipe.write_active(1, 0, FlowEntry(FlowMatch(), (ActionGoto(0),)))
+        pipe.write_active(0, 0, FlowEntry(FlowMatch(), (ActionGoto(1),)))
+        with pytest.raises(ValueError):
+            pipe.classify(udp_frame(), 0)
+
+    def test_version_tag_selects_bank(self):
+        pipe = BlueSwitchPipeline(num_tables=1)
+        pipe.write_active(0, 0, FlowEntry(FlowMatch(), (ActionOutput(1),)))
+        pipe.write_shadow(0, 0, FlowEntry(FlowMatch(), (ActionOutput(4),)))
+        assert pipe.classify(udp_frame(), 0, version=pipe.active_version).output_bits == 1
+        assert pipe.classify(udp_frame(), 0, version=pipe.shadow_version).output_bits == 4
+
+    def test_commit_flips_atomically(self):
+        pipe = BlueSwitchPipeline(num_tables=1)
+        pipe.write_active(0, 0, FlowEntry(FlowMatch(), (ActionOutput(1),)))
+        pipe.sync_shadow()
+        pipe.write_shadow(0, 0, FlowEntry(FlowMatch(), (ActionOutput(4),)))
+        assert pipe.classify(udp_frame(), 0).output_bits == 1
+        pipe.commit()
+        assert pipe.classify(udp_frame(), 0).output_bits == 4
+        assert pipe.commits == 1
+
+
+UPDATE_PLAN = [
+    UpdateWrite(
+        1, 0, FlowEntry(FlowMatch(ip_dst=ip(2).value), (ActionOutput(phys_port_bit(3)),))
+    ),
+    UpdateWrite(2, 0, None),
+]
+
+
+class TestUpdateExperiment:
+    def _traffic(self, n=300):
+        return [(udp_frame(dst=2), phys_port_bit(0))] * n
+
+    def test_consistent_never_misforwards(self):
+        report = run_update_experiment(
+            _policy_pipeline(), UPDATE_PLAN, self._traffic(),
+            mode="consistent", stage_cycles=5, update_start=100,
+        )
+        assert report.misforwarded == 0
+        assert report.old_consistent > 0
+        assert report.new_consistent > 0
+
+    def test_naive_misforwards_in_flight_packets(self):
+        report = run_update_experiment(
+            _policy_pipeline(), UPDATE_PLAN, self._traffic(),
+            mode="naive", stage_cycles=5, update_start=100,
+        )
+        assert report.misforwarded > 0
+        assert report.details  # the audit names the victims
+
+    def test_naive_without_overlap_is_clean(self):
+        """If no packet is in flight during the update, naive is fine too
+        — the danger is the overlap, exactly as [2] argues."""
+        traffic = self._traffic(10)  # all done before update_start
+        report = run_update_experiment(
+            _policy_pipeline(), UPDATE_PLAN, traffic,
+            mode="naive", stage_cycles=1, update_start=10_000,
+        )
+        assert report.misforwarded == 0
+        assert report.old_consistent + report.ambiguous == 10
+
+    def test_pipeline_ends_in_new_config(self):
+        for mode in ("naive", "consistent"):
+            pipe = _policy_pipeline()
+            run_update_experiment(
+                pipe, UPDATE_PLAN, self._traffic(50), mode=mode, update_start=10
+            )
+            result = pipe.classify(udp_frame(dst=2), phys_port_bit(0))
+            assert result.output_bits == phys_port_bit(3)
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            run_update_experiment(_policy_pipeline(), UPDATE_PLAN, self._traffic(1),
+                                  mode="hopeful")
+        with pytest.raises(ValueError):
+            run_update_experiment(_policy_pipeline(), UPDATE_PLAN, [], mode="naive")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        update_start=st.integers(0, 400),
+        stage_cycles=st.integers(1, 10),
+        writes_per_cycle=st.integers(1, 3),
+    )
+    def test_consistent_zero_misforward_property(
+        self, update_start, stage_cycles, writes_per_cycle
+    ):
+        """BlueSwitch's theorem, property-tested over timing parameters."""
+        report = run_update_experiment(
+            _policy_pipeline(), UPDATE_PLAN, self._traffic(200),
+            mode="consistent", stage_cycles=stage_cycles,
+            update_start=update_start, writes_per_cycle=writes_per_cycle,
+        )
+        assert report.misforwarded == 0
+        assert report.old_consistent + report.new_consistent + report.ambiguous == 200

@@ -1,0 +1,262 @@
+"""The soft core: ISA, assembler, CPU semantics, firmware programs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.axilite import AxiLiteInterconnect, RegisterFile
+from repro.soft.assembler import AssemblerError, assemble
+from repro.soft.cpu import CpuFault, SCRATCH_BASE, SoftCore
+from repro.soft.firmware import COUNTER_SUM, MEMTEST, blink_program
+from repro.soft.isa import Instruction, Opcode, decode, encode
+
+
+class TestIsaEncoding:
+    def test_known_encoding(self):
+        word = encode(Instruction(Opcode.ADDI, rd=1, rs1=2, imm=5))
+        assert decode(word) == Instruction(Opcode.ADDI, rd=1, rs1=2, imm=5)
+
+    def test_negative_immediate(self):
+        word = encode(Instruction(Opcode.MOVI, rd=3, imm=-1))
+        assert decode(word).imm == -1
+
+    def test_illegal_opcode(self):
+        with pytest.raises(ValueError):
+            decode(0x3F << 26)
+
+    def test_register_range(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rd=16)
+
+    def test_imm_range(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MOVI, rd=0, imm=10000)
+
+    @given(
+        op=st.sampled_from(list(Opcode)),
+        rd=st.integers(0, 15),
+        rs1=st.integers(0, 15),
+        rs2=st.integers(0, 15),
+        imm=st.integers(-8192, 8191),
+    )
+    def test_roundtrip_property(self, op, rd, rs1, rs2, imm):
+        instr = Instruction(op, rd, rs1, rs2, imm)
+        assert decode(encode(instr)) == instr
+
+
+class TestAssembler:
+    def test_labels_and_branches(self):
+        words = assemble("""
+            movi r1, 0
+        top:
+            addi r1, r1, 1
+            movi r2, 5
+            bne r1, r2, top
+            halt
+        """)
+        cpu = SoftCore(AxiLiteInterconnect(), words)
+        cpu.run()
+        assert cpu.regs[1] == 5
+
+    def test_comments_and_blank_lines(self):
+        words = assemble("; nothing\n\n  # also nothing\n halt ; done\n")
+        assert len(words) == 1
+
+    def test_forward_label(self):
+        words = assemble("""
+            beq r0, r0, end
+            movi r1, 99
+        end:
+            halt
+        """)
+        cpu = SoftCore(AxiLiteInterconnect(), words)
+        cpu.run()
+        assert cpu.regs[1] == 0
+
+    def test_hex_immediates(self):
+        words = assemble("movi r1, 0x7f\nhalt")
+        cpu = SoftCore(AxiLiteInterconnect(), words)
+        cpu.run()
+        assert cpu.regs[1] == 0x7F
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate r1",
+            "movi r16, 0",
+            "movi r1",
+            "movi r1, notalabel",
+            "movi r1, 99999",
+            "dup: halt\ndup: halt",
+        ],
+    )
+    def test_errors_are_reported(self, bad):
+        with pytest.raises(AssemblerError):
+            assemble(bad)
+
+
+class TestCpuSemantics:
+    def _run(self, source, bus=None):
+        cpu = SoftCore(bus or AxiLiteInterconnect(), assemble(source))
+        cpu.run()
+        return cpu
+
+    def test_arithmetic(self):
+        cpu = self._run("""
+            movi r1, 100
+            movi r2, 42
+            add  r3, r1, r2
+            sub  r4, r1, r2
+            and  r5, r1, r2
+            or   r6, r1, r2
+            xor  r7, r1, r2
+            halt
+        """)
+        assert cpu.regs[3] == 142
+        assert cpu.regs[4] == 58
+        assert cpu.regs[5] == 100 & 42
+        assert cpu.regs[6] == 100 | 42
+        assert cpu.regs[7] == 100 ^ 42
+
+    def test_wraparound_32bit(self):
+        cpu = self._run("""
+            movi r1, -1
+            movi r2, 1
+            add  r3, r1, r2
+            halt
+        """)
+        assert cpu.regs[3] == 0
+
+    def test_shifts(self):
+        cpu = self._run("""
+            movi r1, 1
+            shl  r2, r1, 31
+            shr  r3, r2, 31
+            halt
+        """)
+        assert cpu.regs[2] == 0x8000_0000
+        assert cpu.regs[3] == 1
+
+    def test_r0_hardwired_zero(self):
+        cpu = self._run("""
+            movi r0, 7
+            add  r1, r0, r0
+            halt
+        """)
+        assert cpu.regs[0] == 0 and cpu.regs[1] == 0
+
+    def test_blt_signed(self):
+        cpu = self._run("""
+            movi r1, -5
+            movi r2, 3
+            movi r3, 0
+            blt  r1, r2, taken
+            movi r3, 99
+        taken:
+            halt
+        """)
+        assert cpu.regs[3] == 0
+
+    def test_jal_and_jr_subroutine(self):
+        cpu = self._run("""
+            movi r1, 5
+            jal  r15, double
+            add  r3, r2, r0
+            halt
+        double:
+            add  r2, r1, r1
+            jr   r15
+        """)
+        assert cpu.regs[3] == 10
+
+    def test_scratch_memory(self):
+        cpu = self._run("""
+            movi r6, -1
+            shl  r6, r6, 18
+            movi r7, 3
+            shl  r7, r7, 16
+            or   r6, r6, r7
+            movi r1, 1234
+            sw   r1, r6, 8
+            lw   r2, r6, 8
+            halt
+        """)
+        assert cpu.regs[2] == 1234
+
+    def test_bus_access_through_register_file(self):
+        bus = AxiLiteInterconnect()
+        rf = RegisterFile("gpio")
+        rf.add_register("led", 0x0)
+        bus.attach(0x0, 0x1000, rf)
+        cpu = self._run("""
+            movi r1, 0xAB
+            sw   r1, r0, 0
+            lw   r2, r0, 0
+            halt
+        """, bus=bus)
+        assert cpu.regs[2] == 0xAB
+        assert rf.peek("led") == 0xAB
+
+    def test_bus_fault_halts_with_record(self):
+        cpu = SoftCore(AxiLiteInterconnect(), assemble("lw r1, r0, 0x100\nhalt"))
+        cpu.run()
+        assert cpu.faults and "load fault" in cpu.faults[0]
+
+    def test_runaway_detected(self):
+        cpu = SoftCore(AxiLiteInterconnect(), assemble("loop: beq r0, r0, loop"))
+        with pytest.raises(CpuFault):
+            cpu.run(max_instructions=100)
+
+    def test_pc_off_end_halts(self):
+        cpu = SoftCore(AxiLiteInterconnect(), assemble("movi r1, 1"))
+        cpu.run()
+        assert cpu.halted and cpu.faults
+
+
+class TestFirmware:
+    def test_counter_sum_against_live_registers(self):
+        bus = AxiLiteInterconnect()
+        rf = RegisterFile("stats")
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        for i, value in enumerate(values):
+            rf.add_register(f"p{i}_packets", i * 8, init=value)
+            rf.add_register(f"p{i}_bytes", i * 8 + 4, init=0)
+        bus.attach(0x10000, 0x10000, rf)
+        cpu = SoftCore(bus, assemble(COUNTER_SUM))
+        cpu.run()
+        assert cpu.regs[5] == sum(values)
+        # And the result was stored to scratch for the host to read.
+        assert cpu._load(SCRATCH_BASE) == sum(values)
+
+    def test_memtest_passes(self):
+        cpu = SoftCore(AxiLiteInterconnect(), assemble(MEMTEST))
+        cpu.run()
+        assert cpu.regs[10] == 1
+
+    def test_blink_writes_led_register(self):
+        bus = AxiLiteInterconnect()
+        rf = RegisterFile("gpio")
+        toggles = []
+        rf.add_register("led", 0x40, on_write=toggles.append)
+        bus.attach(0x0, 0x1000, rf)
+        cpu = SoftCore(bus, assemble(blink_program(0x40, blinks=6)))
+        cpu.run()
+        assert toggles == [1, 0, 1, 0, 1, 0]
+
+    def test_blink_validation(self):
+        with pytest.raises(ValueError):
+            blink_program(0x10000, 3)
+        with pytest.raises(ValueError):
+            blink_program(0x40, 0)
+
+    def test_firmware_reads_real_project_stats(self):
+        """Embedded code + project register map, end to end (S8 x S7)."""
+        from repro.projects.base import PortRef
+        from repro.projects.reference_nic import ReferenceNic
+        from repro.testenv.harness import Stimulus, run_sim
+        from tests.conftest import udp_frame
+
+        nic = ReferenceNic()
+        run_sim(nic, [Stimulus(PortRef("phys", i), udp_frame()) for i in range(3)])
+        cpu = SoftCore(nic.interconnect, assemble(COUNTER_SUM))
+        cpu.run()
+        assert cpu.regs[5] == 3  # rx packet counters, summed by firmware

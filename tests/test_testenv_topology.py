@@ -1,0 +1,217 @@
+"""Multi-device topologies: switched fabrics, routed networks, storms."""
+
+import pytest
+
+from repro.host.router_manager import RouterManager
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.ethernet import EthernetFrame
+from repro.packet.generator import make_udp_frame
+from repro.packet.ipv4 import Ipv4Packet
+from repro.projects.base import PortRef
+from repro.projects.reference_router import ReferenceRouter
+from repro.projects.reference_switch import ReferenceSwitch
+from repro.testenv.topology import Network, TopologyError
+
+from tests.conftest import ip, mac, udp_frame
+
+
+def two_switch_fabric() -> Network:
+    """hostA—s1—s2—hostB: the smallest multi-device network.
+
+    s1 port 3 <-> s2 port 0; hosts hang off the edge ports.
+    """
+    net = Network()
+    net.add_device("s1", ReferenceSwitch())
+    net.add_device("s2", ReferenceSwitch())
+    net.link("s1", 3, "s2", 0)
+    return net
+
+
+class TestWiring:
+    def test_edge_ports_exclude_cabled(self):
+        net = two_switch_fabric()
+        assert PortRef("phys", 3) not in net.edge_ports("s1")
+        assert len(net.edge_ports("s1")) == 3
+
+    def test_bad_wiring_rejected(self):
+        net = Network()
+        net.add_device("s1", ReferenceSwitch())
+        with pytest.raises(TopologyError):
+            net.link("s1", 0, "nope", 1)
+        net.add_device("s2", ReferenceSwitch())
+        net.link("s1", 0, "s2", 0)
+        with pytest.raises(TopologyError):
+            net.link("s1", 0, "s2", 1)  # port reuse
+        with pytest.raises(TopologyError):
+            net.add_device("s1", ReferenceSwitch())
+
+    def test_describe(self):
+        text = two_switch_fabric().describe()
+        assert "2 devices, 1 links" in text
+        assert "s1" in text and "s2" in text
+
+
+class TestSwitchedFabric:
+    def test_learning_across_two_switches(self):
+        net = two_switch_fabric()
+        a_to_b = udp_frame(src=1, dst=2)
+        b_to_a = udp_frame(src=2, dst=1)
+
+        # Unknown destination: floods across the fabric, reaching every
+        # edge port except the ingress.
+        net.inject("s1", 0, a_to_b)
+        flooded = {(d.at.device, d.at.port.index) for d in net.deliveries}
+        assert ("s2", 1) in flooded and ("s2", 2) in flooded
+        assert ("s1", 0) not in flooded
+
+        # Reply: both switches learned host A, unicast straight back.
+        before = len(net.deliveries)
+        net.inject("s2", 1, b_to_a)
+        replies = net.deliveries[before:]
+        assert [(d.at.device, d.at.port.index) for d in replies] == [("s1", 0)]
+
+        # Third packet A→B: now fully learned, single delivery.
+        before = len(net.deliveries)
+        net.inject("s1", 0, a_to_b)
+        assert [(d.at.device, d.at.port.index) for d in net.deliveries[before:]] == [
+            ("s2", 1)
+        ]
+
+    def test_hop_counting(self):
+        net = two_switch_fabric()
+        net.inject("s1", 0, udp_frame(src=1, dst=2))
+        cross_fabric = [d for d in net.deliveries if d.at.device == "s2"]
+        assert all(d.hops == 2 for d in cross_fabric)
+
+    def test_broadcast_storm_bounded(self):
+        """Two parallel links between switches = a loop; the hop limit
+        must terminate the storm (there is no STP in the reference
+        switch, as its documentation warns)."""
+        net = Network(hop_limit=20)
+        net.add_device("s1", ReferenceSwitch())
+        net.add_device("s2", ReferenceSwitch())
+        net.link("s1", 2, "s2", 2)
+        net.link("s1", 3, "s2", 3)
+        net.inject("s1", 0, udp_frame(src=1, dst=2))
+        assert net.dropped_hop_limit > 0  # the storm hit the limit
+        assert net.forwarded_hops < 500  # and was bounded
+
+
+def routed_two_subnet_network() -> tuple[Network, ReferenceRouter, RouterManager]:
+    """hostA—s1—r1—s2—hostB with subnets 10.0.0/24 and 10.0.1/24."""
+    net = Network()
+    s1 = net.add_device("s1", ReferenceSwitch())
+    router = ReferenceRouter()
+    manager = RouterManager(router.tables)
+    net.add_device("r1", router, cpu_handler=manager.handle_cpu_packet)
+    s2 = net.add_device("s2", ReferenceSwitch())
+    net.link("s1", 3, "r1", 0)  # subnet 0 side
+    net.link("r1", 1, "s2", 0)  # subnet 1 side
+    return net, router, manager
+
+
+HOST_A_MAC = MacAddr.parse("02:aa:00:00:00:01")
+HOST_A_IP = Ipv4Addr.parse("10.0.0.9")
+HOST_B_MAC = MacAddr.parse("02:bb:00:00:00:02")
+HOST_B_IP = Ipv4Addr.parse("10.0.1.2")
+
+
+class TestRoutedNetwork:
+    def test_cross_subnet_forwarding(self):
+        net, router, manager = routed_two_subnet_network()
+        manager.add_arp_entry(str(HOST_B_IP), str(HOST_B_MAC))
+        manager.add_arp_entry(str(HOST_A_IP), str(HOST_A_MAC))
+
+        data = make_udp_frame(
+            HOST_A_MAC, router.tables.port_macs[0], HOST_A_IP, HOST_B_IP,
+            size=200, ttl=10,
+        ).pack()
+        deliveries = net.inject("s1", 0, data)
+        # s1 floods the original (router MAC unknown to it) to its own
+        # edge ports; the routed copy crosses r1 and s2 floods it to all
+        # of s2's edge ports.
+        routed = [d for d in deliveries if d.at.device == "s2"]
+        assert len(routed) == 3  # s2's three edge ports
+        frame = EthernetFrame.parse(routed[0].frame)
+        assert frame.dst == HOST_B_MAC
+        assert frame.src == router.tables.port_macs[1]
+        packet = Ipv4Packet.parse(frame.payload)
+        assert packet.ttl == 9
+
+    def test_icmp_echo_through_the_fabric(self):
+        from repro.packet.icmp import ICMP_ECHO_REPLY, IcmpPacket
+        from repro.packet.ipv4 import IPPROTO_ICMP
+        from repro.packet.ethernet import ETHERTYPE_IPV4
+
+        net, router, manager = routed_two_subnet_network()
+        manager.add_arp_entry(str(HOST_A_IP), str(HOST_A_MAC))
+        gw = router.tables.port_ips[0]
+        ping = EthernetFrame(
+            router.tables.port_macs[0], HOST_A_MAC, ETHERTYPE_IPV4,
+            Ipv4Packet(HOST_A_IP, gw, IPPROTO_ICMP,
+                       IcmpPacket.echo_request(1, 1, b"fabric").pack()).pack(),
+        ).pack()
+        deliveries = net.inject("s1", 0, ping)
+        # The echo reply crosses s1 back towards host A's port.
+        assert any(d.at.device == "s1" for d in deliveries)
+        reply = EthernetFrame.parse(deliveries[-1].frame)
+        icmp = IcmpPacket.parse(Ipv4Packet.parse(reply.payload).payload)
+        assert icmp.icmp_type == ICMP_ECHO_REPLY
+        assert icmp.payload == b"fabric"
+
+    def test_ttl_one_dies_at_router(self):
+        net, router, manager = routed_two_subnet_network()
+        manager.add_arp_entry(str(HOST_A_IP), str(HOST_A_MAC))
+        data = make_udp_frame(
+            HOST_A_MAC, router.tables.port_macs[0], HOST_A_IP, HOST_B_IP,
+            size=96, ttl=1,
+        ).pack()
+        deliveries = net.inject("s1", 0, data)
+        # Nothing reaches subnet 1; an ICMP Time Exceeded heads back.
+        assert all(d.at.device == "s1" for d in deliveries)
+        assert manager.counters["icmp_time_exceeded"] == 1
+
+
+class TestFirewalledSegment:
+    """A transparent firewall protecting a server segment in a fabric:
+    hostA — s1 — fw — s2 — server."""
+
+    def _build(self):
+        from repro.projects.firewall import FirewallProject, SynFloodDetector
+        from repro.host.firewall_manager import FirewallManager
+
+        net = Network()
+        net.add_device("s1", ReferenceSwitch())
+        firewall = net.add_device(
+            "fw",
+            FirewallProject(
+                default_permit=False,
+                detector=SynFloodDetector(threshold=50, window_packets=10_000),
+            ),
+        )
+        net.add_device("s2", ReferenceSwitch())
+        net.link("s1", 3, "fw", 0)  # firewall bridge pair 0<->1
+        net.link("fw", 1, "s2", 0)
+        manager = FirewallManager(firewall)
+        return net, manager
+
+    def test_policy_enforced_across_the_fabric(self):
+        net, manager = self._build()
+        manager.permit(0, proto=17, dport=2002)  # only this UDP service
+
+        allowed = udp_frame(src=1, dst=2)   # dport 2002
+        blocked = udp_frame(src=1, dst=3)   # dport 2003
+        net.inject("s1", 0, allowed)
+        net.inject("s1", 0, blocked)
+        behind = [d for d in net.deliveries if d.at.device == "s2"]
+        # Only the permitted flow crossed; the blocked one died at fw.
+        assert behind and all(d.frame == allowed for d in behind)
+        assert manager.stats()["acl_denied"] == 1
+
+    def test_arp_crosses_transparently(self):
+        from repro.packet.generator import make_arp_request
+
+        net, manager = self._build()  # default deny, no rules at all
+        arp = make_arp_request(mac(1), ip(1), ip(2)).pack()
+        net.inject("s1", 0, arp)
+        assert any(d.at.device == "s2" for d in net.deliveries)

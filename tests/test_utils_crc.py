@@ -1,0 +1,56 @@
+"""CRC-32 correctness: known vectors plus the Ethernet residue property."""
+
+from hypothesis import given, strategies as st
+
+from repro.utils.crc import CRC32_INIT, crc32_ethernet, crc32_update
+
+
+class TestKnownVectors:
+    def test_check_string(self):
+        # The canonical CRC-32 check value.
+        assert crc32_ethernet(b"123456789") == 0xCBF43926
+
+    def test_empty(self):
+        assert crc32_ethernet(b"") == 0x00000000
+
+    def test_single_zero_byte(self):
+        assert crc32_ethernet(b"\x00") == 0xD202EF8D
+
+    def test_matches_zlib(self):
+        import zlib
+
+        data = bytes(range(256))
+        assert crc32_ethernet(data) == zlib.crc32(data)
+
+
+class TestIncremental:
+    def test_update_composes(self):
+        data = b"the quick brown fox"
+        split = 7
+        state = crc32_update(CRC32_INIT, data[:split])
+        state = crc32_update(state, data[split:])
+        assert state ^ 0xFFFFFFFF == crc32_ethernet(data)
+
+    @given(st.binary(max_size=128), st.binary(max_size=128))
+    def test_update_composes_property(self, a, b):
+        state = crc32_update(crc32_update(CRC32_INIT, a), b)
+        assert state ^ 0xFFFFFFFF == crc32_ethernet(a + b)
+
+
+class TestEthernetResidue:
+    """Appending the FCS little-endian must verify at a receiver."""
+
+    @given(st.binary(min_size=1, max_size=512))
+    def test_receiver_check(self, frame):
+        fcs = crc32_ethernet(frame)
+        wire = frame + fcs.to_bytes(4, "little")
+        body, received_fcs = wire[:-4], wire[-4:]
+        assert crc32_ethernet(body).to_bytes(4, "little") == received_fcs
+
+    @given(st.binary(min_size=4, max_size=256), st.integers(0, 2047))
+    def test_bit_flip_detected(self, frame, flip_bit):
+        flip_bit %= len(frame) * 8
+        fcs = crc32_ethernet(frame)
+        corrupted = bytearray(frame)
+        corrupted[flip_bit // 8] ^= 1 << (flip_bit % 8)
+        assert crc32_ethernet(bytes(corrupted)) != fcs
