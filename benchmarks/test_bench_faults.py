@@ -1,0 +1,65 @@
+"""E12 — self-healing latency: wedged RX ring to first recovered frame.
+
+The fault layer wedges the ring deterministically (``wedged-ring`` drops
+every other completion write-back); the driver's watchdog waits
+``WEDGE_PATIENCE`` polls over the gap before operating.  Reported:
+simulated recovery latency versus the driver's poll interval.  Expected
+shape: latency is exactly ``(WEDGE_PATIENCE - 1)`` poll intervals — the
+wedge is seen on the first empty poll, surgery happens on the
+``WEDGE_PATIENCE``-th — so it scales linearly with the polling period.
+"""
+
+from repro.board.sume import NetFpgaSume
+from repro.faults import FaultInjector, get_plan
+from repro.host.driver import WEDGE_PATIENCE, NetFpgaDriver
+
+from benchmarks.conftest import fmt, print_table
+
+from tests.conftest import udp_frame
+
+POLL_INTERVALS_NS = (500.0, 1_000.0, 2_000.0, 4_000.0)
+
+
+def _recovery_latency(poll_interval_ns: float) -> tuple[float, NetFpgaDriver]:
+    board = NetFpgaSume()
+    driver = NetFpgaDriver(board)
+    FaultInjector(get_plan("wedged-ring").session()).arm_dma(board.dma)
+    # Frame 0's completion is dropped (the wedge); frame 1 completes and
+    # piles up behind the stale head-of-line slot.
+    board.dma.receive(udp_frame(src=1), port=0)
+    board.dma.receive(udp_frame(src=2), port=0)
+    board.sim.run_until_idle()
+    assert board.dma.completions_dropped == 1
+    start_ns = board.sim.now_ns
+    got = driver.receive_wait(min_frames=1, poll_interval_ns=poll_interval_ns)
+    assert len(got) == 1
+    assert driver.recovery.rx_ring_recoveries == 1
+    assert driver.recovery.rx_frames_lost == 1
+    return board.sim.now_ns - start_ns, driver
+
+
+def test_e12_recovery_latency(benchmark):
+    def sweep():
+        return {
+            interval: _recovery_latency(interval)[0]
+            for interval in POLL_INTERVALS_NS
+        }
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_table(
+        "E12: wedged-ring recovery latency (us) vs driver poll interval",
+        ["poll interval (us)", "recovery latency (us)"],
+        [
+            [fmt(interval / 1_000), fmt(measured[interval] / 1_000)]
+            for interval in POLL_INTERVALS_NS
+        ],
+    )
+    series = [measured[interval] for interval in POLL_INTERVALS_NS]
+    assert series == sorted(series)  # slower polling → slower healing
+    for interval in POLL_INTERVALS_NS:
+        # The watchdog needs WEDGE_PATIENCE sightings of the gap; the
+        # first costs nothing, the rest cost one poll interval each.
+        assert measured[interval] <= WEDGE_PATIENCE * interval
+        assert measured[interval] >= (WEDGE_PATIENCE - 1) * interval
+    benchmark.extra_info["wedge_patience_polls"] = WEDGE_PATIENCE

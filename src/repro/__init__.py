@@ -12,6 +12,7 @@ The package mirrors the NetFPGA platform's layering:
                        links, 10/40/100G MACs, QDRII+/DDR3, PCIe DMA,
                        storage, power telemetry
 :mod:`repro.cores`     the reusable gateware building blocks
+:mod:`repro.faults`    deterministic fault injection + recovery accounting
 :mod:`repro.projects`  reference projects (NIC, switch, router, acceptance
                        test) and contributed projects (OSNT, BlueSwitch)
 :mod:`repro.host`      host software: driver, managers, OpenFlow control
@@ -31,12 +32,24 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import board, core, cores, host, packet, projects, soft, testenv, utils
+from repro import (
+    board,
+    core,
+    cores,
+    faults,
+    host,
+    packet,
+    projects,
+    soft,
+    testenv,
+    utils,
+)
 
 __all__ = [
     "board",
     "core",
     "cores",
+    "faults",
     "host",
     "packet",
     "projects",

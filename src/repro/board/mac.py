@@ -34,6 +34,20 @@ class MacStatistics:
     oversize: int = 0
     dropped: int = 0
     pause_frames: int = 0
+    length_errors: int = 0  # runts: shorter than the 64B wire minimum
+
+    def as_dict(self) -> dict[str, int]:
+        """The register-block view: every counter by name."""
+        return {
+            "frames": self.frames,
+            "bytes": self.bytes,
+            "fcs_errors": self.fcs_errors,
+            "undersize": self.undersize,
+            "oversize": self.oversize,
+            "dropped": self.dropped,
+            "pause_frames": self.pause_frames,
+            "length_errors": self.length_errors,
+        }
 
 
 #: IEEE 802.3x MAC control: destination, ethertype, PAUSE opcode.
@@ -122,8 +136,9 @@ class EthernetMacModel:
         self.wire: Optional["Wire"] = None
         self.rx_callback: Optional[Callable[[bytes, float], None]] = None
         #: Hook for failure injection: maps the on-wire bytes before the
-        #: peer sees them (e.g. flip a bit to force an FCS error).
-        self.corrupt: Optional[Callable[[bytes], bytes]] = None
+        #: peer sees them (e.g. flip a bit to force an FCS error); return
+        #: ``None`` to model a link flap — the frame vanishes on the wire.
+        self.corrupt: Optional[Callable[[bytes], Optional[bytes]]] = None
         #: 802.3x: honour received PAUSE frames (standard default: on).
         self.flow_control = True
         self._tx_queue: Fifo[bytes] = Fifo(tx_queue_frames)
@@ -189,9 +204,16 @@ class EthernetMacModel:
     def deliver(self, on_wire: bytes) -> None:
         """Called by the wire when a frame's last bit arrives."""
         if self.corrupt is not None:
-            on_wire = self.corrupt(on_wire)
+            mangled = self.corrupt(on_wire)
+            if mangled is None:
+                # Link flap: the frame never made it across the medium.
+                self.rx_stats.dropped += 1
+                return
+            on_wire = mangled
         if len(on_wire) < MIN_FRAME_SIZE:
+            # Runt: counted, not silently discarded.
             self.rx_stats.undersize += 1
+            self.rx_stats.length_errors += 1
             return
         if len(on_wire) > self.max_frame_bytes:
             self.rx_stats.oversize += 1

@@ -225,6 +225,13 @@ class DmaEngine:
         self.tx_frames = 0
         self.rx_frames = 0
         self.rx_dropped_no_desc = 0
+        #: Fault-injection hook: ``hook(site) -> (outcome, stall_ns)``
+        #: with site 'rx_completion' | 'tx_fetch' | 'doorbell' and
+        #: outcome 'ok' | 'drop' | 'stall'.  None means the clean path.
+        self.fault_hook: Optional[Callable[[str], tuple[str, float]]] = None
+        self.completions_dropped = 0
+        self.stalls_injected = 0
+        self.doorbells_dropped = 0
         self._tx_running = False
         self.last_tx_complete_ns = 0.0
         self.last_rx_complete_ns = 0.0
@@ -240,10 +247,20 @@ class DmaEngine:
     # ------------------------------------------------------------------
     # TX path (host → board)
     # ------------------------------------------------------------------
+    def _consult_fault(self, site: str) -> tuple[str, float]:
+        if self.fault_hook is None:
+            return ("ok", 0.0)
+        return self.fault_hook(site)
+
     def doorbell_tx(self, new_tail: int) -> None:
         """Host doorbell: advance the TX tail (called via MMIO)."""
-        self.tx_ring.tail = new_tail % (2 * self.tx_ring.entries)
         self.link.mmio_write()
+        outcome, _ = self._consult_fault("doorbell")
+        if outcome == "drop":
+            # The posted write was lost; the engine never sees the tail.
+            self.doorbells_dropped += 1
+            return
+        self.tx_ring.tail = new_tail % (2 * self.tx_ring.entries)
         if not self._tx_running:
             self._tx_running = True
             self.sim.schedule(0.0, self._tx_service)
@@ -257,6 +274,11 @@ class DmaEngine:
         fetch_bytes = batch * DESC_SIZE
         descs = [self.tx_ring.read_desc(self.tx_ring.head + i) for i in range(batch)]
         fetch_done = self.link.dma_read(fetch_bytes)
+        outcome, stall_ns = self._consult_fault("tx_fetch")
+        if outcome == "stall":
+            # Descriptor fetch wedged in the engine's scheduler for a while.
+            self.stalls_injected += 1
+            fetch_done += stall_ns
 
         def process(batch_descs: list[DmaDescriptor]) -> None:
             # Pipelined reads: all buffer-read requests are outstanding
@@ -305,7 +327,17 @@ class DmaEngine:
         desc = self.rx_ring.read_desc(index)
         length = min(len(frame), desc.length)
         self.rx_ring.head = (index + 1) % (2 * self.rx_ring.entries)
+        outcome, stall_ns = self._consult_fault("rx_completion")
+        if outcome == "drop":
+            # The completion write-back is lost: the descriptor was
+            # consumed but DONE never lands — the head-of-line wedge the
+            # driver's ring watchdog exists to repair.
+            self.completions_dropped += 1
+            return True
         done = self.link.dma_write(length)
+        if outcome == "stall":
+            self.stalls_injected += 1
+            done += stall_ns
 
         def complete() -> None:
             self.memory.write(desc.addr, frame[:length])

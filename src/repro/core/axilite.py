@@ -120,6 +120,11 @@ class AxiLiteInterconnect:
         self._windows: list[tuple[int, int, RegisterFile]] = []
         self.reads = 0
         self.writes = 0
+        #: Fault-injection hook, consulted before each read decodes; it
+        #: may raise to model a read that times out on the bus.  Reads
+        #: are non-posted, so timeouts surface to software — which is
+        #: why only the read path has a hook.
+        self.read_fault_hook: Optional[Callable[[int], None]] = None
 
     def attach(self, base: int, size: int, regfile: RegisterFile) -> None:
         if base % 4 != 0 or size <= 0:
@@ -140,6 +145,8 @@ class AxiLiteInterconnect:
         raise AxiLiteError(f"address {addr:#x} does not decode to any window")
 
     def read(self, addr: int) -> int:
+        if self.read_fault_hook is not None:
+            self.read_fault_hook(addr)
         regfile, offset = self._decode(addr)
         self.reads += 1
         return regfile.read(offset)

@@ -127,14 +127,19 @@ class _PortState:
         self.high_watermark = 0
         self.ecn_marked = 0
 
-    def enqueue(self, packet: StreamPacket, class_idx: int) -> bool:
+    def enqueue(self, packet: StreamPacket, class_idx: int, phantom: int = 0) -> bool:
+        """Admit a packet; ``phantom`` is injected pressure (extra bytes
+        of apparent backlog) that tightens both the drop and ECN checks."""
         if not 0 <= class_idx < self.config.classes:
             raise ValueError(f"class {class_idx} out of range")
-        if self.occupancy[class_idx] + packet.length > self.config.capacity_bytes:
+        if (
+            self.occupancy[class_idx] + phantom + packet.length
+            > self.config.capacity_bytes
+        ):
             self.dropped += 1
             return False
         threshold = self.config.ecn_threshold_bytes
-        if threshold is not None and sum(self.occupancy) > threshold:
+        if threshold is not None and sum(self.occupancy) + phantom > threshold:
             marked = _mark_ce(packet)
             if marked is not None:
                 packet = marked
@@ -194,6 +199,11 @@ class OutputQueues(Module):
         self.ports = [_PortState(bit, ch, config) for bit, ch in ports]
         self._assembly: list[AxiStreamBeat] = []
         self.unroutable = 0
+        #: Fault-injection hook: phantom backlog bytes added to each
+        #: enqueue decision — a pressure spike without real traffic.
+        self.pressure_hook: Optional[Callable[[], int]] = None
+        self.pressure_spikes = 0
+        self.pressure_drops = 0
         for sig in s_axis.signals():
             self.adopt_signal(sig)
         for port in self.ports:
@@ -228,10 +238,14 @@ class OutputQueues(Module):
         dst_bits = SUME_TUSER.extract(packet.tuser, "dst_port")
         matched = False
         class_idx = self.classify(packet)
+        phantom = self.pressure_hook() if self.pressure_hook is not None else 0
+        if phantom:
+            self.pressure_spikes += 1
         for port in self.ports:
             if dst_bits & port.port_bit:
                 matched = True
-                port.enqueue(packet, class_idx)
+                if not port.enqueue(packet, class_idx, phantom) and phantom:
+                    self.pressure_drops += 1
         if not matched:
             self.unroutable += 1
 

@@ -3,13 +3,38 @@
 Every reference project hangs one of these off its datapath: packet and
 byte counters per port, exposed to software over AXI4-Lite — the numbers
 ``rwaxi``-style management tools read out.
+
+:func:`counters_register_file` generalizes the same face for any bag of
+live counters; the host driver uses it to surface its per-fault recovery
+counters (retries, ring repairs, counted losses) through the project's
+register map alongside the datapath statistics.
 """
 
 from __future__ import annotations
 
+from typing import Callable, Mapping
+
 from repro.core.axilite import RegisterFile
 from repro.core.axis import AxiStreamChannel
 from repro.core.module import Module, Resources
+
+
+def counters_register_file(
+    name: str, counters: Mapping[str, Callable[[], int]]
+) -> RegisterFile:
+    """A read-only register block exposing live counters, 4-byte stride.
+
+    ``counters`` maps register name → zero-argument getter; each read
+    returns the getter's current value truncated to 32 bits, exactly like
+    the hardware counter blocks.
+    """
+    regs = RegisterFile(name)
+    for i, (label, getter) in enumerate(counters.items()):
+        regs.add_register(
+            label, i * 4, read_only=True,
+            on_read=lambda g=getter: int(g()) & 0xFFFFFFFF,
+        )
+    return regs
 
 
 class StatsCollector(Module):

@@ -1,0 +1,51 @@
+"""Typed exception hierarchy for the fault layer and the recovery paths.
+
+Everything derives from :class:`FaultError`, which is itself a
+``RuntimeError`` so pre-existing ``except RuntimeError`` call sites —
+notably the regression runner — keep catching these without change.
+The split matters to callers: :class:`FaultInjected` is the *injection*
+side (a seeded fault fired at an instrumented site), while
+:class:`DriverTimeout` / :class:`RingWedged` are the *recovery* side (a
+bounded retry or watchdog gave up).
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base of every fault-layer and recovery-path error."""
+
+
+class FaultInjected(FaultError):
+    """An injected fault fired at an instrumented site.
+
+    Raised by injector hooks to model failures that present as errors to
+    software — e.g. an MMIO read that times out on the PCIe link.  The
+    ``site`` attribute names the injection point (``"mmio"``, ...).
+    """
+
+    def __init__(self, site: str, message: str):
+        super().__init__(message)
+        self.site = site
+
+
+class DriverTimeout(FaultError):
+    """A bounded driver retry/poll loop exhausted its budget.
+
+    The replacement for hanging: where the driver used to be able to
+    spin forever on a ring with zero posted completions, it now raises
+    this after ``max_polls`` attempts.
+    """
+
+
+class RingWedged(FaultError):
+    """A descriptor ring is wedged beyond what the watchdog will repair."""
+
+
+class DriverError(FaultError):
+    """Driver misconfiguration (e.g. register access with no project
+    attached behind BAR0) — not injected, not transient."""
+
+
+class NonQuiescent(FaultError):
+    """A harness run failed to drain or quiesce within its safety bounds."""

@@ -1,0 +1,385 @@
+"""Seeded, reproducible fault plans.
+
+A :class:`FaultPlan` is a *description*: which sites fault, at what
+rates, with what burst bounds.  Opening a :class:`FaultSession` turns it
+into deterministic per-site decision streams — each site gets its own
+``random.Random`` seeded from ``sha256(seed, site)``, so the schedule
+depends only on ``(seed, spec)`` and never on Python's salted ``hash()``
+or on how other sites interleave.  Two sessions from the same plan
+produce bit-identical schedules; that is what lets the unified test
+environment run the *same* fault plan against the ``sim`` and ``hw``
+targets and demand identical recovery counters.
+
+The four sites mirror how real boards fail:
+
+``link``  bit flips (FCS failures at the peer MAC) and link flaps on the
+          wire — recoverable by retransmission;
+``dma``   descriptor-fetch stalls, dropped RX completion write-backs
+          (the classic wedged-ring symptom) and lost TX doorbells —
+          recoverable by the driver watchdog;
+``mmio``  AXI4-Lite register reads timing out on the PCIe round trip —
+          recoverable by bounded retry with backoff;
+``oq``    output-queue pressure spikes (phantom occupancy) — absorbed as
+          counted drops / early ECN marks, never a wedge.
+
+Burst bounds make recovery *provable*: a spec's ``max_burst`` caps how
+many consecutive faults a site may emit, so any retry budget larger than
+the burst is guaranteed to succeed — unless the plan explicitly allows
+permanent loss (``lose_rate``), which the harness then accounts as clean,
+counted loss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+SITES = ("link", "dma_rx", "dma_tx", "dma_db", "mmio", "oq")
+
+
+def _site_seed(seed: int, site: str) -> int:
+    """A process-stable sub-seed (built-in ``hash`` is salted; sha256 is not)."""
+    digest = hashlib.sha256(f"{seed}:{site}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _check_rates(*rates: float) -> None:
+    for rate in rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate {rate} outside [0, 1]")
+    if sum(rates) > 1.0:
+        raise ValueError(f"fault rates sum to {sum(rates)} > 1")
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """Wire-level faults applied per transfer attempt."""
+
+    drop_rate: float = 0.0  # link flap: the frame vanishes on the wire
+    corrupt_rate: float = 0.0  # bit flip: the frame fails FCS at the peer
+    lose_rate: float = 0.0  # permanent loss: retransmission cannot rescue it
+    max_burst: int = 3  # consecutive recoverable faults before forced delivery
+    max_attempts: int = 8  # per-frame retransmit budget at the harness
+
+    def __post_init__(self) -> None:
+        _check_rates(self.drop_rate, self.corrupt_rate, self.lose_rate)
+        if self.max_burst < 1:
+            raise ValueError("max_burst must be >= 1")
+        if self.max_attempts <= self.max_burst:
+            raise ValueError("max_attempts must exceed max_burst or no retry can win")
+
+
+@dataclass(frozen=True)
+class DmaFaultSpec:
+    """DMA-engine faults: stalls, dropped completions, lost doorbells."""
+
+    stall_rate: float = 0.0
+    stall_ns: float = 20_000.0
+    drop_completion_rate: float = 0.0  # RX write-back lost -> head-of-line wedge
+    drop_doorbell_rate: float = 0.0  # TX doorbell MMIO lost -> engine never kicks
+    max_burst: int = 1
+
+    def __post_init__(self) -> None:
+        _check_rates(self.stall_rate, self.drop_completion_rate)
+        _check_rates(self.drop_doorbell_rate)
+        if self.stall_ns < 0:
+            raise ValueError("stall_ns must be non-negative")
+        if self.max_burst < 1:
+            raise ValueError("max_burst must be >= 1")
+
+
+@dataclass(frozen=True)
+class MmioFaultSpec:
+    """AXI4-Lite read timeouts, burst-bounded so bounded retry succeeds."""
+
+    timeout_rate: float = 0.0
+    max_burst: int = 2
+
+    def __post_init__(self) -> None:
+        _check_rates(self.timeout_rate)
+        if self.max_burst < 1:
+            raise ValueError("max_burst must be >= 1")
+
+
+@dataclass(frozen=True)
+class OqFaultSpec:
+    """Output-queue pressure spikes: phantom occupancy on enqueue."""
+
+    spike_rate: float = 0.0
+    spike_bytes: int = 48 * 1024
+
+    def __post_init__(self) -> None:
+        _check_rates(self.spike_rate)
+        if self.spike_bytes <= 0:
+            raise ValueError("spike_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded schedule of faults across the platform's sites."""
+
+    name: str
+    seed: int = 0
+    link: Optional[LinkFaultSpec] = None
+    dma: Optional[DmaFaultSpec] = None
+    mmio: Optional[MmioFaultSpec] = None
+    oq: Optional[OqFaultSpec] = None
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def session(self) -> "FaultSession":
+        """Open a fresh deterministic decision stream for one run."""
+        return FaultSession(self)
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Snapshot of one session: what fired, what was recovered, what was lost."""
+
+    plan: str
+    seed: int
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def frames_lost(self) -> int:
+        return self.counters.get("link_lost", 0)
+
+    @property
+    def retransmits(self) -> int:
+        return self.counters.get("link_retransmits", 0)
+
+
+class FaultSession:
+    """Runtime state of one plan execution: per-site RNGs, bursts, counters.
+
+    All draws are deterministic functions of ``(plan.seed, site, draw
+    index)``; consulting one site never perturbs another.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = {site: random.Random(_site_seed(plan.seed, site)) for site in SITES}
+        self._burst = {site: 0 for site in SITES}
+        self.counters: Counter[str] = Counter()
+
+    # -- shared draw machinery -----------------------------------------
+    def _draw(self, site: str, fault_rate: float, max_burst: int) -> bool:
+        """One burst-bounded biased coin for ``site``; True means fault."""
+        fault = self._rng[site].random() < fault_rate
+        if fault and self._burst[site] >= max_burst:
+            fault = False  # burst cap: force the site to behave
+        self._burst[site] = self._burst[site] + 1 if fault else 0
+        return fault
+
+    # -- link ----------------------------------------------------------
+    def link_attempt(self) -> str:
+        """One wire transfer attempt: 'deliver' | 'drop' | 'corrupt' | 'lose'."""
+        spec = self.plan.link
+        if spec is None:
+            return "deliver"
+        r = self._rng["link"].random()
+        if r < spec.lose_rate:
+            outcome = "lose"
+        elif r < spec.lose_rate + spec.drop_rate:
+            outcome = "drop"
+        elif r < spec.lose_rate + spec.drop_rate + spec.corrupt_rate:
+            outcome = "corrupt"
+        else:
+            outcome = "deliver"
+        if outcome in ("drop", "corrupt"):
+            if self._burst["link"] >= spec.max_burst:
+                outcome = "deliver"
+            else:
+                self._burst["link"] += 1
+        if outcome == "deliver":
+            self._burst["link"] = 0
+        self.counters[f"link_{outcome}"] += 1
+        return outcome
+
+    def link_transfer(self) -> bool:
+        """A full transfer with retransmission: True iff eventually delivered.
+
+        Models the harness contract: up to ``max_attempts`` tries, each
+        drop/corrupt answered by a counted retransmit.  Returns False
+        only on permanent loss ('lose', or an exhausted budget — which
+        the burst cap makes impossible unless the plan allows loss).
+        """
+        spec = self.plan.link
+        if spec is None:
+            return True
+        for attempt in range(spec.max_attempts):
+            outcome = self.link_attempt()
+            if outcome == "deliver":
+                self.counters["link_retransmits"] += attempt
+                return True
+            if outcome == "lose":
+                break
+        self.counters["link_lost"] += 1
+        return False
+
+    def mangle_wire(self, on_wire: bytes) -> Optional[bytes]:
+        """MAC tx-mangle hook: corrupt (bit flip) or drop (None) a frame."""
+        spec = self.plan.link
+        if spec is None:
+            return on_wire
+        outcome = self.link_attempt()
+        if outcome in ("drop", "lose"):
+            return None
+        if outcome == "corrupt" and on_wire:
+            at = self._rng["link"].randrange(len(on_wire))
+            flipped = bytearray(on_wire)
+            flipped[at] ^= 0x01
+            return bytes(flipped)
+        return on_wire
+
+    # -- dma -----------------------------------------------------------
+    def dma_fault(self, site: str) -> tuple[str, float]:
+        """Decision for a :class:`~repro.board.pcie.DmaEngine` site.
+
+        ``site`` is 'rx_completion' | 'tx_fetch' | 'doorbell'; returns
+        ``(outcome, stall_ns)`` with outcome 'ok' | 'drop' | 'stall'.
+        """
+        spec = self.plan.dma
+        if spec is None:
+            return ("ok", 0.0)
+        if site == "rx_completion":
+            r = self._rng["dma_rx"].random()
+            if r < spec.drop_completion_rate:
+                if self._capped("dma_rx", spec.max_burst):
+                    return ("ok", 0.0)  # burst cap forced this one through
+                self.counters["dma_completion_dropped"] += 1
+                return ("drop", 0.0)
+            if r < spec.drop_completion_rate + spec.stall_rate:
+                self.counters["dma_stalls"] += 1
+                return ("stall", spec.stall_ns)
+            return ("ok", 0.0)
+        if site == "tx_fetch":
+            if self._draw("dma_tx", spec.stall_rate, spec.max_burst):
+                self.counters["dma_stalls"] += 1
+                return ("stall", spec.stall_ns)
+            return ("ok", 0.0)
+        if site == "doorbell":
+            if self._draw("dma_db", spec.drop_doorbell_rate, spec.max_burst):
+                self.counters["dma_doorbell_dropped"] += 1
+                return ("drop", 0.0)
+            return ("ok", 0.0)
+        raise ValueError(f"unknown DMA fault site {site!r}")
+
+    def _capped(self, site: str, max_burst: int) -> bool:
+        """Track a burst; True when the cap forces this fault off."""
+        if self._burst[site] >= max_burst:
+            self._burst[site] = 0
+            return True
+        self._burst[site] += 1
+        return False
+
+    # -- mmio ----------------------------------------------------------
+    def mmio_read_faults(self) -> bool:
+        """True when this MMIO read should time out."""
+        spec = self.plan.mmio
+        if spec is None:
+            return False
+        fault = self._draw("mmio", spec.timeout_rate, spec.max_burst)
+        if fault:
+            self.counters["mmio_timeouts"] += 1
+        return fault
+
+    # -- output queues --------------------------------------------------
+    def oq_pressure(self) -> int:
+        """Phantom backlog bytes to add to this enqueue decision."""
+        spec = self.plan.oq
+        if spec is None:
+            return 0
+        if self._rng["oq"].random() < spec.spike_rate:
+            self.counters["oq_spikes"] += 1
+            return spec.spike_bytes
+        return 0
+
+    # -- reporting -------------------------------------------------------
+    def report(self) -> FaultReport:
+        return FaultReport(self.plan.name, self.plan.seed, dict(self.counters))
+
+
+# ----------------------------------------------------------------------
+# Named plan registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[[int], FaultPlan]] = {}
+
+
+def register_plan(name: str, factory: Callable[[int], FaultPlan]) -> None:
+    """Register ``factory(seed) -> FaultPlan`` under ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"fault plan {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_plan(name: str, seed: int = 0) -> FaultPlan:
+    """Instantiate a named plan with the given seed."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault plan {name!r}; available: {available_plans()}"
+        ) from None
+    return factory(seed)
+
+
+def available_plans() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+register_plan(
+    "lossy-link",
+    lambda seed: FaultPlan(
+        "lossy-link", seed,
+        link=LinkFaultSpec(drop_rate=0.20, corrupt_rate=0.15, max_burst=3, max_attempts=8),
+    ),
+)
+register_plan(
+    "black-hole",
+    lambda seed: FaultPlan(
+        "black-hole", seed,
+        link=LinkFaultSpec(drop_rate=0.10, lose_rate=0.25, max_burst=2, max_attempts=6),
+    ),
+)
+register_plan(
+    "wedged-ring",
+    lambda seed: FaultPlan(
+        "wedged-ring", seed,
+        dma=DmaFaultSpec(drop_completion_rate=1.0, max_burst=1),
+    ),
+)
+register_plan(
+    "stalled-dma",
+    lambda seed: FaultPlan(
+        "stalled-dma", seed,
+        dma=DmaFaultSpec(stall_rate=0.30, stall_ns=25_000.0, max_burst=4),
+    ),
+)
+register_plan(
+    "flaky-mmio",
+    lambda seed: FaultPlan(
+        "flaky-mmio", seed, mmio=MmioFaultSpec(timeout_rate=0.5, max_burst=2)
+    ),
+)
+register_plan(
+    "oq-pressure",
+    lambda seed: FaultPlan(
+        "oq-pressure", seed, oq=OqFaultSpec(spike_rate=0.3, spike_bytes=48 * 1024)
+    ),
+)
+register_plan(
+    "chaos",
+    lambda seed: FaultPlan(
+        "chaos", seed,
+        link=LinkFaultSpec(drop_rate=0.10, corrupt_rate=0.05, max_burst=2, max_attempts=8),
+        dma=DmaFaultSpec(stall_rate=0.10, drop_completion_rate=0.05,
+                         drop_doorbell_rate=0.05, max_burst=1),
+        mmio=MmioFaultSpec(timeout_rate=0.2, max_burst=2),
+        oq=OqFaultSpec(spike_rate=0.1),
+    ),
+)

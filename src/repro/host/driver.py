@@ -9,34 +9,84 @@ board exactly the way the real driver does:
   batching knob experiment E10 sweeps);
 * polls RX completions by scanning for the DONE flag, reposting buffers
   as they are consumed.
+
+The driver is *self-healing* against the deterministic fault layer
+(:mod:`repro.faults`): every blocking loop is bounded (raising
+:class:`~repro.faults.errors.DriverTimeout` instead of spinning), MMIO
+reads retry with exponential backoff, a ring watchdog detects and
+repairs a wedged RX ring (a consumed descriptor whose completion
+write-back was lost) and a lost TX doorbell is re-rung.  Every repair is
+counted in :class:`RecoveryCounters`, exposable as a read-only register
+block through :meth:`NetFpgaDriver.recovery_registers`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields
+from typing import Optional
+
 from repro.board.pcie import DmaDescriptor, FLAG_DONE, FLAG_VALID
 from repro.board.sume import NetFpgaSume
+from repro.core.axilite import RegisterFile
+from repro.faults.errors import DriverError, DriverTimeout, FaultInjected
 
 _TX_BUF_BASE = 0x0400_0000
 _RX_BUF_BASE = 0x0800_0000
 BUF_SIZE = 2048
 
+#: Default bound on empty polls before a blocking receive gives up.
+MAX_POLLS = 64
+#: Default simulated time between polls of an idle ring.
+POLL_INTERVAL_NS = 1_000.0
+#: Empty polls over a detected completion gap before ring surgery.
+WEDGE_PATIENCE = 3
+#: How far past the head-of-line slot the watchdog scans for completions.
+WATCHDOG_SCAN = 64
+#: MMIO read retry budget and first backoff step.
+MMIO_RETRIES = 5
+MMIO_BACKOFF_NS = 1_000.0
+
+
+@dataclass
+class RecoveryCounters:
+    """Per-fault recovery accounting — the driver's self-healing ledger."""
+
+    mmio_retries: int = 0  # MMIO reads retried after an injected timeout
+    mmio_failures: int = 0  # MMIO reads abandoned after the retry budget
+    rx_ring_recoveries: int = 0  # watchdog surgeries on a wedged RX ring
+    rx_frames_lost: int = 0  # head-of-line slots skipped (frames lost)
+    tx_doorbell_recoveries: int = 0  # lost doorbells detected and re-rung
+    poll_timeouts: int = 0  # bounded waits that exhausted max_polls
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
 
 class NetFpgaDriver:
     """Software owner of the board's DMA rings."""
 
-    def __init__(self, board: NetFpgaSume, project=None):
+    def __init__(
+        self,
+        board: NetFpgaSume,
+        project=None,
+        mmio_retries: int = MMIO_RETRIES,
+        mmio_backoff_ns: float = MMIO_BACKOFF_NS,
+    ):
         self.board = board
         self.dma = board.dma
         self.memory = board.host_memory
         #: The design behind BAR0 — its AXI4-Lite interconnect serves
         #: the driver's register reads/writes.
         self.project = project
+        self.mmio_retries = mmio_retries
+        self.mmio_backoff_ns = mmio_backoff_ns
         self._tx_seq = 0  # absolute descriptor count ever posted
         self._rx_next = 0  # absolute next RX descriptor to poll
         self.tx_sent = 0
         self.rx_received = 0
         self.mmio_reads = 0
         self.mmio_writes = 0
+        self.recovery = RecoveryCounters()
         self._attach()
 
     def _attach(self) -> None:
@@ -101,6 +151,121 @@ class NetFpgaDriver:
             self.dma.post_rx_buffers(ring.tail + len(out))
         return out
 
+    def _wait(self, interval_ns: float) -> None:
+        """Let simulated time pass while the driver sits in a poll loop."""
+        self.board.sim.run(until_ns=self.board.sim.now_ns + interval_ns)
+
+    def _rx_gap(self) -> Optional[int]:
+        """Distance to the first completion behind a stale head-of-line slot.
+
+        Returns ``None`` when the ring is healthy (head-of-line DONE, or
+        nothing completed at all); a positive gap means the ring is
+        wedged: slot ``_rx_next`` will never complete but later slots
+        already have — the signature of a lost completion write-back.
+        """
+        ring = self.dma.rx_ring
+        if ring.read_desc(self._rx_next).flags & FLAG_DONE:
+            return None
+        for ahead in range(1, min(WATCHDOG_SCAN, ring.entries)):
+            if ring.read_desc(self._rx_next + ahead).flags & FLAG_DONE:
+                return ahead
+        return None
+
+    def recover_rx_ring(self) -> int:
+        """Watchdog surgery: skip and repost wedged head-of-line slots.
+
+        Every skipped slot is a frame the hardware consumed a descriptor
+        for but whose completion never landed; the driver reposts the
+        buffer and accounts the loss.  Returns the number of slots
+        repaired (0 when the ring was healthy).
+        """
+        gap = self._rx_gap()
+        if gap is None:
+            return 0
+        ring = self.dma.rx_ring
+        for _ in range(gap):
+            desc = ring.read_desc(self._rx_next)
+            ring.write_desc(
+                self._rx_next, DmaDescriptor(desc.addr, BUF_SIZE, FLAG_VALID)
+            )
+            self._rx_next += 1
+            self.recovery.rx_frames_lost += 1
+        self.dma.post_rx_buffers(ring.tail + gap)
+        self.recovery.rx_ring_recoveries += 1
+        return gap
+
+    def receive_wait(
+        self,
+        min_frames: int = 1,
+        max_polls: int = MAX_POLLS,
+        poll_interval_ns: float = POLL_INTERVAL_NS,
+        watchdog: bool = True,
+    ) -> list[tuple[bytes, int]]:
+        """Poll (in simulated time) until ``min_frames`` frames arrive.
+
+        Bounded: after ``max_polls`` consecutive empty polls this raises
+        :class:`DriverTimeout` instead of spinning forever on a ring with
+        zero posted completions.  With ``watchdog`` on (the default), a
+        wedged ring — head-of-line slot stale while completions pile up
+        behind it — is repaired after :data:`WEDGE_PATIENCE` empty polls
+        and the wait continues.
+        """
+        out: list[tuple[bytes, int]] = []
+        empty_polls = 0
+        gap_polls = 0
+        while len(out) < min_frames:
+            batch = self.poll_receive()
+            if batch:
+                out.extend(batch)
+                empty_polls = 0
+                gap_polls = 0
+                continue
+            if watchdog and self._rx_gap() is not None:
+                gap_polls += 1
+                if gap_polls >= WEDGE_PATIENCE:
+                    self.recover_rx_ring()
+                    gap_polls = 0
+                    continue
+            empty_polls += 1
+            if empty_polls >= max_polls:
+                self.recovery.poll_timeouts += 1
+                raise DriverTimeout(
+                    f"no RX completion after {max_polls} polls "
+                    f"({len(out)}/{min_frames} frames harvested)"
+                )
+            self._wait(poll_interval_ns)
+        return out
+
+    # ------------------------------------------------------------------
+    # TX watchdog
+    # ------------------------------------------------------------------
+    def flush_transmit(
+        self,
+        max_polls: int = MAX_POLLS,
+        poll_interval_ns: float = POLL_INTERVAL_NS,
+    ) -> None:
+        """Wait until the engine has consumed every posted TX descriptor.
+
+        Detects the lost-doorbell wedge: descriptors posted, engine idle,
+        ring empty from the engine's point of view — and re-rings the
+        doorbell.  Bounded by ``max_polls``; raises :class:`DriverTimeout`
+        on exhaustion.
+        """
+        polls = 0
+        while self.dma.tx_frames < self.tx_sent:
+            if self.dma.tx_idle and self.dma.tx_ring.occupancy == 0:
+                # The engine never saw our tail: the doorbell was lost.
+                self.dma.doorbell_tx(self._tx_seq)
+                self.recovery.tx_doorbell_recoveries += 1
+            polls += 1
+            if polls > max_polls:
+                self.recovery.poll_timeouts += 1
+                raise DriverTimeout(
+                    f"TX ring did not drain after {max_polls} polls "
+                    f"({self.dma.tx_frames}/{self.tx_sent} frames completed)"
+                )
+            self._wait(poll_interval_ns)
+
     # ------------------------------------------------------------------
     # Interrupt-driven receive
     # ------------------------------------------------------------------
@@ -141,17 +306,56 @@ class NetFpgaDriver:
     # Register access (BAR0 → the project's AXI4-Lite interconnect)
     # ------------------------------------------------------------------
     def reg_read(self, addr: int) -> int:
-        """MMIO register read — pays the PCIe round trip."""
+        """MMIO register read — pays the PCIe round trip.
+
+        Non-posted reads can time out (the fault layer injects exactly
+        that); the driver retries with exponential backoff up to
+        ``mmio_retries`` times before raising :class:`DriverTimeout`.
+        """
         if self.project is None:
-            raise RuntimeError("no project attached behind BAR0")
-        self.board.pcie.mmio_read()
-        self.mmio_reads += 1
-        return self.project.interconnect.read(addr)
+            raise DriverError("no project attached behind BAR0")
+        backoff_ns = self.mmio_backoff_ns
+        for attempt in range(self.mmio_retries + 1):
+            self.board.pcie.mmio_read()
+            self.mmio_reads += 1
+            try:
+                return self.project.interconnect.read(addr)
+            except FaultInjected:
+                if attempt == self.mmio_retries:
+                    break
+                self.recovery.mmio_retries += 1
+                self._wait(backoff_ns)
+                backoff_ns *= 2
+        self.recovery.mmio_failures += 1
+        raise DriverTimeout(
+            f"MMIO read at {addr:#x} timed out after "
+            f"{self.mmio_retries + 1} attempts"
+        )
 
     def reg_write(self, addr: int, value: int) -> None:
-        """MMIO register write — posted."""
+        """MMIO register write — posted, so there is nothing to retry."""
         if self.project is None:
-            raise RuntimeError("no project attached behind BAR0")
+            raise DriverError("no project attached behind BAR0")
         self.board.pcie.mmio_write()
         self.mmio_writes += 1
         self.project.interconnect.write(addr, value)
+
+    # ------------------------------------------------------------------
+    # Recovery telemetry
+    # ------------------------------------------------------------------
+    def recovery_registers(self) -> RegisterFile:
+        """The recovery ledger as a read-only register block.
+
+        Live-backed: each read returns the counter's current value.  A
+        project mounts it with
+        :meth:`~repro.projects.base.ReferencePipeline.attach_recovery_registers`.
+        """
+        from repro.cores.stats import counters_register_file
+
+        return counters_register_file(
+            "driver_recovery",
+            {
+                name: (lambda n=name: getattr(self.recovery, n))
+                for name in self.recovery.as_dict()
+            },
+        )

@@ -37,6 +37,8 @@ from repro.cores.stats import StatsCollector
 #: Register window bases shared by all projects (64 KiB each).
 OPL_REG_BASE = 0x0000_0000
 STATS_REG_BASE = 0x0001_0000
+#: Window reserved for the host driver's recovery-counter block.
+RECOVERY_REG_BASE = 0x0002_0000
 PROJECT_REG_SIZE = 0x1_0000
 
 
@@ -116,6 +118,18 @@ class ReferencePipeline(Module):
         if opl_regs is not None:
             self.interconnect.attach(OPL_REG_BASE, PROJECT_REG_SIZE, opl_regs)
         self.interconnect.attach(STATS_REG_BASE, PROJECT_REG_SIZE, self.stats.registers)
+
+    # ------------------------------------------------------------------
+    # Recovery telemetry
+    # ------------------------------------------------------------------
+    def attach_recovery_registers(self, regfile) -> None:
+        """Mount a driver's recovery-counter block into the address map.
+
+        Management tools then read the self-healing ledger (MMIO retries,
+        ring repairs, counted losses) over the same AXI4-Lite path as the
+        datapath statistics.
+        """
+        self.interconnect.attach(RECOVERY_REG_BASE, PROJECT_REG_SIZE, regfile)
 
     # ------------------------------------------------------------------
     # Convenience lookups

@@ -11,15 +11,27 @@ arrive at DMA ports are handed to it and the frames it returns are
 re-injected through the corresponding DMA source, iterating until the
 system quiesces — the router's ARP/ICMP round trips run under both
 modes this way.
+
+``run_test(test, mode, faults=...)`` re-runs any existing test under a
+named or explicit :class:`~repro.faults.plan.FaultPlan`.  Link faults
+are applied to the stimuli on their way in — the same seeded decision
+stream in both modes, so recovery counters are mode-identical — with
+per-frame retransmission up to the plan's budget.  The harness then
+asserts eventual delivery (exact expectations) or, when the plan allows
+permanent loss, clean *counted* loss: each port's output must be an
+ordered subsequence of its expectation and every missing frame is
+accounted in the attached :class:`~repro.faults.plan.FaultReport`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.core.axis import StreamPacket, StreamSink, StreamSource
 from repro.core.simulator import Simulator
+from repro.faults.errors import NonQuiescent
+from repro.faults.plan import FaultPlan, FaultReport, FaultSession, get_plan
 from repro.projects.base import ALL_PORTS, PortRef, ReferencePipeline
 
 #: cpu_handler(frame, phys_port_index) -> [(phys_port_index, frame), ...]
@@ -47,6 +59,8 @@ class HarnessResult:
     outputs: dict[PortRef, list[bytes]]
     cycles: int = 0
     cpu_rounds: int = 0
+    #: Present when the run executed under a fault plan.
+    fault_report: Optional[FaultReport] = None
 
     def at(self, port: PortRef) -> list[bytes]:
         return self.outputs.get(port, [])
@@ -121,7 +135,7 @@ def run_sim(
             # longer than any pacing gap — queued packets have flushed.
             if quiet_streak >= 256:
                 return
-        raise RuntimeError(f"simulation did not drain within {MAX_CYCLES} cycles")
+        raise NonQuiescent(f"simulation did not drain within {MAX_CYCLES} cycles")
 
     drain()
     if cpu_handler is not None:
@@ -177,34 +191,92 @@ def run_hw(
         work = next_work
         cpu_rounds = round_idx + 1
     else:
-        raise RuntimeError("CPU slow path did not quiesce")
+        raise NonQuiescent("CPU slow path did not quiesce")
     return HarnessResult("hw", outputs, cpu_rounds=cpu_rounds)
+
+
+# ----------------------------------------------------------------------
+# fault application (shared by both modes, hence mode-identical counters)
+# ----------------------------------------------------------------------
+def _apply_link_faults(
+    session: FaultSession, stimuli: list[Stimulus]
+) -> tuple[list[Stimulus], list[int]]:
+    """Pass every stimulus through the plan's wire, with retransmission.
+
+    Returns ``(delivered_stimuli, lost_indices)``.  The decision stream
+    is a pure function of the plan's seed and the stimulus order, which
+    both targets share — so a ``sim`` and an ``hw`` run of the same test
+    under the same seed fault, retransmit and lose *identically*.
+    """
+    delivered: list[Stimulus] = []
+    lost: list[int] = []
+    for index, stim in enumerate(stimuli):
+        if session.link_transfer():
+            delivered.append(stim)
+        else:
+            lost.append(index)
+    return delivered, lost
+
+
+def _is_subsequence(got: list[bytes], want: list[bytes]) -> bool:
+    """True when ``got`` is ``want`` with zero or more frames removed."""
+    it = iter(want)
+    return all(any(g == w for w in it) for g in got)
 
 
 # ----------------------------------------------------------------------
 # unified entry
 # ----------------------------------------------------------------------
-def run_test(test: NetFpgaTest, mode: str) -> HarnessResult:
-    """Run one test in ``'sim'`` or ``'hw'`` mode and check expectations."""
+def run_test(
+    test: NetFpgaTest,
+    mode: str,
+    faults: Optional[Union[FaultPlan, str]] = None,
+) -> HarnessResult:
+    """Run one test in ``'sim'`` or ``'hw'`` mode and check expectations.
+
+    ``faults`` re-runs the unchanged test under a fault plan (an explicit
+    :class:`FaultPlan` or a registered name like ``"lossy-link"``).  The
+    harness then demands eventual delivery — or clean, counted loss when
+    the plan permits it — instead of wedging.
+    """
     if mode not in ("sim", "hw"):
         raise ValueError("mode must be 'sim' or 'hw'")
     project = test.project_factory()
     cpu_handler = (
         test.cpu_handler_factory(project) if test.cpu_handler_factory else None
     )
+    session: Optional[FaultSession] = None
+    stimuli = test.stimuli
+    lost: list[int] = []
+    if faults is not None:
+        plan = get_plan(faults) if isinstance(faults, str) else faults
+        session = plan.session()
+        stimuli, lost = _apply_link_faults(session, stimuli)
     runner = run_sim if mode == "sim" else run_hw
-    result = runner(project, test.stimuli, cpu_handler)
+    result = runner(project, stimuli, cpu_handler)
+    if session is not None:
+        result.fault_report = session.report()
 
     for port in ALL_PORTS:
         if port in test.ignore_ports:
             continue
         got = result.at(port)
         want = test.expected.get(port, [])
-        if got != want:
+        if not lost:
+            if got != want:
+                raise AssertionError(
+                    f"[{test.name}/{mode}] port {port}: expected "
+                    f"{len(want)} packets, got {len(got)}"
+                    + _first_diff(want, got)
+                )
+        elif not _is_subsequence(got, want):
+            # Counted loss: delivered frames must still be the expected
+            # frames in the expected per-port order, just with the lost
+            # stimuli's contributions missing.
             raise AssertionError(
-                f"[{test.name}/{mode}] port {port}: expected "
-                f"{len(want)} packets, got {len(got)}"
-                + _first_diff(want, got)
+                f"[{test.name}/{mode}] port {port}: output is not an "
+                f"ordered subsequence of the expectation under fault plan "
+                f"{result.fault_report.plan!r} ({len(lost)} stimuli lost)"
             )
     return result
 

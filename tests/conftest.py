@@ -4,6 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "faults: deterministic fault-injection and recovery coverage "
+        "(run just these with -m faults)",
+    )
+
 from repro.packet.addresses import Ipv4Addr, MacAddr
 from repro.packet.generator import make_udp_frame
 

@@ -1,0 +1,286 @@
+"""Driver self-healing under injected board faults.
+
+The scenarios the clean-path driver could never survive: a wedged RX
+ring (lost completion write-back), a lost TX doorbell, flaky MMIO reads
+— each detected and repaired by the driver with the repair counted.
+"""
+
+import pytest
+
+from repro.board.sume import NetFpgaSume
+from repro.faults import (
+    DmaFaultSpec,
+    DriverError,
+    DriverTimeout,
+    FaultInjector,
+    FaultPlan,
+    LinkFaultSpec,
+    MmioFaultSpec,
+    get_plan,
+)
+from repro.host.driver import NetFpgaDriver
+from repro.projects.base import RECOVERY_REG_BASE
+from repro.projects.reference_switch import ReferenceSwitch
+
+from tests.conftest import udp_frame
+
+pytestmark = pytest.mark.faults
+
+
+def _board_driver(plan=None, **driver_kwargs):
+    board = NetFpgaSume()
+    driver = NetFpgaDriver(board, **driver_kwargs)
+    if plan is not None:
+        FaultInjector(plan.session()).arm_dma(board.dma)
+    return board, driver
+
+
+class TestBoundedPolling:
+    def test_empty_ring_raises_typed_timeout(self):
+        _, driver = _board_driver()
+        with pytest.raises(DriverTimeout):
+            driver.receive_wait(min_frames=1, max_polls=5)
+        assert driver.recovery.poll_timeouts == 1
+
+    def test_timeout_is_runtime_error(self):
+        """Legacy except-RuntimeError call sites keep working."""
+        assert issubclass(DriverTimeout, RuntimeError)
+
+    def test_no_timeout_when_traffic_arrives(self):
+        board, driver = _board_driver()
+        board.dma.receive(udp_frame(), port=2)
+        board.sim.run_until_idle()
+        got = driver.receive_wait(min_frames=1, max_polls=5)
+        assert [(f, p) for f, p in got] == [(udp_frame(), 2)]
+
+
+class TestRxRingWatchdog:
+    def test_wedged_ring_detected_and_recovered(self):
+        board, driver = _board_driver(get_plan("wedged-ring"))
+        frames = [udp_frame(src=i + 1, size=128) for i in range(4)]
+        for frame in frames:
+            assert board.dma.receive(frame, port=0)
+        board.sim.run_until_idle()
+        # Completions for frames 0 and 2 were dropped: the ring is wedged
+        # at the head-of-line slot with completions piled up behind it.
+        assert board.dma.completions_dropped == 2
+        got = driver.receive_wait(min_frames=2)
+        assert [f for f, _ in got] == [frames[1], frames[3]]
+        assert driver.recovery.rx_ring_recoveries == 2
+        assert driver.recovery.rx_frames_lost == 2
+
+    def test_recovery_reposts_buffers(self):
+        """After surgery the ring keeps working at full capacity."""
+        board, driver = _board_driver(get_plan("wedged-ring"))
+        for i in range(4):
+            board.dma.receive(udp_frame(src=i + 1), port=0)
+        board.sim.run_until_idle()
+        driver.receive_wait(min_frames=2)
+        # Disarm-equivalent: no further faults; the ring must still flow.
+        board.dma.fault_hook = None
+        board.dma.receive(udp_frame(src=9), port=1)
+        board.sim.run_until_idle()
+        assert len(driver.receive_wait(min_frames=1)) == 1
+        assert board.dma.rx_dropped_no_desc == 0
+
+    def test_healthy_ring_never_triggers_watchdog(self):
+        board, driver = _board_driver()
+        for i in range(8):
+            board.dma.receive(udp_frame(src=i + 1), port=0)
+        board.sim.run_until_idle()
+        assert len(driver.receive_wait(min_frames=8)) == 8
+        assert driver.recovery.rx_ring_recoveries == 0
+        assert driver.recovery.rx_frames_lost == 0
+
+    def test_determinism_same_seed_same_counters(self):
+        def run(seed):
+            board, driver = _board_driver(get_plan("wedged-ring", seed=seed))
+            for i in range(6):
+                board.dma.receive(udp_frame(src=i + 1), port=0)
+            board.sim.run_until_idle()
+            driver.receive_wait(min_frames=3)
+            return driver.recovery.as_dict()
+
+        assert run(5) == run(5)
+
+
+class TestTxDoorbellWatchdog:
+    def test_lost_doorbell_re_rung(self):
+        plan = FaultPlan(
+            "lost-doorbell", seed=0,
+            dma=DmaFaultSpec(drop_doorbell_rate=1.0, max_burst=1),
+        )
+        board, driver = _board_driver(plan)
+        seen = []
+        board.dma.tx_callback = lambda frame, port: seen.append((frame, port))
+        frames = [(udp_frame(src=i + 1, size=200), i % 4) for i in range(4)]
+        assert driver.transmit(frames) == 4
+        board.sim.run_until_idle()
+        assert seen == []  # the doorbell vanished: the engine never kicked
+        assert board.dma.doorbells_dropped == 1
+        driver.flush_transmit()
+        assert seen == frames
+        assert driver.recovery.tx_doorbell_recoveries == 1
+
+    def test_flush_is_bounded(self):
+        plan = FaultPlan(
+            "black-doorbell", seed=0,
+            # Every doorbell lost: burst cap high enough that re-ringing
+            # within the poll budget never succeeds.
+            dma=DmaFaultSpec(drop_doorbell_rate=1.0, max_burst=1_000_000),
+        )
+        board, driver = _board_driver(plan)
+        driver.transmit([(udp_frame(), 0)])
+        with pytest.raises(DriverTimeout):
+            driver.flush_transmit(max_polls=8)
+        assert driver.recovery.poll_timeouts == 1
+
+    def test_healthy_flush_counts_nothing(self):
+        board, driver = _board_driver()
+        board.dma.tx_callback = lambda f, p: None
+        driver.transmit([(udp_frame(), 0)] * 3)
+        driver.flush_transmit()
+        assert driver.recovery.tx_doorbell_recoveries == 0
+
+
+class TestMmioRetry:
+    def _armed_driver(self, spec, **kwargs):
+        board = NetFpgaSume()
+        switch = ReferenceSwitch()
+        driver = NetFpgaDriver(board, project=switch, **kwargs)
+        plan = FaultPlan("mmio", seed=0, mmio=spec)
+        FaultInjector(plan.session()).arm_interconnect(switch.interconnect)
+        return board, switch, driver
+
+    def test_retry_with_backoff_recovers(self):
+        board, switch, driver = self._armed_driver(
+            MmioFaultSpec(timeout_rate=1.0, max_burst=2)
+        )
+        before_ns = board.sim.now_ns
+        value = driver.reg_read(switch.opl.registers.offset_of("table_size"))
+        assert value == 0
+        assert driver.recovery.mmio_retries == 2
+        assert driver.recovery.mmio_failures == 0
+        # The backoff waits consumed simulated time (1us then 2us).
+        assert board.sim.now_ns - before_ns >= 3_000.0
+
+    def test_budget_exhaustion_raises(self):
+        _, switch, driver = self._armed_driver(
+            MmioFaultSpec(timeout_rate=1.0, max_burst=10), mmio_retries=1
+        )
+        with pytest.raises(DriverTimeout, match="MMIO read"):
+            driver.reg_read(switch.opl.registers.offset_of("table_size"))
+        assert driver.recovery.mmio_failures == 1
+
+    def test_writes_unaffected(self):
+        _, switch, driver = self._armed_driver(
+            MmioFaultSpec(timeout_rate=1.0, max_burst=10)
+        )
+        driver.reg_write(switch.opl.registers.offset_of("table_clear"), 1)
+        assert driver.recovery.mmio_retries == 0
+
+    def test_no_project_is_typed_config_error(self):
+        driver = NetFpgaDriver(NetFpgaSume())
+        with pytest.raises(DriverError, match="BAR0"):
+            driver.reg_read(0)
+
+
+class TestRecoveryTelemetry:
+    def test_counters_readable_over_mmio(self):
+        """The self-healing ledger rides the same AXI4-Lite path as stats."""
+        board = NetFpgaSume()
+        switch = ReferenceSwitch()
+        driver = NetFpgaDriver(board, project=switch)
+        regfile = driver.recovery_registers()
+        switch.attach_recovery_registers(regfile)
+        offset = regfile.offset_of("rx_ring_recoveries")
+        assert driver.reg_read(RECOVERY_REG_BASE + offset) == 0
+        driver.recovery.rx_ring_recoveries = 3
+        assert driver.reg_read(RECOVERY_REG_BASE + offset) == 3
+
+
+class TestMacFaults:
+    def _linked_macs(self, plan):
+        from repro.board.mac import EthernetMacModel, Wire
+        from repro.core.eventsim import EventSimulator
+
+        sim = EventSimulator()
+        a = EthernetMacModel(sim, "a")
+        b = EthernetMacModel(sim, "b")
+        Wire(sim, a, b)
+        if plan is not None:
+            FaultInjector(plan.session()).arm_mac(b)
+        return sim, a, b
+
+    def test_link_flap_drops_frames(self):
+        plan = FaultPlan(
+            "flap", seed=0, link=LinkFaultSpec(drop_rate=1.0, max_burst=1)
+        )
+        sim, a, b = self._linked_macs(plan)
+        for i in range(4):
+            a.transmit(udp_frame(src=i + 1))
+        sim.run_until_idle()
+        assert b.rx_stats.frames == 2
+        assert b.rx_stats.dropped == 2
+
+    def test_bit_flip_fails_fcs(self):
+        plan = FaultPlan(
+            "flip", seed=0, link=LinkFaultSpec(corrupt_rate=1.0, max_burst=1)
+        )
+        sim, a, b = self._linked_macs(plan)
+        for i in range(4):
+            a.transmit(udp_frame(src=i + 1))
+        sim.run_until_idle()
+        assert b.rx_stats.frames == 2
+        assert b.rx_stats.fcs_errors == 2
+
+    def test_runt_counted_as_length_error(self):
+        sim, a, b = self._linked_macs(None)
+        b.deliver(b"\x00" * 32)  # a runt straight off the wire
+        assert b.rx_stats.undersize == 1
+        assert b.rx_stats.length_errors == 1
+        assert b.rx_stats.as_dict()["length_errors"] == 1
+
+
+class TestOutputQueuePressure:
+    def test_pressure_spike_drops_and_counts(self):
+        from repro.core.axis import AxiStreamChannel, StreamPacket
+        from repro.core.metadata import SUME_TUSER, phys_port_bit
+        from repro.cores.output_queues import OutputQueues, QueueConfig
+        from repro.faults import OqFaultSpec
+
+        oq = OutputQueues(
+            "oq",
+            AxiStreamChannel("oq_in"),
+            [(phys_port_bit(0), AxiStreamChannel("oq_out0"))],
+            config=QueueConfig(capacity_bytes=2048),
+        )
+        plan = FaultPlan(
+            "pressure", seed=0, oq=OqFaultSpec(spike_rate=1.0, spike_bytes=2048)
+        )
+        FaultInjector(plan.session()).arm_output_queues(oq)
+        packet = StreamPacket(
+            b"\xa5" * 100, SUME_TUSER.pack(len=100, dst_port=phys_port_bit(0))
+        )
+        oq._route(packet)
+        assert oq.pressure_spikes == 1
+        assert oq.pressure_drops == 1
+        assert oq.ports[0].dropped == 1
+
+    def test_no_hook_no_pressure(self):
+        from repro.core.axis import AxiStreamChannel, StreamPacket
+        from repro.core.metadata import SUME_TUSER, phys_port_bit
+        from repro.cores.output_queues import OutputQueues, QueueConfig
+
+        oq = OutputQueues(
+            "oq",
+            AxiStreamChannel("oq_in"),
+            [(phys_port_bit(0), AxiStreamChannel("oq_out0"))],
+            config=QueueConfig(capacity_bytes=2048),
+        )
+        packet = StreamPacket(
+            b"\xa5" * 100, SUME_TUSER.pack(len=100, dst_port=phys_port_bit(0))
+        )
+        oq._route(packet)
+        assert oq.pressure_spikes == 0
+        assert oq.ports[0].enqueued == 1

@@ -1,0 +1,135 @@
+"""Harness-level fault runs: any NetFpgaTest, any mode, one fault plan.
+
+The acceptance property: a reference-switch test under a seeded
+``lossy-link`` plan passes in *both* sim and hw modes with identical
+fault/recovery counter totals for the same seed.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, LinkFaultSpec, NonQuiescent, get_plan
+from repro.projects.base import PortRef
+from repro.projects.reference_switch import ReferenceSwitch
+from repro.testenv.harness import NetFpgaTest, Stimulus, run_hw, run_test
+
+from tests.conftest import udp_frame
+
+pytestmark = pytest.mark.faults
+
+FLOOD_COUNT = 12
+
+
+def _flood_test():
+    """Unknown-destination traffic into phys0 floods to phys1..3."""
+    frames = [udp_frame(src=i + 1, dst=99) for i in range(FLOOD_COUNT)]
+    return NetFpgaTest(
+        name="switch_flood_under_faults",
+        project_factory=ReferenceSwitch,
+        stimuli=[Stimulus(PortRef("phys", 0), frame) for frame in frames],
+        expected={PortRef("phys", p): list(frames) for p in (1, 2, 3)},
+    )
+
+
+class TestLossyLink:
+    """lossy-link never loses permanently: eventual delivery, exactly."""
+
+    @pytest.mark.parametrize("mode", ["sim", "hw"])
+    def test_passes_with_retransmission(self, mode):
+        result = run_test(_flood_test(), mode, faults=get_plan("lossy-link", seed=3))
+        report = result.fault_report
+        assert report is not None
+        assert report.seed == 3
+        # The wire actually misbehaved — and every frame still arrived.
+        assert report.counters["link_drop"] > 0
+        assert report.counters["link_corrupt"] > 0
+        assert report.retransmits > 0
+        assert report.frames_lost == 0
+        for p in (1, 2, 3):
+            assert len(result.at(PortRef("phys", p))) == FLOOD_COUNT
+
+    def test_modes_agree_on_counters(self):
+        """The acceptance criterion: sim and hw see the same fault history."""
+        plan = get_plan("lossy-link", seed=3)
+        sim_result = run_test(_flood_test(), "sim", faults=plan)
+        hw_result = run_test(_flood_test(), "hw", faults=plan)
+        assert sim_result.fault_report == hw_result.fault_report
+        for port in sim_result.outputs:
+            assert sim_result.at(port) == hw_result.at(port), port
+
+    def test_same_seed_identical_report(self):
+        plan = get_plan("lossy-link", seed=7)
+        first = run_test(_flood_test(), "hw", faults=plan).fault_report
+        second = run_test(_flood_test(), "hw", faults=plan).fault_report
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = run_test(_flood_test(), "hw", faults=get_plan("lossy-link", seed=0))
+        b = run_test(_flood_test(), "hw", faults=get_plan("lossy-link", seed=1))
+        assert a.fault_report.counters != b.fault_report.counters
+
+
+class TestCountedLoss:
+    """black-hole may lose permanently: subsequence delivery, accounted."""
+
+    @pytest.mark.parametrize("mode", ["sim", "hw"])
+    def test_losses_counted_and_outputs_shortened(self, mode):
+        result = run_test(_flood_test(), mode, faults=get_plan("black-hole", seed=1))
+        report = result.fault_report
+        assert report.frames_lost > 0
+        for p in (1, 2, 3):
+            got = result.at(PortRef("phys", p))
+            assert len(got) == FLOOD_COUNT - report.frames_lost
+
+    def test_modes_agree_on_loss(self):
+        plan = get_plan("black-hole", seed=1)
+        sim_report = run_test(_flood_test(), "sim", faults=plan).fault_report
+        hw_report = run_test(_flood_test(), "hw", faults=plan).fault_report
+        assert sim_report == hw_report
+
+    def test_out_of_order_survivors_fail(self):
+        """Counted loss is not a free pass: order must still hold."""
+        frames = [udp_frame(src=i, dst=99) for i in (1, 2, 3)]
+        test = NetFpgaTest(
+            name="order_check",
+            project_factory=ReferenceSwitch,
+            stimuli=[Stimulus(PortRef("phys", 0), f) for f in frames],
+            # Deliberately reversed expectation.
+            expected={PortRef("phys", p): frames[::-1] for p in (1, 2, 3)},
+        )
+        # Seed 3 loses exactly the middle stimulus: two survivors arrive
+        # in an order the reversed expectation cannot absorb.
+        plan = FaultPlan(
+            "mild-loss", seed=3,
+            link=LinkFaultSpec(lose_rate=0.4, max_attempts=4),
+        )
+        with pytest.raises(AssertionError, match="ordered subsequence"):
+            run_test(test, "hw", faults=plan)
+
+
+class TestPlanResolution:
+    def test_string_name_resolves(self):
+        result = run_test(_flood_test(), "hw", faults="lossy-link")
+        assert result.fault_report.plan == "lossy-link"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            run_test(_flood_test(), "hw", faults="no-such-plan")
+
+    def test_no_faults_no_report(self):
+        assert run_test(_flood_test(), "hw").fault_report is None
+
+
+class TestNonQuiescence:
+    """Runaway slow paths fail with the typed error, not a bare RuntimeError."""
+
+    class _EchoToDma:
+        def forward_behavioural(self, frame, port):
+            return [(PortRef("dma", 0), frame)]
+
+    def test_cpu_loop_raises_typed(self):
+        stimuli = [Stimulus(PortRef("phys", 0), udp_frame())]
+        with pytest.raises(NonQuiescent):
+            run_hw(self._EchoToDma(), stimuli, cpu_handler=lambda f, i: [(0, f)])
+
+    def test_nonquiescent_is_runtime_error(self):
+        assert issubclass(NonQuiescent, RuntimeError)

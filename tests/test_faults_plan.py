@@ -1,0 +1,147 @@
+"""The fault layer itself: seeded determinism, burst bounds, the registry."""
+
+import pytest
+
+from repro.faults import (
+    DmaFaultSpec,
+    FaultInjector,
+    FaultPlan,
+    LinkFaultSpec,
+    MmioFaultSpec,
+    OqFaultSpec,
+    available_plans,
+    get_plan,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestDeterminism:
+    def test_same_seed_identical_schedule(self):
+        plan = get_plan("lossy-link", seed=42)
+        first = [plan.session().link_attempt() for _ in range(1)]  # warm check
+        a, b = plan.session(), plan.session()
+        schedule_a = [a.link_attempt() for _ in range(200)]
+        schedule_b = [b.link_attempt() for _ in range(200)]
+        assert schedule_a == schedule_b
+        assert a.counters == b.counters
+        assert first[0] == schedule_a[0]
+
+    def test_same_seed_identical_counters_across_runs(self):
+        def run():
+            session = get_plan("chaos", seed=7).session()
+            for _ in range(50):
+                session.link_transfer()
+                session.dma_fault("rx_completion")
+                session.dma_fault("doorbell")
+                session.mmio_read_faults()
+                session.oq_pressure()
+            return session.report()
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        a = get_plan("lossy-link", seed=0).session()
+        b = get_plan("lossy-link", seed=1).session()
+        assert [a.link_attempt() for _ in range(200)] != [
+            b.link_attempt() for _ in range(200)
+        ]
+
+    def test_sites_independent(self):
+        """Consulting one site must not perturb another's stream."""
+        plan = get_plan("chaos", seed=3)
+        pure = plan.session()
+        link_only = [pure.link_attempt() for _ in range(50)]
+        mixed = plan.session()
+        interleaved = []
+        for _ in range(50):
+            interleaved.append(mixed.link_attempt())
+            mixed.mmio_read_faults()
+            mixed.dma_fault("rx_completion")
+        assert link_only == interleaved
+
+
+class TestBurstBounds:
+    def test_link_burst_cap_forces_delivery(self):
+        plan = FaultPlan(
+            "all-drop", seed=0,
+            link=LinkFaultSpec(drop_rate=1.0, max_burst=3, max_attempts=8),
+        )
+        session = plan.session()
+        outcomes = [session.link_attempt() for _ in range(8)]
+        # With certainty-drop, the burst cap yields 3 drops then delivery.
+        assert outcomes == ["drop"] * 3 + ["deliver"] + ["drop"] * 3 + ["deliver"]
+
+    def test_link_transfer_always_delivers_without_lose(self):
+        plan = FaultPlan(
+            "all-drop", seed=0,
+            link=LinkFaultSpec(drop_rate=1.0, max_burst=3, max_attempts=8),
+        )
+        session = plan.session()
+        assert all(session.link_transfer() for _ in range(50))
+        assert session.counters["link_retransmits"] > 0
+        assert session.counters["link_lost"] == 0
+
+    def test_lose_is_permanent(self):
+        plan = FaultPlan(
+            "void", seed=0, link=LinkFaultSpec(lose_rate=1.0, max_attempts=4)
+        )
+        session = plan.session()
+        assert not session.link_transfer()
+        assert session.counters["link_lost"] == 1
+
+    def test_mmio_burst_bounded(self):
+        plan = FaultPlan("mmio", seed=0, mmio=MmioFaultSpec(timeout_rate=1.0, max_burst=2))
+        session = plan.session()
+        draws = [session.mmio_read_faults() for _ in range(6)]
+        assert draws == [True, True, False, True, True, False]
+
+    def test_wedged_ring_alternates(self):
+        session = get_plan("wedged-ring").session()
+        outcomes = [session.dma_fault("rx_completion")[0] for _ in range(4)]
+        assert outcomes == ["drop", "ok", "drop", "ok"]
+
+
+class TestSpecs:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            LinkFaultSpec(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            LinkFaultSpec(drop_rate=0.6, corrupt_rate=0.6)
+        with pytest.raises(ValueError):
+            LinkFaultSpec(max_burst=0)
+        with pytest.raises(ValueError):
+            LinkFaultSpec(max_burst=4, max_attempts=4)
+        with pytest.raises(ValueError):
+            DmaFaultSpec(stall_ns=-1.0)
+        with pytest.raises(ValueError):
+            OqFaultSpec(spike_bytes=0)
+
+    def test_with_seed(self):
+        plan = get_plan("lossy-link")
+        assert plan.with_seed(9).seed == 9
+        assert plan.with_seed(9).link == plan.link
+
+
+class TestRegistry:
+    def test_known_plans(self):
+        names = available_plans()
+        for expected in ("lossy-link", "black-hole", "wedged-ring", "flaky-mmio", "chaos"):
+            assert expected in names
+
+    def test_unknown_plan(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            get_plan("does-not-exist")
+
+
+class TestInjectorDisarm:
+    def test_hooks_restored(self):
+        from repro.board.sume import NetFpgaSume
+
+        board = NetFpgaSume()
+        with FaultInjector(get_plan("chaos").session()) as injector:
+            injector.arm_board(board)
+            assert board.dma.fault_hook is not None
+            assert all(mac.corrupt is not None for mac in board.macs)
+        assert board.dma.fault_hook is None
+        assert all(mac.corrupt is None for mac in board.macs)
