@@ -10,7 +10,55 @@ the simulator itself.
 
 from __future__ import annotations
 
+import json
+import re
 import sys
+import time
+from pathlib import Path
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running experiment sweeps (CI smoke runs -m 'not slow')",
+    )
+
+
+@pytest.fixture(autouse=True)
+def bench_recorder(request):
+    """Append every bench's timing record to ``BENCH_<name>.json``.
+
+    One JSON list per bench node, next to the bench files — the
+    append-only history that lets a later session diff simulator
+    performance across commits.  Benches that did not run the
+    ``benchmark`` fixture (or ran with ``--benchmark-disable``) record
+    nothing.
+    """
+    yield
+    benchmark = request.node.funcargs.get("benchmark")
+    if benchmark is None:
+        return
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None or not getattr(stats, "data", None):
+        return
+    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    path = Path(__file__).parent / f"BENCH_{name}.json"
+    history = json.loads(path.read_text()) if path.exists() else []
+    history.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "node": request.node.nodeid,
+            "mean_s": stats.mean,
+            "min_s": stats.min,
+            "max_s": stats.max,
+            "stddev_s": stats.stddev,
+            "rounds": len(stats.data),
+            "extra_info": dict(getattr(benchmark, "extra_info", {}) or {}),
+        }
+    )
+    path.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def print_table(title: str, header: list[str], rows: list[list[object]]) -> None:

@@ -1,4 +1,4 @@
-"""E12 — self-healing latency: wedged RX ring to first recovered frame.
+"""E14 — self-healing latency: wedged RX ring to first recovered frame.
 
 The fault layer wedges the ring deterministically (``wedged-ring`` drops
 every other completion write-back); the driver's watchdog waits
@@ -38,7 +38,7 @@ def _recovery_latency(poll_interval_ns: float) -> tuple[float, NetFpgaDriver]:
     return board.sim.now_ns - start_ns, driver
 
 
-def test_e12_recovery_latency(benchmark):
+def test_e14_recovery_latency(benchmark):
     def sweep():
         return {
             interval: _recovery_latency(interval)[0]
@@ -48,7 +48,7 @@ def test_e12_recovery_latency(benchmark):
     measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     print_table(
-        "E12: wedged-ring recovery latency (us) vs driver poll interval",
+        "E14: wedged-ring recovery latency (us) vs driver poll interval",
         ["poll interval (us)", "recovery latency (us)"],
         [
             [fmt(interval / 1_000), fmt(measured[interval] / 1_000)]

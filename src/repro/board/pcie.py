@@ -229,6 +229,10 @@ class DmaEngine:
         #: with site 'rx_completion' | 'tx_fetch' | 'doorbell' and
         #: outcome 'ok' | 'drop' | 'stall'.  None means the clean path.
         self.fault_hook: Optional[Callable[[str], tuple[str, float]]] = None
+        #: Telemetry hook: ``hook(site)`` with site 'doorbell' |
+        #: 'tx_completion' | 'rx_completion' | 'msi', called at the
+        #: simulated instant the event happens.  None means unobserved.
+        self.telemetry_hook: Optional[Callable[[str], None]] = None
         self.completions_dropped = 0
         self.stalls_injected = 0
         self.doorbells_dropped = 0
@@ -255,6 +259,8 @@ class DmaEngine:
     def doorbell_tx(self, new_tail: int) -> None:
         """Host doorbell: advance the TX tail (called via MMIO)."""
         self.link.mmio_write()
+        if self.telemetry_hook is not None:
+            self.telemetry_hook("doorbell")
         outcome, _ = self._consult_fault("doorbell")
         if outcome == "drop":
             # The posted write was lost; the engine never sees the tail.
@@ -297,6 +303,8 @@ class DmaEngine:
                         2 * self.tx_ring.entries
                     )
                     self.last_tx_complete_ns = self.sim.now_ns
+                    if self.telemetry_hook is not None:
+                        self.telemetry_hook("tx_completion")
                     if self.tx_callback is not None:
                         self.tx_callback(frame, desc.port)
 
@@ -347,6 +355,8 @@ class DmaEngine:
             )
             self.rx_frames += 1
             self.last_rx_complete_ns = self.sim.now_ns
+            if self.telemetry_hook is not None:
+                self.telemetry_hook("rx_completion")
             self._irq_account()
 
         self.sim.schedule_at(done + self.PER_DESC_OVERHEAD_NS, complete)
@@ -359,6 +369,8 @@ class DmaEngine:
         self._irq_pending = 0
         self._irq_timer_deadline = None
         self.msi_fired += 1
+        if self.telemetry_hook is not None:
+            self.telemetry_hook("msi")
         if self.msi_callback is not None:
             self.msi_callback()
 

@@ -22,17 +22,36 @@ from repro.core.module import Module, Resources
 def counters_register_file(
     name: str, counters: Mapping[str, Callable[[], int]]
 ) -> RegisterFile:
-    """A read-only register block exposing live counters, 4-byte stride.
+    """A read-only register block exposing live counters.
 
-    ``counters`` maps register name → zero-argument getter; each read
-    returns the getter's current value truncated to 32 bits, exactly like
-    the hardware counter blocks.
+    ``counters`` maps register name → zero-argument getter.  Two faces
+    share the block:
+
+    * the legacy low-word face — ``label`` at offset ``i*4``, the
+      getter's value truncated to 32 bits (counters wider than
+      ``0xFFFFFFFF`` wrap here, exactly like 32-bit hardware counters);
+    * the 64-bit face — paired ``label_lo``/``label_hi`` registers after
+      the legacy block, reading the low and high words of the full
+      value, the way wide hardware counters are split across two 32-bit
+      registers.
+
+    Existing register offsets are unchanged; software that knows only
+    the low-word face keeps working.
     """
     regs = RegisterFile(name)
+    wide_base = len(counters) * 4
     for i, (label, getter) in enumerate(counters.items()):
         regs.add_register(
             label, i * 4, read_only=True,
             on_read=lambda g=getter: int(g()) & 0xFFFFFFFF,
+        )
+        regs.add_register(
+            f"{label}_lo", wide_base + i * 8, read_only=True,
+            on_read=lambda g=getter: int(g()) & 0xFFFFFFFF,
+        )
+        regs.add_register(
+            f"{label}_hi", wide_base + i * 8 + 4, read_only=True,
+            on_read=lambda g=getter: (int(g()) >> 32) & 0xFFFFFFFF,
         )
     return regs
 
@@ -48,6 +67,9 @@ class StatsCollector(Module):
         self.packets: dict[str, int] = {label: 0 for label, _ in channels}
         self.bytes: dict[str, int] = {label: 0 for label, _ in channels}
         self.registers = RegisterFile(f"{name}_regs")
+        # Legacy 32-bit face at [0, 8N), then 64-bit hi/lo pairs after it
+        # so existing software offsets are preserved.
+        wide_base = len(channels) * 8
         for i, (label, _) in enumerate(channels):
             self.registers.add_register(
                 f"{label}_packets", i * 8, read_only=True,
@@ -56,6 +78,22 @@ class StatsCollector(Module):
             self.registers.add_register(
                 f"{label}_bytes", i * 8 + 4, read_only=True,
                 on_read=lambda l=label: self.bytes[l] & 0xFFFFFFFF,
+            )
+            self.registers.add_register(
+                f"{label}_packets_lo", wide_base + i * 16, read_only=True,
+                on_read=lambda l=label: self.packets[l] & 0xFFFFFFFF,
+            )
+            self.registers.add_register(
+                f"{label}_packets_hi", wide_base + i * 16 + 4, read_only=True,
+                on_read=lambda l=label: (self.packets[l] >> 32) & 0xFFFFFFFF,
+            )
+            self.registers.add_register(
+                f"{label}_bytes_lo", wide_base + i * 16 + 8, read_only=True,
+                on_read=lambda l=label: self.bytes[l] & 0xFFFFFFFF,
+            )
+            self.registers.add_register(
+                f"{label}_bytes_hi", wide_base + i * 16 + 12, read_only=True,
+                on_read=lambda l=label: (self.bytes[l] >> 32) & 0xFFFFFFFF,
             )
 
     def tick(self) -> None:

@@ -165,6 +165,14 @@ class FaultSession:
         self._rng = {site: random.Random(_site_seed(plan.seed, site)) for site in SITES}
         self._burst = {site: 0 for site in SITES}
         self.counters: Counter[str] = Counter()
+        #: Telemetry hook: ``hook(site, outcome)`` called for every fault
+        #: decision that actually fires.  Observation only — it must not
+        #: (and cannot) perturb the decision streams.
+        self.on_fault: Optional[Callable[[str, str], None]] = None
+
+    def _notify(self, site: str, outcome: str) -> None:
+        if self.on_fault is not None:
+            self.on_fault(site, outcome)
 
     # -- shared draw machinery -----------------------------------------
     def _draw(self, site: str, fault_rate: float, max_burst: int) -> bool:
@@ -198,6 +206,8 @@ class FaultSession:
         if outcome == "deliver":
             self._burst["link"] = 0
         self.counters[f"link_{outcome}"] += 1
+        if outcome != "deliver":
+            self._notify("link", outcome)
         return outcome
 
     def link_transfer(self) -> bool:
@@ -252,19 +262,23 @@ class FaultSession:
                 if self._capped("dma_rx", spec.max_burst):
                     return ("ok", 0.0)  # burst cap forced this one through
                 self.counters["dma_completion_dropped"] += 1
+                self._notify("dma_rx", "drop")
                 return ("drop", 0.0)
             if r < spec.drop_completion_rate + spec.stall_rate:
                 self.counters["dma_stalls"] += 1
+                self._notify("dma_rx", "stall")
                 return ("stall", spec.stall_ns)
             return ("ok", 0.0)
         if site == "tx_fetch":
             if self._draw("dma_tx", spec.stall_rate, spec.max_burst):
                 self.counters["dma_stalls"] += 1
+                self._notify("dma_tx", "stall")
                 return ("stall", spec.stall_ns)
             return ("ok", 0.0)
         if site == "doorbell":
             if self._draw("dma_db", spec.drop_doorbell_rate, spec.max_burst):
                 self.counters["dma_doorbell_dropped"] += 1
+                self._notify("dma_db", "drop")
                 return ("drop", 0.0)
             return ("ok", 0.0)
         raise ValueError(f"unknown DMA fault site {site!r}")
@@ -286,6 +300,7 @@ class FaultSession:
         fault = self._draw("mmio", spec.timeout_rate, spec.max_burst)
         if fault:
             self.counters["mmio_timeouts"] += 1
+            self._notify("mmio", "timeout")
         return fault
 
     # -- output queues --------------------------------------------------
@@ -296,6 +311,7 @@ class FaultSession:
             return 0
         if self._rng["oq"].random() < spec.spike_rate:
             self.counters["oq_spikes"] += 1
+            self._notify("oq", "spike")
             return spec.spike_bytes
         return 0
 

@@ -13,6 +13,7 @@ platform, usable as ``python -m repro.host.cli <command>``:
 ``measure``     run an OSNT measurement session and analyse the capture
 ``linerate``    print the E2 rate-vs-frame-size table analytically
 ``platforms``   list the supported NetFPGA platforms (§1)
+``mon``         forward to the ``nf-mon`` telemetry monitor
 ==============  ========================================================
 
 Every command is a plain function returning an exit code, so tests (and
@@ -189,6 +190,12 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_mon(args: argparse.Namespace) -> int:
+    from repro.host import nfmon
+
+    return nfmon.main(args.mon_args)
+
+
 def cmd_linerate(args: argparse.Namespace) -> int:
     sizes = [int(s) for s in args.sizes.split(",")]
     rate = args.rate * GBPS
@@ -247,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--wire-ns", type=float, default=1000.0)
     measure.add_argument("--pcap", default=None, help="export the capture")
     measure.set_defaults(func=cmd_measure)
+
+    mon = sub.add_parser("mon", help="telemetry monitor (see nf-mon --help)")
+    mon.add_argument("mon_args", nargs=argparse.REMAINDER,
+                     help="arguments forwarded to nf-mon")
+    mon.set_defaults(func=cmd_mon)
     return parser
 
 

@@ -87,6 +87,10 @@ class NetFpgaDriver:
         self.mmio_reads = 0
         self.mmio_writes = 0
         self.recovery = RecoveryCounters()
+        #: Telemetry hook: ``hook(event)`` called as each self-healing
+        #: repair happens ('rx_ring_recovery' | 'tx_doorbell_recovery' |
+        #: 'mmio_retry').  None means unobserved.
+        self.event_hook: Optional[Callable[[str], None]] = None
         self._attach()
 
     def _attach(self) -> None:
@@ -192,6 +196,8 @@ class NetFpgaDriver:
             self.recovery.rx_frames_lost += 1
         self.dma.post_rx_buffers(ring.tail + gap)
         self.recovery.rx_ring_recoveries += 1
+        if self.event_hook is not None:
+            self.event_hook("rx_ring_recovery")
         return gap
 
     def receive_wait(
@@ -257,6 +263,8 @@ class NetFpgaDriver:
                 # The engine never saw our tail: the doorbell was lost.
                 self.dma.doorbell_tx(self._tx_seq)
                 self.recovery.tx_doorbell_recoveries += 1
+                if self.event_hook is not None:
+                    self.event_hook("tx_doorbell_recovery")
             polls += 1
             if polls > max_polls:
                 self.recovery.poll_timeouts += 1
@@ -324,6 +332,8 @@ class NetFpgaDriver:
                 if attempt == self.mmio_retries:
                     break
                 self.recovery.mmio_retries += 1
+                if self.event_hook is not None:
+                    self.event_hook("mmio_retry")
                 self._wait(backoff_ns)
                 backoff_ns *= 2
         self.recovery.mmio_failures += 1

@@ -1,0 +1,185 @@
+"""``nf-mon``: the platform monitoring tool.
+
+The telemetry subsystem's command-line face, in the spirit of NetFPGA's
+register peek/poke utilities but speaking the metrics registry instead
+of raw offsets.  It runs one of the standard regression scenarios with a
+telemetry session attached and exposes the measurement three ways::
+
+    nf-mon dump  --scenario switch_learn_and_forward --format table
+    nf-mon watch --scenario router_forward_connected --interval 128
+    nf-mon trace --scenario router_forward_connected --output trace.json
+
+``dump`` prints the end-of-run metrics (``table``, ``json`` or ``prom``
+Prometheus text); ``watch`` streams interval rows while the kernel runs
+(sim mode only — it rides the session's per-cycle callback); ``trace``
+writes the Chrome ``trace_event`` JSON that ``chrome://tracing`` and
+Perfetto load.  ``scenarios`` lists what can be monitored.
+
+Every command is a plain function returning an exit code, so tests call
+them directly; the console entry point is :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.telemetry.session import TelemetrySession
+
+
+def _scenarios():
+    # Imported lazily so `nf-mon scenarios` starts fast.
+    from repro.testenv.regress import standard_scenarios
+
+    return {test.name: test for test in standard_scenarios()}
+
+
+def _run_scenario(name: str, mode: str, session: TelemetrySession,
+                  faults: Optional[str] = None):
+    from repro.testenv.harness import run_test
+
+    scenarios = _scenarios()
+    if name not in scenarios:
+        print(f"unknown scenario {name!r}; have {sorted(scenarios)}",
+              file=sys.stderr)
+        return None
+    return run_test(scenarios[name], mode, faults=faults, telemetry=session)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_scenarios(_args: argparse.Namespace) -> int:
+    for name, test in sorted(_scenarios().items()):
+        print(f"  {name:28s} {len(test.stimuli)} stimuli, "
+              f"{test.project_factory().name}")
+    return 0
+
+
+def cmd_dump(args: argparse.Namespace) -> int:
+    session = TelemetrySession(args.mode)
+    result = _run_scenario(args.scenario, args.mode, session, args.faults)
+    if result is None:
+        return 2
+    if args.format == "json":
+        text = session.registry.to_json(
+            indent=2, mode=args.mode, scenario=args.scenario
+        )
+    elif args.format == "prom":
+        text = session.registry.to_prometheus()
+    else:
+        snapshot = result.telemetry
+        width = max(map(len, snapshot.counters), default=0)
+        lines = [f"# {args.scenario} [{args.mode}] — "
+                 f"{snapshot.trace_events} trace events"]
+        for series in sorted(snapshot.counters):
+            value = snapshot.counters[series]
+            rendered = int(value) if float(value).is_integer() else round(value, 3)
+            marker = " *" if series in snapshot.parity else ""
+            lines.append(f"  {series:{width}s} {rendered}{marker}")
+        lines.append("  (* = cycle-independent: must match across sim/hw)")
+        text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    if args.mode != "sim":
+        print("watch rides the kernel's cycle hook; only --mode sim",
+              file=sys.stderr)
+        return 2
+    session = TelemetrySession("sim")
+    registry = session.registry
+    print(f"{'cycle':>8s} {'pkts_in':>8s} {'pkts_out':>9s} "
+          f"{'oq_bytes':>9s} {'events':>7s}")
+
+    def _sum(prefix: str) -> int:
+        return int(sum(
+            value for series, value in registry.snapshot().items()
+            if series.startswith(prefix)
+        ))
+
+    rx_prefix = 'chan_packets_total{chan="rx_'
+    tx_prefix = 'chan_packets_total{chan="tx_'
+
+    def on_cycle(cycle: int) -> None:
+        if cycle % args.interval:
+            return
+        print(f"{cycle:>8d} {_sum(rx_prefix):>8d} {_sum(tx_prefix):>9d} "
+              f"{_sum('oq_occupancy_bytes'):>9d} {len(session.trace):>7d}")
+
+    session.cycle_callback = on_cycle
+    result = _run_scenario(args.scenario, "sim", session, args.faults)
+    if result is None:
+        return 2
+    snapshot = result.telemetry
+    print(f"done: {result.cycles} cycles, {result.total_packets()} packets, "
+          f"{snapshot.trace_events} trace events "
+          f"({snapshot.trace_dropped} dropped)")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    session = TelemetrySession(args.mode)
+    result = _run_scenario(args.scenario, args.mode, session, args.faults)
+    if result is None:
+        return 2
+    session.trace.write_chrome(args.output)
+    print(f"wrote {len(session.trace)} events "
+          f"({session.trace.dropped} dropped) to {args.output} "
+          f"[{session.trace.domain} domain]")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", default="switch_learn_and_forward",
+                        help="a standard regression scenario name")
+    parser.add_argument("--mode", choices=("sim", "hw"), default="sim")
+    parser.add_argument("--faults", default=None,
+                        help="run under a registered fault plan")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nf-mon", description="NetFPGA platform telemetry monitor"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list monitorable scenarios").set_defaults(
+        func=cmd_scenarios
+    )
+
+    dump = sub.add_parser("dump", help="run a scenario and print its metrics")
+    _add_run_arguments(dump)
+    dump.add_argument("--format", choices=("table", "json", "prom"),
+                      default="table")
+    dump.add_argument("--output", default=None, help="write here instead of stdout")
+    dump.set_defaults(func=cmd_dump)
+
+    watch = sub.add_parser("watch", help="stream interval rows while the kernel runs")
+    _add_run_arguments(watch)
+    watch.add_argument("--interval", type=int, default=256,
+                       help="cycles between rows")
+    watch.set_defaults(func=cmd_watch)
+
+    trace = sub.add_parser("trace", help="write a Chrome trace_event JSON file")
+    _add_run_arguments(trace)
+    trace.add_argument("--output", default="nf_trace.json")
+    trace.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    raise SystemExit(main())

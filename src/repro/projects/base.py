@@ -39,6 +39,8 @@ OPL_REG_BASE = 0x0000_0000
 STATS_REG_BASE = 0x0001_0000
 #: Window reserved for the host driver's recovery-counter block.
 RECOVERY_REG_BASE = 0x0002_0000
+#: Window reserved for the telemetry registry's counter block.
+TELEMETRY_REG_BASE = 0x0003_0000
 PROJECT_REG_SIZE = 0x1_0000
 
 
@@ -130,6 +132,19 @@ class ReferencePipeline(Module):
         datapath statistics.
         """
         self.interconnect.attach(RECOVERY_REG_BASE, PROJECT_REG_SIZE, regfile)
+
+    def attach_telemetry_registers(self, registry) -> None:
+        """Mount a telemetry registry's counter block into the address map.
+
+        ``registry`` is a :class:`~repro.telemetry.registry.MetricsRegistry`;
+        every series it holds at attach time becomes a live-backed
+        read-only register (with the 64-bit ``_hi``/``_lo`` face), read
+        over the same AXI4-Lite path as the datapath statistics.
+        """
+        self.interconnect.attach(
+            TELEMETRY_REG_BASE, PROJECT_REG_SIZE,
+            registry.register_file(f"{self.name}_telemetry"),
+        )
 
     # ------------------------------------------------------------------
     # Convenience lookups

@@ -1,0 +1,115 @@
+"""One telemetry session: a registry, a trace, and a snapshot contract.
+
+A session is scoped to one run (one ``run_test`` execution, one
+``nf-mon`` invocation) and owns the clock-domain decision: ``sim``
+sessions stamp trace events in kernel cycles, ``hw`` sessions in
+nanoseconds.  :meth:`TelemetrySession.snapshot` freezes the registry
+into a :class:`TelemetrySnapshot`, whose ``parity`` subset — the
+cycle-independent series — is what the unified test environment demands
+be identical between the two execution targets (extending experiment
+E11's packet-level agreement to the measurement plane).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.trace import TraceRecorder
+
+MODES = ("sim", "hw")
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """A frozen view of one session's registry at run end."""
+
+    mode: str
+    counters: dict[str, float] = field(default_factory=dict)
+    parity: dict[str, float] = field(default_factory=dict)
+    trace_events: int = 0
+    trace_dropped: int = 0
+
+    def cycle_independent(self) -> dict[str, float]:
+        """The series both execution targets must agree on."""
+        return dict(self.parity)
+
+    def get(self, series: str, default: float = 0) -> float:
+        return self.counters.get(series, default)
+
+    def assert_parity(self, other: "TelemetrySnapshot") -> None:
+        """Demand the cycle-independent series agree with ``other``'s.
+
+        This is experiment E11's packet-level sim/hw agreement lifted to
+        the measurement plane; raises ``AssertionError`` naming every
+        divergent series.
+        """
+        mine, theirs = self.parity, other.parity
+        diffs = [
+            f"  {series}: {self.mode}={mine.get(series, '<absent>')} "
+            f"{other.mode}={theirs.get(series, '<absent>')}"
+            for series in sorted(set(mine) | set(theirs))
+            if mine.get(series) != theirs.get(series)
+        ]
+        if diffs:
+            raise AssertionError(
+                "cycle-independent telemetry diverges between "
+                f"{self.mode} and {other.mode}:\n" + "\n".join(diffs)
+            )
+
+
+class TelemetrySession:
+    """Registry + trace recorder for one run, in one clock domain."""
+
+    def __init__(
+        self,
+        mode: str = "sim",
+        clock_period_ns: float = 5.0,
+        trace_capacity: int = 65536,
+    ):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        self.mode = mode
+        self.registry = MetricsRegistry()
+        if mode == "sim":
+            self.trace = TraceRecorder(
+                domain="cycles",
+                capacity=trace_capacity,
+                us_per_tick=clock_period_ns / 1_000.0,
+            )
+        else:
+            self.trace = TraceRecorder(domain="ns", capacity=trace_capacity)
+        #: Optional per-cycle observer (sim mode), invoked by the
+        #: pipeline probes after their own scan — ``nf-mon watch`` uses
+        #: it to cut interval snapshots without touching the harness.
+        self.cycle_callback = None
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return TelemetrySnapshot(
+            mode=self.mode,
+            counters=self.registry.snapshot(),
+            parity=self.registry.snapshot(cycle_independent_only=True),
+            trace_events=len(self.trace),
+            trace_dropped=self.trace.dropped,
+        )
+
+
+def make_session(telemetry, mode: str) -> Optional[TelemetrySession]:
+    """Normalize a harness ``telemetry=`` argument into a session.
+
+    ``False``/``None`` → no telemetry; ``True`` → a fresh session for
+    ``mode``; an existing session is validated against ``mode`` and
+    passed through (letting callers pre-register their own series).
+    """
+    if not telemetry:
+        return None
+    if telemetry is True:
+        return TelemetrySession(mode)
+    if not isinstance(telemetry, TelemetrySession):
+        raise TypeError("telemetry must be bool or a TelemetrySession")
+    if telemetry.mode != mode:
+        raise ValueError(
+            f"telemetry session is for mode {telemetry.mode!r}, run is {mode!r}"
+        )
+    return telemetry

@@ -33,6 +33,8 @@ from repro.core.simulator import Simulator
 from repro.faults.errors import NonQuiescent
 from repro.faults.plan import FaultPlan, FaultReport, FaultSession, get_plan
 from repro.projects.base import ALL_PORTS, PortRef, ReferencePipeline
+from repro.telemetry.probes import PipelineProbes, probe_faults
+from repro.telemetry.session import TelemetrySession, TelemetrySnapshot, make_session
 
 #: cpu_handler(frame, phys_port_index) -> [(phys_port_index, frame), ...]
 CpuHandler = Callable[[bytes, int], list[tuple[int, bytes]]]
@@ -61,6 +63,8 @@ class HarnessResult:
     cpu_rounds: int = 0
     #: Present when the run executed under a fault plan.
     fault_report: Optional[FaultReport] = None
+    #: Present when the run executed with telemetry attached.
+    telemetry: Optional[TelemetrySnapshot] = None
 
     def at(self, port: PortRef) -> list[bytes]:
         return self.outputs.get(port, [])
@@ -91,6 +95,7 @@ def run_sim(
     stimuli: list[Stimulus],
     cpu_handler: Optional[CpuHandler] = None,
     egress_pacing: Optional[Callable[[int], bool]] = None,
+    telemetry: Optional[TelemetrySession] = None,
 ) -> HarnessResult:
     """Execute against the cycle-driven kernel.
 
@@ -99,6 +104,9 @@ def run_sim(
     the 256-bit/200MHz pipeline).  Without it sinks are always ready, so
     the internal pipeline never congests — fine for functional tests,
     wrong for queueing experiments.
+
+    ``telemetry`` (a ``sim``-mode :class:`TelemetrySession`) arms the
+    kernel pipeline probes: one cycle hook, zero module changes.
     """
     sim = Simulator()
     sources = {p: StreamSource(f"tb_src_{p}", project.rx[p]) for p in ALL_PORTS}
@@ -112,6 +120,9 @@ def run_sim(
     }
     for module in (*sources.values(), project, *sinks.values()):
         sim.add(module)
+    if telemetry is not None:
+        probes = PipelineProbes(project, telemetry)
+        sim.add_cycle_hook(probes.on_cycle)
 
     for stim in stimuli:
         packet = StreamPacket(stim.frame).with_src_port(stim.port.bit)
@@ -154,6 +165,11 @@ def run_sim(
             if reinjected == 0:
                 break
             drain()
+        else:
+            raise NonQuiescent(
+                f"CPU slow path did not quiesce after {MAX_CPU_ROUNDS} "
+                f"reinjection rounds"
+            )
 
     outputs: dict[PortRef, list[bytes]] = {}
     for port, sink in sinks.items():
@@ -172,26 +188,40 @@ def run_hw(
     project: ReferencePipeline,
     stimuli: list[Stimulus],
     cpu_handler: Optional[CpuHandler] = None,
+    telemetry: Optional[TelemetrySession] = None,
 ) -> HarnessResult:
-    """Execute against the behavioural model — the 'real device' stand-in."""
+    """Execute against the behavioural model — the 'real device' stand-in.
+
+    With ``telemetry`` (an ``hw``-mode session) attached, packet ingress
+    and egress become trace events stamped in wall-clock nanoseconds —
+    the domain a real device's software-visible events live in.
+    """
+    trace = telemetry.trace if telemetry is not None else None
     outputs: dict[PortRef, list[bytes]] = {p: [] for p in ALL_PORTS}
     work: list[tuple[PortRef, bytes]] = [(s.port, s.frame) for s in stimuli]
     cpu_rounds = 0
     for round_idx in range(MAX_CPU_ROUNDS + 1):
         next_work: list[tuple[PortRef, bytes]] = []
         for port, frame in work:
+            if trace is not None:
+                trace.emit("packet_in", str(port), bytes=len(frame))
             for out_port, out_frame in project.forward_behavioural(frame, port):
                 if out_port.kind == "dma" and cpu_handler is not None:
                     for egress, reply in cpu_handler(out_frame, out_port.index):
                         next_work.append((PortRef("dma", egress), reply))
                 else:
                     outputs[out_port].append(out_frame)
+                    if trace is not None:
+                        trace.emit("packet_out", str(out_port), bytes=len(out_frame))
         if not next_work:
             break
         work = next_work
         cpu_rounds = round_idx + 1
     else:
-        raise NonQuiescent("CPU slow path did not quiesce")
+        raise NonQuiescent(
+            f"CPU slow path did not quiesce after {MAX_CPU_ROUNDS} "
+            f"reinjection rounds"
+        )
     return HarnessResult("hw", outputs, cpu_rounds=cpu_rounds)
 
 
@@ -218,6 +248,37 @@ def _apply_link_faults(
     return delivered, lost
 
 
+def _count_harness_traffic(
+    tsession: TelemetrySession, stimuli: list[Stimulus], result: HarnessResult
+) -> None:
+    """Feed the cycle-independent packet/byte ledgers.
+
+    Both targets pass through here with the *same* delivered stimuli
+    (link faults are applied before the mode split) and their checked
+    outputs — so these series form the sim/hw parity subset.
+    """
+    registry = tsession.registry
+    pkts_in = registry.counter(
+        "port_packets_in", "packets injected per port", labelnames=("port",)
+    )
+    bytes_in = registry.counter(
+        "port_bytes_in", "bytes injected per port", labelnames=("port",)
+    )
+    for stim in stimuli:
+        pkts_in.labels(str(stim.port)).inc()
+        bytes_in.labels(str(stim.port)).inc(len(stim.frame))
+    pkts_out = registry.counter(
+        "port_packets_out", "packets delivered per port", labelnames=("port",)
+    )
+    bytes_out = registry.counter(
+        "port_bytes_out", "bytes delivered per port", labelnames=("port",)
+    )
+    for port, frames in result.outputs.items():
+        for frame in frames:
+            pkts_out.labels(str(port)).inc()
+            bytes_out.labels(str(port)).inc(len(frame))
+
+
 def _is_subsequence(got: list[bytes], want: list[bytes]) -> bool:
     """True when ``got`` is ``want`` with zero or more frames removed."""
     it = iter(want)
@@ -231,6 +292,7 @@ def run_test(
     test: NetFpgaTest,
     mode: str,
     faults: Optional[Union[FaultPlan, str]] = None,
+    telemetry: Union[bool, TelemetrySession, None] = False,
 ) -> HarnessResult:
     """Run one test in ``'sim'`` or ``'hw'`` mode and check expectations.
 
@@ -238,6 +300,15 @@ def run_test(
     :class:`FaultPlan` or a registered name like ``"lossy-link"``).  The
     harness then demands eventual delivery — or clean, counted loss when
     the plan permits it — instead of wedging.
+
+    ``telemetry=True`` attaches a session-scoped metrics registry and
+    trace recorder; the result carries a
+    :class:`~repro.telemetry.session.TelemetrySnapshot` whose
+    cycle-independent subset (packet/byte totals per port, fed from the
+    same delivered stimuli and checked outputs in both modes) must agree
+    between ``sim`` and ``hw`` — the measurement-plane extension of
+    experiment E11.  Pass an existing :class:`TelemetrySession` instead
+    of ``True`` to pre-register series or keep the trace for export.
     """
     if mode not in ("sim", "hw"):
         raise ValueError("mode must be 'sim' or 'hw'")
@@ -245,17 +316,25 @@ def run_test(
     cpu_handler = (
         test.cpu_handler_factory(project) if test.cpu_handler_factory else None
     )
+    tsession = make_session(telemetry, mode)
     session: Optional[FaultSession] = None
     stimuli = test.stimuli
     lost: list[int] = []
     if faults is not None:
         plan = get_plan(faults) if isinstance(faults, str) else faults
         session = plan.session()
+        if tsession is not None:
+            probe_faults(session, tsession)
         stimuli, lost = _apply_link_faults(session, stimuli)
-    runner = run_sim if mode == "sim" else run_hw
-    result = runner(project, stimuli, cpu_handler)
+    if mode == "sim":
+        result = run_sim(project, stimuli, cpu_handler, telemetry=tsession)
+    else:
+        result = run_hw(project, stimuli, cpu_handler, telemetry=tsession)
     if session is not None:
         result.fault_report = session.report()
+    if tsession is not None:
+        _count_harness_traffic(tsession, stimuli, result)
+        result.telemetry = tsession.snapshot()
 
     for port in ALL_PORTS:
         if port in test.ignore_ports:

@@ -11,6 +11,11 @@ def pytest_configure(config):
         "faults: deterministic fault-injection and recovery coverage "
         "(run just these with -m faults)",
     )
+    config.addinivalue_line(
+        "markers",
+        "telemetry: metrics registry, tracing and probe coverage "
+        "(run just these with -m telemetry)",
+    )
 
 from repro.packet.addresses import Ipv4Addr, MacAddr
 from repro.packet.generator import make_udp_frame

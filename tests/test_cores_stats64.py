@@ -1,0 +1,86 @@
+"""64-bit counter faces: the ``_hi``/``_lo`` pairs behind every block.
+
+32-bit statistics registers wrap silently at 4 GiB / 4 G packets — the
+truncation bug this layout fixes.  The legacy low-word registers stay at
+their historical offsets; wide readout is additive.
+"""
+
+import pytest
+
+from repro.core.axis import AxiStreamBeat, AxiStreamChannel
+from repro.core.simulator import Simulator
+from repro.cores.stats import StatsCollector, counters_register_file
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestCountersRegisterFile:
+    def _regs(self, values: dict[str, int]):
+        return counters_register_file(
+            "t", {name: (lambda v=value: v) for name, value in values.items()}
+        )
+
+    def test_legacy_offsets_unchanged(self):
+        regs = self._regs({"a": 1, "b": 2, "c": 3})
+        assert regs.offset_of("a") == 0
+        assert regs.offset_of("b") == 4
+        assert regs.offset_of("c") == 8
+
+    def test_wide_pairs_follow_the_legacy_block(self):
+        regs = self._regs({"a": 1, "b": 2})
+        assert regs.offset_of("a_lo") == 8
+        assert regs.offset_of("a_hi") == 12
+        assert regs.offset_of("b_lo") == 16
+        assert regs.offset_of("b_hi") == 20
+
+    def test_wide_counter_reads_exactly(self):
+        wide = (0xDEAD << 32) | 0xBEEF_CAFE
+        regs = self._regs({"big": wide})
+        assert regs.read(regs.offset_of("big")) == 0xBEEF_CAFE  # truncated
+        lo = regs.read(regs.offset_of("big_lo"))
+        hi = regs.read(regs.offset_of("big_hi"))
+        assert (hi << 32) | lo == wide
+
+    def test_narrow_counter_hi_is_zero(self):
+        regs = self._regs({"small": 7})
+        assert regs.read(regs.offset_of("small_hi")) == 0
+        assert regs.read(regs.offset_of("small_lo")) == 7
+
+
+class TestStatsCollector64:
+    def _collector(self):
+        channel = AxiStreamChannel("c")
+        return StatsCollector("stats", [("rx0", channel)]), channel
+
+    def test_wide_face_layout(self):
+        collector, _ = self._collector()
+        regs = collector.registers
+        # Legacy block: [0, 8N); wide pairs after.
+        assert regs.offset_of("rx0_packets") == 0
+        assert regs.offset_of("rx0_bytes") == 4
+        assert regs.offset_of("rx0_packets_lo") == 8
+        assert regs.offset_of("rx0_packets_hi") == 12
+        assert regs.offset_of("rx0_bytes_lo") == 16
+        assert regs.offset_of("rx0_bytes_hi") == 20
+
+    def test_byte_counter_survives_4gib(self):
+        collector, _ = self._collector()
+        collector.bytes["rx0"] = (1 << 32) + 1500  # one wrap past 4 GiB
+        regs = collector.registers
+        assert regs.read(regs.offset_of("rx0_bytes")) == 1500  # legacy wraps
+        lo = regs.read(regs.offset_of("rx0_bytes_lo"))
+        hi = regs.read(regs.offset_of("rx0_bytes_hi"))
+        assert (hi << 32) | lo == (1 << 32) + 1500
+
+    def test_live_counting_still_works(self):
+        collector, channel = self._collector()
+        sim = Simulator()
+        sim.add(collector)
+        channel.drive(AxiStreamBeat(b"\xAA" * 32, last=True))
+        channel.set_ready(True)
+        channel.account()
+        collector.tick()
+        assert collector.packets["rx0"] == 1
+        assert collector.bytes["rx0"] == 32
+        regs = collector.registers
+        assert regs.read(regs.offset_of("rx0_packets_lo")) == 1

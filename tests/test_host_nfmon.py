@@ -1,0 +1,125 @@
+"""``nf-mon``, the telemetry subsystem's command-line face."""
+
+import json
+
+import pytest
+
+from repro.host import cli
+from repro.host.nfmon import main
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestScenarios:
+    def test_lists_the_standard_regression_set(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "nic_port_host_bridge",
+            "switch_learn_and_forward",
+            "switch_lite_static_pairs",
+            "router_forward_connected",
+        ):
+            assert name in out
+
+
+class TestDump:
+    def test_table_marks_parity_series(self, capsys):
+        assert main(["dump", "--scenario", "switch_learn_and_forward"]) == 0
+        out = capsys.readouterr().out
+        assert "switch_learn_and_forward [sim]" in out
+        assert "port_packets_in" in out
+        assert "chan_packets_total" in out
+        # Parity series carry the * marker; kernel series don't.
+        parity_line = next(
+            l for l in out.splitlines() if 'port_packets_in{port="nf0"}' in l
+        )
+        assert parity_line.rstrip().endswith("*")
+        kernel_line = next(
+            l for l in out.splitlines() if 'chan_packets_total{chan="rx_nf0"}' in l
+        )
+        assert not kernel_line.rstrip().endswith("*")
+
+    def test_json_format_is_loadable(self, capsys):
+        assert main(["dump", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "sim"
+        assert payload["scenario"] == "switch_learn_and_forward"
+        assert any(
+            s.startswith("port_packets_out") for s in payload["metrics"]
+        )
+
+    def test_prom_format_has_type_lines(self, capsys):
+        assert main(["dump", "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE nf_port_packets_in counter" in out
+        assert "# TYPE nf_oq_occupancy_bytes gauge" in out
+
+    def test_output_file(self, capsys, tmp_path):
+        path = tmp_path / "dump.prom"
+        assert main(["dump", "--format", "prom", "--output", str(path)]) == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        assert "# TYPE" in path.read_text()
+
+    def test_hw_mode_dumps_too(self, capsys):
+        assert main(["dump", "--mode", "hw"]) == 0
+        assert "[hw]" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["dump", "--scenario", "warp_core"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "switch_learn_and_forward" in err  # suggests the real ones
+
+
+class TestWatch:
+    def test_streams_interval_rows(self, capsys):
+        assert main(["watch", "--interval", "64"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].split() == [
+            "cycle", "pkts_in", "pkts_out", "oq_bytes", "events",
+        ]
+        rows = [l for l in lines[1:] if not l.startswith("done")]
+        assert len(rows) >= 2
+        cycles = [int(r.split()[0]) for r in rows]
+        assert cycles == sorted(cycles)
+        assert all(c % 64 == 0 for c in cycles)
+        assert lines[-1].startswith("done:")
+
+    def test_watch_is_sim_only(self, capsys):
+        assert main(["watch", "--mode", "hw"]) == 2
+        assert "only --mode sim" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_writes_valid_chrome_json(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main([
+            "trace", "--scenario", "router_forward_connected",
+            "--output", str(path),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        loaded = json.loads(path.read_text())
+        events = loaded["traceEvents"]
+        assert len(events) > 1
+        for event in events:
+            assert event["ph"] in ("M", "i", "C")
+            assert isinstance(event["ts"], (int, float))
+            assert event["pid"] == 0
+
+    def test_faulted_trace_records_injections(self, tmp_path):
+        # The NIC bridge scenario retransmits over a lossy link, so the
+        # plan's drops actually fire and land in the trace.
+        path = tmp_path / "faulted.json"
+        assert main([
+            "trace", "--scenario", "nic_port_host_bridge",
+            "--faults", "lossy-link", "--output", str(path),
+        ]) == 0
+        cats = {e.get("cat") for e in json.loads(path.read_text())["traceEvents"]}
+        assert "fault_injected" in cats
+
+
+class TestCliForwarding:
+    def test_repro_cli_mon_forwards(self, capsys):
+        assert cli.main(["mon", "scenarios"]) == 0
+        assert "switch_learn_and_forward" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Telemetry through the unified test environment.
+
+The acceptance bar for S19: ``run_test(test, mode, telemetry=True)``
+returns identical cycle-independent counter snapshots for the ``sim``
+and ``hw`` targets on the reference switch, and the trace a session
+collects exports as valid Chrome ``trace_event`` JSON.
+"""
+
+import json
+
+import pytest
+
+from repro.projects.base import ALL_PORTS, PortRef, TELEMETRY_REG_BASE
+from repro.projects.reference_switch import ReferenceSwitch
+from repro.telemetry import TelemetrySession
+from repro.testenv.harness import NetFpgaTest, Stimulus, run_test
+
+from tests.conftest import udp_frame
+
+pytestmark = pytest.mark.telemetry
+
+
+def _switch_test() -> NetFpgaTest:
+    """Learn-then-forward on the reference switch (the E11 workload)."""
+    flood = udp_frame(src=1, dst=2)
+    reply = udp_frame(src=2, dst=1)
+    return NetFpgaTest(
+        name="switch_telemetry",
+        project_factory=ReferenceSwitch,
+        stimuli=[
+            Stimulus(PortRef("phys", 0), flood),
+            Stimulus(PortRef("phys", 2), reply),
+        ],
+        expected={
+            PortRef("phys", 0): [reply],
+            PortRef("phys", 1): [flood],
+            PortRef("phys", 2): [flood],
+            PortRef("phys", 3): [flood],
+        },
+    )
+
+
+class TestRunTestTelemetry:
+    def test_snapshot_attached_only_when_requested(self):
+        assert run_test(_switch_test(), "sim").telemetry is None
+        result = run_test(_switch_test(), "sim", telemetry=True)
+        assert result.telemetry is not None
+        assert result.telemetry.mode == "sim"
+
+    def test_sim_hw_parity_on_reference_switch(self):
+        sim = run_test(_switch_test(), "sim", telemetry=True)
+        hw = run_test(_switch_test(), "hw", telemetry=True)
+        assert sim.telemetry.cycle_independent() == hw.telemetry.cycle_independent()
+        sim.telemetry.assert_parity(hw.telemetry)  # and the helper agrees
+
+    def test_parity_counts_are_the_checked_traffic(self):
+        result = run_test(_switch_test(), "sim", telemetry=True)
+        parity = result.telemetry.parity
+        assert parity['port_packets_in{port="nf0"}'] == 1
+        assert parity['port_packets_in{port="nf2"}'] == 1
+        for egress in ("nf1", "nf3"):
+            assert parity[f'port_packets_out{{port="{egress}"}}'] == 1
+        frame_len = len(udp_frame(src=1, dst=2))
+        assert parity['port_bytes_in{port="nf0"}'] == frame_len
+
+    def test_divergent_snapshots_fail_loudly(self):
+        sim = run_test(_switch_test(), "sim", telemetry=True)
+        hw = run_test(_switch_test(), "hw", telemetry=True)
+        hw.telemetry.parity['port_packets_in{port="nf0"}'] = 999
+        with pytest.raises(AssertionError, match="port_packets_in"):
+            sim.telemetry.assert_parity(hw.telemetry)
+
+    def test_kernel_series_marked_cycle_dependent(self):
+        result = run_test(_switch_test(), "sim", telemetry=True)
+        snapshot = result.telemetry
+        assert any(s.startswith("chan_packets_total") for s in snapshot.counters)
+        assert not any(s.startswith("chan_") for s in snapshot.parity)
+
+    def test_mode_mismatched_session_rejected(self):
+        with pytest.raises(ValueError):
+            run_test(_switch_test(), "hw", telemetry=TelemetrySession("sim"))
+        with pytest.raises(TypeError):
+            run_test(_switch_test(), "sim", telemetry="yes")
+
+    def test_faults_telemetry_compose(self):
+        session = TelemetrySession("sim")
+        result = run_test(
+            _switch_test(), "sim", faults="oq-pressure", telemetry=session
+        )
+        assert result.fault_report is not None
+        spikes = result.fault_report.counters.get("oq_spikes", 0)
+        snap = result.telemetry
+        assert snap.get('faults_injected_total{site="oq"}') == spikes
+
+
+class TestTraceExport:
+    @pytest.mark.parametrize("mode", ["sim", "hw"])
+    def test_run_trace_is_valid_chrome_json(self, mode, tmp_path):
+        session = TelemetrySession(mode)
+        run_test(_switch_test(), mode, telemetry=session)
+        path = tmp_path / f"trace_{mode}.json"
+        session.trace.write_chrome(str(path))
+        loaded = json.loads(path.read_text())
+        events = loaded["traceEvents"]
+        assert len(events) > 1
+        for event in events:
+            assert event["ph"] in ("M", "i", "C")
+            assert isinstance(event["ts"], (int, float))
+            assert event["pid"] == 0
+        kinds = {e.get("cat") for e in events}
+        assert "packet_in" in kinds
+        assert "packet_out" in kinds
+
+
+class TestRegisterWindow:
+    def test_registry_mounts_behind_the_interconnect(self):
+        session = TelemetrySession("sim")
+        run_test(_switch_test(), "sim", telemetry=session)
+        project = ReferenceSwitch()
+        project.attach_telemetry_registers(session.registry)
+        # Offsets are deterministic, so a freshly built block is a map
+        # of the mounted one.
+        offset = session.registry.register_file().offset_of(
+            "port_packets_in_port_nf0"
+        )
+        assert project.interconnect.read(TELEMETRY_REG_BASE + offset) == 1
+
+    def test_window_is_distinct_from_stats_and_recovery(self):
+        from repro.projects.base import RECOVERY_REG_BASE, STATS_REG_BASE
+
+        assert TELEMETRY_REG_BASE not in (STATS_REG_BASE, RECOVERY_REG_BASE)
+        assert TELEMETRY_REG_BASE == 0x0003_0000

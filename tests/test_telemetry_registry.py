@@ -1,0 +1,139 @@
+"""The metrics registry: instruments, labels, exports, register face."""
+
+import json
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, TelemetryError
+from repro.telemetry.registry import Histogram
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestInstruments:
+    def test_counter_inc_and_get(self):
+        registry = MetricsRegistry()
+        pkts = registry.counter("pkts_total", "packets")
+        pkts.inc()
+        pkts.inc(4)
+        assert registry.snapshot()["pkts_total"] == 5
+
+    def test_counter_bind_reads_live_value(self):
+        registry = MetricsRegistry()
+        box = {"n": 0}
+        registry.counter("live_total").bind(lambda: box["n"])
+        box["n"] = 17
+        assert registry.snapshot()["live_total"] == 17
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("depth", cycle_dependent=False)
+        depth.set(9)
+        depth.dec(2)
+        assert registry.snapshot()["depth"] == 7
+
+    def test_labels_create_independent_children(self):
+        registry = MetricsRegistry()
+        fam = registry.counter("per_port", labelnames=("port",))
+        fam.labels("nf0").inc(3)
+        fam.labels("nf1").inc(1)
+        fam.labels(port="nf0").inc()  # keyword form hits the same child
+        snap = registry.snapshot()
+        assert snap['per_port{port="nf0"}'] == 4
+        assert snap['per_port{port="nf1"}'] == 1
+
+    def test_wrong_label_arity_rejected(self):
+        registry = MetricsRegistry()
+        fam = registry.counter("labelled", labelnames=("a", "b"))
+        with pytest.raises(TelemetryError):
+            fam.labels("only-one")
+
+    def test_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("again", labelnames=("x",))
+        assert registry.counter("again", labelnames=("x",)) is first
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("clash")
+        with pytest.raises(TelemetryError):
+            registry.gauge("clash")
+
+
+class TestHistogram:
+    def test_observe_and_quantile(self):
+        h = Histogram(buckets=(1, 2, 4, 8))
+        for v in (1, 1, 3, 7, 100):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == 112
+        assert h.quantile(0.5) == 4
+        assert h.quantile(1.0) == float("inf")
+
+    def test_prometheus_expansion_is_cumulative(self):
+        registry = MetricsRegistry()
+        lat = registry.histogram("lat", buckets=(10, 20), cycle_dependent=False)
+        for v in (5, 15, 25):
+            lat.observe(v)
+        snap = registry.snapshot()
+        assert snap['lat_bucket{le="10"}'] == 1
+        assert snap['lat_bucket{le="20"}'] == 2
+        assert snap['lat_bucket{le="+Inf"}'] == 3
+        assert snap["lat_count"] == 3
+        assert snap["lat_sum"] == 45
+
+
+class TestExports:
+    def _registry(self):
+        registry = MetricsRegistry()
+        fam = registry.counter("pkts_total", "packets seen", labelnames=("port",))
+        fam.labels("nf0").inc(2)
+        registry.gauge("occ", "buffered bytes").set(64)
+        return registry
+
+    def test_json_round_trips(self):
+        payload = json.loads(self._registry().to_json(scenario="unit"))
+        assert payload["scenario"] == "unit"
+        assert payload["metrics"]['pkts_total{port="nf0"}'] == 2
+
+    def test_prometheus_text_format(self):
+        text = self._registry().to_prometheus()
+        assert "# HELP nf_pkts_total packets seen" in text
+        assert "# TYPE nf_pkts_total counter" in text
+        assert 'nf_pkts_total{port="nf0"} 2' in text
+        assert "nf_occ 64" in text
+
+    def test_parity_subset_excludes_cycle_dependent(self):
+        registry = MetricsRegistry()
+        registry.counter("stable_total").inc(1)
+        registry.counter("jittery_total", cycle_dependent=True).inc(9)
+        parity = registry.snapshot(cycle_independent_only=True)
+        assert "stable_total" in parity
+        assert "jittery_total" not in parity
+
+
+class TestRegisterFace:
+    def test_series_readable_over_axilite(self):
+        registry = MetricsRegistry()
+        fam = registry.counter("pkts_total", labelnames=("port",))
+        fam.labels("nf0").inc(7)
+        regs = registry.register_file()
+        assert regs.read(regs.offset_of("pkts_total_port_nf0")) == 7
+
+    def test_wide_counter_splits_hi_lo(self):
+        registry = MetricsRegistry()
+        big = registry.counter("wide_total")
+        big.inc((3 << 32) + 5)
+        regs = registry.register_file()
+        assert regs.read(regs.offset_of("wide_total")) == 5  # legacy low word
+        assert regs.read(regs.offset_of("wide_total_lo")) == 5
+        assert regs.read(regs.offset_of("wide_total_hi")) == 3
+
+    def test_histogram_contributes_sum_and_count(self):
+        registry = MetricsRegistry()
+        lat = registry.histogram("lat")
+        lat.observe(12)
+        lat.observe(30)
+        regs = registry.register_file()
+        assert regs.read(regs.offset_of("lat_count")) == 2
+        assert regs.read(regs.offset_of("lat_sum")) == 42

@@ -1,0 +1,91 @@
+"""The flight recorder: bounded ring, clock domains, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.telemetry import TraceRecorder
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestRing:
+    def test_capacity_bounds_retention(self):
+        recorder = TraceRecorder(domain="cycles", capacity=4)
+        for i in range(10):
+            recorder.emit("packet_in", "nf0", ts=i)
+        assert len(recorder) == 4
+        assert recorder.recorded == 10
+        assert recorder.dropped == 6
+        # The survivors are the newest four.
+        assert [e.ts for e in recorder.events] == [6, 7, 8, 9]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_unknown_domain_needs_explicit_scale(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(domain="fortnights")
+        recorder = TraceRecorder(domain="fortnights", us_per_tick=1.0)
+        assert recorder.us_per_tick == 1.0
+
+    def test_event_args_are_preserved(self):
+        recorder = TraceRecorder(domain="cycles")
+        recorder.emit("queue_drop", "nf2", ts=5, reason="full")
+        assert recorder.events[0].args == {"reason": "full"}
+
+
+class TestClockDomains:
+    def test_sim_domain_scales_cycles_to_us(self):
+        recorder = TraceRecorder(domain="cycles")  # 5 ns reference clock
+        recorder.emit("packet_in", "nf0", ts=200)
+        event = recorder.to_chrome()["traceEvents"][-1]
+        assert event["ts"] == pytest.approx(1.0)  # 200 cycles = 1 us
+
+    def test_hw_domain_default_clock_is_wall_time(self):
+        recorder = TraceRecorder(domain="ns")
+        recorder.emit("dma_doorbell", "tx")
+        recorder.emit("dma_completion", "tx")
+        first, second = recorder.events
+        assert second.ts >= first.ts > 0
+
+
+class TestChromeExport:
+    def _chrome(self):
+        recorder = TraceRecorder(domain="cycles")
+        recorder.emit("packet_in", "nf0", ts=10)
+        recorder.sample("oq_occupancy:nf1", 512, ts=20)
+        return recorder.to_chrome()
+
+    def test_every_event_has_required_fields(self):
+        for event in self._chrome()["traceEvents"]:
+            assert "ph" in event
+            assert "ts" in event
+            assert "pid" in event
+            assert "tid" in event
+
+    def test_phases_by_event_class(self):
+        events = self._chrome()["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert phases[0] == "M"  # process metadata first
+        assert "i" in phases  # instant event
+        assert "C" in phases  # counter track
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["s"] == "t"
+        assert instant["cat"] == "packet_in"
+
+    def test_counter_sample_carries_value(self):
+        counter = next(
+            e for e in self._chrome()["traceEvents"] if e["ph"] == "C"
+        )
+        assert counter["args"] == {"value": 512}
+
+    def test_write_chrome_is_loadable_json(self, tmp_path):
+        recorder = TraceRecorder(domain="cycles")
+        recorder.emit("fault_injected", "mmio:timeout", ts=3)
+        path = tmp_path / "trace.json"
+        recorder.write_chrome(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["otherData"]["domain"] == "cycles"
+        assert len(loaded["traceEvents"]) == 2

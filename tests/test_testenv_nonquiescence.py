@@ -1,0 +1,85 @@
+"""Non-quiescence must fail loudly — in both execution targets.
+
+A ``cpu_handler`` that re-injects every packet it receives never lets
+the system drain; the harness must raise
+:class:`~repro.faults.errors.NonQuiescent` at ``MAX_CPU_ROUNDS`` (with
+the round count in the message) instead of silently returning partial
+outputs, and it must do so identically under ``sim`` and ``hw``.
+"""
+
+import pytest
+
+from repro.core.metadata import SUME_TUSER, dma_port_bit
+from repro.cores.output_port_lookup import Decision, OutputPortLookup
+from repro.faults.errors import NonQuiescent
+from repro.projects.base import PortRef, ReferencePipeline
+from repro.testenv.harness import MAX_CPU_ROUNDS, NetFpgaTest, Stimulus, run_test
+
+from tests.conftest import udp_frame
+
+
+class _PuntAll(OutputPortLookup):
+    """An OPL that punts every packet to the CPU via DMA queue 0."""
+
+    def decide(self, header: bytes, tuser: int) -> Decision:
+        return Decision(
+            SUME_TUSER.insert(tuser, "dst_port", dma_port_bit(0)), note="punt"
+        )
+
+
+class _PuntProject(ReferencePipeline):
+    def __init__(self) -> None:
+        super().__init__(
+            "punt_all",
+            lambda name, s_axis, m_axis: _PuntAll(name, s_axis, m_axis),
+        )
+
+
+def _forever_test() -> NetFpgaTest:
+    frame = udp_frame()
+
+    def handler_factory(_project):
+        def handler(rx_frame: bytes, _port: int):
+            # The CPU model "answers" every punt by re-injecting the
+            # frame, which the OPL punts right back: a software loop.
+            return [(0, rx_frame)]
+
+        return handler
+
+    return NetFpgaTest(
+        name="cpu_forever",
+        project_factory=_PuntProject,
+        stimuli=[Stimulus(PortRef("phys", 0), frame)],
+        expected={},
+        cpu_handler_factory=handler_factory,
+        ignore_ports=tuple(PortRef("dma", i) for i in range(4)),
+    )
+
+
+@pytest.mark.parametrize("mode", ["sim", "hw"])
+def test_forever_reinjection_raises_nonquiescent(mode):
+    with pytest.raises(NonQuiescent) as excinfo:
+        run_test(_forever_test(), mode)
+    # The bound must be visible in the failure, not just implied.
+    assert str(MAX_CPU_ROUNDS) in str(excinfo.value)
+
+
+@pytest.mark.parametrize("mode", ["sim", "hw"])
+def test_quiescing_handler_still_passes(mode):
+    """A handler that answers once (and then stays quiet) is fine."""
+    test = _forever_test()
+    replied = []
+
+    def handler_factory(_project):
+        def handler(rx_frame: bytes, _port: int):
+            if replied:
+                return []
+            replied.append(True)
+            return [(0, rx_frame)]
+
+        return handler
+
+    test.cpu_handler_factory = handler_factory
+    result = run_test(test, mode)
+    assert result.cpu_rounds >= 1
+    replied.clear()
