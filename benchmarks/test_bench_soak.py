@@ -1,0 +1,56 @@
+"""E16 — soak determinism: chaos recovery is a pure function of (plan, seed).
+
+Runs the chaos soak under every control-plane plan in both harness
+modes and diffs the full fingerprints (fault counters + reconciliation
+counters + traffic/invariant scalars).  Expected shape: zero divergent
+keys for every (plan, seed) pair — the data plane's mode-identical
+FaultReport contract extended through supervision, repair, and degraded-
+mode queueing.  Reported: per-plan chaos volume (resets, lost frames,
+drift repaired) with the sim/hw agreement verdict.
+"""
+
+from repro.testenv.soak import run_soak
+
+from benchmarks.conftest import print_table
+
+PLANS = ("flaky-writes", "amnesiac", "ctrl-chaos")
+SEEDS = (0, 7)
+EPOCHS = 6
+
+
+def test_e16_soak_determinism(benchmark):
+    def sweep():
+        out = {}
+        for plan in PLANS:
+            for seed in SEEDS:
+                sim = run_soak("sim", plan, seed=seed, epochs=EPOCHS)
+                hw = run_soak("hw", plan, seed=seed, epochs=EPOCHS)
+                out[(plan, seed)] = (sim, hw)
+        return out
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for (plan, seed), (sim, hw) in measured.items():
+        fp_sim, fp_hw = sim.fingerprint(), hw.fingerprint()
+        divergent = sum(
+            1 for k in set(fp_sim) | set(fp_hw) if fp_sim.get(k) != fp_hw.get(k)
+        )
+        rows.append([
+            plan, seed, sim.resets, sim.flap_lost_frames,
+            sim.fault_counters.get("ctrl_write_drop", 0)
+            + sim.fault_counters.get("ctrl_write_corrupt", 0),
+            sim.resilience_counters.get("drift_entries", 0),
+            sim.resilience_counters.get("repair_writes", 0),
+            sim.converged and hw.converged, divergent,
+        ])
+        assert fp_sim == fp_hw, f"{plan} seed={seed} diverged between modes"
+        assert not sim.invariant_failures and not hw.invariant_failures
+
+    print_table(
+        "E16: chaos soak, sim vs hw fingerprint agreement "
+        f"({EPOCHS} epochs per run)",
+        ["plan", "seed", "resets", "flap lost", "bad writes",
+         "drift", "repairs", "converged", "divergent keys"],
+        rows,
+    )

@@ -122,9 +122,15 @@ class AxiLiteInterconnect:
         self.writes = 0
         #: Fault-injection hook, consulted before each read decodes; it
         #: may raise to model a read that times out on the bus.  Reads
-        #: are non-posted, so timeouts surface to software — which is
-        #: why only the read path has a hook.
+        #: are non-posted, so timeouts surface to software.
         self.read_fault_hook: Optional[Callable[[int], None]] = None
+        #: Fault-injection hook for the posted-write path.  Writes are
+        #: posted, so a lost or mangled write is *silent* to software:
+        #: the hook returns ``None`` to swallow the write entirely, or a
+        #: (possibly altered) value that lands instead.  Software only
+        #: notices by reading back — which is what the driver's
+        #: verified-write path does.
+        self.write_fault_hook: Optional[Callable[[int, int], Optional[int]]] = None
 
     def attach(self, base: int, size: int, regfile: RegisterFile) -> None:
         if base % 4 != 0 or size <= 0:
@@ -152,6 +158,14 @@ class AxiLiteInterconnect:
         return regfile.read(offset)
 
     def write(self, addr: int, value: int) -> None:
+        if self.write_fault_hook is not None:
+            faulted = self.write_fault_hook(addr, value)
+            if faulted is None:
+                # Dropped posted write: the bus transaction completed
+                # from the master's point of view, so it still counts.
+                self.writes += 1
+                return
+            value = faulted
         regfile, offset = self._decode(addr)
         self.writes += 1
         regfile.write(offset, value)

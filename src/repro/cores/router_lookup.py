@@ -71,6 +71,18 @@ class RouterTables:
     def add_filter(self, ip: Ipv4Addr) -> None:
         self.ip_filter.add(ip.value)
 
+    def clear_volatile(self) -> None:
+        """Wipe everything software loaded: routes, ARP, extra filters.
+
+        Port MACs/IPs survive (they are synthesis-time configuration in
+        the reference design); the destination-IP filter falls back to
+        just the router's own interfaces.
+        """
+        for entry in self.lpm.entries():
+            self.lpm.delete(entry.prefix, entry.prefix_len)
+        self.arp.clear()
+        self.ip_filter = {ip.value for ip in self.port_ips}
+
 
 class RouterLookup(OutputPortLookup):
     """The router OPL stage; see the module docstring for the pipeline."""

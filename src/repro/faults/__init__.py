@@ -24,11 +24,13 @@ from repro.faults.errors import (
     DriverTimeout,
     FaultError,
     FaultInjected,
+    MmioWriteError,
     NonQuiescent,
     RingWedged,
 )
 from repro.faults.injector import FaultInjector, inject
 from repro.faults.plan import (
+    CtrlFaultSpec,
     DmaFaultSpec,
     FaultPlan,
     FaultReport,
@@ -46,10 +48,12 @@ __all__ = [
     "DriverTimeout",
     "FaultError",
     "FaultInjected",
+    "MmioWriteError",
     "NonQuiescent",
     "RingWedged",
     "FaultInjector",
     "inject",
+    "CtrlFaultSpec",
     "DmaFaultSpec",
     "FaultPlan",
     "FaultReport",

@@ -42,6 +42,17 @@ class RingWedged(FaultError):
     """A descriptor ring is wedged beyond what the watchdog will repair."""
 
 
+class MmioWriteError(FaultError):
+    """A verified MMIO write never landed within its retry budget.
+
+    Posted writes are fire-and-forget on the bus, so the only way
+    software learns a table or control register write was lost is to
+    read it back.  The driver's verified-write path does exactly that;
+    this error is its bounded-retry giving up — the control-plane twin
+    of :class:`DriverTimeout`.
+    """
+
+
 class DriverError(FaultError):
     """Driver misconfiguration (e.g. register access with no project
     attached behind BAR0) — not injected, not transient."""

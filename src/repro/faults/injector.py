@@ -52,6 +52,22 @@ class FaultInjector:
             lambda: setattr(interconnect, "read_fault_hook", previous)
         )
 
+        def write_hook(addr: int, value: int) -> Optional[int]:
+            outcome = session.ctrl_write()
+            if outcome == "drop":
+                return None
+            if outcome == "corrupt":
+                # Deterministic mangle: flip the low bit so readback
+                # mismatches without needing another RNG draw.
+                return value ^ 0x1
+            return value
+
+        prev_write = interconnect.write_fault_hook
+        interconnect.write_fault_hook = write_hook
+        self._restores.append(
+            lambda: setattr(interconnect, "write_fault_hook", prev_write)
+        )
+
     def arm_output_queues(self, oq: Any) -> None:
         """Pressure spikes: phantom occupancy on enqueue decisions."""
         previous = oq.pressure_hook

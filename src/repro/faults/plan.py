@@ -37,7 +37,12 @@ from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
-SITES = ("link", "dma_rx", "dma_tx", "dma_db", "mmio", "oq")
+SITES = (
+    "link", "dma_rx", "dma_tx", "dma_db", "mmio", "oq",
+    # Control-plane sites (the resilience subsystem's fault surface):
+    # posted register writes, soft device resets, per-port link flaps.
+    "ctrl_wr", "ctrl_rst", "ctrl_flap",
+)
 
 
 def _site_seed(seed: int, site: str) -> int:
@@ -118,6 +123,35 @@ class OqFaultSpec:
 
 
 @dataclass(frozen=True)
+class CtrlFaultSpec:
+    """Control-plane faults: the ways management software loses the device.
+
+    ``write_drop_rate`` / ``write_corrupt_rate`` fault *posted* register
+    and table writes — the write completes from the host's point of view
+    but never lands (or lands mangled) in hardware.  Burst-bounded, so a
+    verified-write retry budget larger than ``max_burst`` always wins.
+    ``reset_rate`` is drawn once per soak epoch: a soft device reset that
+    wipes the volatile tables while software state survives.
+    ``flap_rate`` is drawn per (epoch, port): the port's link goes down
+    for the epoch and its traffic is counted as flap loss, never
+    silently blackholed.
+    """
+
+    write_drop_rate: float = 0.0
+    write_corrupt_rate: float = 0.0
+    reset_rate: float = 0.0
+    flap_rate: float = 0.0
+    max_burst: int = 2
+
+    def __post_init__(self) -> None:
+        _check_rates(self.write_drop_rate, self.write_corrupt_rate)
+        _check_rates(self.reset_rate)
+        _check_rates(self.flap_rate)
+        if self.max_burst < 1:
+            raise ValueError("max_burst must be >= 1")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A named, seeded schedule of faults across the platform's sites."""
 
@@ -127,6 +161,7 @@ class FaultPlan:
     dma: Optional[DmaFaultSpec] = None
     mmio: Optional[MmioFaultSpec] = None
     oq: Optional[OqFaultSpec] = None
+    ctrl: Optional[CtrlFaultSpec] = None
 
     def with_seed(self, seed: int) -> "FaultPlan":
         return replace(self, seed=seed)
@@ -303,6 +338,58 @@ class FaultSession:
             self._notify("mmio", "timeout")
         return fault
 
+    # -- control plane ---------------------------------------------------
+    def ctrl_write(self) -> str:
+        """One posted control-register write: 'ok' | 'drop' | 'corrupt'.
+
+        Burst-bounded like the wire: after ``max_burst`` consecutive
+        faulted writes the next one is forced through, so any verified-
+        write retry budget exceeding the burst is guaranteed to land.
+        """
+        spec = self.plan.ctrl
+        if spec is None:
+            return "ok"
+        r = self._rng["ctrl_wr"].random()
+        if r < spec.write_drop_rate:
+            outcome = "drop"
+        elif r < spec.write_drop_rate + spec.write_corrupt_rate:
+            outcome = "corrupt"
+        else:
+            outcome = "ok"
+        if outcome != "ok":
+            if self._burst["ctrl_wr"] >= spec.max_burst:
+                outcome = "ok"
+            else:
+                self._burst["ctrl_wr"] += 1
+        if outcome == "ok":
+            self._burst["ctrl_wr"] = 0
+        else:
+            self.counters[f"ctrl_write_{outcome}"] += 1
+            self._notify("ctrl_wr", outcome)
+        return outcome
+
+    def device_reset_faults(self) -> bool:
+        """True when this epoch suffers a soft device reset (tables wiped)."""
+        spec = self.plan.ctrl
+        if spec is None:
+            return False
+        fault = self._rng["ctrl_rst"].random() < spec.reset_rate
+        if fault:
+            self.counters["ctrl_resets"] += 1
+            self._notify("ctrl_rst", "reset")
+        return fault
+
+    def link_flap_faults(self) -> bool:
+        """True when this (epoch, port) draw flaps the link down."""
+        spec = self.plan.ctrl
+        if spec is None:
+            return False
+        fault = self._rng["ctrl_flap"].random() < spec.flap_rate
+        if fault:
+            self.counters["ctrl_flaps"] += 1
+            self._notify("ctrl_flap", "flap")
+        return fault
+
     # -- output queues --------------------------------------------------
     def oq_pressure(self) -> int:
         """Phantom backlog bytes to add to this enqueue decision."""
@@ -386,6 +473,29 @@ register_plan(
     "oq-pressure",
     lambda seed: FaultPlan(
         "oq-pressure", seed, oq=OqFaultSpec(spike_rate=0.3, spike_bytes=48 * 1024)
+    ),
+)
+register_plan(
+    "flaky-writes",
+    lambda seed: FaultPlan(
+        "flaky-writes", seed,
+        ctrl=CtrlFaultSpec(write_drop_rate=0.25, write_corrupt_rate=0.15,
+                           max_burst=2),
+    ),
+)
+register_plan(
+    "amnesiac",
+    lambda seed: FaultPlan(
+        "amnesiac", seed,
+        ctrl=CtrlFaultSpec(reset_rate=0.4, write_drop_rate=0.10, max_burst=2),
+    ),
+)
+register_plan(
+    "ctrl-chaos",
+    lambda seed: FaultPlan(
+        "ctrl-chaos", seed,
+        ctrl=CtrlFaultSpec(write_drop_rate=0.20, write_corrupt_rate=0.10,
+                           reset_rate=0.25, flap_rate=0.15, max_burst=2),
     ),
 )
 register_plan(

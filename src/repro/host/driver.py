@@ -23,12 +23,17 @@ block through :meth:`NetFpgaDriver.recovery_registers`.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.board.pcie import DmaDescriptor, FLAG_DONE, FLAG_VALID
 from repro.board.sume import NetFpgaSume
 from repro.core.axilite import RegisterFile
-from repro.faults.errors import DriverError, DriverTimeout, FaultInjected
+from repro.faults.errors import (
+    DriverError,
+    DriverTimeout,
+    FaultInjected,
+    MmioWriteError,
+)
 
 _TX_BUF_BASE = 0x0400_0000
 _RX_BUF_BASE = 0x0800_0000
@@ -53,6 +58,8 @@ class RecoveryCounters:
 
     mmio_retries: int = 0  # MMIO reads retried after an injected timeout
     mmio_failures: int = 0  # MMIO reads abandoned after the retry budget
+    mmio_write_retries: int = 0  # verified writes re-issued after bad readback
+    mmio_write_failures: int = 0  # verified writes abandoned after the budget
     rx_ring_recoveries: int = 0  # watchdog surgeries on a wedged RX ring
     rx_frames_lost: int = 0  # head-of-line slots skipped (frames lost)
     tx_doorbell_recoveries: int = 0  # lost doorbells detected and re-rung
@@ -343,12 +350,61 @@ class NetFpgaDriver:
         )
 
     def reg_write(self, addr: int, value: int) -> None:
-        """MMIO register write — posted, so there is nothing to retry."""
+        """MMIO register write — posted, so there is nothing to retry.
+
+        A lost or mangled posted write is silent; use
+        :meth:`reg_write_verified` for table and control registers whose
+        loss corrupts state.
+        """
         if self.project is None:
             raise DriverError("no project attached behind BAR0")
         self.board.pcie.mmio_write()
         self.mmio_writes += 1
         self.project.interconnect.write(addr, value)
+
+    def reg_write_verified(
+        self,
+        addr: int,
+        value: int,
+        verify: Optional[Callable[[], bool]] = None,
+        retries: int = MMIO_RETRIES,
+        backoff_ns: float = MMIO_BACKOFF_NS,
+    ) -> None:
+        """Posted write + read-back verification with bounded retries.
+
+        Closes the posted-write blindness of :meth:`reg_write`: after
+        each write the driver reads the register back (or calls
+        ``verify`` for side-effecting command registers whose readback
+        is not the written value) and re-issues the write with
+        exponential backoff until it lands.  Raises
+        :class:`~repro.faults.errors.MmioWriteError` once ``retries``
+        re-issues have failed; every re-issue bumps
+        ``recovery.mmio_write_retries``.
+        """
+        wait_ns = backoff_ns
+        for attempt in range(retries + 1):
+            self.reg_write(addr, value)
+            try:
+                if verify is not None:
+                    landed = verify()
+                else:
+                    landed = self.reg_read(addr) == (value & 0xFFFFFFFF)
+            except DriverTimeout:
+                landed = False  # readback itself timed out: count as a miss
+            if landed:
+                return
+            if attempt == retries:
+                break
+            self.recovery.mmio_write_retries += 1
+            if self.event_hook is not None:
+                self.event_hook("mmio_write_retry")
+            self._wait(wait_ns)
+            wait_ns *= 2
+        self.recovery.mmio_write_failures += 1
+        raise MmioWriteError(
+            f"MMIO write at {addr:#x} never verified after "
+            f"{retries + 1} attempts"
+        )
 
     # ------------------------------------------------------------------
     # Recovery telemetry

@@ -44,7 +44,12 @@ def _run_scenario(name: str, mode: str, session: TelemetrySession,
         print(f"unknown scenario {name!r}; have {sorted(scenarios)}",
               file=sys.stderr)
         return None
-    return run_test(scenarios[name], mode, faults=faults, telemetry=session)
+    try:
+        return run_test(scenarios[name], mode, faults=faults, telemetry=session)
+    except ValueError as exc:
+        # e.g. an unknown fault plan name — operator error, not a crash.
+        print(str(exc), file=sys.stderr)
+        return None
 
 
 # ----------------------------------------------------------------------
@@ -125,6 +130,47 @@ def cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    from repro.testenv.soak import run_soak
+
+    try:
+        report = run_soak(
+            args.mode, args.plan, seed=args.seed, epochs=args.epochs,
+            telemetry=True,
+        )
+    except ValueError as exc:
+        # Unknown plan name (or bad mode) — operator error, not a crash.
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(f"# soak {report.plan!r} seed={report.seed} "
+              f"[{report.mode}] — {report.epochs} epochs")
+        rows = [
+            ("device resets", report.resets),
+            ("flap-lost frames", report.flap_lost_frames),
+            ("frames injected", report.injected_frames),
+            ("frames forwarded", report.forwarded_frames),
+            ("degraded epochs", report.degraded_epochs),
+            ("invariant checks", report.invariant_checks),
+        ]
+        for label, value in rows:
+            print(f"  {label:24s} {value}")
+        print("  fault counters:")
+        for name, value in sorted(report.fault_counters.items()):
+            print(f"    {name:22s} {value}")
+        print("  resilience counters:")
+        for name, value in sorted(report.resilience_counters.items()):
+            print(f"    {name:22s} {value}")
+        for failure in report.invariant_failures:
+            print(f"  INVARIANT VIOLATED: {failure}")
+        print(f"  converged: {report.converged}")
+    return 0 if report.converged and not report.invariant_failures else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     session = TelemetrySession(args.mode)
     result = _run_scenario(args.scenario, args.mode, session, args.faults)
@@ -173,12 +219,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_arguments(trace)
     trace.add_argument("--output", default="nf_trace.json")
     trace.set_defaults(func=cmd_trace)
+
+    soak = sub.add_parser(
+        "soak", help="run the chaos soak under a control-plane fault plan"
+    )
+    soak.add_argument("--plan", default="ctrl-chaos",
+                      help="a registered fault plan name")
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--epochs", type=int, default=8)
+    soak.add_argument("--mode", choices=("sim", "hw"), default="sim")
+    soak.add_argument("--format", choices=("table", "json"), default="table")
+    soak.set_defaults(func=cmd_soak)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Ctrl-C during a long watch/soak is a normal way out, not a
+        # traceback: match the shell convention of 128+SIGINT.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests

@@ -10,7 +10,10 @@ Two programming modes, matching the E6 experiment's arms:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.control import ControlPlane
 
 from repro.host.openflow.messages import (
     BarrierReply,
@@ -41,9 +44,20 @@ Reply = Union[BarrierReply, FlowStatsReply, TableStatsReply]
 class DatapathAgent:
     """Receives controller messages; owns a BlueSwitch pipeline."""
 
-    def __init__(self, pipeline: BlueSwitchPipeline, transactional: bool = True):
+    def __init__(
+        self,
+        pipeline: BlueSwitchPipeline,
+        transactional: bool = True,
+        control: Optional["ControlPlane"] = None,
+    ):
         self.pipeline = pipeline
         self.transactional = transactional
+        #: Resilient write path: with a control plane attached, the
+        #: intended flow configuration is mirrored into its
+        #: desired-state store (naive mode per FlowMod, transactional
+        #: mode at commit — intent is what was *committed*), so the
+        #: auditor can restore flows a faulty write lost.
+        self.control = control
         self._staged = 0
         self._staged_slots: set[tuple[int, int]] = set()
         self.applied_flow_mods = 0
@@ -96,6 +110,14 @@ class DatapathAgent:
             self.pipeline.write_shadow(mod.table_id, mod.slot, entry)
             self._staged += 1
             self._staged_slots.add((mod.table_id, mod.slot))
+        elif self.control is not None:
+            # Resilient naive mode: the mutation goes through the
+            # desired store and the (fault-instrumented) flow face.
+            key = (mod.table_id, mod.slot)
+            if entry is not None:
+                self.control.mutate("flows", key, entry)
+            else:
+                self.control.remove("flows", key)
         else:
             self.pipeline.write_active(mod.table_id, mod.slot, entry)
             # Keep the shadow coherent so a later switch to transactional
@@ -116,6 +138,17 @@ class DatapathAgent:
                 if (table.table_id, slot) not in self._staged_slots:
                     table.hit_counts[shadow][slot] = table.hit_counts[active][slot]
         self.pipeline.commit()
+        if self.control is not None:
+            # In transactional mode, *committed* configuration is the
+            # intent: record the staged slots' final contents so the
+            # auditor can restore them if a later fault wipes a bank.
+            bank = self.pipeline.active_version
+            for table_id, slot in sorted(self._staged_slots):
+                entry = self.pipeline.tables[table_id].read(bank, slot)
+                if entry is not None:
+                    self.control.store.set("flows", (table_id, slot), entry)
+                else:
+                    self.control.store.delete("flows", (table_id, slot))
         # Resynchronize the (now stale) shadow for the next transaction.
         self.pipeline.sync_shadow()
         self._staged = 0

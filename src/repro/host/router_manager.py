@@ -20,7 +20,10 @@ injects them into the pipeline's DMA ports.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.control import ControlPlane
 
 from repro.cores.lpm import LpmEntry
 from repro.cores.router_lookup import RouterTables
@@ -42,8 +45,14 @@ PENDING_QUEUE_DEPTH = 16
 class RouterManager:
     """CPU-side companion of :class:`~repro.projects.reference_router.ReferenceRouter`."""
 
-    def __init__(self, tables: RouterTables):
+    def __init__(self, tables: RouterTables, control: Optional["ControlPlane"] = None):
         self.tables = tables
+        #: Resilient write path; when attached, table mutations go
+        #: through the desired-state store so the auditor can restore
+        #: them after a lost write or a soft device reset.
+        self.control = control
+        self.restarts = 0
+        self._wedged = False
         self._pending: dict[int, list[tuple[int, bytes]]] = defaultdict(list)
         self.counters: dict[str, int] = defaultdict(int)
 
@@ -53,17 +62,23 @@ class RouterManager:
     def add_route(
         self, prefix: str, prefix_len: int, next_hop: str, port: int
     ) -> bool:
-        return self.tables.add_route(
-            LpmEntry(
-                prefix=Ipv4Addr.parse(prefix),
-                prefix_len=prefix_len,
-                next_hop=Ipv4Addr.parse(next_hop),
-                port_bits=1 << (2 * port),
-            )
+        entry = LpmEntry(
+            prefix=Ipv4Addr.parse(prefix),
+            prefix_len=prefix_len,
+            next_hop=Ipv4Addr.parse(next_hop),
+            port_bits=1 << (2 * port),
         )
+        if self.control is not None:
+            return self.control.mutate(
+                "routes", (entry.prefix.value, entry.prefix_len), entry
+            )
+        return self.tables.add_route(entry)
 
     def del_route(self, prefix: str, prefix_len: int) -> bool:
-        return self.tables.lpm.delete(Ipv4Addr.parse(prefix), prefix_len)
+        addr = Ipv4Addr.parse(prefix)
+        if self.control is not None:
+            return self.control.remove("routes", (addr.value, prefix_len))
+        return self.tables.lpm.delete(addr, prefix_len)
 
     def list_routes(self) -> list[str]:
         return [
@@ -72,10 +87,39 @@ class RouterManager:
         ]
 
     def add_arp_entry(self, ip: str, mac: str) -> bool:
-        return self.tables.add_arp(Ipv4Addr.parse(ip), MacAddr.parse(mac))
+        return self._learn_arp(Ipv4Addr.parse(ip), MacAddr.parse(mac))
+
+    def _learn_arp(self, ip: Ipv4Addr, mac: MacAddr) -> bool:
+        """One write path for static and slow-path-learned bindings."""
+        if self.control is not None:
+            return self.control.mutate("arp", ip.value, mac.value)
+        return self.tables.add_arp(ip, mac)
 
     def list_arp(self) -> list[str]:
         return [f"{Ipv4Addr(ip)} -> {MacAddr(mac)}" for ip, mac in self.tables.arp]
+
+    # ------------------------------------------------------------------
+    # Supervision surface
+    # ------------------------------------------------------------------
+    def heartbeat(self) -> bool:
+        """Health probe: the LPM must answer and we must not be wedged."""
+        if self._wedged:
+            return False
+        self.tables.lpm.lookup(Ipv4Addr(0))
+        return True
+
+    def wedge(self) -> None:
+        """Mark the manager wedged (e.g. its device was soft-reset)."""
+        self._wedged = True
+
+    def restart(self) -> None:
+        """Supervisor restart: drop parked packets, clear the wedge."""
+        dropped = sum(len(q) for q in self._pending.values())
+        if dropped:
+            self.counters["pending_dropped"] += dropped
+        self._pending.clear()
+        self._wedged = False
+        self.restarts += 1
 
     # ------------------------------------------------------------------
     # Slow path
@@ -128,7 +172,7 @@ class RouterManager:
                 )
         # Learn from both requests and replies (standard practice).
         if self.tables.arp.lookup(arp.sender_ip.value) != arp.sender_mac.value:
-            self.tables.add_arp(arp.sender_ip, arp.sender_mac)
+            self._learn_arp(arp.sender_ip, arp.sender_mac)
             self.counters["arp_learned"] += 1
             out.extend(self._drain_pending(arp.sender_ip))
         return out

@@ -8,16 +8,38 @@ shared CAM handle, the way the real management tools work.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.packet.addresses import MacAddr
 from repro.projects.base import STATS_REG_BASE
 from repro.projects.reference_switch import ReferenceSwitch
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.host.driver import NetFpgaDriver
+    from repro.resilience.control import ControlPlane
+
 
 class SwitchManager:
-    """CLI-style operations against a :class:`ReferenceSwitch`."""
+    """CLI-style operations against a :class:`ReferenceSwitch`.
 
-    def __init__(self, switch: ReferenceSwitch):
+    With a :class:`~repro.resilience.control.ControlPlane` attached,
+    static entries write *through* the desired-state store, so the
+    auditor can restore them after a lost write or soft reset.  With a
+    driver attached, side-effecting control registers (``table_clear``)
+    go through the verified-write path instead of a blind posted write.
+    """
+
+    def __init__(
+        self,
+        switch: ReferenceSwitch,
+        control: Optional["ControlPlane"] = None,
+        driver: Optional["NetFpgaDriver"] = None,
+    ):
         self.switch = switch
+        self.control = control
+        self.driver = driver
+        self.restarts = 0
+        self._wedged = False
         self._axil = switch.interconnect
         self._opl_regs = switch.opl.registers  # type: ignore[attr-defined]
 
@@ -46,11 +68,51 @@ class SwitchManager:
         ]
 
     def clear_mac_table(self) -> None:
-        """Flush the FDB through the register interface."""
-        self._axil.write(self._opl_regs.offset_of("table_clear"), 1)
+        """Flush the FDB through the register interface.
+
+        ``table_clear`` is a command register: a lost posted write means
+        a table the operator believes empty silently is not — so with a
+        driver attached the write is verified (the table really emptied)
+        and retried under backoff.
+        """
+        addr = self._opl_regs.offset_of("table_clear")
+        if self.driver is not None:
+            self.driver.reg_write_verified(
+                addr, 1, verify=lambda: len(self.switch.mac_table) == 0
+            )
+        else:
+            self._axil.write(addr, 1)
+        if self.control is not None:
+            for key in list(self.control.store.table("mac")):
+                self.control.store.delete("mac", key)
 
     def add_static_entry(self, mac: str, port_index: int) -> bool:
         """Pin a MAC to a physical port (static FDB entry)."""
-        return self.switch.mac_table.insert(
-            MacAddr.parse(mac).value, 1 << (2 * port_index)
-        )
+        key = MacAddr.parse(mac).value
+        port_bits = 1 << (2 * port_index)
+        if self.control is not None:
+            return self.control.mutate("mac", key, port_bits)
+        return self.switch.mac_table.insert(key, port_bits)
+
+    # ------------------------------------------------------------------
+    # Supervision surface
+    # ------------------------------------------------------------------
+    def heartbeat(self) -> bool:
+        """Health probe: a register read must succeed and we must not be
+        wedged.  An injected MMIO fault raises here, which the
+        supervisor counts as a failed heartbeat."""
+        if self._wedged:
+            return False
+        self._axil.read(self._opl_regs.offset_of("lut_hits"))
+        return True
+
+    def wedge(self) -> None:
+        """Mark the manager wedged (its device handles went stale)."""
+        self._wedged = True
+
+    def restart(self) -> None:
+        """Re-resolve device handles — the supervisor's restart action."""
+        self._axil = self.switch.interconnect
+        self._opl_regs = self.switch.opl.registers  # type: ignore[attr-defined]
+        self._wedged = False
+        self.restarts += 1

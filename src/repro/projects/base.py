@@ -147,6 +147,25 @@ class ReferencePipeline(Module):
         )
 
     # ------------------------------------------------------------------
+    # Soft reset
+    # ------------------------------------------------------------------
+    def soft_reset(self) -> None:
+        """Model a soft device reset: volatile table state is wiped.
+
+        Registers, the address map and queued datapath traffic survive
+        (this is the FPGA-side logic reset the reference designs wire to
+        a control register, not a reconfiguration); what is lost is the
+        lookup state software loaded — which is precisely what the
+        resilience auditor must restore.  Projects with tables override
+        :meth:`_wipe_volatile`.
+        """
+        self.soft_resets = getattr(self, "soft_resets", 0) + 1
+        self._wipe_volatile()
+
+    def _wipe_volatile(self) -> None:
+        """Clear project-specific volatile lookup state (default: none)."""
+
+    # ------------------------------------------------------------------
     # Convenience lookups
     # ------------------------------------------------------------------
     def phys(self, index: int) -> PortRef:

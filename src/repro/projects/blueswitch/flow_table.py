@@ -145,6 +145,14 @@ class FlowTable:
             [None] * slots,
             [None] * slots,
         ]
+        # The installed match per slot: the TCAM encoding is lossy
+        # (masked-out bits are gone), so keep the software view beside
+        # it — this is what lets ``read`` round-trip a FlowEntry for
+        # the resilience auditor's desired-vs-hardware diff.
+        self._matches: list[list[Optional[FlowMatch]]] = [
+            [None] * slots,
+            [None] * slots,
+        ]
         # Per-slot match counters, per bank (the OpenFlow flow counters).
         self.hit_counts: list[list[int]] = [[0] * slots, [0] * slots]
         self.matches = 0
@@ -160,9 +168,11 @@ class FlowTable:
         if entry is None:
             self.banks[bank].write_slot(slot, None)
             self._actions[bank][slot] = None
+            self._matches[bank][slot] = None
         else:
             self.banks[bank].write_slot(slot, entry.match.to_tcam(result=slot))
             self._actions[bank][slot] = entry.actions
+            self._matches[bank][slot] = entry.match
         self.hit_counts[bank][slot] = 0
 
     def read(self, bank: int, slot: int) -> Optional[FlowEntry]:
@@ -170,9 +180,9 @@ class FlowTable:
         actions = self._actions[bank][slot]
         if tcam_entry is None or actions is None:
             return None
-        # Reconstruct a FlowEntry-equivalent view (match is opaque here;
-        # callers that need the original match keep their own copy).
-        return FlowEntry(match=FlowMatch(), actions=actions)
+        match = self._matches[bank][slot]
+        return FlowEntry(match=match if match is not None else FlowMatch(),
+                         actions=actions)
 
     def lookup(self, bank: int, key: int) -> Optional[tuple[Action, ...]]:
         hit = self.banks[bank].lookup(key)
@@ -200,4 +210,5 @@ class FlowTable:
         """
         self.banks[dst].restore(self.banks[src].snapshot())
         self._actions[dst] = list(self._actions[src])
+        self._matches[dst] = list(self._matches[src])
         self.hit_counts[dst] = list(self.hit_counts[src])

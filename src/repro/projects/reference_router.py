@@ -56,3 +56,7 @@ class ReferenceRouter(ReferencePipeline):
             return RouterLookup(opl_name, s, m, self.tables)
 
         super().__init__(name, make_opl, QueueConfig(capacity_bytes=256 * 1024))
+
+    def _wipe_volatile(self) -> None:
+        """A soft reset wipes routes, the ARP cache and extra filters."""
+        self.tables.clear_volatile()

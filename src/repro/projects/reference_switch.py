@@ -36,6 +36,10 @@ class ReferenceSwitch(ReferencePipeline):
         """The switch's CAM, for software-side inspection."""
         return self.opl.mac_table  # type: ignore[attr-defined]
 
+    def _wipe_volatile(self) -> None:
+        """A soft reset forgets every learned (and static) MAC entry."""
+        self.mac_table.clear()
+
 
 class ReferenceSwitchLite(ReferencePipeline):
     """Static port-pair switch: no tables, minimum logic."""

@@ -1,0 +1,53 @@
+"""Control-plane resilience: desired state, audit/repair, supervision.
+
+PR 1 made the *data path* self-healing; this package does the same for
+the control plane.  Managers write **through** a per-device
+:class:`DesiredStateStore`, an :class:`Auditor` diffs that intent
+against the hardware tables and repairs drift under backoff, and a
+:class:`Supervisor` heartbeats the managers, restarts them on wedge and
+trips a :class:`CircuitBreaker` into explicit degraded (read-only,
+mutation-queueing) mode when the repair budget runs out — recovering
+automatically once writes land again.
+
+Quickstart::
+
+    from repro.faults import get_plan
+    from repro.resilience import build_control_plane
+
+    session = get_plan("flaky-writes", seed=7).session()
+    plane = build_control_plane(router, session)
+    plane.mutate("routes", key, entry)   # intent + hardware, one call
+    plane.tick()                         # heartbeat + audit + repair
+"""
+
+from repro.resilience.auditor import Auditor
+from repro.resilience.control import ControlPlane, build_control_plane
+from repro.resilience.faces import (
+    FlowFace,
+    RouterArpFace,
+    RouterRouteFace,
+    SwitchMacFace,
+    TableFace,
+)
+from repro.resilience.state import DesiredStateStore, Mutation
+from repro.resilience.supervisor import (
+    CircuitBreaker,
+    SupervisedManager,
+    Supervisor,
+)
+
+__all__ = [
+    "Auditor",
+    "CircuitBreaker",
+    "ControlPlane",
+    "DesiredStateStore",
+    "FlowFace",
+    "Mutation",
+    "RouterArpFace",
+    "RouterRouteFace",
+    "SupervisedManager",
+    "Supervisor",
+    "SwitchMacFace",
+    "TableFace",
+    "build_control_plane",
+]

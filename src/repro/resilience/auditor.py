@@ -1,0 +1,121 @@
+"""The auditor: diff desired state against hardware and repair drift.
+
+Hardware tables drift for exactly the reasons the fault plans model —
+dropped posted writes, corrupted values, soft resets that wipe whole
+tables.  The auditor closes the loop the managers never had: read every
+table back through its face, compute the divergence from the desired
+store, and re-issue the missing/mismatched writes, retrying whole
+passes under exponential backoff (repairs themselves go through the
+same faulty write path, so one pass is not enough under an active
+fault plan).
+
+Everything is deterministic: divergences are visited in sorted key
+order, so the repair writes draw the fault session's ``ctrl_wr`` stream
+in the same order in the ``sim`` and ``hw`` harness modes, and the
+reconciliation counters come out identical — the property the soak
+determinism test pins down.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Optional
+
+from repro.resilience.faces import TableFace
+from repro.resilience.state import DesiredStateStore
+
+#: Repair passes per reconcile before declaring failure.
+MAX_REPAIR_PASSES = 4
+#: First backoff step between repair passes (doubles each pass).
+REPAIR_BACKOFF_NS = 1_000.0
+
+#: One divergence: (face, op, key, desired_value) — op 'set' restores a
+#: missing/mismatched entry, 'delete' removes drift from an
+#: authoritative table.
+Divergence = tuple[TableFace, str, object, object]
+
+
+class Auditor:
+    """Reconciles a :class:`DesiredStateStore` with hardware tables."""
+
+    def __init__(
+        self,
+        store: DesiredStateStore,
+        faces: list[TableFace],
+        max_passes: int = MAX_REPAIR_PASSES,
+        backoff_ns: float = REPAIR_BACKOFF_NS,
+        wait: Optional[Callable[[float], None]] = None,
+        counters: Optional[dict[str, int]] = None,
+        on_event: Optional[Callable[[str, str], None]] = None,
+    ):
+        self.store = store
+        self.faces = {face.name: face for face in faces}
+        self.max_passes = max_passes
+        self.backoff_ns = backoff_ns
+        #: Lets simulated time pass during backoff; None = no-op (the
+        #: reconcile loop is host-side and needs no device cycles).
+        self._wait = wait if wait is not None else (lambda ns: None)
+        self.counters = counters if counters is not None else defaultdict(int)
+        self.on_event = on_event
+
+    # ------------------------------------------------------------------
+    def _event(self, kind: str, detail: str) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, detail)
+
+    def divergences(self) -> list[Divergence]:
+        """Every entry where hardware disagrees with desired state.
+
+        Sorted (table, then key) for deterministic repair ordering.
+        """
+        out: list[Divergence] = []
+        for name in sorted(self.faces):
+            face = self.faces[name]
+            desired = self.store.entries(name)
+            hardware = face.read_hardware()
+            for key in sorted(desired, key=repr):
+                if key not in hardware or hardware[key] != desired[key]:
+                    out.append((face, "set", key, desired[key]))
+            if face.authoritative:
+                for key in sorted(hardware, key=repr):
+                    if key not in desired:
+                        out.append((face, "delete", key, None))
+        return out
+
+    def audit(self) -> dict[str, int]:
+        """Read-only drift report: ``{table: divergent entry count}``."""
+        report: dict[str, int] = defaultdict(int)
+        for face, _op, _key, _value in self.divergences():
+            report[face.name] += 1
+        return dict(report)
+
+    def reconcile(self) -> bool:
+        """Audit and repair until converged or the pass budget runs out.
+
+        Returns True when hardware matches desired state on a final
+        read-back; False trips the supervisor's circuit breaker.
+        """
+        self.counters["audits"] += 1
+        wait_ns = self.backoff_ns
+        for attempt in range(self.max_passes):
+            divergent = self.divergences()
+            if attempt == 0 and divergent:
+                self.counters["drift_entries"] += len(divergent)
+                self._event("drift", f"{len(divergent)} divergent entries")
+            if not divergent:
+                return True
+            if attempt > 0:
+                self.counters["repair_retries"] += 1
+                self._wait(wait_ns)
+                wait_ns *= 2
+            for face, op, key, value in divergent:
+                self.counters["repair_writes"] += 1
+                if op == "set":
+                    face.write(key, value)
+                else:
+                    face.delete(key)
+        if self.divergences():
+            self.counters["repair_failures"] += 1
+            self._event("repair_failed", "pass budget exhausted")
+            return False
+        return True

@@ -1,0 +1,180 @@
+"""The resilient control plane: store + auditor + supervisor, composed.
+
+:class:`ControlPlane` is what the managers talk to.  In normal
+operation a mutation lands in the desired store *and* hardware in one
+call; in degraded mode (breaker open — the repair budget is exhausted)
+the control plane goes read-only towards the device: mutations queue in
+order, hardware keeps forwarding with whatever tables it still has, and
+the queue replays automatically on the tick whose probe reconcile
+succeeds.  That lifecycle — faults, breaker open, queued intent, faults
+cease, replay, convergence — is the degradation story the acceptance
+test walks end to end.
+
+``build_control_plane`` wires the right faces for a reference project
+and *adopts* the hardware's current contents as the desired baseline,
+so preloaded configuration (the router's connected routes, a switch's
+static entries) is protected rather than audited away.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Optional
+
+from repro.faults.plan import FaultSession
+from repro.resilience.auditor import Auditor
+from repro.resilience.faces import (
+    FlowFace,
+    RouterArpFace,
+    RouterRouteFace,
+    SwitchMacFace,
+    TableFace,
+)
+from repro.resilience.state import DesiredStateStore, Mutation
+from repro.resilience.supervisor import (
+    CircuitBreaker,
+    SupervisedManager,
+    Supervisor,
+)
+
+
+class ControlPlane:
+    """Write-through intent + supervised reconciliation for one device."""
+
+    def __init__(
+        self,
+        faces: list[TableFace],
+        managers: Optional[list[SupervisedManager]] = None,
+        store: Optional[DesiredStateStore] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        max_repair_passes: Optional[int] = None,
+        wait: Optional[Callable[[float], None]] = None,
+    ):
+        self.counters: dict[str, int] = defaultdict(int)
+        #: Telemetry hook: ``hook(kind, detail)`` per resilience event
+        #: ('drift' | 'restart' | 'degraded_enter' | ...).  None =
+        #: unobserved; :func:`repro.telemetry.probes.probe_resilience`
+        #: attaches here.
+        self.event_hook: Optional[Callable[[str, str], None]] = None
+        self.store = store if store is not None else DesiredStateStore()
+        auditor_kwargs: dict[str, Any] = dict(
+            counters=self.counters, on_event=self._emit, wait=wait
+        )
+        if max_repair_passes is not None:
+            auditor_kwargs["max_passes"] = max_repair_passes
+        self.auditor = Auditor(self.store, faces, **auditor_kwargs)
+        self.supervisor = Supervisor(
+            self.auditor.reconcile,
+            managers,
+            breaker,
+            counters=self.counters,
+            on_event=self._emit,
+        )
+        self.queue: list[Mutation] = []
+
+    def _emit(self, kind: str, detail: str) -> None:
+        if self.event_hook is not None:
+            self.event_hook(kind, detail)
+
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        return self.supervisor.degraded
+
+    def adopt_hardware(self) -> int:
+        """Seed the desired store from what hardware holds right now.
+
+        Returns the number of entries adopted.  Called once at
+        attach time, before any faults are armed.
+        """
+        adopted = 0
+        for name, face in self.auditor.faces.items():
+            for key, value in face.read_hardware().items():
+                self.store.set(name, key, value)
+                adopted += 1
+        return adopted
+
+    # -- the managers' write path --------------------------------------
+    def mutate(self, table: str, key: Any, value: Any) -> bool:
+        """Intend ``table[key] = value``.  Returns False when queued."""
+        if self.degraded:
+            self.queue.append(Mutation("set", table, key, value))
+            self.counters["mutations_queued"] += 1
+            self._emit("mutation_queued", f"{table}[{key!r}]")
+            return False
+        self.store.set(table, key, value)
+        self.auditor.faces[table].write(key, value)
+        self.counters["mutations_applied"] += 1
+        return True
+
+    def remove(self, table: str, key: Any) -> bool:
+        """Intend deletion of ``table[key]``.  Returns False when queued."""
+        if self.degraded:
+            self.queue.append(Mutation("delete", table, key))
+            self.counters["mutations_queued"] += 1
+            self._emit("mutation_queued", f"{table}[{key!r}] (delete)")
+            return False
+        self.store.delete(table, key)
+        self.auditor.faces[table].delete(key)
+        self.counters["mutations_applied"] += 1
+        return True
+
+    # -- supervision ---------------------------------------------------
+    def tick(self) -> bool:
+        """One supervision round; replays the queue after recovery.
+
+        Returns True when the plane is healthy *and* converged.
+        """
+        healthy = self.supervisor.tick()
+        if not self.degraded and self.queue:
+            self._replay_queue()
+            healthy = self.auditor.reconcile() and not self.degraded
+        return healthy
+
+    def _replay_queue(self) -> None:
+        pending, self.queue = self.queue, []
+        for mutation in pending:
+            self.store.apply(mutation)
+            face = self.auditor.faces[mutation.table]
+            if mutation.op == "set":
+                face.write(mutation.key, mutation.value)
+            else:
+                face.delete(mutation.key)
+            self.counters["mutations_replayed"] += 1
+        self._emit("queue_replayed", f"{len(pending)} mutations")
+
+    # -- reporting -----------------------------------------------------
+    def counters_snapshot(self) -> dict[str, int]:
+        """Sorted plain-dict view — what the soak report merges in."""
+        return {k: self.counters[k] for k in sorted(self.counters)}
+
+
+def build_control_plane(
+    project: Any,
+    session: Optional[FaultSession] = None,
+    managers: Optional[list[SupervisedManager]] = None,
+    adopt: bool = True,
+    **kwargs: Any,
+) -> ControlPlane:
+    """Wire the right faces for ``project`` and adopt its tables.
+
+    Recognises the reference projects structurally: a ``mac_table``
+    means the learning switch, ``tables`` with an LPM means the router,
+    ``active_version`` means a BlueSwitch flow pipeline.
+    """
+    faces: list[TableFace] = []
+    if hasattr(project, "mac_table"):
+        faces.append(SwitchMacFace(project, session))
+    if hasattr(project, "tables") and hasattr(getattr(project, "tables"), "lpm"):
+        faces.append(RouterRouteFace(project.tables, session))
+        faces.append(RouterArpFace(project.tables, session))
+    if hasattr(project, "active_version"):
+        faces.append(FlowFace(project, session))
+    if not faces:
+        raise ValueError(
+            f"no resilience faces recognised for {type(project).__name__}"
+        )
+    plane = ControlPlane(faces, managers=managers, **kwargs)
+    if adopt:
+        plane.adopt_hardware()
+    return plane

@@ -1,0 +1,203 @@
+"""Table faces: one uniform write/read surface per hardware table.
+
+A face adapts one hardware table (the switch CAM, the router's LPM and
+ARP tables, a BlueSwitch flow table bank) to the three operations the
+auditor needs — read everything back, write one entry, delete one entry
+— using the same software paths the managers use.  The write path is
+where control-plane faults land: every ``write``/``delete`` consults the
+fault session's ``ctrl_write`` stream, so a seeded plan can drop or
+corrupt table programming exactly as a lost/mangled posted register
+write would, identically in the ``sim`` and ``hw`` harness modes.
+
+``authoritative`` declares whether the desired store owns the *whole*
+table: for the routes and flow faces any hardware entry not in the store
+is drift to delete, while the MAC and ARP faces share their tables with
+hardware learning and the auditor must leave unknown entries alone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+from repro.cores.lpm import LpmEntry
+from repro.faults.plan import FaultSession
+
+
+class TableFace:
+    """Base adapter; subclasses bind one hardware table."""
+
+    #: Does the desired store own every entry (extras are drift)?
+    authoritative = False
+
+    def __init__(self, name: str, session: Optional[FaultSession] = None):
+        self.name = name
+        self.fault_session = session
+        self.writes = 0
+        self.dropped_writes = 0
+        self.corrupted_writes = 0
+
+    # -- fault-instrumented write path ---------------------------------
+    def write(self, key: Hashable, value: Any) -> None:
+        """Program one entry; the fault stream may drop or mangle it."""
+        outcome = self._draw()
+        self.writes += 1
+        if outcome == "drop":
+            self.dropped_writes += 1
+            return
+        if outcome == "corrupt":
+            self.corrupted_writes += 1
+            value = self._mangle(value)
+        self._apply(key, value)
+
+    def delete(self, key: Hashable) -> None:
+        """Remove one entry; a dropped write leaves it behind."""
+        outcome = self._draw()
+        self.writes += 1
+        if outcome == "drop":
+            self.dropped_writes += 1
+            return
+        self._remove(key)
+
+    def _draw(self) -> str:
+        if self.fault_session is None:
+            return "ok"
+        return self.fault_session.ctrl_write()
+
+    # -- hardware binding (subclass responsibility) --------------------
+    def read_hardware(self) -> dict[Hashable, Any]:
+        raise NotImplementedError
+
+    def _apply(self, key: Hashable, value: Any) -> None:
+        raise NotImplementedError
+
+    def _remove(self, key: Hashable) -> None:
+        raise NotImplementedError
+
+    def _mangle(self, value: Any) -> Any:
+        """Deterministic corruption of ``value`` (no extra RNG draws)."""
+        return value
+
+
+class SwitchMacFace(TableFace):
+    """The learning switch's CAM: key = MAC value, value = port bits.
+
+    Non-authoritative: hardware learning legitimately adds entries the
+    store never asked for.
+    """
+
+    def __init__(self, switch: Any, session: Optional[FaultSession] = None):
+        super().__init__("mac", session)
+        self.switch = switch
+
+    def read_hardware(self) -> dict[Hashable, Any]:
+        return {key: port_bits for key, port_bits in self.switch.mac_table}
+
+    def _apply(self, key: Hashable, value: Any) -> None:
+        self.switch.mac_table.insert(key, value)
+
+    def _remove(self, key: Hashable) -> None:
+        self.switch.mac_table.delete(key)
+
+    def _mangle(self, value: Any) -> Any:
+        return value ^ 0x1  # corrupted port bits: wrong egress port
+
+
+class RouterRouteFace(TableFace):
+    """The router's LPM: key = (prefix value, length), value = LpmEntry."""
+
+    authoritative = True
+
+    def __init__(self, tables: Any, session: Optional[FaultSession] = None):
+        super().__init__("routes", session)
+        self.tables = tables
+
+    def read_hardware(self) -> dict[Hashable, Any]:
+        return {
+            (e.prefix.value, e.prefix_len): e for e in self.tables.lpm.entries()
+        }
+
+    def _apply(self, key: Hashable, value: Any) -> None:
+        self.tables.lpm.insert(value)
+
+    def _remove(self, key: Hashable) -> None:
+        from repro.packet.addresses import Ipv4Addr
+
+        prefix_value, prefix_len = key
+        self.tables.lpm.delete(Ipv4Addr(prefix_value), prefix_len)
+
+    def _mangle(self, value: Any) -> Any:
+        return LpmEntry(
+            prefix=value.prefix,
+            prefix_len=value.prefix_len,
+            next_hop=value.next_hop,
+            port_bits=value.port_bits ^ 0x1,
+        )
+
+
+class RouterArpFace(TableFace):
+    """The router's ARP cache: key = IP value, value = MAC value.
+
+    Non-authoritative: the slow path learns bindings on its own.
+    """
+
+    def __init__(self, tables: Any, session: Optional[FaultSession] = None):
+        super().__init__("arp", session)
+        self.tables = tables
+
+    def read_hardware(self) -> dict[Hashable, Any]:
+        return {ip: mac for ip, mac in self.tables.arp}
+
+    def _apply(self, key: Hashable, value: Any) -> None:
+        self.tables.arp.insert(key, value)
+
+    def _remove(self, key: Hashable) -> None:
+        self.tables.arp.delete(key)
+
+    def _mangle(self, value: Any) -> Any:
+        return value ^ 0x1  # one-bit MAC corruption: frames to nowhere
+
+
+class FlowFace(TableFace):
+    """BlueSwitch flow slots: key = (table_id, slot), value = FlowEntry.
+
+    Writes hit the active bank directly (plus the shadow, to stay
+    coherent with a later transactional update) — this face models the
+    *naive* programming path whose lost writes BlueSwitch's atomic
+    commit cannot help with.
+    """
+
+    authoritative = True
+
+    def __init__(self, pipeline: Any, session: Optional[FaultSession] = None):
+        super().__init__("flows", session)
+        self.pipeline = pipeline
+
+    def read_hardware(self) -> dict[Hashable, Any]:
+        bank = self.pipeline.active_version
+        out: dict[Hashable, Any] = {}
+        for table in self.pipeline.tables:
+            for slot in range(table.slots):
+                entry = table.read(bank, slot)
+                if entry is not None:
+                    out[(table.table_id, slot)] = entry
+        return out
+
+    def _apply(self, key: Hashable, value: Any) -> None:
+        table_id, slot = key
+        self.pipeline.write_active(table_id, slot, value)
+        self.pipeline.write_shadow(table_id, slot, value)
+
+    def _remove(self, key: Hashable) -> None:
+        self._apply(key, None)
+
+    def _mangle(self, value: Any) -> Any:
+        from repro.projects.blueswitch.flow_table import (
+            ActionOutput,
+            FlowEntry,
+        )
+
+        actions = tuple(
+            ActionOutput(a.port_bits ^ 0x1) if isinstance(a, ActionOutput) else a
+            for a in value.actions
+        )
+        return FlowEntry(match=value.match, actions=actions)

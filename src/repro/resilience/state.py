@@ -1,0 +1,76 @@
+"""Desired-state store: the control plane's intent, kept off-device.
+
+The managers historically wrote *only* into the hardware tables, so a
+lost register write or a soft device reset silently destroyed intent —
+there was no second copy to repair from.  The store is that second copy:
+a named set of key→value tables (MAC entries, routes, ARP bindings,
+flow slots) that managers write **through**, never around.  Hardware is
+then treated as a cache of this store, and the auditor's job
+(:mod:`repro.resilience.auditor`) reduces to cache repair.
+
+Keys and values are plain hashable/comparable Python values chosen by
+each table's face (:mod:`repro.resilience.faces`); the store itself is
+deliberately dumb — ordering-stable dicts plus a mutation log hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One intended table change, as queued in degraded mode."""
+
+    op: str  # 'set' | 'delete'
+    table: str
+    key: Hashable
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("set", "delete"):
+            raise ValueError(f"unknown mutation op {self.op!r}")
+
+
+class DesiredStateStore:
+    """Named key→value tables recording what software *wants* in hardware."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, dict[Hashable, Any]] = {}
+
+    def table(self, name: str) -> dict[Hashable, Any]:
+        """The live dict for ``name`` (created empty on first touch)."""
+        return self._tables.setdefault(name, {})
+
+    # -- mutation ------------------------------------------------------
+    def set(self, table: str, key: Hashable, value: Any) -> None:
+        self.table(table)[key] = value
+
+    def delete(self, table: str, key: Hashable) -> bool:
+        return self.table(table).pop(key, None) is not None
+
+    def apply(self, mutation: Mutation) -> None:
+        if mutation.op == "set":
+            self.set(mutation.table, mutation.key, mutation.value)
+        else:
+            self.delete(mutation.table, mutation.key)
+
+    # -- inspection ----------------------------------------------------
+    def get(self, table: str, key: Hashable, default: Any = None) -> Any:
+        return self.table(table).get(key, default)
+
+    def entries(self, table: str) -> dict[Hashable, Any]:
+        """A snapshot copy — safe to diff against while repairing."""
+        return dict(self.table(table))
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def total_entries(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def __iter__(self) -> Iterator[tuple[str, Hashable, Any]]:
+        for name in self.table_names():
+            for key, value in self._tables[name].items():
+                yield name, key, value

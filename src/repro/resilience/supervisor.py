@@ -1,0 +1,192 @@
+"""Supervision: heartbeats, restart-with-backoff, and the circuit breaker.
+
+The supervisor is deliberately clockless — it advances on *ticks* (one
+per soak epoch or per explicit ``ControlPlane.tick()``), so the whole
+state machine is a pure function of the tick sequence and the fault
+stream.  That keeps sim/hw soak runs counter-identical, which real
+wall-clock timers would destroy.
+
+Breaker semantics (the standard three states):
+
+* **closed** — reconciles run every tick; consecutive failures count up.
+* **open** — the repair budget is exhausted; reconciles are skipped for
+  ``cooldown_ticks`` ticks.  This is the platform's *degraded mode*:
+  hardware keeps forwarding with whatever tables it has, and the
+  control plane queues mutations instead of writing them.
+* **half-open** — cooldown expired; the next reconcile is a probe.
+  Success closes the breaker (and the control plane replays its queue);
+  failure reopens it with the cooldown doubled, capped.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Optional
+
+#: Consecutive reconcile failures that open the breaker.
+FAILURE_THRESHOLD = 2
+#: Ticks an open breaker waits before the half-open probe.
+COOLDOWN_TICKS = 1
+#: Cap on the doubled cooldown after repeated failed probes.
+MAX_COOLDOWN_TICKS = 8
+
+
+class CircuitBreaker:
+    """Closed / open / half-open over consecutive reconcile outcomes."""
+
+    def __init__(
+        self,
+        failure_threshold: int = FAILURE_THRESHOLD,
+        cooldown_ticks: int = COOLDOWN_TICKS,
+        max_cooldown_ticks: int = MAX_COOLDOWN_TICKS,
+    ):
+        if failure_threshold < 1 or cooldown_ticks < 1:
+            raise ValueError("threshold and cooldown must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.base_cooldown = cooldown_ticks
+        self.max_cooldown = max_cooldown_ticks
+        self.state = "closed"
+        self._failures = 0
+        self._cooldown = 0
+        self._next_cooldown = cooldown_ticks
+
+    def allow(self) -> bool:
+        """May this tick attempt a reconcile?  Counts down the cooldown."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            self._cooldown -= 1
+            if self._cooldown > 0:
+                return False
+            self.state = "half_open"
+        return True  # half-open: exactly one probe
+
+    def record_success(self) -> bool:
+        """Returns True when this success *closed* an open breaker."""
+        self._failures = 0
+        self._next_cooldown = self.base_cooldown
+        if self.state != "closed":
+            self.state = "closed"
+            return True
+        return False
+
+    def record_failure(self) -> bool:
+        """Returns True when this failure *opened* the breaker."""
+        self._failures += 1
+        tripped = (
+            self.state == "half_open" or self._failures >= self.failure_threshold
+        )
+        if tripped and self.state != "open":
+            self.state = "open"
+            self._cooldown = self._next_cooldown
+            self._next_cooldown = min(self._next_cooldown * 2, self.max_cooldown)
+            return True
+        if self.state == "open":
+            self._cooldown = max(self._cooldown, 1)
+        return False
+
+
+class SupervisedManager:
+    """One manager under supervision: a heartbeat and a restart handle.
+
+    ``heartbeat()`` returns True when the manager is healthy; False or
+    any exception counts as a wedge.  Restarts back off in ticks
+    (1, 2, 4, …) so a persistently sick manager is not restart-thrashed
+    every tick.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        heartbeat: Callable[[], bool],
+        restart: Callable[[], None],
+        max_backoff_ticks: int = 8,
+    ):
+        self.name = name
+        self._heartbeat = heartbeat
+        self._restart = restart
+        self.max_backoff_ticks = max_backoff_ticks
+        self._backoff = 1
+        self._skip = 0
+        self.restarts = 0
+        self.heartbeat_failures = 0
+
+    def check(self) -> bool:
+        """One supervision tick: heartbeat, maybe restart.  True = healthy."""
+        try:
+            healthy = bool(self._heartbeat())
+        except Exception:
+            healthy = False
+        if healthy:
+            self._backoff = 1
+            self._skip = 0
+            return True
+        self.heartbeat_failures += 1
+        if self._skip > 0:
+            self._skip -= 1  # still backing off from the last restart
+            return False
+        self._restart()
+        self.restarts += 1
+        self._skip = self._backoff
+        self._backoff = min(self._backoff * 2, self.max_backoff_ticks)
+        return False
+
+
+class Supervisor:
+    """Ticks the managers' heartbeats and gates reconciles by the breaker."""
+
+    def __init__(
+        self,
+        reconcile: Callable[[], bool],
+        managers: Optional[list[SupervisedManager]] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        counters: Optional[dict[str, int]] = None,
+        on_event: Optional[Callable[[str, str], None]] = None,
+    ):
+        self._reconcile = reconcile
+        self.managers = list(managers or [])
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.counters = counters if counters is not None else defaultdict(int)
+        self.on_event = on_event
+        self.ticks = 0
+
+    def _event(self, kind: str, detail: str) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, detail)
+
+    @property
+    def degraded(self) -> bool:
+        return self.breaker.state != "closed"
+
+    def add(self, manager: SupervisedManager) -> None:
+        self.managers.append(manager)
+
+    def tick(self) -> bool:
+        """One supervision round.  Returns True when fully healthy.
+
+        Heartbeats first (a wedged manager is restarted before it is
+        asked to repair tables), then a breaker-gated reconcile.
+        """
+        self.ticks += 1
+        healthy = True
+        for manager in self.managers:
+            before = manager.restarts
+            if not manager.check():
+                healthy = False
+                self.counters["heartbeat_failures"] += 1
+                if manager.restarts > before:
+                    self.counters["manager_restarts"] += 1
+                    self._event("restart", manager.name)
+        if not self.breaker.allow():
+            return False
+        ok = self._reconcile()
+        if ok:
+            if self.breaker.record_success():
+                self.counters["degraded_exits"] += 1
+                self._event("degraded_exit", "breaker closed")
+        else:
+            healthy = False
+            if self.breaker.record_failure():
+                self.counters["degraded_entries"] += 1
+                self._event("degraded_enter", "repair budget exhausted")
+        return healthy and not self.degraded

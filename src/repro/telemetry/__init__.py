@@ -40,6 +40,7 @@ from repro.telemetry.probes import (
     probe_dma,
     probe_driver,
     probe_faults,
+    probe_resilience,
 )
 from repro.telemetry.session import TelemetrySession, TelemetrySnapshot, make_session
 from repro.telemetry.trace import TraceEvent, TraceRecorder
@@ -55,6 +56,7 @@ __all__ = [
     "probe_dma",
     "probe_driver",
     "probe_faults",
+    "probe_resilience",
     "TelemetrySession",
     "TelemetrySnapshot",
     "make_session",

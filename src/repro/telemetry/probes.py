@@ -355,3 +355,55 @@ def probe_faults(fault_session: Any, session: "TelemetrySession") -> None:
         trace.emit("fault_injected", f"{site}:{outcome}", ts=clock())
 
     fault_session.on_fault = hook
+
+
+#: The control plane's reconciliation/supervision ledger, mirrored into
+#: the registry.  Deliberately ``cycle_dependent=False``: these counters
+#: are pure functions of the (plan, seed, tick sequence), so they join
+#: the parity set the sim and hw soak runs must agree on.
+RESILIENCE_COUNTERS = (
+    "audits",
+    "drift_entries",
+    "repair_writes",
+    "repair_retries",
+    "repair_failures",
+    "heartbeat_failures",
+    "manager_restarts",
+    "degraded_entries",
+    "degraded_exits",
+    "mutations_applied",
+    "mutations_queued",
+    "mutations_replayed",
+)
+
+
+def probe_resilience(plane: Any, session: "TelemetrySession") -> None:
+    """Mirror a :class:`~repro.resilience.control.ControlPlane`'s ledger.
+
+    Reconciliation/supervision counters become snapshot-backed registry
+    series (in the sim/hw parity set), the degraded flag and mutation
+    queue depth become gauges, and every resilience event (drift found,
+    manager restarted, degraded entered/left, queue replayed) becomes a
+    trace event — all through the plane's ``event_hook``, same
+    hook-attribute pattern as the driver and fault probes.
+    """
+    registry = session.registry
+    ledger = registry.counter(
+        "resilience_total", "control-plane reconciliation/supervision events",
+        labelnames=("event",),
+    )
+    for name in RESILIENCE_COUNTERS:
+        ledger.labels(name).bind(lambda p=plane, n=name: p.counters.get(n, 0))
+    registry.gauge(
+        "resilience_degraded", "1 while the breaker holds the plane degraded",
+    ).bind(lambda p=plane: 1 if p.degraded else 0)
+    registry.gauge(
+        "resilience_queued_mutations", "mutations parked awaiting recovery",
+    ).bind(lambda p=plane: len(p.queue))
+    trace = session.trace
+    clock = trace.clock
+
+    def hook(kind: str, detail: str) -> None:
+        trace.emit("resilience", f"{kind}:{detail}", ts=clock())
+
+    plane.event_hook = hook

@@ -26,6 +26,7 @@ from repro.testenv.harness import (
     run_test,
 )
 from repro.testenv.regress import RegressionRunner, standard_scenarios
+from repro.testenv.soak import SoakReport, run_soak
 from repro.testenv.topology import (
     Attachment,
     Delivery,
@@ -42,6 +43,8 @@ __all__ = [
     "run_test",
     "RegressionRunner",
     "standard_scenarios",
+    "SoakReport",
+    "run_soak",
     "Attachment",
     "Delivery",
     "Network",

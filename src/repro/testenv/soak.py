@@ -1,0 +1,242 @@
+"""The chaos soak harness: long scenarios under control-plane fault plans.
+
+A soak run is a sequence of *epochs*.  Each epoch draws the control-
+plane fault sites from the seeded session (a soft device reset that
+wipes tables and wedges the manager; per-port link flaps that eat that
+epoch's ingress traffic), applies a deterministic mutation schedule
+through the resilient control plane, runs one supervision tick
+(heartbeat → restart, breaker-gated audit → repair), then pushes an
+epoch of traffic through the unified harness and checks the standing
+invariants:
+
+* **desired ⊆ hardware after quiesce** — once a tick reports converged,
+  no desired entry may be missing from the hardware tables;
+* **no silent blackholing** — a probe frame addressed to a desired
+  static entry must egress somewhere (it may *flood* while unlearned,
+  it may *queue* while degraded, but a converged plane must deliver).
+
+Determinism is the whole point: every decision comes from the plan's
+per-site streams or the epoch index, never from wall clock or run mode,
+so the same ``(plan, seed)`` yields identical fault counters *and*
+identical reconciliation counters under ``sim`` and ``hw`` — the soak
+extension of the harness's mode-identical FaultReport contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Union
+
+from repro.faults.plan import FaultPlan, get_plan
+from repro.host.switch_manager import SwitchManager
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.generator import make_udp_frame
+from repro.projects.base import PortRef
+from repro.projects.reference_switch import ReferenceSwitch
+from repro.resilience.control import ControlPlane, build_control_plane
+from repro.resilience.supervisor import SupervisedManager
+from repro.telemetry.probes import probe_faults, probe_resilience
+from repro.telemetry.session import TelemetrySession, TelemetrySnapshot
+from repro.testenv.harness import Stimulus, run_hw, run_sim
+
+#: Default soak length; CI's smoke job shortens it, nightly runs extend.
+SOAK_EPOCHS = 8
+#: Supervision ticks allowed for the post-soak cooldown to converge.
+COOLDOWN_TICKS = 6
+
+#: Soak topology MACs: hosts live on the four physical ports; services
+#: are the static entries the mutation schedule pins.
+_HOST_MAC_BASE = 0x02_00_00_00_00_10
+_SERVICE_MAC_BASE = 0x02_00_00_00_00_40
+_PROBER_MAC = 0x02_00_00_00_00_77
+
+
+def _host_mac(i: int) -> MacAddr:
+    return MacAddr(_HOST_MAC_BASE + i)
+
+
+def _frame(src_mac: MacAddr, dst_mac: MacAddr, salt: int) -> bytes:
+    return make_udp_frame(
+        src_mac,
+        dst_mac,
+        Ipv4Addr(0x0A00_0000 + (salt & 0xFF)),
+        Ipv4Addr(0x0A00_0100 + (salt & 0xFF)),
+        size=96,
+    ).pack()
+
+
+@dataclass
+class SoakReport:
+    """Everything one soak run produced, determinism-comparable."""
+
+    mode: str
+    plan: str
+    seed: int
+    epochs: int
+    resets: int = 0
+    flap_lost_frames: int = 0
+    injected_frames: int = 0
+    forwarded_frames: int = 0
+    degraded_epochs: int = 0
+    invariant_checks: int = 0
+    invariant_failures: list[str] = field(default_factory=list)
+    converged: bool = False
+    fault_counters: dict[str, int] = field(default_factory=dict)
+    resilience_counters: dict[str, int] = field(default_factory=dict)
+    telemetry: Optional[TelemetrySnapshot] = None
+
+    def fingerprint(self) -> dict[str, int]:
+        """The mode-independent signature two runs must agree on.
+
+        ``forwarded_frames`` is deliberately absent: output totals are
+        *cycle-dependent* — concurrently injected frames race MAC
+        learning in the kernel, so a destination one mode floods the
+        other may unicast — the same kernel-domain vs parity split the
+        telemetry registry draws.  Everything decided before the mode
+        fork (fault draws, reconciliation, injected/flap-lost traffic,
+        invariant verdicts) must agree exactly.
+        """
+        out = {f"fault:{k}": v for k, v in sorted(self.fault_counters.items())}
+        out.update(
+            (f"res:{k}", v) for k, v in sorted(self.resilience_counters.items())
+        )
+        out["resets"] = self.resets
+        out["flap_lost_frames"] = self.flap_lost_frames
+        out["injected_frames"] = self.injected_frames
+        out["degraded_epochs"] = self.degraded_epochs
+        out["invariant_failures"] = len(self.invariant_failures)
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "plan": self.plan,
+            "seed": self.seed,
+            "epochs": self.epochs,
+            "converged": self.converged,
+            "forwarded_frames": self.forwarded_frames,
+            "invariant_checks": self.invariant_checks,
+            "invariant_failures": list(self.invariant_failures),
+            **self.fingerprint(),
+        }
+
+
+def run_soak(
+    mode: str,
+    plan: Union[str, FaultPlan],
+    seed: int = 0,
+    epochs: int = SOAK_EPOCHS,
+    project_factory: Callable[[], Any] = ReferenceSwitch,
+    telemetry: bool = False,
+) -> SoakReport:
+    """Soak ``project_factory``'s design under ``plan`` for ``epochs``.
+
+    ``mode`` is the harness target ('sim' | 'hw'); ``plan`` a registered
+    plan name (expanded with ``seed``) or an explicit
+    :class:`~repro.faults.plan.FaultPlan`.  Returns a
+    :class:`SoakReport` whose :meth:`~SoakReport.fingerprint` is
+    identical across modes for the same ``(plan, seed)``.
+    """
+    if mode not in ("sim", "hw"):
+        raise ValueError(f"mode must be 'sim' or 'hw', not {mode!r}")
+    if isinstance(plan, str):
+        plan = get_plan(plan, seed=seed)
+    session = plan.session()
+
+    project = project_factory()
+    plane = build_control_plane(project, session)
+    manager = SwitchManager(project, control=plane)
+    plane.supervisor.add(
+        SupervisedManager("switch_manager", manager.heartbeat, manager.restart)
+    )
+
+    tsession = TelemetrySession(mode) if telemetry else None
+    if tsession is not None:
+        probe_faults(session, tsession)
+        probe_resilience(plane, tsession)
+
+    run = run_sim if mode == "sim" else run_hw
+    report = SoakReport(mode=mode, plan=plan.name, seed=plan.seed, epochs=epochs)
+
+    def run_traffic(stimuli: list[Stimulus]) -> int:
+        result = run(project, stimuli, telemetry=tsession)
+        return result.total_packets()
+
+    def probe_delivers(service_mac: int) -> bool:
+        """Blackhole check: a frame to a desired MAC must egress."""
+        probe = _frame(MacAddr(_PROBER_MAC), MacAddr(service_mac), salt=0x77)
+        # Inject opposite the pinned port so delivery crosses the table.
+        pinned_bits = plane.store.get("mac", service_mac)
+        ingress = 0 if pinned_bits != 1 else 1
+        return run_traffic([Stimulus(PortRef("phys", ingress), probe)]) > 0
+
+    for epoch in range(epochs):
+        # 1. Control-plane faults for this epoch, drawn once, mode-free.
+        if session.device_reset_faults():
+            project.soft_reset()
+            manager.wedge()
+            report.resets += 1
+        flapped = {
+            i for i in range(4) if session.link_flap_faults()
+        }
+
+        # 2. Deterministic mutation schedule: pin one service MAC per
+        # epoch through the manager (→ desired store → faulty face).
+        service = _SERVICE_MAC_BASE + epoch
+        manager.add_static_entry(str(MacAddr(service)), epoch % 4)
+
+        # 3. One supervision tick: heartbeats, breaker-gated reconcile.
+        healthy = plane.tick()
+        if plane.degraded:
+            report.degraded_epochs += 1
+
+        # 4. An epoch of traffic; flapped ingress ports eat their frames.
+        stimuli = []
+        for i in range(4):
+            frame = _frame(_host_mac(i), _host_mac((i + 1) % 4), salt=epoch)
+            if i in flapped:
+                report.flap_lost_frames += 1
+                continue
+            stimuli.append(Stimulus(PortRef("phys", i), frame))
+        report.injected_frames += len(stimuli)
+        report.forwarded_frames += run_traffic(stimuli)
+
+        # 5. Invariants — only binding once the plane reports converged.
+        if healthy:
+            report.invariant_checks += 1
+            missing = [
+                d for d in plane.auditor.divergences() if d[1] == "set"
+            ]
+            if missing:
+                report.invariant_failures.append(
+                    f"epoch {epoch}: {len(missing)} desired entries missing "
+                    f"from hardware after converged tick"
+                )
+            if not probe_delivers(_SERVICE_MAC_BASE):
+                report.invariant_failures.append(
+                    f"epoch {epoch}: probe to pinned service MAC blackholed"
+                )
+
+    # Cooldown: faults cease; the plane must converge and drain its queue.
+    for face in plane.auditor.faces.values():
+        face.fault_session = None
+    for _ in range(COOLDOWN_TICKS):
+        if plane.tick():
+            report.converged = True
+            break
+    report.invariant_checks += 1
+    leftover = [d for d in plane.auditor.divergences() if d[1] == "set"]
+    if leftover:
+        report.invariant_failures.append(
+            f"cooldown: {len(leftover)} desired entries never reached hardware"
+        )
+    if report.converged and not probe_delivers(_SERVICE_MAC_BASE + epochs - 1):
+        report.invariant_failures.append(
+            "cooldown: probe to last pinned service MAC blackholed"
+        )
+
+    report.fault_counters = dict(session.report().counters)
+    report.resilience_counters = plane.counters_snapshot()
+    if tsession is not None:
+        report.telemetry = tsession.snapshot()
+    return report

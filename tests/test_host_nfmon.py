@@ -123,3 +123,72 @@ class TestCliForwarding:
     def test_repro_cli_mon_forwards(self, capsys):
         assert cli.main(["mon", "scenarios"]) == 0
         assert "switch_learn_and_forward" in capsys.readouterr().out
+
+
+class TestOperatorErrors:
+    """Operator mistakes exit with a message, never a traceback."""
+
+    def test_unknown_fault_plan_in_dump(self, capsys):
+        assert main(["dump", "--scenario", "switch_learn_and_forward",
+                     "--faults", "no-such-plan"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fault plan" in err
+        assert "Traceback" not in err
+
+    def test_unknown_scenario_in_watch(self, capsys):
+        assert main(["watch", "--scenario", "bogus"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_unknown_scenario_in_trace(self, capsys, tmp_path):
+        out = str(tmp_path / "t.json")
+        assert main(["trace", "--scenario", "bogus", "--output", out]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_ctrl_c_exits_130(self, capsys, monkeypatch):
+        import repro.host.nfmon as nfmon
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(nfmon, "cmd_watch", interrupted)
+        assert main(["watch", "--scenario", "switch_learn_and_forward"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+
+class TestSoakCommand:
+    def test_table_output_and_exit_zero(self, capsys):
+        assert main(["soak", "--plan", "ctrl-chaos", "--seed", "0",
+                     "--epochs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "soak 'ctrl-chaos'" in out
+        assert "resilience counters" in out
+        assert "converged: True" in out
+
+    def test_json_output_is_loadable(self, capsys):
+        assert main(["soak", "--plan", "flaky-writes", "--epochs", "3",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["plan"] == "flaky-writes"
+        assert data["converged"] is True
+
+    def test_unknown_plan_exits_2(self, capsys):
+        assert main(["soak", "--plan", "no-such-plan"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fault plan" in err
+        assert "Traceback" not in err
+
+    def test_hw_mode_matches_sim_fingerprint(self, capsys):
+        assert main(["soak", "--plan", "ctrl-chaos", "--seed", "9",
+                     "--epochs", "3", "--format", "json"]) == 0
+        sim = json.loads(capsys.readouterr().out)
+        assert main(["soak", "--plan", "ctrl-chaos", "--seed", "9",
+                     "--epochs", "3", "--mode", "hw",
+                     "--format", "json"]) == 0
+        hw = json.loads(capsys.readouterr().out)
+        # mode differs by construction; forwarded totals are
+        # cycle-dependent (kernel-domain), everything else must agree.
+        for field in ("mode", "forwarded_frames"):
+            sim.pop(field), hw.pop(field)
+        assert sim == hw

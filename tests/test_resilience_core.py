@@ -1,0 +1,226 @@
+"""Resilience building blocks: store, faces, auditor, breaker, supervisor."""
+
+import pytest
+
+from repro.faults import CtrlFaultSpec, FaultPlan
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.projects.reference_router import ReferenceRouter
+from repro.projects.reference_switch import ReferenceSwitch
+from repro.resilience import (
+    Auditor,
+    CircuitBreaker,
+    DesiredStateStore,
+    Mutation,
+    RouterArpFace,
+    RouterRouteFace,
+    SupervisedManager,
+    SwitchMacFace,
+    build_control_plane,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def _dropping_session(drop=1.0, corrupt=0.0, burst=10**9):
+    plan = FaultPlan(
+        name="test-ctrl", seed=1,
+        ctrl=CtrlFaultSpec(
+            write_drop_rate=drop, write_corrupt_rate=corrupt, max_burst=burst
+        ),
+    )
+    return plan.session()
+
+
+class TestDesiredStateStore:
+    def test_set_get_delete(self):
+        store = DesiredStateStore()
+        store.set("mac", 0xAA, 1)
+        assert store.get("mac", 0xAA) == 1
+        assert store.total_entries() == 1
+        assert store.delete("mac", 0xAA) is True
+        assert store.delete("mac", 0xAA) is False
+        assert store.total_entries() == 0
+
+    def test_apply_mutations(self):
+        store = DesiredStateStore()
+        store.apply(Mutation("set", "routes", (1, 24), "entry"))
+        assert store.entries("routes") == {(1, 24): "entry"}
+        store.apply(Mutation("delete", "routes", (1, 24)))
+        assert store.entries("routes") == {}
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown mutation op"):
+            Mutation("upsert", "mac", 1)
+
+    def test_iteration_is_sorted_by_table(self):
+        store = DesiredStateStore()
+        store.set("zeta", 1, "z")
+        store.set("alpha", 2, "a")
+        assert [t for t, _k, _v in store] == ["alpha", "zeta"]
+
+
+class TestFaces:
+    def test_mac_face_round_trip(self):
+        switch = ReferenceSwitch()
+        face = SwitchMacFace(switch)
+        face.write(0xAA, 0b0100)
+        assert face.read_hardware() == {0xAA: 0b0100}
+        face.delete(0xAA)
+        assert face.read_hardware() == {}
+
+    def test_dropped_write_is_silent(self):
+        switch = ReferenceSwitch()
+        face = SwitchMacFace(switch, _dropping_session(drop=1.0))
+        face.write(0xAA, 0b0100)
+        assert face.read_hardware() == {}
+        assert face.dropped_writes == 1
+
+    def test_corrupted_write_lands_wrong(self):
+        switch = ReferenceSwitch()
+        face = SwitchMacFace(switch, _dropping_session(drop=0.0, corrupt=1.0))
+        face.write(0xAA, 0b0100)
+        assert face.read_hardware() == {0xAA: 0b0101}
+        assert face.corrupted_writes == 1
+
+    def test_route_face_keys_and_mangle(self):
+        router = ReferenceRouter()
+        face = RouterRouteFace(router.tables)
+        hw = face.read_hardware()
+        assert (Ipv4Addr.parse("10.0.1.0").value, 24) in hw
+        entry = hw[(Ipv4Addr.parse("10.0.1.0").value, 24)]
+        mangled = face._mangle(entry)
+        assert mangled.port_bits == entry.port_bits ^ 0x1
+        assert mangled.prefix == entry.prefix
+
+    def test_arp_face_round_trip(self):
+        router = ReferenceRouter()
+        face = RouterArpFace(router.tables)
+        face.write(Ipv4Addr.parse("10.0.1.2").value, MacAddr(0xAB).value)
+        assert router.tables.arp.lookup(Ipv4Addr.parse("10.0.1.2").value) == 0xAB
+
+
+class TestAuditor:
+    def test_repairs_soft_reset(self):
+        router = ReferenceRouter()
+        plane = build_control_plane(router)
+        assert len(plane.store.table("routes")) == 4
+        router.soft_reset()
+        assert router.tables.lpm.entries() == []
+        assert plane.auditor.reconcile() is True
+        assert len(router.tables.lpm.entries()) == 4
+        assert plane.counters["drift_entries"] == 4
+        assert plane.counters["repair_writes"] == 4
+
+    def test_repairs_mismatched_value(self):
+        switch = ReferenceSwitch()
+        plane = build_control_plane(switch)
+        plane.mutate("mac", 0xAA, 0b0100)
+        switch.mac_table.insert(0xAA, 0b0001)  # drift: wrong port
+        assert plane.auditor.reconcile() is True
+        assert dict(switch.mac_table) == {0xAA: 0b0100}
+
+    def test_authoritative_face_deletes_extras(self):
+        router = ReferenceRouter()
+        plane = build_control_plane(router)
+        from repro.cores.lpm import LpmEntry
+
+        rogue = LpmEntry(
+            prefix=Ipv4Addr.parse("192.168.0.0"), prefix_len=16,
+            next_hop=Ipv4Addr(0), port_bits=0b0001,
+        )
+        router.tables.lpm.insert(rogue)
+        assert plane.auditor.reconcile() is True
+        assert all(
+            e.prefix != Ipv4Addr.parse("192.168.0.0")
+            for e in router.tables.lpm.entries()
+        )
+
+    def test_non_authoritative_face_keeps_learned_entries(self):
+        switch = ReferenceSwitch()
+        plane = build_control_plane(switch)
+        switch.mac_table.insert(0xBB, 0b0001)  # hardware-learned
+        assert plane.auditor.reconcile() is True
+        assert dict(switch.mac_table) == {0xBB: 0b0001}
+
+    def test_gives_up_under_permanent_drops(self):
+        switch = ReferenceSwitch()
+        session = _dropping_session(drop=1.0)
+        plane = build_control_plane(switch, session, max_repair_passes=2)
+        plane.store.set("mac", 0xAA, 0b0100)  # desired but never landable
+        assert plane.auditor.reconcile() is False
+        assert plane.counters["repair_failures"] == 1
+        assert plane.counters["repair_retries"] == 1
+
+    def test_backoff_doubles_between_passes(self):
+        switch = ReferenceSwitch()
+        waits = []
+        session = _dropping_session(drop=1.0)
+        store = DesiredStateStore()
+        store.set("mac", 0xAA, 0b0100)
+        auditor = Auditor(
+            store, [SwitchMacFace(switch, session)],
+            max_passes=3, backoff_ns=100.0, wait=waits.append,
+        )
+        assert auditor.reconcile() is False
+        assert waits == [100.0, 200.0]
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_ticks=1)
+        assert breaker.allow() and breaker.state == "closed"
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # opened
+        assert breaker.state == "open"
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ticks=2)
+        breaker.record_failure()
+        assert breaker.allow() is False  # cooldown 2 -> 1
+        assert breaker.allow() is True  # half-open probe
+        assert breaker.state == "half_open"
+        assert breaker.record_success() is True  # closed again
+        assert breaker.state == "closed"
+
+    def test_failed_probe_doubles_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ticks=1)
+        breaker.record_failure()
+        assert breaker.allow() is True  # immediate half-open (cooldown 1)
+        breaker.record_failure()  # probe failed: reopen, cooldown now 2
+        assert breaker.allow() is False
+        assert breaker.allow() is True
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestSupervisedManager:
+    def test_restart_backs_off(self):
+        beats = {"healthy": False}
+        restarts = []
+        manager = SupervisedManager(
+            "m", lambda: beats["healthy"], lambda: restarts.append(1)
+        )
+        # tick 1: restart; tick 2: backing off (skip=1); tick 3: restart
+        manager.check()
+        manager.check()
+        manager.check()
+        assert len(restarts) == 2
+        assert manager.heartbeat_failures == 3
+
+    def test_heartbeat_exception_counts_as_wedge(self):
+        def boom():
+            raise RuntimeError("stale handle")
+
+        manager = SupervisedManager("m", boom, lambda: None)
+        assert manager.check() is False
+        assert manager.heartbeat_failures == 1
+
+    def test_recovery_resets_backoff(self):
+        beats = {"healthy": False}
+        manager = SupervisedManager("m", lambda: beats["healthy"], lambda: None)
+        manager.check()
+        beats["healthy"] = True
+        assert manager.check() is True
+        assert manager._backoff == 1

@@ -1,0 +1,215 @@
+"""The control plane's degradation story, end to end.
+
+The acceptance walk: write faults exhaust the repair budget, the breaker
+opens and the plane goes read-only (mutations queue), the faults cease,
+the half-open probe reconciles, the queue replays, hardware converges —
+every transition visible as telemetry counters.
+"""
+
+import pytest
+
+from repro.faults import CtrlFaultSpec, FaultPlan
+from repro.host.openflow.datapath import DatapathAgent
+from repro.host.openflow.messages import CommitRequest, FlowMod, FlowModCommand
+from repro.host.router_manager import RouterManager
+from repro.host.switch_manager import SwitchManager
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.projects.blueswitch.flow_table import (
+    ActionOutput,
+    FlowEntry,
+    FlowMatch,
+)
+from repro.projects.blueswitch.pipeline import BlueSwitchPipeline
+from repro.projects.reference_router import ReferenceRouter
+from repro.projects.reference_switch import ReferenceSwitch
+from repro.resilience import SupervisedManager, build_control_plane
+from repro.telemetry import TelemetrySession, probe_resilience
+
+pytestmark = pytest.mark.faults
+
+
+def _always_drop_session():
+    plan = FaultPlan(
+        name="always-drop", seed=0,
+        ctrl=CtrlFaultSpec(write_drop_rate=1.0, max_burst=10**9),
+    )
+    return plan.session()
+
+
+class TestDegradationLifecycle:
+    def test_full_lifecycle_with_telemetry(self):
+        """Faults → breaker opens → queued intent → recovery → replay."""
+        switch = ReferenceSwitch()
+        session = _always_drop_session()
+        plane = build_control_plane(switch, session, max_repair_passes=1)
+        manager = SwitchManager(switch, control=plane)
+        plane.supervisor.add(
+            SupervisedManager("switch_manager", manager.heartbeat,
+                              manager.restart)
+        )
+        tsession = TelemetrySession("sim")
+        probe_resilience(plane, tsession)
+
+        # Desired entry that can never land while writes drop.
+        assert manager.add_static_entry("02:00:00:00:00:aa", 2) is True
+        assert dict(switch.mac_table) == {}  # the write was dropped
+
+        # Two failed reconciles open the breaker (threshold 2).
+        assert plane.tick() is False
+        assert plane.degraded is False
+        assert plane.tick() is False
+        assert plane.degraded is True
+
+        # Degraded mode: read-only towards the device, mutations queue.
+        assert manager.add_static_entry("02:00:00:00:00:bb", 3) is False
+        assert len(plane.queue) == 1
+        assert dict(switch.mac_table) == {}
+
+        # Faults cease; the half-open probe succeeds, the breaker
+        # closes, the queue replays, and hardware converges.
+        for face in plane.auditor.faces.values():
+            face.fault_session = None
+        assert plane.tick() is True
+        assert plane.degraded is False
+        assert plane.queue == []
+        assert dict(switch.mac_table) == {
+            MacAddr.parse("02:00:00:00:00:aa").value: 1 << 4,
+            MacAddr.parse("02:00:00:00:00:bb").value: 1 << 6,
+        }
+
+        # The whole story is in the telemetry counters.
+        counters = tsession.snapshot().counters
+        assert counters['resilience_total{event="degraded_entries"}'] == 1
+        assert counters['resilience_total{event="degraded_exits"}'] == 1
+        assert counters['resilience_total{event="mutations_queued"}'] == 1
+        assert counters['resilience_total{event="mutations_replayed"}'] == 1
+        assert counters['resilience_total{event="repair_failures"}'] == 2
+        assert counters['resilience_total{event="mutations_applied"}'] == 1
+        assert counters['resilience_total{event="audits"}'] >= 3
+        assert counters["resilience_degraded"] == 0
+        assert counters["resilience_queued_mutations"] == 0
+        # Parity set: all ledger series must carry the event label.
+        parity = tsession.snapshot().parity
+        assert 'resilience_total{event="degraded_entries"}' in parity
+
+    def test_lifecycle_emits_trace_events(self):
+        switch = ReferenceSwitch()
+        session = _always_drop_session()
+        plane = build_control_plane(switch, session, max_repair_passes=1)
+        tsession = TelemetrySession("sim")
+        probe_resilience(plane, tsession)
+
+        plane.mutate("mac", 0xAA, 0b0100)
+        plane.tick()
+        plane.tick()  # breaker opens here
+        names = [event.name for event in tsession.trace.events]
+        assert any(name.startswith("drift:") for name in names)
+        assert any(name.startswith("degraded_enter:") for name in names)
+
+    def test_wedged_manager_restarted_during_lifecycle(self):
+        switch = ReferenceSwitch()
+        plane = build_control_plane(switch)
+        manager = SwitchManager(switch, control=plane)
+        plane.supervisor.add(
+            SupervisedManager("switch_manager", manager.heartbeat,
+                              manager.restart)
+        )
+        manager.wedge()
+        assert plane.tick() is False  # unhealthy tick: heartbeat failed
+        assert manager.restarts == 1
+        assert plane.counters["manager_restarts"] == 1
+        assert plane.tick() is True  # restart cleared the wedge
+
+
+class TestManagerWriteThrough:
+    def test_switch_static_entry_lands_in_store_and_hardware(self):
+        switch = ReferenceSwitch()
+        plane = build_control_plane(switch)
+        manager = SwitchManager(switch, control=plane)
+        manager.add_static_entry("02:00:00:00:00:aa", 1)
+        key = MacAddr.parse("02:00:00:00:00:aa").value
+        assert plane.store.get("mac", key) == 1 << 2
+        assert dict(switch.mac_table)[key] == 1 << 2
+
+    def test_switch_clear_also_clears_desired_state(self):
+        switch = ReferenceSwitch()
+        plane = build_control_plane(switch)
+        manager = SwitchManager(switch, control=plane)
+        manager.add_static_entry("02:00:00:00:00:aa", 1)
+        manager.clear_mac_table()
+        assert plane.store.entries("mac") == {}
+        assert dict(switch.mac_table) == {}
+
+    def test_router_route_survives_soft_reset(self):
+        router = ReferenceRouter()
+        plane = build_control_plane(router)
+        manager = RouterManager(router.tables, control=plane)
+        assert manager.add_route("172.16.0.0", 12, "10.0.1.2", 3) is True
+        router.soft_reset()
+        assert plane.auditor.reconcile() is True
+        assert any(
+            e.prefix == Ipv4Addr.parse("172.16.0.0")
+            for e in router.tables.lpm.entries()
+        )
+
+    def test_router_del_route_removes_intent(self):
+        router = ReferenceRouter()
+        plane = build_control_plane(router)
+        manager = RouterManager(router.tables, control=plane)
+        manager.add_route("172.16.0.0", 12, "10.0.1.2", 3)
+        assert manager.del_route("172.16.0.0", 12) is True
+        key = (Ipv4Addr.parse("172.16.0.0").value, 12)
+        assert plane.store.get("routes", key) is None
+        assert plane.auditor.reconcile() is True
+        assert all(
+            e.prefix != Ipv4Addr.parse("172.16.0.0")
+            for e in router.tables.lpm.entries()
+        )
+
+    def test_router_arp_learning_writes_through(self):
+        router = ReferenceRouter()
+        plane = build_control_plane(router)
+        manager = RouterManager(router.tables, control=plane)
+        manager.add_arp_entry("10.0.1.9", "02:00:00:00:00:09")
+        ip = Ipv4Addr.parse("10.0.1.9").value
+        assert plane.store.get("arp", ip) == MacAddr.parse("02:00:00:00:00:09").value
+        assert router.tables.arp.lookup(ip) == plane.store.get("arp", ip)
+
+    def test_naive_flow_mod_writes_through(self):
+        pipeline = BlueSwitchPipeline()
+        plane = build_control_plane(pipeline)
+        agent = DatapathAgent(pipeline, transactional=False, control=plane)
+        entry = FlowEntry(
+            match=FlowMatch(in_port=0b0001),
+            actions=(ActionOutput(0b0100),),
+        )
+        agent.handle(FlowMod(FlowModCommand.ADD, table_id=0, slot=0, entry=entry))
+        assert plane.store.get("flows", (0, 0)) is entry
+        assert pipeline.tables[0].read(pipeline.active_version, 0) == entry
+
+    def test_transactional_commit_records_intent(self):
+        pipeline = BlueSwitchPipeline()
+        plane = build_control_plane(pipeline)
+        agent = DatapathAgent(pipeline, transactional=True, control=plane)
+        entry = FlowEntry(
+            match=FlowMatch(in_port=0b0001),
+            actions=(ActionOutput(0b0100),),
+        )
+        agent.handle(FlowMod(FlowModCommand.ADD, table_id=0, slot=0, entry=entry))
+        assert plane.store.get("flows", (0, 0)) is None  # staged, not intent
+        agent.handle(CommitRequest())
+        assert plane.store.get("flows", (0, 0)) == entry
+
+    def test_flow_face_repairs_lost_flow(self):
+        pipeline = BlueSwitchPipeline()
+        plane = build_control_plane(pipeline)
+        agent = DatapathAgent(pipeline, transactional=False, control=plane)
+        entry = FlowEntry(
+            match=FlowMatch(in_port=0b0001),
+            actions=(ActionOutput(0b0100),),
+        )
+        agent.handle(FlowMod(FlowModCommand.ADD, table_id=0, slot=0, entry=entry))
+        # A fault wipes the live slot behind the control plane's back.
+        pipeline.write_active(0, 0, None)
+        assert plane.auditor.reconcile() is True
+        assert pipeline.tables[0].read(pipeline.active_version, 0) == entry

@@ -1,0 +1,89 @@
+"""The chaos soak harness: determinism, convergence, invariants."""
+
+import pytest
+
+from repro.faults import CtrlFaultSpec, FaultPlan
+from repro.telemetry.session import TelemetrySession
+from repro.testenv.soak import run_soak
+
+pytestmark = pytest.mark.faults
+
+
+class TestSoakDeterminism:
+    @pytest.mark.parametrize("plan", ["ctrl-chaos", "flaky-writes", "amnesiac"])
+    def test_sim_and_hw_fingerprints_match(self, plan):
+        """Same (plan, seed) → identical fault AND reconciliation counters."""
+        sim = run_soak("sim", plan, seed=7, epochs=6)
+        hw = run_soak("hw", plan, seed=7, epochs=6)
+        assert sim.fingerprint() == hw.fingerprint()
+
+    def test_flood_races_do_not_leak_into_fingerprint(self):
+        """Seed 42's schedule makes an unlearned destination flood in
+        one mode and unicast in the other — a cycle-timing artifact.
+        Forwarded totals may differ; the fingerprint must not."""
+        sim = run_soak("sim", "ctrl-chaos", seed=42, epochs=5)
+        hw = run_soak("hw", "ctrl-chaos", seed=42, epochs=5)
+        assert sim.fingerprint() == hw.fingerprint()
+        assert "forwarded_frames" not in sim.fingerprint()
+        assert sim.as_dict()["forwarded_frames"] > 0  # still reported
+
+    def test_repeat_run_is_identical(self):
+        first = run_soak("sim", "ctrl-chaos", seed=3, epochs=5)
+        second = run_soak("sim", "ctrl-chaos", seed=3, epochs=5)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_different_seeds_diverge(self):
+        a = run_soak("sim", "ctrl-chaos", seed=0, epochs=6)
+        b = run_soak("sim", "ctrl-chaos", seed=1, epochs=6)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_telemetry_parity_across_modes(self):
+        sim = run_soak("sim", "ctrl-chaos", seed=5, epochs=4, telemetry=True)
+        hw = run_soak("hw", "ctrl-chaos", seed=5, epochs=4, telemetry=True)
+        assert sim.telemetry is not None and hw.telemetry is not None
+        sim.telemetry.assert_parity(hw.telemetry)
+
+
+class TestSoakInvariants:
+    def test_default_soak_converges_cleanly(self):
+        report = run_soak("sim", "ctrl-chaos", seed=0)
+        assert report.converged is True
+        assert report.invariant_failures == []
+        assert report.invariant_checks > 0
+
+    def test_faults_actually_fired(self):
+        """The chaos plan must exercise every control-plane fault site."""
+        report = run_soak("sim", "ctrl-chaos", seed=0)
+        fired = {k for k, v in report.fault_counters.items() if v > 0}
+        assert "ctrl_write_drop" in fired or "ctrl_write_corrupt" in fired
+        assert report.resets + report.flap_lost_frames > 0
+
+    def test_reconciliation_repairs_were_needed_and_made(self):
+        report = run_soak("sim", "ctrl-chaos", seed=0)
+        assert report.resilience_counters["audits"] > 0
+        assert report.resilience_counters["repair_writes"] > 0
+
+    def test_fault_free_plan_needs_no_repairs(self):
+        quiet = FaultPlan(name="quiet", seed=0, ctrl=CtrlFaultSpec())
+        report = run_soak("sim", quiet, epochs=4)
+        assert report.converged is True
+        assert report.resets == 0
+        assert report.flap_lost_frames == 0
+        assert report.invariant_failures == []
+        assert report.resilience_counters.get("repair_failures", 0) == 0
+
+    def test_rejects_bad_mode_and_unknown_plan(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_soak("fpga", "ctrl-chaos")
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            run_soak("sim", "no-such-plan")
+
+    def test_report_dict_is_json_shaped(self):
+        report = run_soak("sim", "flaky-writes", seed=2, epochs=3)
+        data = report.as_dict()
+        assert data["plan"] == "flaky-writes"
+        assert data["seed"] == 2
+        assert isinstance(data["converged"], bool)
+        assert all(
+            isinstance(v, (int, bool, str, list)) for v in data.values()
+        )
