@@ -1,0 +1,100 @@
+"""E17 — fabric scale-out: sharded throughput with an invariant fingerprint.
+
+Runs one ≥1000-flow workload over the k=4 fat-tree at 1 and 4 shards
+and reports packets/sec for each, asserting the merged delivery
+fingerprint is byte-identical — the determinism contract that makes the
+parallelism free of observable effect.  The speedup assertion
+(≥ 1.8× at 4 shards) only arms on machines with ≥ 4 CPUs: sharding
+pure-Python CPU-bound work cannot beat 1× on fewer cores, and the
+fingerprint — not the wall clock — is the correctness claim.
+
+Besides the per-node bench history the ``bench_recorder`` fixture keeps,
+this bench appends the same-shaped record to ``BENCH_fabric.json`` so
+the scale-out series has a stable, tool-friendly name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.fabric import WorkloadSpec, get_topology, run_sharded
+
+from benchmarks.conftest import fmt, print_table
+
+TOPOLOGY = "fat-tree-4"
+WORKLOAD = WorkloadSpec("uniform", flows=1200, seed=0,
+                        packets_per_flow=4, window_ticks=1024)
+SHARD_COUNTS = (1, 4)
+TARGET_SPEEDUP = 1.8
+
+
+def test_e17_fabric_scaleout(benchmark):
+    spec = get_topology(TOPOLOGY)
+
+    def sweep():
+        out = {}
+        for shards in SHARD_COUNTS:
+            started = time.perf_counter()
+            report = run_sharded(spec, WORKLOAD, shards=shards)
+            out[shards] = (report, time.perf_counter() - started)
+        return out
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    fingerprints = {report.fingerprint() for report, _ in measured.values()}
+    assert len(fingerprints) == 1, "shard counts changed the fingerprint"
+
+    base_report, base_wall = measured[1]
+    assert base_report.attempted >= 1000
+    assert base_report.healthy()
+
+    rows, pps = [], {}
+    for shards, (report, wall) in measured.items():
+        pps[shards] = report.attempted / wall
+        rows.append([
+            shards, report.attempted, report.delivered,
+            fmt(wall, 3), fmt(pps[shards], 0),
+            fmt(base_wall / wall, 2), report.fingerprint()[:12],
+        ])
+    speedup = base_wall / measured[4][1]
+    cpus = os.cpu_count() or 1
+    print_table(
+        f"E17: fabric scale-out, {TOPOLOGY} × {WORKLOAD.key} "
+        f"({cpus} CPUs)",
+        ["shards", "attempted", "delivered", "wall s", "pkts/s",
+         "speedup", "fingerprint"],
+        rows,
+    )
+
+    benchmark.extra_info.update({
+        "topology": TOPOLOGY,
+        "flows": WORKLOAD.flows,
+        "packets": base_report.attempted,
+        "pps_1": round(pps[1], 1),
+        "pps_4": round(pps[4], 1),
+        "speedup_4": round(speedup, 3),
+        "cpus": cpus,
+        "fingerprint": base_report.fingerprint(),
+    })
+    path = Path(__file__).parent / "BENCH_fabric.json"
+    history = json.loads(path.read_text()) if path.exists() else []
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "node": "benchmarks/test_bench_fabric.py::test_e17_fabric_scaleout",
+        "mean_s": base_wall,
+        "min_s": min(wall for _, wall in measured.values()),
+        "max_s": max(wall for _, wall in measured.values()),
+        "stddev_s": 0.0,
+        "rounds": 1,
+        "extra_info": dict(benchmark.extra_info),
+    })
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+    if cpus >= 4:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"4-shard speedup {speedup:.2f}x below {TARGET_SPEEDUP}x "
+            f"on a {cpus}-CPU machine"
+        )

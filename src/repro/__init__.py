@@ -12,6 +12,9 @@ The package mirrors the NetFPGA platform's layering:
                        links, 10/40/100G MACs, QDRII+/DDR3, PCIe DMA,
                        storage, power telemetry
 :mod:`repro.cores`     the reusable gateware building blocks
+:mod:`repro.fabric`    fabric workload engine: topology builders, seeded
+                       flow workloads, deterministic concurrent
+                       scheduling, sharded parallel execution
 :mod:`repro.faults`    deterministic fault injection + recovery accounting
 :mod:`repro.projects`  reference projects (NIC, switch, router, acceptance
                        test) and contributed projects (OSNT, BlueSwitch)
@@ -36,6 +39,7 @@ from repro import (
     board,
     core,
     cores,
+    fabric,
     faults,
     host,
     packet,
@@ -49,6 +53,7 @@ __all__ = [
     "board",
     "core",
     "cores",
+    "fabric",
     "faults",
     "host",
     "packet",

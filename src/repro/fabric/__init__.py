@@ -1,0 +1,96 @@
+"""Fabric workload engine: evaluation at network scale.
+
+The paper's opening claim is that open-source hardware prototyping
+matters because it scales evaluation from one device to *networks* of
+them.  This package is that scale-out layer, in four stages:
+
+1. **Topology builders** (:mod:`repro.fabric.topo`) — mininet-style
+   factories (``linear``, ``star``, ``leaf_spine``, ``fat_tree``) wire
+   statically-programmed reference switches into a
+   :class:`~repro.testenv.topology.Network`, attach named edge hosts,
+   and check the wiring invariants at build time.
+2. **Workload generators** (:mod:`repro.fabric.workload`) — seeded
+   flow descriptions (uniform / bursty / incast, request/response)
+   expanded as a pure function of ``(hosts, spec)``.
+3. **Deterministic concurrent scheduling**
+   (:mod:`repro.fabric.scheduler`) — thousands of in-flight flows
+   interleaved in seeded round-robin order; per-flow outcomes are
+   order-independent, summarized in a :class:`FabricReport` whose
+   fingerprint pins the run.
+4. **Sharded parallel execution** (:mod:`repro.fabric.shard`) —
+   independent flows partitioned across a process pool, each worker
+   rebuilding its own replica from the same seed, merged so the
+   fingerprint is identical for 1 and N shards.
+
+Quickstart::
+
+    from repro.fabric import get_topology, get_workload, run_sharded
+
+    report = run_sharded(get_topology("leaf-spine"),
+                         get_workload("incast-64"), shards=4)
+    assert report.healthy()
+    print(report.fingerprint())
+
+Fault plans compose exactly as with ``run_test``: pass a
+:class:`~repro.faults.FaultPlan` and wire loss, retransmits and link
+flaps are drawn deterministically per flow and per (host, epoch).
+"""
+
+from repro.fabric.scheduler import (
+    DEFAULT_MAX_INFLIGHT,
+    FLAP_EPOCH_TICKS,
+    FabricReport,
+    FlowRecord,
+    run_fabric,
+    run_flows,
+)
+from repro.fabric.shard import merge_reports, run_sharded
+from repro.fabric.topo import (
+    FabricError,
+    FabricSpec,
+    FabricTopology,
+    Host,
+    TOPOLOGIES,
+    fat_tree,
+    get_topology,
+    leaf_spine,
+    linear,
+    oversubscription,
+    star,
+)
+from repro.fabric.workload import (
+    Flow,
+    PATTERNS,
+    WORKLOADS,
+    WorkloadSpec,
+    generate_flows,
+    get_workload,
+)
+
+__all__ = [
+    "DEFAULT_MAX_INFLIGHT",
+    "FLAP_EPOCH_TICKS",
+    "FabricError",
+    "FabricReport",
+    "FabricSpec",
+    "FabricTopology",
+    "Flow",
+    "FlowRecord",
+    "Host",
+    "PATTERNS",
+    "TOPOLOGIES",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "fat_tree",
+    "generate_flows",
+    "get_topology",
+    "get_workload",
+    "leaf_spine",
+    "linear",
+    "merge_reports",
+    "oversubscription",
+    "run_fabric",
+    "run_flows",
+    "run_sharded",
+    "star",
+]

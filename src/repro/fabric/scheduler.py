@@ -1,0 +1,446 @@
+"""Deterministic concurrent flow scheduler and the fabric run report.
+
+:func:`run_flows` carries a workload's flows across a built fabric with
+thousands of flows in flight at once, interleaved in seeded round-robin
+order — and yet every per-flow outcome is a *pure function* of
+``(topology, workload, seed)``, independent of the interleaving.  Three
+ingredients make that true:
+
+* the fabric's switches are statically programmed (``learning=False``
+  plus :meth:`FabricTopology.learn`), so forwarding one flow's frames
+  never changes the state another flow's frames see;
+* every flow opens its own fault session via
+  ``plan.derived("fabric", flow_id)`` — independent decision streams,
+  not a shared sequential RNG that interleaving would reorder;
+* link-flap state is drawn per ``(host, epoch)`` from a derived seed —
+  a pure function, not a stateful schedule.
+
+Because outcomes are order-independent, the *same* code path can run a
+subset of flows (``flow_filter``) in a worker process and the merged
+results are byte-identical to the single-process run — the contract the
+sharded executor (:mod:`repro.fabric.shard`) and its fingerprint test
+rest on.
+
+The interleaving itself is still real: a heap of per-packet events keyed
+``(tick, rr, flow_id, …)`` where ``rr`` is a seeded per-flow hash, so
+packets of concurrent flows alternate rather than running flow-by-flow,
+and ``max_inflight`` bounds how many flows' events are resident at once
+(a memory bound only — it never shifts a packet's tick, which would
+leak scheduling into the flap-epoch draws).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Callable, Optional
+
+from repro.fabric.topo import FabricTopology
+from repro.fabric.workload import Flow, WorkloadSpec, generate_flows
+from repro.faults import FaultPlan, FaultSession, derive_seed
+from repro.packet.generator import make_udp_frame
+
+#: Ticks per link-flap epoch: a flapped (host, epoch) pair is down for
+#: this whole window, mirroring the soak harness's epoch granularity.
+FLAP_EPOCH_TICKS = 32
+
+#: Default bound on flows with resident scheduler events.
+DEFAULT_MAX_INFLIGHT = 1024
+
+#: Base UDP ports; the flow id is folded in so captures stay tellable.
+_SPORT_BASE = 40000
+_DPORT_BASE = 50000
+
+
+@dataclass
+class FlowRecord:
+    """Everything one flow did, in merge-friendly integer form."""
+
+    flow_id: int
+    src: str
+    dst: str
+    attempted: int = 0
+    delivered: int = 0
+    lost_wire: int = 0
+    lost_flap: int = 0
+    blackholed: int = 0
+    dropped_hop_limit: int = 0
+    misdelivered: int = 0
+    retransmits: int = 0
+    bytes_delivered: int = 0
+    hops_total: int = 0
+    hops_max: int = 0
+
+    def signature(self) -> tuple:
+        """The flow's contribution to the run fingerprint."""
+        return (
+            self.flow_id, self.src, self.dst, self.attempted,
+            self.delivered, self.lost_wire, self.lost_flap,
+            self.blackholed, self.dropped_hop_limit, self.misdelivered,
+            self.retransmits, self.bytes_delivered, self.hops_total,
+            self.hops_max,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "flow_id": self.flow_id, "src": self.src, "dst": self.dst,
+            "attempted": self.attempted, "delivered": self.delivered,
+            "lost_wire": self.lost_wire, "lost_flap": self.lost_flap,
+            "blackholed": self.blackholed,
+            "dropped_hop_limit": self.dropped_hop_limit,
+            "misdelivered": self.misdelivered,
+            "retransmits": self.retransmits,
+            "bytes_delivered": self.bytes_delivered,
+            "hops_total": self.hops_total, "hops_max": self.hops_max,
+        }
+
+
+@dataclass
+class FabricReport:
+    """The outcome of one fabric run (or one shard of it).
+
+    The :meth:`fingerprint` covers only order-independent observables —
+    per-flow records, per-device forwarded totals, fault counters and
+    the hop histogram — never ``shards``, ``max_inflight`` or wall-clock
+    time, so the same ``(topology, workload, seed)`` fingerprints
+    identically no matter how the run was parallelised.
+    """
+
+    topology: str
+    workload: str
+    seed: int
+    plan: Optional[str] = None
+    records: list[FlowRecord] = field(default_factory=list)
+    device_forwarded: dict[str, int] = field(default_factory=dict)
+    fault_counters: dict[str, int] = field(default_factory=dict)
+    hops_hist: dict[int, int] = field(default_factory=dict)
+    shards: int = 1
+    elapsed_s: float = 0.0
+
+    # -- aggregates ----------------------------------------------------
+    def _total(self, name: str) -> int:
+        return sum(getattr(r, name) for r in self.records)
+
+    @property
+    def attempted(self) -> int:
+        return self._total("attempted")
+
+    @property
+    def delivered(self) -> int:
+        return self._total("delivered")
+
+    @property
+    def lost(self) -> int:
+        return (self._total("lost_wire") + self._total("lost_flap")
+                + self._total("blackholed") + self._total("dropped_hop_limit"))
+
+    @property
+    def misdelivered(self) -> int:
+        return self._total("misdelivered")
+
+    @property
+    def packets_per_second(self) -> float:
+        return self.attempted / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def healthy(self) -> bool:
+        """No silent failures: nothing blackholed or misdelivered.
+
+        Fault-plan losses (wire, flap, hop limit) are *accounted*
+        losses, not health failures.
+        """
+        return self._total("blackholed") == 0 and self.misdelivered == 0
+
+    # -- the determinism contract --------------------------------------
+    def signature(self) -> dict:
+        return {
+            "topology": self.topology,
+            "workload": self.workload,
+            "seed": self.seed,
+            "plan": self.plan,
+            "flows": [r.signature() for r in
+                      sorted(self.records, key=lambda r: r.flow_id)],
+            "device_forwarded": dict(sorted(self.device_forwarded.items())),
+            "fault_counters": dict(sorted(self.fault_counters.items())),
+            "hops_hist": {str(k): v for k, v in
+                          sorted(self.hops_hist.items())},
+        }
+
+    def fingerprint(self) -> str:
+        canon = json.dumps(self.signature(), sort_keys=True,
+                           separators=(",", ":"))
+        return sha256(canon.encode()).hexdigest()
+
+    def as_dict(self, per_flow: bool = False) -> dict:
+        out = {
+            "topology": self.topology,
+            "workload": self.workload,
+            "seed": self.seed,
+            "plan": self.plan,
+            "shards": self.shards,
+            "flows": len(self.records),
+            "attempted": self.attempted,
+            "delivered": self.delivered,
+            "lost_wire": self._total("lost_wire"),
+            "lost_flap": self._total("lost_flap"),
+            "blackholed": self._total("blackholed"),
+            "dropped_hop_limit": self._total("dropped_hop_limit"),
+            "misdelivered": self.misdelivered,
+            "retransmits": self._total("retransmits"),
+            "bytes_delivered": self._total("bytes_delivered"),
+            "elapsed_s": round(self.elapsed_s, 6),
+            "packets_per_second": round(self.packets_per_second, 1),
+            "device_forwarded": dict(sorted(self.device_forwarded.items())),
+            "fault_counters": dict(sorted(self.fault_counters.items())),
+            "hops_hist": {str(k): v for k, v in
+                          sorted(self.hops_hist.items())},
+            "healthy": self.healthy(),
+            "fingerprint": self.fingerprint(),
+        }
+        if per_flow:
+            out["per_flow"] = [r.as_dict() for r in
+                               sorted(self.records, key=lambda r: r.flow_id)]
+        return out
+
+    # -- telemetry -----------------------------------------------------
+    def feed(self, registry) -> None:
+        """Publish the run's stats into a telemetry MetricsRegistry.
+
+        All fabric series are cycle-independent (they describe delivered
+        work, not pipeline timing), so they join the sim/hw parity set.
+        """
+        outcomes = registry.counter(
+            "fabric_packets_total",
+            "Fabric packets by final outcome",
+            labelnames=("outcome",),
+        )
+        for name in ("delivered", "lost_wire", "lost_flap",
+                     "blackholed", "dropped_hop_limit", "misdelivered"):
+            count = self._total(name)
+            if count:
+                outcomes.labels(name).inc(count)
+        registry.counter(
+            "fabric_bytes_delivered_total", "Payload bytes delivered",
+        ).inc(self._total("bytes_delivered"))
+        registry.counter(
+            "fabric_flows_total", "Flows carried by fabric runs",
+        ).inc(len(self.records))
+        forwarded = registry.counter(
+            "fabric_device_forwarded_total",
+            "Packets each fabric device forwarded",
+            labelnames=("device",),
+        )
+        for device, count in sorted(self.device_forwarded.items()):
+            if count:
+                forwarded.labels(device).inc(count)
+        hops = registry.histogram(
+            "fabric_delivery_hops",
+            "Device hops per delivered packet",
+            buckets=(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0),
+            cycle_dependent=False,
+        )
+        for hop, count in sorted(self.hops_hist.items()):
+            for _ in range(count):
+                hops.observe(float(hop))
+
+
+# ----------------------------------------------------------------------
+# Flap state: a pure function of (plan.seed, host, epoch)
+# ----------------------------------------------------------------------
+class _FlapOracle:
+    """Answers "is this host's edge link down during this epoch?".
+
+    Each distinct ``(host, epoch)`` pair draws once from its own derived
+    seed, so the answer never depends on which flow asked first — the
+    property that keeps flap loss identical across shard counts.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan]):
+        self._plan = plan
+        self._cache: dict[tuple[str, int], bool] = {}
+        self.enabled = (plan is not None and plan.ctrl is not None
+                        and plan.ctrl.flap_rate > 0)
+
+    def down(self, host: str, epoch: int) -> bool:
+        if not self.enabled:
+            return False
+        key = (host, epoch)
+        if key not in self._cache:
+            session = self._plan.derived("fabric-flap", host, epoch).session()
+            self._cache[key] = session.link_flap_faults()
+        return self._cache[key]
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+@dataclass(order=True)
+class _Event:
+    """One packet send, ordered for the interleaving heap."""
+
+    tick: int
+    rr: int          # seeded per-flow hash: round-robin tie-break
+    flow_id: int
+    is_response: bool
+    pkt_index: int
+    flow: Flow = field(compare=False)
+    record: FlowRecord = field(compare=False)
+    session: FaultSession = field(compare=False)
+
+
+def _flow_events(flow: Flow, record: FlowRecord, session: FaultSession,
+                 rr_seed: int) -> list[_Event]:
+    rr = derive_seed(rr_seed, "rr", flow.flow_id) & 0xFFFFFFFF
+    events = [
+        _Event(flow.start_tick + i * flow.gap_ticks, rr, flow.flow_id,
+               False, i, flow, record, session)
+        for i in range(flow.packets)
+    ]
+    if flow.response_packets:
+        # Responses start strictly after the last request tick, so by
+        # heap order every request outcome is on the record before the
+        # first response is considered.
+        first = flow.start_tick + flow.packets * flow.gap_ticks + 1
+        events.extend(
+            _Event(first + i * flow.gap_ticks, rr, flow.flow_id,
+                   True, i, flow, record, session)
+            for i in range(flow.response_packets)
+        )
+    return events
+
+
+def _send_packet(
+    topology: FabricTopology,
+    event: _Event,
+    flap: _FlapOracle,
+    hops_hist: Counter,
+) -> None:
+    flow, record, session = event.flow, event.record, event.session
+    if event.is_response and record.delivered == 0:
+        return  # the request never arrived: there is no RPC to answer
+    src = topology.hosts[flow.dst if event.is_response else flow.src]
+    dst = topology.hosts[flow.src if event.is_response else flow.dst]
+    record.attempted += 1
+    if flap.down(src.name, event.tick // FLAP_EPOCH_TICKS):
+        record.lost_flap += 1
+        session.counters["flap_lost_frames"] += 1
+        return
+    retrans_before = session.counters.get("link_retransmits", 0)
+    delivered_to_wire = session.link_transfer()
+    record.retransmits += (
+        session.counters.get("link_retransmits", 0) - retrans_before
+    )
+    if not delivered_to_wire:
+        record.lost_wire += 1
+        return
+    frame = make_udp_frame(
+        src.mac, dst.mac, src.ip, dst.ip,
+        _SPORT_BASE + (flow.flow_id % 10000),
+        _DPORT_BASE + (flow.flow_id % 10000),
+        size=flow.frame_size,
+    ).pack()
+    result = topology.network.inject(src.device, src.port, frame)
+    record.dropped_hop_limit += result.dropped_hop_limit
+    hit = False
+    for delivery in result:
+        if (delivery.at.device == dst.device
+                and delivery.at.port.index == dst.port):
+            hit = True
+            record.delivered += 1
+            record.bytes_delivered += len(delivery.frame)
+            record.hops_total += delivery.hops
+            record.hops_max = max(record.hops_max, delivery.hops)
+            hops_hist[delivery.hops] += 1
+        else:
+            record.misdelivered += 1
+    if not hit and not result.dropped_hop_limit:
+        record.blackholed += 1
+
+
+def run_flows(
+    topology: FabricTopology,
+    spec: WorkloadSpec,
+    plan: Optional[FaultPlan] = None,
+    *,
+    flow_filter: Optional[Callable[[Flow], bool]] = None,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    shards: int = 1,
+) -> FabricReport:
+    """Run a workload over a fabric; returns the :class:`FabricReport`.
+
+    ``flow_filter`` selects the subset of generated flows this call
+    carries (the sharded executor passes ``flow_id % shards == index``);
+    the report then covers just that subset, and merging subset reports
+    reproduces the full-run report exactly.
+    """
+    if max_inflight < 1:
+        raise ValueError("max_inflight must be >= 1")
+    topology.learn()
+    flows = generate_flows(topology.host_names(), spec)
+    if flow_filter is not None:
+        flows = [f for f in flows if flow_filter(f)]
+
+    flap = _FlapOracle(plan)
+    fault_counters: Counter[str] = Counter()
+    records: list[FlowRecord] = []
+    hops_hist: Counter[int] = Counter()
+    started = time.perf_counter()
+
+    # Admit flows to the heap in start order, at most max_inflight at a
+    # time; a flow's events enter together so its packet spacing holds.
+    pending = sorted(flows, key=lambda f: (f.start_tick, f.flow_id))
+    heap: list[_Event] = []
+    resident: dict[int, int] = {}  # flow_id -> events still in the heap
+    cursor = 0
+
+    def admit() -> None:
+        nonlocal cursor
+        while cursor < len(pending) and len(resident) < max_inflight:
+            flow = pending[cursor]
+            cursor += 1
+            record = FlowRecord(flow.flow_id, flow.src, flow.dst)
+            records.append(record)
+            session = (plan.derived("fabric", flow.flow_id).session()
+                       if plan is not None else FaultPlan("none").session())
+            events = _flow_events(flow, record, session, spec.seed)
+            resident[flow.flow_id] = len(events)
+            for event in events:
+                heapq.heappush(heap, event)
+
+    admit()
+    while heap:
+        event = heapq.heappop(heap)
+        _send_packet(topology, event, flap, hops_hist)
+        resident[event.flow_id] -= 1
+        if not resident[event.flow_id]:
+            del resident[event.flow_id]
+            fault_counters.update(event.session.counters)
+            admit()
+
+    return FabricReport(
+        topology=topology.key,
+        workload=spec.key,
+        seed=spec.seed,
+        plan=plan.name if plan is not None else None,
+        records=sorted(records, key=lambda r: r.flow_id),
+        device_forwarded=topology.device_forwarded(),
+        fault_counters=dict(sorted(fault_counters.items())),
+        hops_hist=dict(sorted(hops_hist.items())),
+        shards=shards,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def run_fabric(
+    topology_spec,
+    workload: WorkloadSpec,
+    plan: Optional[FaultPlan] = None,
+    *,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+) -> FabricReport:
+    """Build a fabric from its spec and run a workload over it."""
+    return run_flows(topology_spec.build(), workload, plan,
+                     max_inflight=max_inflight)

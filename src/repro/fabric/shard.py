@@ -1,0 +1,127 @@
+"""Sharded parallel fabric execution with a deterministic merge.
+
+Flows whose outcomes are pure functions of ``(topology, workload,
+seed)`` are embarrassingly parallel: :func:`run_sharded` partitions them
+by ``flow_id % shards`` across a ``multiprocessing`` pool.  Each worker
+rebuilds its *own* network replica from the picklable
+:class:`FabricSpec` (device models are stateful and unpicklable — the
+spec travels, not the network), regenerates the flow list from the same
+seed, runs only its slice, and ships back its :class:`FabricReport`.
+
+The merge is deterministic by construction: per-flow records are
+disjoint (concatenate, sort by ``flow_id``), per-device forwarded
+counts, fault counters and hop histograms are order-independent sums.
+So ``run_sharded(spec, wl, shards=N).fingerprint()`` is byte-identical
+for every ``N`` — the invariant the fabric test suite and the CI smoke
+job pin — while wall-clock throughput scales with cores.
+
+``parallel=False`` (or ``shards=1``) runs the same partition/merge path
+in-process — the reference the pool path is checked against, and the
+fallback when a pool is unavailable (e.g. a daemonic parent process).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import Counter
+from typing import Optional
+
+from repro.fabric.scheduler import (
+    DEFAULT_MAX_INFLIGHT,
+    FabricReport,
+    run_flows,
+)
+from repro.fabric.topo import FabricSpec
+from repro.fabric.workload import WorkloadSpec
+from repro.faults import FaultPlan
+
+
+def _run_shard(
+    spec: FabricSpec,
+    workload: WorkloadSpec,
+    plan: Optional[FaultPlan],
+    shards: int,
+    index: int,
+    max_inflight: int,
+) -> FabricReport:
+    """One worker's slice: rebuild the fabric, carry flows ≡ index (mod
+    shards).  Module-level so the pool can pickle it."""
+    topology = spec.build()
+    return run_flows(
+        topology, workload, plan,
+        flow_filter=lambda flow: flow.flow_id % shards == index,
+        max_inflight=max_inflight,
+        shards=shards,
+    )
+
+
+def merge_reports(reports: list[FabricReport], shards: int) -> FabricReport:
+    """Fold shard reports into the run report, deterministically.
+
+    Records concatenate (flow partitions are disjoint) and sort by flow
+    id; every aggregate is an order-independent sum.  Shard wall-clock
+    times overlap, so ``elapsed_s`` takes the slowest shard.
+    """
+    if not reports:
+        raise ValueError("nothing to merge")
+    head = reports[0]
+    for other in reports[1:]:
+        if (other.topology, other.workload, other.seed, other.plan) != (
+            head.topology, head.workload, head.seed, head.plan
+        ):
+            raise ValueError("cannot merge reports of different runs")
+    forwarded: Counter[str] = Counter()
+    faults: Counter[str] = Counter()
+    hops: Counter[int] = Counter()
+    records = []
+    for report in reports:
+        records.extend(report.records)
+        forwarded.update(report.device_forwarded)
+        faults.update(report.fault_counters)
+        hops.update(report.hops_hist)
+    seen = [r.flow_id for r in records]
+    if len(seen) != len(set(seen)):
+        raise ValueError("shard partitions overlap: duplicate flow ids")
+    return FabricReport(
+        topology=head.topology,
+        workload=head.workload,
+        seed=head.seed,
+        plan=head.plan,
+        records=sorted(records, key=lambda r: r.flow_id),
+        device_forwarded=dict(sorted(forwarded.items())),
+        fault_counters=dict(sorted(faults.items())),
+        hops_hist=dict(sorted(hops.items())),
+        shards=shards,
+        elapsed_s=max(r.elapsed_s for r in reports),
+    )
+
+
+def run_sharded(
+    spec: FabricSpec,
+    workload: WorkloadSpec,
+    plan: Optional[FaultPlan] = None,
+    *,
+    shards: int = 1,
+    parallel: bool = True,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+) -> FabricReport:
+    """Run a fabric workload across ``shards`` partitions and merge.
+
+    With ``parallel=True`` and ``shards > 1`` the partitions run in a
+    ``multiprocessing.Pool`` of ``shards`` workers; otherwise they run
+    sequentially in-process through the identical partition/merge path.
+    Either way the merged report's fingerprint equals the 1-shard run's.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if shards == 1:
+        return run_flows(spec.build(), workload, plan,
+                         max_inflight=max_inflight)
+    jobs = [(spec, workload, plan, shards, index, max_inflight)
+            for index in range(shards)]
+    if parallel:
+        with multiprocessing.Pool(processes=shards) as pool:
+            reports = pool.starmap(_run_shard, jobs)
+    else:
+        reports = [_run_shard(*job) for job in jobs]
+    return merge_reports(reports, shards)

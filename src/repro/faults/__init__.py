@@ -39,6 +39,7 @@ from repro.faults.plan import (
     MmioFaultSpec,
     OqFaultSpec,
     available_plans,
+    derive_seed,
     get_plan,
     register_plan,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "MmioFaultSpec",
     "OqFaultSpec",
     "available_plans",
+    "derive_seed",
     "get_plan",
     "register_plan",
 ]

@@ -45,10 +45,22 @@ SITES = (
 )
 
 
-def _site_seed(seed: int, site: str) -> int:
-    """A process-stable sub-seed (built-in ``hash`` is salted; sha256 is not)."""
-    digest = hashlib.sha256(f"{seed}:{site}".encode()).digest()
+def derive_seed(seed: int, *parts: object) -> int:
+    """A process-stable sub-seed (built-in ``hash`` is salted; sha256 is not).
+
+    Any decision stream that must be independent of draw *order* — the
+    fabric engine's per-flow wire faults, per-(host, epoch) link flaps —
+    derives its own seed from the plan seed plus an identity tuple, so
+    the outcome is a pure function of ``(seed, parts)`` no matter how
+    work is interleaved or sharded across processes.
+    """
+    text = ":".join([str(seed), *(str(p) for p in parts)])
+    digest = hashlib.sha256(text.encode()).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def _site_seed(seed: int, site: str) -> int:
+    return derive_seed(seed, site)
 
 
 def _check_rates(*rates: float) -> None:
@@ -165,6 +177,16 @@ class FaultPlan:
 
     def with_seed(self, seed: int) -> "FaultPlan":
         return replace(self, seed=seed)
+
+    def derived(self, *parts: object) -> "FaultPlan":
+        """The same specs under a sub-seed bound to ``parts``.
+
+        ``plan.derived("fabric", flow_id).session()`` gives every flow
+        its own deterministic decision stream: draws for one flow never
+        perturb another's, which is what keeps a sharded fabric run's
+        fault schedule identical to the single-process one.
+        """
+        return self.with_seed(derive_seed(self.seed, *parts))
 
     def session(self) -> "FaultSession":
         """Open a fresh deterministic decision stream for one run."""
@@ -496,6 +518,15 @@ register_plan(
         "ctrl-chaos", seed,
         ctrl=CtrlFaultSpec(write_drop_rate=0.20, write_corrupt_rate=0.10,
                            reset_rate=0.25, flap_rate=0.15, max_burst=2),
+    ),
+)
+register_plan(
+    "flaky-fabric",
+    lambda seed: FaultPlan(
+        "flaky-fabric", seed,
+        link=LinkFaultSpec(drop_rate=0.08, corrupt_rate=0.04, lose_rate=0.03,
+                           max_burst=2, max_attempts=6),
+        ctrl=CtrlFaultSpec(flap_rate=0.10, max_burst=2),
     ),
 )
 register_plan(

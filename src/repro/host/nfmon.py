@@ -13,7 +13,8 @@ telemetry session attached and exposes the measurement three ways::
 Prometheus text); ``watch`` streams interval rows while the kernel runs
 (sim mode only — it rides the session's per-cycle callback); ``trace``
 writes the Chrome ``trace_event`` JSON that ``chrome://tracing`` and
-Perfetto load.  ``scenarios`` lists what can be monitored.
+Perfetto load.  ``scenarios`` lists what can be monitored; ``soak`` and
+``fabric`` run the chaos soak and the fabric workload engine.
 
 Every command is a plain function returning an exit code, so tests call
 them directly; the console entry point is :func:`main`.
@@ -171,6 +172,67 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.converged and not report.invariant_failures else 1
 
 
+def cmd_fabric(args: argparse.Namespace) -> int:
+    from repro.fabric import get_topology, get_workload, run_sharded
+    from repro.faults import get_plan
+
+    try:
+        spec = get_topology(args.topo)
+        workload = get_workload(args.workload).with_seed(args.seed)
+        plan = (get_plan(args.faults, seed=args.seed)
+                if args.faults else None)
+        report = run_sharded(
+            spec, workload, plan,
+            shards=args.shards, parallel=not args.inline,
+        )
+    except ValueError as exc:
+        # Unknown topology/workload/plan preset — operator error.
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.as_dict(per_flow=args.per_flow), indent=2))
+    else:
+        print(f"# fabric {report.topology} × {report.workload} "
+              f"seed={report.seed} shards={report.shards}"
+              + (f" faults={report.plan}" if report.plan else ""))
+        rows = [
+            ("flows", len(report.records)),
+            ("packets attempted", report.attempted),
+            ("packets delivered", report.delivered),
+            ("lost on wire", sum(r.lost_wire for r in report.records)),
+            ("lost to link flaps", sum(r.lost_flap for r in report.records)),
+            ("hop-limit drops", sum(r.dropped_hop_limit for r in report.records)),
+            ("blackholed", sum(r.blackholed for r in report.records)),
+            ("misdelivered", report.misdelivered),
+            ("retransmits", sum(r.retransmits for r in report.records)),
+            ("bytes delivered", sum(r.bytes_delivered for r in report.records)),
+            ("packets/sec", round(report.packets_per_second, 1)),
+        ]
+        for label, value in rows:
+            print(f"  {label:24s} {value}")
+        print("  hops histogram:")
+        for hop, count in sorted(report.hops_hist.items()):
+            print(f"    {hop:2d} hops {count:>8d}")
+        print("  per-device forwarded:")
+        for device, count in sorted(report.device_forwarded.items()):
+            print(f"    {device:22s} {count}")
+        if args.per_flow:
+            print(f"  {'flow':>6s} {'src':>5s} {'dst':>5s} {'try':>5s} "
+                  f"{'ok':>5s} {'lost':>5s} {'hops≤':>5s}")
+            for record in report.records:
+                lost = (record.lost_wire + record.lost_flap
+                        + record.blackholed + record.dropped_hop_limit)
+                print(f"  {record.flow_id:>6d} {record.src:>5s} "
+                      f"{record.dst:>5s} {record.attempted:>5d} "
+                      f"{record.delivered:>5d} {lost:>5d} "
+                      f"{record.hops_max:>5d}")
+        print(f"  fingerprint: {report.fingerprint()}")
+        print(f"  healthy: {report.healthy()}")
+    return 0 if report.healthy() else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     session = TelemetrySession(args.mode)
     result = _run_scenario(args.scenario, args.mode, session, args.faults)
@@ -230,6 +292,26 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--mode", choices=("sim", "hw"), default="sim")
     soak.add_argument("--format", choices=("table", "json"), default="table")
     soak.set_defaults(func=cmd_soak)
+
+    fabric = sub.add_parser(
+        "fabric", help="run a fabric workload over a named topology"
+    )
+    fabric.add_argument("--topo", default="leaf-spine",
+                        help="a named fabric topology preset")
+    fabric.add_argument("--workload", default="uniform-small",
+                        help="a named workload preset")
+    fabric.add_argument("--seed", type=int, default=0)
+    fabric.add_argument("--shards", type=int, default=1,
+                        help="partition flows across this many workers")
+    fabric.add_argument("--inline", action="store_true",
+                        help="run shards sequentially in-process")
+    fabric.add_argument("--faults", default=None,
+                        help="run under a registered fault plan")
+    fabric.add_argument("--format", choices=("table", "json"),
+                        default="table")
+    fabric.add_argument("--per-flow", action="store_true",
+                        help="include the per-flow stats table")
+    fabric.set_defaults(func=cmd_fabric)
     return parser
 
 

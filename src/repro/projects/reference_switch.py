@@ -10,24 +10,42 @@ among the reference projects (experiment E3).
 from __future__ import annotations
 
 from repro.core.axis import AxiStreamChannel
+from repro.core.metadata import NUM_PHYS_PORTS, phys_port_bit
 from repro.cores.lookups import LearningSwitchLookup, SwitchLiteLookup
 from repro.cores.output_port_lookup import OutputPortLookup
 from repro.cores.output_queues import QueueConfig
+from repro.packet.addresses import MacAddr
 from repro.projects.base import ReferencePipeline
 
 
 class ReferenceSwitch(ReferencePipeline):
-    """Learning Ethernet switch with a configurable MAC table size."""
+    """Learning Ethernet switch with a configurable MAC table size.
+
+    ``learning=False`` freezes the FDB: source addresses are no longer
+    inserted on ingress, so forwarding becomes a pure function of the
+    entries software installed with :meth:`install_static_mac` — the
+    statically programmed (SDN-style) switch the fabric builders deploy,
+    where dynamic learning over multipath wiring would be
+    order-dependent and loops would storm.
+    """
 
     DESCRIPTION = "Reference learning switch: CAM MAC table, flood on miss"
 
-    def __init__(self, name: str = "reference_switch", table_size: int = 512):
+    def __init__(
+        self,
+        name: str = "reference_switch",
+        table_size: int = 512,
+        learning: bool = True,
+    ):
         self.table_size = table_size
+        self.learning = learning
 
         def make_opl(
             opl_name: str, s: AxiStreamChannel, m: AxiStreamChannel
         ) -> OutputPortLookup:
-            return LearningSwitchLookup(opl_name, s, m, table_size=table_size)
+            return LearningSwitchLookup(
+                opl_name, s, m, table_size=table_size, learn=learning
+            )
 
         super().__init__(name, make_opl, QueueConfig(capacity_bytes=128 * 1024))
 
@@ -35,6 +53,18 @@ class ReferenceSwitch(ReferencePipeline):
     def mac_table(self):
         """The switch's CAM, for software-side inspection."""
         return self.opl.mac_table  # type: ignore[attr-defined]
+
+    def install_static_mac(self, mac: MacAddr | str, port_index: int) -> bool:
+        """Pin ``mac`` to physical port ``port_index`` in the FDB.
+
+        The same CAM write the learning path performs, driven from
+        software — False means the table rejected the entry (full with
+        eviction disabled).
+        """
+        if not 0 <= port_index < NUM_PHYS_PORTS:
+            raise ValueError(f"physical port index {port_index} out of range")
+        value = mac.value if isinstance(mac, MacAddr) else MacAddr.parse(mac).value
+        return self.mac_table.insert(value, phys_port_bit(port_index))
 
     def _wipe_volatile(self) -> None:
         """A soft reset forgets every learned (and static) MAC entry."""

@@ -39,6 +39,7 @@ from repro.telemetry.probes import (
     ProbedChannel,
     probe_dma,
     probe_driver,
+    probe_fabric,
     probe_faults,
     probe_resilience,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "ProbedChannel",
     "probe_dma",
     "probe_driver",
+    "probe_fabric",
     "probe_faults",
     "probe_resilience",
     "TelemetrySession",

@@ -357,6 +357,24 @@ def probe_faults(fault_session: Any, session: "TelemetrySession") -> None:
     fault_session.on_fault = hook
 
 
+def probe_fabric(report: Any, session: "TelemetrySession") -> None:
+    """Publish a finished fabric run into a telemetry session.
+
+    Fabric runs are transaction-level and post-hoc: there is no hot loop
+    to hook, so the probe simply feeds the
+    :class:`~repro.fabric.FabricReport`'s order-independent aggregates
+    into the registry (all ``cycle_dependent=False`` — they describe
+    delivered work, so they join the sim/hw parity set) and emits one
+    trace span per run for the timeline view.
+    """
+    report.feed(session.registry)
+    session.trace.emit(
+        "fabric_run",
+        f"{report.topology}:{report.workload}@{report.shards}",
+        ts=session.trace.clock(),
+    )
+
+
 #: The control plane's reconciliation/supervision ledger, mirrored into
 #: the registry.  Deliberately ``cycle_dependent=False``: these counters
 #: are pure functions of the (plan, seed, tick sequence), so they join

@@ -10,13 +10,19 @@ hop limit standing in for TTL on L2 storms.
 The model is transaction-level: one injected packet is carried to
 quiescence before the next (the same semantics as the ``hw`` harness
 target, extended across devices).
+
+:meth:`Network.inject` returns an :class:`InjectionResult` — a list of
+the deliveries the injection produced that also carries the number of
+in-flight copies the hop limit truncated, so broadcast-storm clamping is
+observable per injection (and cumulatively via
+:attr:`Network.dropped_hop_limit`) instead of silently vanishing.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.projects.base import PortRef, ReferencePipeline
 
@@ -48,6 +54,23 @@ class Delivery:
 
 class TopologyError(RuntimeError):
     """Bad wiring: unknown device, port reuse, self-links."""
+
+
+class InjectionResult(list):
+    """The deliveries of one injection, plus what the hop limit ate.
+
+    Behaves exactly like the ``list[Delivery]`` :meth:`Network.inject`
+    always returned (so existing callers are untouched) and additionally
+    exposes :attr:`dropped_hop_limit` — the number of in-flight copies
+    this injection lost to the hop limit, the per-injection slice of the
+    network-wide :attr:`Network.dropped_hop_limit` counter.
+    """
+
+    __slots__ = ("dropped_hop_limit",)
+
+    def __init__(self, deliveries=(), dropped_hop_limit: int = 0):
+        super().__init__(deliveries)
+        self.dropped_hop_limit = dropped_hop_limit
 
 
 class Network:
@@ -107,15 +130,40 @@ class Network:
         ]
 
     # ------------------------------------------------------------------
+    # Graph introspection (what the fabric builders walk)
+    # ------------------------------------------------------------------
+    def device_names(self) -> list[str]:
+        """All device names, sorted (the graph's vertex set)."""
+        return sorted(self._devices)
+
+    def neighbors(self, device: str) -> dict[int, tuple[str, int]]:
+        """``{local_port: (peer_device, peer_port)}`` for one device."""
+        self.device(device)
+        return {
+            attachment.port.index: (peer.device, peer.port.index)
+            for attachment, peer in self._links.items()
+            if attachment.device == device
+        }
+
+    def links(self) -> Iterator[tuple[Attachment, Attachment]]:
+        """Every cable once, ends ordered by (device, port)."""
+        for a, b in self._links.items():
+            if (a.device, a.port.index) < (b.device, b.port.index):
+                yield a, b
+
+    # ------------------------------------------------------------------
     # Traffic
     # ------------------------------------------------------------------
-    def inject(self, device: str, port: int, frame: bytes) -> list[Delivery]:
+    def inject(self, device: str, port: int, frame: bytes) -> InjectionResult:
         """Carry one packet (and every copy it spawns) to quiescence.
 
-        Returns the deliveries this injection produced (also appended to
-        :attr:`deliveries`).
+        Returns an :class:`InjectionResult`: the deliveries this
+        injection produced (also appended to :attr:`deliveries`) plus the
+        count of copies the hop limit truncated, so storm clamping is
+        accounted rather than silent.
         """
         first = len(self.deliveries)
+        drops_before = self.dropped_hop_limit
         work: deque[tuple[Attachment, bytes, int]] = deque(
             [(Attachment(device, PortRef("phys", port)), frame, 0)]
         )
@@ -155,7 +203,10 @@ class Network:
                     self.dropped_hop_limit += 1
                     continue
                 work.append((peer, out_frame, hops + 1))
-        return self.deliveries[first:]
+        return InjectionResult(
+            self.deliveries[first:],
+            dropped_hop_limit=self.dropped_hop_limit - drops_before,
+        )
 
     def run(self, traffic: list[tuple[str, int, bytes]]) -> list[Delivery]:
         """Inject a sequence of ``(device, port, frame)``; returns all

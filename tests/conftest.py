@@ -16,6 +16,11 @@ def pytest_configure(config):
         "telemetry: metrics registry, tracing and probe coverage "
         "(run just these with -m telemetry)",
     )
+    config.addinivalue_line(
+        "markers",
+        "fabric: topology builders, workload engine and sharded "
+        "execution coverage (run just these with -m fabric)",
+    )
 
 from repro.packet.addresses import Ipv4Addr, MacAddr
 from repro.packet.generator import make_udp_frame

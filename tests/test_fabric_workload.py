@@ -1,0 +1,101 @@
+"""Workload generators: seeded expansion, pattern shapes, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric import (
+    WORKLOADS,
+    WorkloadSpec,
+    generate_flows,
+    get_workload,
+)
+
+pytestmark = pytest.mark.fabric
+
+HOSTS = [f"h{i}" for i in range(8)]
+
+
+class TestGeneration:
+    def test_same_spec_same_flows(self):
+        spec = WorkloadSpec("uniform", flows=50, seed=42)
+        assert generate_flows(HOSTS, spec) == generate_flows(HOSTS, spec)
+
+    def test_different_seed_different_flows(self):
+        a = generate_flows(HOSTS, WorkloadSpec("uniform", flows=50, seed=1))
+        b = generate_flows(HOSTS, WorkloadSpec("uniform", flows=50, seed=2))
+        assert a != b
+
+    def test_flow_fields_are_sane(self):
+        spec = WorkloadSpec("uniform", flows=100, seed=7,
+                            packets_per_flow=4, window_ticks=128)
+        for flow in generate_flows(HOSTS, spec):
+            assert flow.src != flow.dst
+            assert flow.src in HOSTS and flow.dst in HOSTS
+            assert 1 <= flow.packets <= 4
+            assert 0 <= flow.response_packets <= flow.packets
+            assert 0 <= flow.start_tick < 128
+            assert flow.gap_ticks >= 1
+            assert flow.frame_size >= 64
+            assert flow.request_bytes == flow.frame_size * flow.packets
+
+    def test_flow_identity_is_positional(self):
+        """Flow i is the same no matter how many flows are generated —
+        the property sharding by ``flow_id % shards`` rests on."""
+        spec10 = WorkloadSpec("uniform", flows=10, seed=9)
+        spec100 = WorkloadSpec("uniform", flows=100, seed=9)
+        first10 = generate_flows(HOSTS, spec100)[:10]
+        assert generate_flows(HOSTS, spec10) == first10
+
+
+class TestPatterns:
+    def test_bursty_starts_are_wave_aligned(self):
+        spec = WorkloadSpec("bursty", flows=64, seed=3,
+                            window_ticks=128, burst_gap=32)
+        starts = {f.start_tick for f in generate_flows(HOSTS, spec)}
+        assert starts <= {0, 32, 64, 96}
+
+    def test_incast_converges_on_one_sink_per_wave(self):
+        spec = WorkloadSpec("incast", flows=32, seed=5,
+                            window_ticks=64, burst_gap=16)
+        flows = generate_flows(HOSTS, spec)
+        by_wave: dict[int, set[str]] = {}
+        for flow in flows:
+            by_wave.setdefault(flow.start_tick, set()).add(flow.dst)
+        for sinks in by_wave.values():
+            assert len(sinks) == 1  # everyone in a wave hits the same host
+        for flow in flows:
+            assert flow.src != flow.dst
+
+    def test_uniform_spreads_sources(self):
+        spec = WorkloadSpec("uniform", flows=200, seed=11)
+        sources = {f.src for f in generate_flows(HOSTS, spec)}
+        assert len(sources) > len(HOSTS) // 2
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload pattern"):
+            WorkloadSpec("fractal")
+        with pytest.raises(ValueError):
+            WorkloadSpec("uniform", flows=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec("uniform", packets_per_flow=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec("uniform", response_ratio=1.5)
+
+    def test_needs_two_hosts(self):
+        with pytest.raises(ValueError, match="two hosts"):
+            generate_flows(["h0"], WorkloadSpec("uniform"))
+
+    def test_preset_registry(self):
+        for name, spec in WORKLOADS.items():
+            assert get_workload(name) is spec
+        with pytest.raises(ValueError, match="available"):
+            get_workload("elephant-mice")
+
+    def test_with_seed_rebinds_only_the_seed(self):
+        spec = get_workload("incast-64").with_seed(99)
+        assert spec.seed == 99
+        assert spec.pattern == "incast"
+        assert spec.key == get_workload("incast-64").key

@@ -192,3 +192,57 @@ class TestSoakCommand:
         for field in ("mode", "forwarded_frames"):
             sim.pop(field), hw.pop(field)
         assert sim == hw
+
+
+@pytest.mark.fabric
+class TestFabricCommand:
+    def test_table_output_and_exit_zero(self, capsys):
+        assert main(["fabric", "--topo", "leaf-spine",
+                     "--workload", "uniform-small"]) == 0
+        out = capsys.readouterr().out
+        assert "fabric leaf_spine" in out
+        assert "packets delivered" in out
+        assert "per-device forwarded" in out
+        assert "fingerprint:" in out
+        assert "healthy: True" in out
+
+    def test_per_flow_table(self, capsys):
+        assert main(["fabric", "--topo", "star-3", "--per-flow"]) == 0
+        out = capsys.readouterr().out
+        assert "flow" in out and "src" in out and "dst" in out
+
+    def test_json_output_is_loadable(self, capsys):
+        assert main(["fabric", "--topo", "fat-tree-4",
+                     "--workload", "incast-64", "--faults", "flaky-fabric",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["plan"] == "flaky-fabric"
+        assert data["healthy"] is True
+        assert data["attempted"] == data["delivered"] + (
+            data["lost_wire"] + data["lost_flap"] + data["blackholed"]
+            + data["dropped_hop_limit"]
+        )
+
+    def test_shards_do_not_change_the_fingerprint(self, capsys):
+        assert main(["fabric", "--topo", "leaf-spine", "--seed", "4",
+                     "--format", "json"]) == 0
+        one = json.loads(capsys.readouterr().out)
+        assert main(["fabric", "--topo", "leaf-spine", "--seed", "4",
+                     "--shards", "2", "--inline", "--format", "json"]) == 0
+        two = json.loads(capsys.readouterr().out)
+        assert one["fingerprint"] == two["fingerprint"]
+        assert one["shards"] == 1 and two["shards"] == 2
+
+    def test_unknown_topology_exits_2(self, capsys):
+        assert main(["fabric", "--topo", "torus-9"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fabric topology" in err
+        assert "Traceback" not in err
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["fabric", "--workload", "elephants"]) == 2
+        assert "unknown fabric workload" in capsys.readouterr().err
+
+    def test_unknown_plan_exits_2(self, capsys):
+        assert main(["fabric", "--faults", "no-such-plan"]) == 2
+        assert "unknown fault plan" in capsys.readouterr().err

@@ -96,6 +96,41 @@ class TestSwitchedFabric:
         assert net.dropped_hop_limit > 0  # the storm hit the limit
         assert net.forwarded_hops < 500  # and was bounded
 
+    def test_injection_result_counts_hop_limit_drops(self):
+        """inject() returns the per-injection hop-limit toll alongside
+        the deliveries, and the network counter accumulates it."""
+        net = Network(hop_limit=20)
+        net.add_device("s1", ReferenceSwitch())
+        net.add_device("s2", ReferenceSwitch())
+        net.link("s1", 2, "s2", 2)
+        net.link("s1", 3, "s2", 3)
+        first = net.inject("s1", 0, udp_frame(src=1, dst=2))
+        assert first.dropped_hop_limit > 0
+        assert net.dropped_hop_limit == first.dropped_hop_limit
+        second = net.inject("s1", 0, udp_frame(src=3, dst=4))
+        # The second result reports only its own toll, not the total.
+        assert net.dropped_hop_limit == (
+            first.dropped_hop_limit + second.dropped_hop_limit
+        )
+
+    def test_injection_result_is_still_a_delivery_list(self):
+        net = two_switch_fabric()
+        net.inject("s1", 0, udp_frame(src=1, dst=2))  # learn host A
+        result = net.inject("s2", 1, udp_frame(src=2, dst=1))
+        assert isinstance(result, list)
+        assert result.dropped_hop_limit == 0
+        assert [d.frame for d in result] == [udp_frame(src=2, dst=1)]
+
+    def test_graph_introspection(self):
+        net = two_switch_fabric()
+        assert net.device_names() == ["s1", "s2"]
+        assert net.neighbors("s1") == {3: ("s2", 0)}
+        assert net.neighbors("s2") == {0: ("s1", 3)}
+        cables = list(net.links())
+        assert len(cables) == 1
+        with pytest.raises(TopologyError):
+            net.neighbors("nope")
+
 
 def routed_two_subnet_network() -> tuple[Network, ReferenceRouter, RouterManager]:
     """hostA—s1—r1—s2—hostB with subnets 10.0.0/24 and 10.0.1/24."""
