@@ -36,6 +36,13 @@ SUME_TUSER = BitField(
     ],
 )
 
+#: Compiled packer for the ingress-side TUSER build — the one fixed
+#: field pattern every behavioural forward and every injection executes.
+#: ``pack_tuser_len_src(length, src_bit)`` ==
+#: ``SUME_TUSER.pack(len=length, src_port=src_bit)``, including the
+#: out-of-range errors.
+pack_tuser_len_src = SUME_TUSER.packer("len", "src_port")
+
 #: Number of physical (SFP+) ports on a SUME board.
 NUM_PHYS_PORTS = 4
 #: Number of DMA queues towards the host.

@@ -33,6 +33,13 @@ class BinaryCam:
         self.insertions = 0
         self.evictions = 0
         self.rejects = 0
+        #: Monotonic state-change counter: bumps whenever the *visible
+        #: match state* changes (new entry, changed value, eviction,
+        #: deletion, clear) — and only then.  Re-learning an identical
+        #: (key, value) pair is a semantic no-op and must not bump, or
+        #: the flow-cache fast path above us could never stay warm on a
+        #: learning switch.
+        self.generation = 0
 
     def _check_key(self, key: int) -> None:
         if not 0 <= key < (1 << self.key_bits):
@@ -50,7 +57,9 @@ class BinaryCam:
         """Add or update an entry.  False = rejected (full, no eviction)."""
         self._check_key(key)
         if key in self._entries:
-            self._entries[key] = value
+            if self._entries[key] != value:
+                self._entries[key] = value
+                self.generation += 1
             return True
         if len(self._entries) >= self.capacity:
             if not self.evict_oldest:
@@ -60,14 +69,20 @@ class BinaryCam:
             self.evictions += 1
         self._entries[key] = value
         self.insertions += 1
+        self.generation += 1
         return True
 
     def delete(self, key: int) -> bool:
         self._check_key(key)
-        return self._entries.pop(key, None) is not None
+        if self._entries.pop(key, None) is None:
+            return False
+        self.generation += 1
+        return True
 
     def clear(self) -> None:
-        self._entries.clear()
+        if self._entries:
+            self._entries.clear()
+            self.generation += 1
 
     def __len__(self) -> int:
         return len(self._entries)

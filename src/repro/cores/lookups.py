@@ -96,6 +96,7 @@ class LearningSwitchLookup(OutputPortLookup):
         self.learn = learn
         #: VLAN membership: vid -> one-hot physical-port mask.
         self.vlan_members: dict[int, int] = {}
+        self._vlan_generation = 0
         self.registers = RegisterFile(f"{name}_regs")
         self.registers.add_register(
             "lut_hits", 0x00, read_only=True,
@@ -116,7 +117,12 @@ class LearningSwitchLookup(OutputPortLookup):
         """Restrict VLAN ``vid`` flooding to ``port_mask`` (one-hot)."""
         if not 0 <= vid <= 0xFFF:
             raise ValueError(f"VLAN ID out of range: {vid}")
+        if self.vlan_members.get(vid) != port_mask:
+            self._vlan_generation += 1
         self.vlan_members[vid] = port_mask
+
+    def state_generation(self) -> int:
+        return self.mac_table.generation + self._vlan_generation
 
     def _fdb_key(self, mac_value: int, vid: int) -> int:
         return (vid << 48) | mac_value if self.vlan_aware else mac_value

@@ -65,6 +65,10 @@ class LpmTable:
         self.size = 0
         self.lookups = 0
         self.hits = 0
+        #: Monotonic state-change counter (see BinaryCam.generation):
+        #: bumps on any route add, replace or delete — never on lookups
+        #: or on re-installing an identical entry.
+        self.generation = 0
 
     def _bits(self, addr: int, length: int):
         for i in range(length):
@@ -81,6 +85,8 @@ class LpmTable:
             if self.capacity is not None and self.size >= self.capacity:
                 return False
             self.size += 1
+        if node.entry != entry:
+            self.generation += 1
         node.entry = entry
         return True
 
@@ -99,6 +105,7 @@ class LpmTable:
             return False
         node.entry = None
         self.size -= 1
+        self.generation += 1
         return True
 
     def lookup(self, addr: Ipv4Addr) -> Optional[LpmEntry]:

@@ -50,6 +50,14 @@ class OutputPortLookup(Module):
 
     DECISION_LATENCY_CYCLES = 2
 
+    #: Whether ``decide()`` is a pure function of (header, TUSER) and the
+    #: lookup's *table* state.  The microflow fast path
+    #: (:mod:`repro.fastpath`) only caches decisions of lookups that
+    #: declare this; lookups with hidden per-packet state (e.g. the
+    #: firewall's SYN-flood detector) set it False and always take the
+    #: slow path.
+    CACHEABLE = True
+
     def __init__(self, name: str, s_axis: AxiStreamChannel, m_axis: AxiStreamChannel):
         super().__init__(name)
         self.s_axis = s_axis
@@ -81,6 +89,15 @@ class OutputPortLookup(Module):
 
     def bump(self, counter: str) -> None:
         self.counters[counter] = self.counters.get(counter, 0) + 1
+
+    def state_generation(self) -> int:
+        """Monotonic counter over the lookup's *decision-visible* state.
+
+        Cached decisions are valid exactly while this value is stable;
+        lookups with tables override it to sum their tables' generation
+        counters.  Table-less lookups are stateless, hence the constant.
+        """
+        return 0
 
     # ------------------------------------------------------------------
     # Kernel interface

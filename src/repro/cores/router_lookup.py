@@ -61,6 +61,7 @@ class RouterTables:
         # (its own interfaces plus anything software adds, e.g. OSPF
         # multicast groups in the reference router).
         self.ip_filter: set[int] = {ip.value for ip in port_ips}
+        self._filter_generation = 0
 
     def add_route(self, entry: LpmEntry) -> bool:
         return self.lpm.insert(entry)
@@ -69,7 +70,14 @@ class RouterTables:
         return self.arp.insert(ip.value, mac.value)
 
     def add_filter(self, ip: Ipv4Addr) -> None:
+        if ip.value not in self.ip_filter:
+            self._filter_generation += 1
         self.ip_filter.add(ip.value)
+
+    def generation(self) -> int:
+        """Monotonic counter over every table a forwarding decision reads."""
+        return (self.lpm.generation + self.arp.generation
+                + self._filter_generation)
 
     def clear_volatile(self) -> None:
         """Wipe everything software loaded: routes, ARP, extra filters.
@@ -82,6 +90,7 @@ class RouterTables:
             self.lpm.delete(entry.prefix, entry.prefix_len)
         self.arp.clear()
         self.ip_filter = {ip.value for ip in self.port_ips}
+        self._filter_generation += 1
 
 
 class RouterLookup(OutputPortLookup):
@@ -113,6 +122,9 @@ class RouterLookup(OutputPortLookup):
                 counter, offset, read_only=True,
                 on_read=lambda c=counter: self.counters.get(c, 0),
             )
+
+    def state_generation(self) -> int:
+        return self.tables.generation()
 
     # ------------------------------------------------------------------
     def _ingress_index(self, src_bits: int) -> Optional[int]:

@@ -120,6 +120,12 @@ class FabricReport:
     hops_hist: dict[int, int] = field(default_factory=dict)
     shards: int = 1
     elapsed_s: float = 0.0
+    #: Flow-cache statistics (hits/misses/... per cache layer).  Like
+    #: ``shards`` and ``elapsed_s`` these are *operational* data, not
+    #: observables: hit counts depend on how the run was partitioned
+    #: (each shard's caches start cold), so they stay out of
+    #: :meth:`signature` and the fingerprint.
+    fastpath: dict[str, int] = field(default_factory=dict)
 
     # -- aggregates ----------------------------------------------------
     def _total(self, name: str) -> int:
@@ -199,6 +205,7 @@ class FabricReport:
                           sorted(self.hops_hist.items())},
             "healthy": self.healthy(),
             "fingerprint": self.fingerprint(),
+            "fastpath": dict(sorted(self.fastpath.items())),
         }
         if per_flow:
             out["per_flow"] = [r.as_dict() for r in
@@ -312,11 +319,32 @@ def _flow_events(flow: Flow, record: FlowRecord, session: FaultSession,
     return events
 
 
+def flow_frame(
+    topology: FabricTopology, flow: Flow, is_response: bool = False
+) -> bytes:
+    """The wire frame for one direction of a flow.
+
+    A pure function of (topology hosts, flow, direction): every packet
+    of a direction is byte-identical, which is what lets the scheduler
+    build it once per flow instead of per packet — and what the E18
+    bench micro-asserts against a fresh ``make_udp_frame`` build.
+    """
+    src = topology.hosts[flow.dst if is_response else flow.src]
+    dst = topology.hosts[flow.src if is_response else flow.dst]
+    return make_udp_frame(
+        src.mac, dst.mac, src.ip, dst.ip,
+        _SPORT_BASE + (flow.flow_id % 10000),
+        _DPORT_BASE + (flow.flow_id % 10000),
+        size=flow.frame_size,
+    ).pack()
+
+
 def _send_packet(
     topology: FabricTopology,
     event: _Event,
     flap: _FlapOracle,
     hops_hist: Counter,
+    frames: dict[tuple[int, bool], bytes],
 ) -> None:
     flow, record, session = event.flow, event.record, event.session
     if event.is_response and record.delivered == 0:
@@ -336,12 +364,10 @@ def _send_packet(
     if not delivered_to_wire:
         record.lost_wire += 1
         return
-    frame = make_udp_frame(
-        src.mac, dst.mac, src.ip, dst.ip,
-        _SPORT_BASE + (flow.flow_id % 10000),
-        _DPORT_BASE + (flow.flow_id % 10000),
-        size=flow.frame_size,
-    ).pack()
+    key = (flow.flow_id, event.is_response)
+    frame = frames.get(key)
+    if frame is None:
+        frame = frames[key] = flow_frame(topology, flow, event.is_response)
     result = topology.network.inject(src.device, src.port, frame)
     record.dropped_hop_limit += result.dropped_hop_limit
     hit = False
@@ -368,6 +394,7 @@ def run_flows(
     flow_filter: Optional[Callable[[Flow], bool]] = None,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
     shards: int = 1,
+    fastpath: bool = True,
 ) -> FabricReport:
     """Run a workload over a fabric; returns the :class:`FabricReport`.
 
@@ -375,9 +402,16 @@ def run_flows(
     carries (the sharded executor passes ``flow_id % shards == index``);
     the report then covers just that subset, and merging subset reports
     reproduces the full-run report exactly.
+
+    ``fastpath=False`` disables the flow-cache fast path (path cache +
+    per-device microflow caches) for this run — the A/B switch; the
+    report's fingerprint is identical either way, only
+    ``report.fastpath`` (the cache stats) and the wall clock move.
     """
     if max_inflight < 1:
         raise ValueError("max_inflight must be >= 1")
+    if not fastpath:
+        topology.network.set_fastpath(False)
     topology.learn()
     flows = generate_flows(topology.host_names(), spec)
     if flow_filter is not None:
@@ -387,6 +421,7 @@ def run_flows(
     fault_counters: Counter[str] = Counter()
     records: list[FlowRecord] = []
     hops_hist: Counter[int] = Counter()
+    frames: dict[tuple[int, bool], bytes] = {}
     started = time.perf_counter()
 
     # Admit flows to the heap in start order, at most max_inflight at a
@@ -413,10 +448,12 @@ def run_flows(
     admit()
     while heap:
         event = heapq.heappop(heap)
-        _send_packet(topology, event, flap, hops_hist)
+        _send_packet(topology, event, flap, hops_hist, frames)
         resident[event.flow_id] -= 1
         if not resident[event.flow_id]:
             del resident[event.flow_id]
+            frames.pop((event.flow_id, False), None)
+            frames.pop((event.flow_id, True), None)
             fault_counters.update(event.session.counters)
             admit()
 
@@ -431,6 +468,7 @@ def run_flows(
         hops_hist=dict(sorted(hops_hist.items())),
         shards=shards,
         elapsed_s=time.perf_counter() - started,
+        fastpath=topology.network.fastpath_stats(),
     )
 
 

@@ -43,6 +43,7 @@ def _run_shard(
     shards: int,
     index: int,
     max_inflight: int,
+    fastpath: bool,
 ) -> FabricReport:
     """One worker's slice: rebuild the fabric, carry flows ≡ index (mod
     shards).  Module-level so the pool can pickle it."""
@@ -52,6 +53,7 @@ def _run_shard(
         flow_filter=lambda flow: flow.flow_id % shards == index,
         max_inflight=max_inflight,
         shards=shards,
+        fastpath=fastpath,
     )
 
 
@@ -73,12 +75,14 @@ def merge_reports(reports: list[FabricReport], shards: int) -> FabricReport:
     forwarded: Counter[str] = Counter()
     faults: Counter[str] = Counter()
     hops: Counter[int] = Counter()
+    fastpath: Counter[str] = Counter()
     records = []
     for report in reports:
         records.extend(report.records)
         forwarded.update(report.device_forwarded)
         faults.update(report.fault_counters)
         hops.update(report.hops_hist)
+        fastpath.update(report.fastpath)
     seen = [r.flow_id for r in records]
     if len(seen) != len(set(seen)):
         raise ValueError("shard partitions overlap: duplicate flow ids")
@@ -93,6 +97,7 @@ def merge_reports(reports: list[FabricReport], shards: int) -> FabricReport:
         hops_hist=dict(sorted(hops.items())),
         shards=shards,
         elapsed_s=max(r.elapsed_s for r in reports),
+        fastpath=dict(sorted(fastpath.items())),
     )
 
 
@@ -104,20 +109,23 @@ def run_sharded(
     shards: int = 1,
     parallel: bool = True,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    fastpath: bool = True,
 ) -> FabricReport:
     """Run a fabric workload across ``shards`` partitions and merge.
 
     With ``parallel=True`` and ``shards > 1`` the partitions run in a
     ``multiprocessing.Pool`` of ``shards`` workers; otherwise they run
     sequentially in-process through the identical partition/merge path.
-    Either way the merged report's fingerprint equals the 1-shard run's.
+    Either way the merged report's fingerprint equals the 1-shard run's
+    — and equals the run with ``fastpath=False`` (flow caches off),
+    since caches are per-replica and observationally inert.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
     if shards == 1:
         return run_flows(spec.build(), workload, plan,
-                         max_inflight=max_inflight)
-    jobs = [(spec, workload, plan, shards, index, max_inflight)
+                         max_inflight=max_inflight, fastpath=fastpath)
+    jobs = [(spec, workload, plan, shards, index, max_inflight, fastpath)
             for index in range(shards)]
     if parallel:
         with multiprocessing.Pool(processes=shards) as pool:

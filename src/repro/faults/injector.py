@@ -82,9 +82,20 @@ class FaultInjector:
         self.arm_dma(board.dma)
 
     def arm_project(self, project: Any) -> None:
-        """Arm a reference pipeline's control plane and output queues."""
+        """Arm a reference pipeline's control plane and output queues.
+
+        Also attaches the session to ``project.datapath_faults`` so the
+        flow-cache fast path bypasses itself while data-path sites are
+        armed — a cache hit must never skip a per-packet fault draw.
+        """
         self.arm_interconnect(project.interconnect)
         self.arm_output_queues(project.oq)
+        previous = getattr(project, "datapath_faults", None)
+        if hasattr(project, "datapath_faults"):
+            project.datapath_faults = self.session
+            self._restores.append(
+                lambda: setattr(project, "datapath_faults", previous)
+            )
 
     def disarm(self) -> None:
         """Restore every hook this injector replaced (LIFO)."""

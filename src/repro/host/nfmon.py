@@ -184,6 +184,7 @@ def cmd_fabric(args: argparse.Namespace) -> int:
         report = run_sharded(
             spec, workload, plan,
             shards=args.shards, parallel=not args.inline,
+            fastpath=not args.no_fastpath,
         )
     except ValueError as exc:
         # Unknown topology/workload/plan preset — operator error.
@@ -218,6 +219,10 @@ def cmd_fabric(args: argparse.Namespace) -> int:
         print("  per-device forwarded:")
         for device, count in sorted(report.device_forwarded.items()):
             print(f"    {device:22s} {count}")
+        if report.fastpath:
+            print("  flow-cache stats:")
+            for name, value in sorted(report.fastpath.items()):
+                print(f"    {name:22s} {value}")
         if args.per_flow:
             print(f"  {'flow':>6s} {'src':>5s} {'dst':>5s} {'try':>5s} "
                   f"{'ok':>5s} {'lost':>5s} {'hops≤':>5s}")
@@ -305,6 +310,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="partition flows across this many workers")
     fabric.add_argument("--inline", action="store_true",
                         help="run shards sequentially in-process")
+    fabric.add_argument("--no-fastpath", action="store_true",
+                        help="disable the flow-cache fast path (A/B "
+                             "reference run; same fingerprint, slower)")
     fabric.add_argument("--faults", default=None,
                         help="run under a registered fault plan")
     fabric.add_argument("--format", choices=("table", "json"),

@@ -8,8 +8,33 @@ gets parsing and pretty-printing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.utils.bitfield import mask
+
+
+@lru_cache(maxsize=4096)
+def _parse_mac_value(text: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` to its 48-bit value, memoized.
+
+    Host tooling re-parses the same small set of MAC strings constantly
+    (fabric host maps, desired-state stores).  Only *successful* parses
+    are cached — ``lru_cache`` does not cache raised exceptions, so
+    malformed inputs fail identically on every call.
+    """
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"malformed MAC address: {text!r}")
+    try:
+        octets = [int(p, 16) for p in parts]
+    except ValueError as exc:
+        raise ValueError(f"malformed MAC address: {text!r}") from exc
+    if any(not 0 <= o <= 0xFF for o in octets):
+        raise ValueError(f"malformed MAC address: {text!r}")
+    value = 0
+    for octet in octets:
+        value = (value << 8) | octet
+    return value
 
 
 @dataclass(frozen=True, order=True)
@@ -24,19 +49,7 @@ class MacAddr:
 
     @classmethod
     def parse(cls, text: str) -> "MacAddr":
-        parts = text.split(":")
-        if len(parts) != 6:
-            raise ValueError(f"malformed MAC address: {text!r}")
-        try:
-            octets = [int(p, 16) for p in parts]
-        except ValueError as exc:
-            raise ValueError(f"malformed MAC address: {text!r}") from exc
-        if any(not 0 <= o <= 0xFF for o in octets):
-            raise ValueError(f"malformed MAC address: {text!r}")
-        value = 0
-        for octet in octets:
-            value = (value << 8) | octet
-        return cls(value)
+        return cls(_parse_mac_value(text))
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "MacAddr":

@@ -26,10 +26,12 @@ from repro.core.metadata import (
     NUM_PHYS_PORTS,
     SUME_TUSER,
     dma_port_bit,
+    pack_tuser_len_src,
     phys_port_bit,
 )
 from repro.core.module import Module
 from repro.cores.input_arbiter import InputArbiter
+from repro.fastpath import MicroflowCache, session_has_datapath_sites
 from repro.cores.output_port_lookup import OutputPortLookup
 from repro.cores.output_queues import OutputQueues, QueueConfig
 from repro.cores.stats import StatsCollector
@@ -114,6 +116,17 @@ class ReferencePipeline(Module):
             )
         )
 
+        # Flow-cache fast path for behavioural forwarding.  Always
+        # byte-identical to the slow path (invalidation + counter-delta
+        # replay guarantee it); flip ``fastpath.enabled`` off for A/B
+        # comparisons.
+        self.fastpath = MicroflowCache()
+        #: The fault session armed on this device's data path, if any
+        #: (set by :class:`repro.faults.injector.FaultInjector`); the
+        #: fast path bypasses itself while one is attached.
+        self.datapath_faults = None
+        self.soft_resets = 0
+
         # Control plane: the project's register address map.
         self.interconnect = AxiLiteInterconnect(f"{name}.axil")
         opl_regs = getattr(self.opl, "registers", None)
@@ -159,11 +172,22 @@ class ReferencePipeline(Module):
         resilience auditor must restore.  Projects with tables override
         :meth:`_wipe_volatile`.
         """
-        self.soft_resets = getattr(self, "soft_resets", 0) + 1
+        self.soft_resets += 1
         self._wipe_volatile()
 
     def _wipe_volatile(self) -> None:
         """Clear project-specific volatile lookup state (default: none)."""
+
+    def state_generation(self) -> int:
+        """Monotonic counter over everything a forwarding decision reads.
+
+        The sum of the OPL's table generations and the soft-reset count;
+        cached decisions are valid exactly while it is stable.  Wiping
+        already-empty tables bumps only the reset term, and a reset that
+        clears tables bumps both — double counting is harmless, the
+        contract is monotone-and-moves-on-change.
+        """
+        return self.soft_resets + self.opl.state_generation()
 
     # ------------------------------------------------------------------
     # Convenience lookups
@@ -182,17 +206,64 @@ class ReferencePipeline(Module):
     ) -> list[tuple[PortRef, bytes]]:
         """One-shot forwarding using the OPL's decide() directly.
 
-        This is the fast path the unified test environment's ``hw`` mode
-        and the large benchmark sweeps use; experiment E11 checks it
-        agrees packet-for-packet with the cycle kernel.
+        This is the path the unified test environment's ``hw`` mode and
+        the large benchmark sweeps use; experiment E11 checks it agrees
+        packet-for-packet with the cycle kernel.  A microflow cache
+        (:mod:`repro.fastpath`) short-circuits repeated (port, header)
+        pairs between table mutations; the E18 suite pins that the
+        cache changes no observable — outputs, counters, fingerprints.
         """
-        tuser = SUME_TUSER.pack(len=len(frame), src_port=src.bit)
+        cache = self.fastpath
+        if not cache.enabled or not self.opl.CACHEABLE:
+            return self._forward_slow(frame, src)[0]
+        if self.datapath_faults is not None and session_has_datapath_sites(
+            self.datapath_faults
+        ):
+            cache.bypasses += 1
+            return self._forward_slow(frame, src)[0]
+        generation = self.state_generation()
+        cache.validate(generation)
+        key = (src.bit, frame[:64], len(frame))
+        entry = cache.entries.get(key)
+        if entry is not None:
+            cache.hits += 1
+            return self._replay_cached(entry, frame)
+        cache.misses += 1
+        counters_before = dict(self.opl.counters)
+        outputs, decision = self._forward_slow(frame, src)
+        if self.state_generation() != generation:
+            # decide() itself mutated table state (e.g. a learning
+            # switch's first sighting of this source MAC): the frozen
+            # decision could differ from a re-decide, so skip the fill.
+            # The next identical packet re-learns as a no-op and fills.
+            return outputs
+        deltas: dict[str, int] = {}
+        for name, count in self.opl.counters.items():
+            delta = count - counters_before.get(name, 0)
+            if delta:
+                deltas[name] = delta
+        # The note bump is replayed explicitly on hits; keep only the
+        # bumps decide() made internally (e.g. the router's "to_cpu").
+        deltas[decision.note] = deltas.get(decision.note, 0) - 1
+        dst_bits = SUME_TUSER.extract(decision.tuser, "dst_port")
+        cache.store(key, (
+            tuple(p for p in self.ports if dst_bits & p.bit),
+            tuple((off, bytes(rep)) for off, rep in decision.rewrites.items()),
+            decision.note,
+            decision.drop,
+            tuple((n, d) for n, d in deltas.items() if d),
+        ))
+        return outputs
+
+    def _forward_slow(self, frame: bytes, src: PortRef):
+        """The uncached decision path; returns (outputs, decision)."""
+        tuser = pack_tuser_len_src(len(frame), src.bit)
         decision = self.opl.decide(frame[:64], tuser)
         self.opl.bump(decision.note)
         self.opl.packets += 1
         if decision.drop:
             self.opl.drops += 1
-            return []
+            return [], decision
         data = bytearray(frame)
         for offset, replacement in decision.rewrites.items():
             data[offset : offset + len(replacement)] = replacement
@@ -201,4 +272,25 @@ class ReferencePipeline(Module):
         for port in self.ports:
             if dst_bits & port.bit:
                 out.append((port, bytes(data)))
-        return out
+        return out, decision
+
+    def _replay_cached(
+        self, entry: tuple, frame: bytes
+    ) -> list[tuple[PortRef, bytes]]:
+        """Re-apply a frozen decision: counters, rewrites, fan-out."""
+        ports, rewrites, note, drop, deltas = entry
+        opl = self.opl
+        counters = opl.counters
+        for name, delta in deltas:
+            counters[name] = counters.get(name, 0) + delta
+        counters[note] = counters.get(note, 0) + 1
+        opl.packets += 1
+        if drop:
+            opl.drops += 1
+            return []
+        if rewrites:
+            data = bytearray(frame)
+            for offset, replacement in rewrites:
+                data[offset : offset + len(replacement)] = replacement
+            frame = bytes(data)
+        return [(port, frame) for port in ports]

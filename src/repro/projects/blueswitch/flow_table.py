@@ -157,6 +157,10 @@ class FlowTable:
         self.hit_counts: list[list[int]] = [[0] * slots, [0] * slots]
         self.matches = 0
         self.misses = 0
+        #: Monotonic state-change counter over installed flows (both
+        #: banks); every write bumps it, so any flow-cache layered on
+        #: top of the classifier invalidates on table churn.
+        self.generation = 0
 
     def write(self, bank: int, slot: int, entry: Optional[FlowEntry]) -> None:
         """Install or clear (None) one slot in one bank.
@@ -174,6 +178,7 @@ class FlowTable:
             self._actions[bank][slot] = entry.actions
             self._matches[bank][slot] = entry.match
         self.hit_counts[bank][slot] = 0
+        self.generation += 1
 
     def read(self, bank: int, slot: int) -> Optional[FlowEntry]:
         tcam_entry = self.banks[bank].read_slot(slot)

@@ -75,6 +75,16 @@ class BlueSwitchPipeline:
         self.active_version = self.shadow_version
         self.commits += 1
 
+    def state_generation(self) -> int:
+        """Monotonic counter over classification-visible state.
+
+        Covers every bank write plus the atomic version flips — a
+        shadow write alone does not change what packets see, but it
+        will have flipped into view by the time ``commits`` moves, so
+        the sum is a safe (slightly conservative) invalidation key.
+        """
+        return self.commits + sum(t.generation for t in self.tables)
+
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------

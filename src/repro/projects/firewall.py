@@ -218,6 +218,12 @@ class FirewallLookup(OutputPortLookup):
             on_write=self._set_default,
         )
 
+    #: The SYN-flood detector advances on every observed packet, so two
+    #: identical frames can legitimately get different decisions — this
+    #: lookup is not a pure function of (header, tables) and must never
+    #: be served from the microflow cache.
+    CACHEABLE = False
+
     def _set_default(self, value: int) -> None:
         self.default_permit = bool(value & 1)
 

@@ -40,6 +40,7 @@ from repro.telemetry.probes import (
     probe_dma,
     probe_driver,
     probe_fabric,
+    probe_fastpath,
     probe_faults,
     probe_resilience,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "probe_dma",
     "probe_driver",
     "probe_fabric",
+    "probe_fastpath",
     "probe_faults",
     "probe_resilience",
     "TelemetrySession",

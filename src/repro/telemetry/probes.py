@@ -375,6 +375,46 @@ def probe_fabric(report: Any, session: "TelemetrySession") -> None:
     )
 
 
+def probe_fastpath(network: Any, session: "TelemetrySession") -> None:
+    """Mirror a test network's flow-cache counters into the registry.
+
+    One ``fastpath_events_total`` series per (device, event) for the
+    microflow caches, plus the network-wide path cache under the
+    pseudo-device ``net``; ``fastpath_entries`` gauges track occupancy.
+    All ``cycle_dependent=False``: cache behaviour is a pure function of
+    the traffic and table mutations, so sim and hw runs of the same
+    scenario must agree — the counters join the parity set rather than
+    being waived from it.
+    """
+    registry = session.registry
+    events = registry.counter(
+        "fastpath_events_total", "flow-cache lookups by outcome",
+        labelnames=("device", "event"), cycle_dependent=False,
+    )
+    entries = registry.gauge(
+        "fastpath_entries", "entries resident per flow cache",
+        labelnames=("device",), cycle_dependent=False,
+    )
+    for name in network.device_names():
+        cache = getattr(network.device(name), "fastpath", None)
+        if cache is None:
+            continue
+        for event, attr in (("hit", "hits"), ("miss", "misses"),
+                            ("invalidation", "invalidations"),
+                            ("bypass", "bypasses")):
+            events.labels(name, event).bind(
+                lambda c=cache, a=attr: getattr(c, a)
+            )
+        entries.labels(name).bind(lambda c=cache: len(c.entries))
+    for event, attr in (("hit", "path_hits"), ("miss", "path_misses"),
+                        ("invalidation", "path_invalidations"),
+                        ("bypass", "path_bypasses")):
+        events.labels("net", event).bind(
+            lambda n=network, a=attr: getattr(n, a)
+        )
+    entries.labels("net").bind(lambda n=network: n.path_entries)
+
+
 #: The control plane's reconciliation/supervision ledger, mirrored into
 #: the registry.  Deliberately ``cycle_dependent=False``: these counters
 #: are pure functions of the (plan, seed, tick sequence), so they join

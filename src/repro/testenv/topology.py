@@ -16,13 +16,26 @@ the deliveries the injection produced that also carries the number of
 in-flight copies the hop limit truncated, so broadcast-storm clamping is
 observable per injection (and cumulatively via
 :attr:`Network.dropped_hop_limit`) instead of silently vanishing.
+
+**Path cache.**  Between table mutations, the entire hop walk of an
+injection is a pure function of (entry attachment, frame): the network
+memoizes finished walks — deliveries, hop-limit losses and the per-device
+counter deltas they caused — keyed by the topology-wide generation
+vector (the sum of every device's :meth:`state_generation` plus a wiring
+counter).  A walk is only cached when it touched no CPU handler, no
+device with armed data-path faults, and mutated no table; replays apply
+the recorded counter deltas so per-device statistics (and the fabric
+fingerprint built from them) are byte-identical cached or not.
+:meth:`Network.inject_many` batches injections and amortizes the
+generation check across hits.  ``set_fastpath(False)`` turns the path
+cache *and* every device's microflow cache off for A/B runs.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.projects.base import PortRef, ReferencePipeline
 
@@ -33,6 +46,25 @@ CpuHandler = Callable[[bytes, int], list[tuple[int, bytes]]]
 #: copies flooding creates).  Generous for real topologies, small enough
 #: to terminate a broadcast storm quickly.
 DEFAULT_HOP_LIMIT = 64
+
+#: Bound on memoized hop walks per network (FIFO eviction).
+PATH_CACHE_CAPACITY = 8192
+
+
+@dataclass(frozen=True)
+class _CachedWalk:
+    """A finished injection, frozen for replay.
+
+    ``deliveries`` are (attachment, frame, hops) tuples — fresh
+    :class:`Delivery` objects are minted per replay since Delivery is
+    mutable.  ``ops`` carries each touched device's counter delta
+    ``(opl, packets, drops, ((counter, delta), ...))``.
+    """
+
+    deliveries: tuple
+    dropped: int
+    forwarded: int
+    ops: tuple
 
 
 @dataclass(frozen=True)
@@ -84,6 +116,15 @@ class Network:
         self.deliveries: list[Delivery] = []
         self.dropped_hop_limit = 0
         self.forwarded_hops = 0
+        # Path cache (see the module docstring for the invariants).
+        self.path_cache_enabled = True
+        self._path_cache: dict[tuple, _CachedWalk] = {}
+        self._path_generation = -1  # device generations are >= 0
+        self._wiring_generation = 0
+        self.path_hits = 0
+        self.path_misses = 0
+        self.path_invalidations = 0
+        self.path_bypasses = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -97,6 +138,7 @@ class Network:
         if name in self._devices:
             raise TopologyError(f"duplicate device name {name!r}")
         self._devices[name] = project
+        self._wiring_generation += 1
         if cpu_handler is not None:
             self._cpu[name] = cpu_handler
         return project
@@ -119,6 +161,7 @@ class Network:
             raise TopologyError("cannot cable a port to itself")
         self._links[a] = b
         self._links[b] = a
+        self._wiring_generation += 1
 
     def edge_ports(self, device: str) -> list[PortRef]:
         """The device's un-cabled physical ports (host attachment points)."""
@@ -161,15 +204,130 @@ class Network:
         injection produced (also appended to :attr:`deliveries`) plus the
         count of copies the hop limit truncated, so storm clamping is
         accounted rather than silent.
+
+        While the path cache is enabled, a previously memoized walk for
+        the same (device, port, frame) under an unchanged topology-wide
+        generation is replayed instead of re-forwarded — deliveries,
+        loss accounting and per-device counters included.
+        """
+        if not self.path_cache_enabled:
+            return self._walk(device, port, frame, record=False)[0]
+        result, _ = self._inject_cached(
+            device, port, frame, self._network_generation()
+        )
+        return result
+
+    def inject_many(
+        self, injections: Iterable[tuple[str, int, bytes]]
+    ) -> list[InjectionResult]:
+        """Inject a batch; returns one :class:`InjectionResult` each.
+
+        Semantically identical to calling :meth:`inject` in a loop, but
+        the topology-wide generation is computed once per batch and only
+        refreshed after a cache miss (a replayed walk cannot mutate
+        table state, so consecutive hits skip the re-validation that a
+        lone ``inject`` must pay) — the batching the fabric scheduler's
+        repeated sends and :meth:`run` lean on.
+        """
+        if not self.path_cache_enabled:
+            return [self._walk(device, port, frame, record=False)[0]
+                    for device, port, frame in injections]
+        generation = self._network_generation()
+        out = []
+        for device, port, frame in injections:
+            result, generation = self._inject_cached(
+                device, port, frame, generation
+            )
+            out.append(result)
+        return out
+
+    def run(self, traffic: list[tuple[str, int, bytes]]) -> list[Delivery]:
+        """Inject a sequence of ``(device, port, frame)``; returns all
+        deliveries in order."""
+        self.inject_many(traffic)
+        return self.deliveries
+
+    # -- the path cache -------------------------------------------------
+    def _network_generation(self) -> int:
+        """Sum of all device generations plus the wiring counter.
+
+        Each term is monotonic, so the sum changes whenever any device's
+        decision-visible state (or the graph itself) does.
+        """
+        total = self._wiring_generation
+        for project in self._devices.values():
+            total += project.state_generation()
+        return total
+
+    def _inject_cached(
+        self, device: str, port: int, frame: bytes, generation: int
+    ) -> tuple[InjectionResult, int]:
+        """One cached injection; returns (result, current generation)."""
+        if generation != self._path_generation:
+            if self._path_cache:
+                self.path_invalidations += 1
+                self._path_cache.clear()
+            self._path_generation = generation
+        key = (device, port, frame)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            self.path_hits += 1
+            return self._replay_walk(cached), generation
+        self.path_misses += 1
+        result, walk = self._walk(device, port, frame, record=True)
+        after = self._network_generation()
+        if walk is None:
+            self.path_bypasses += 1
+        elif after == generation:
+            if len(self._path_cache) >= PATH_CACHE_CAPACITY:
+                del self._path_cache[next(iter(self._path_cache))]
+            self._path_cache[key] = walk
+        return result, after
+
+    def _replay_walk(self, walk: _CachedWalk) -> InjectionResult:
+        first = len(self.deliveries)
+        for at, frame, hops in walk.deliveries:
+            self.deliveries.append(Delivery(at, frame, hops))
+        self.dropped_hop_limit += walk.dropped
+        self.forwarded_hops += walk.forwarded
+        for opl, packets, drops, deltas in walk.ops:
+            opl.packets += packets
+            opl.drops += drops
+            counters = opl.counters
+            for name, delta in deltas:
+                counters[name] = counters.get(name, 0) + delta
+        return InjectionResult(
+            self.deliveries[first:], dropped_hop_limit=walk.dropped
+        )
+
+    def _walk(
+        self, device: str, port: int, frame: bytes, record: bool
+    ) -> tuple[InjectionResult, Optional[_CachedWalk]]:
+        """The slow hop walk; optionally records a replayable walk.
+
+        Recording returns ``None`` (uncacheable) when the walk invoked a
+        CPU handler (arbitrary software state) or touched a device with
+        an armed data-path fault session (whose draws must stay
+        per-packet).
         """
         first = len(self.deliveries)
         drops_before = self.dropped_hop_limit
+        forwarded_before = self.forwarded_hops
+        cacheable = record
+        snapshots: dict[str, tuple] = {}
         work: deque[tuple[Attachment, bytes, int]] = deque(
             [(Attachment(device, PortRef("phys", port)), frame, 0)]
         )
         while work:
             at, data, hops = work.popleft()
             project = self.device(at.device)
+            if record and at.device not in snapshots:
+                snapshots[at.device] = (
+                    project.opl, project.opl.packets, project.opl.drops,
+                    dict(project.opl.counters),
+                )
+                if project.datapath_faults is not None:
+                    cacheable = False
             outputs = project.forward_behavioural(data, at.port)
             handled: list[tuple[PortRef, bytes]] = []
             for out_port, out_frame in outputs:
@@ -177,6 +335,7 @@ class Network:
                     cpu = self._cpu.get(at.device)
                     if cpu is None:
                         continue  # no software attached: punted = dropped
+                    cacheable = False
                     for egress, reply in cpu(out_frame, out_port.index):
                         handled.append((PortRef("dma", egress), reply))
                 else:
@@ -203,17 +362,75 @@ class Network:
                     self.dropped_hop_limit += 1
                     continue
                 work.append((peer, out_frame, hops + 1))
-        return InjectionResult(
+        result = InjectionResult(
             self.deliveries[first:],
             dropped_hop_limit=self.dropped_hop_limit - drops_before,
         )
+        if not cacheable:
+            return result, None
+        ops = []
+        for opl, packets, drops, counters in snapshots.values():
+            d_packets = opl.packets - packets
+            d_drops = opl.drops - drops
+            deltas = tuple(
+                (name, count - counters.get(name, 0))
+                for name, count in opl.counters.items()
+                if count != counters.get(name, 0)
+            )
+            if d_packets or d_drops or deltas:
+                ops.append((opl, d_packets, d_drops, deltas))
+        walk = _CachedWalk(
+            deliveries=tuple((d.at, d.frame, d.hops) for d in result),
+            dropped=result.dropped_hop_limit,
+            forwarded=self.forwarded_hops - forwarded_before,
+            ops=tuple(ops),
+        )
+        return result, walk
 
-    def run(self, traffic: list[tuple[str, int, bytes]]) -> list[Delivery]:
-        """Inject a sequence of ``(device, port, frame)``; returns all
-        deliveries in order."""
-        for device, port, frame in traffic:
-            self.inject(device, port, frame)
-        return self.deliveries
+    # -- fast-path control & stats --------------------------------------
+    def set_fastpath(self, enabled: bool) -> None:
+        """Enable/disable the path cache and every device's microflow
+        cache in one switch — the A/B toggle the E18 bench and
+        ``nf-mon fabric --no-fastpath`` use."""
+        self.path_cache_enabled = enabled
+        if not enabled:
+            self._path_cache.clear()
+            self._path_generation = -1
+        for project in self._devices.values():
+            cache = getattr(project, "fastpath", None)
+            if cache is not None:
+                cache.enabled = enabled
+                if not enabled:
+                    cache.clear()
+
+    @property
+    def path_entries(self) -> int:
+        return len(self._path_cache)
+
+    def fastpath_stats(self) -> dict[str, int]:
+        """Aggregate flow-cache counters: path cache + device caches."""
+        stats = {
+            "path_hits": self.path_hits,
+            "path_misses": self.path_misses,
+            "path_invalidations": self.path_invalidations,
+            "path_bypasses": self.path_bypasses,
+            "path_entries": self.path_entries,
+            "device_hits": 0,
+            "device_misses": 0,
+            "device_invalidations": 0,
+            "device_bypasses": 0,
+            "device_entries": 0,
+        }
+        for project in self._devices.values():
+            cache = getattr(project, "fastpath", None)
+            if cache is None:
+                continue
+            stats["device_hits"] += cache.hits
+            stats["device_misses"] += cache.misses
+            stats["device_invalidations"] += cache.invalidations
+            stats["device_bypasses"] += cache.bypasses
+            stats["device_entries"] += len(cache.entries)
+        return stats
 
     # ------------------------------------------------------------------
     def delivered_at(self, device: str, port: int) -> list[bytes]:

@@ -98,6 +98,40 @@ class BitField:
             word |= value << field.offset
         return word
 
+    def packer(self, *names: str):
+        """Compile a positional fast packer for a fixed field subset.
+
+        ``pack(**values)`` re-resolves field names and rebuilds a kwargs
+        dict on every call — measurable on per-packet hot paths like the
+        TUSER build in behavioural forwarding.  ``packer("len",
+        "src_port")`` resolves the layout once and returns a closure
+        taking the values positionally, with validation (and error
+        messages) identical to :meth:`pack`.
+        """
+        specs = []
+        for name in names:
+            field = self._fields.get(name)
+            if field is None:
+                raise KeyError(f"unknown field {name!r}; have {self.field_names}")
+            specs.append((name, field.offset, field.width, mask(field.width)))
+
+        def pack(*values: int) -> int:
+            if len(values) != len(specs):
+                raise TypeError(
+                    f"packer takes {len(specs)} values, got {len(values)}"
+                )
+            word = 0
+            for (name, offset, width, field_mask), value in zip(specs, values):
+                if value < 0 or value > field_mask:
+                    raise ValueError(
+                        f"value {value:#x} does not fit field {name!r} "
+                        f"({width} bits)"
+                    )
+                word |= value << offset
+            return word
+
+        return pack
+
     def unpack(self, word: int) -> dict[str, int]:
         """Split ``word`` into a ``{field: value}`` dict."""
         if word < 0 or word > mask(self.width):

@@ -21,6 +21,12 @@ def pytest_configure(config):
         "fabric: topology builders, workload engine and sharded "
         "execution coverage (run just these with -m fabric)",
     )
+    config.addinivalue_line(
+        "markers",
+        "fastpath: flow-cache fast path — microflow/path caches, "
+        "generation invalidation, batched injection "
+        "(run just these with -m fastpath)",
+    )
 
 from repro.packet.addresses import Ipv4Addr, MacAddr
 from repro.packet.generator import make_udp_frame

@@ -1,0 +1,381 @@
+"""Flow-cache fast path: per-device microflow cache semantics.
+
+The contract under test is *observational equivalence*: with the cache
+on, every output frame, every OPL counter and every fault fingerprint
+must be byte-identical to the cache-off slow path — only the work done
+per packet changes.  The suite drives twin devices (cache on / cache
+off) through identical traffic and table churn and compares them after
+every step.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.metadata import SUME_TUSER, pack_tuser_len_src
+from repro.cores.lpm import LpmEntry
+from repro.fastpath import MicroflowCache, session_has_datapath_sites
+from repro.faults import FaultPlan, get_plan, inject
+from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.generator import make_udp_frame
+from repro.projects.firewall import FirewallProject
+from repro.projects.reference_router import ReferenceRouter
+from repro.projects.reference_switch import ReferenceSwitch
+from repro.resilience import build_control_plane
+
+from .conftest import mac, ip, udp_frame
+
+pytestmark = pytest.mark.fastpath
+
+
+def forward(project, frame: bytes, port: int = 0):
+    """One behavioural forward; returns a comparable outputs list."""
+    return [(str(p), f) for p, f in
+            project.forward_behavioural(frame, project.phys(port))]
+
+
+# ----------------------------------------------------------------------
+# Hit/miss accounting and the fill-only-when-pure rule
+# ----------------------------------------------------------------------
+class TestAccounting:
+    def test_learning_fill_deferred_until_decide_is_pure(self):
+        """Packet 1 learns (mutates → no fill); packet 2 fills; 3 hits."""
+        switch = ReferenceSwitch()
+        frame = udp_frame(1, 2)
+        forward(switch, frame)
+        assert switch.fastpath.stats()["misses"] == 1
+        assert switch.fastpath.stats()["entries"] == 0
+        forward(switch, frame)
+        assert switch.fastpath.stats()["misses"] == 2
+        assert switch.fastpath.stats()["entries"] == 1
+        forward(switch, frame)
+        assert switch.fastpath.stats()["hits"] == 1
+
+    def test_hit_replays_outputs_and_counters_exactly(self):
+        cached, plain = ReferenceSwitch(), ReferenceSwitch()
+        plain.fastpath.enabled = False
+        # learn → flood → reverse hit → repeated hits
+        traffic = [(udp_frame(1, 2), 0), (udp_frame(2, 1), 1),
+                   (udp_frame(1, 2), 0), (udp_frame(1, 2), 0),
+                   (udp_frame(2, 1), 1)]
+        for frame, port in traffic:
+            assert forward(cached, frame, port) == forward(plain, frame, port)
+            assert cached.opl.counters == plain.opl.counters
+            assert cached.opl.packets == plain.opl.packets
+            assert cached.opl.drops == plain.opl.drops
+        assert cached.fastpath.stats()["hits"] > 0
+
+    def test_distinct_headers_are_distinct_entries(self):
+        switch = ReferenceSwitch()
+        a, b = udp_frame(1, 2), udp_frame(1, 3)
+        for frame in (a, a, b, b):
+            forward(switch, frame)
+        assert switch.fastpath.stats()["entries"] == 2
+
+    def test_same_header_different_port_is_a_different_key(self):
+        switch = ReferenceSwitch(learning=False)
+        frame = udp_frame(1, 2)
+        forward(switch, frame, 0)
+        forward(switch, frame, 1)
+        assert switch.fastpath.stats()["misses"] == 2
+        assert switch.fastpath.stats()["hits"] == 0
+
+
+# ----------------------------------------------------------------------
+# Generation invalidation: every mutator flushes, no mutator is missed
+# ----------------------------------------------------------------------
+class TestInvalidation:
+    @staticmethod
+    def _warm(switch):
+        frame = udp_frame(1, 2)
+        forward(switch, frame)
+        forward(switch, frame)
+        assert switch.fastpath.stats()["entries"] == 1
+        return frame
+
+    def test_learning_a_new_source_invalidates(self):
+        switch = ReferenceSwitch()
+        frame = self._warm(switch)
+        forward(switch, udp_frame(7, 1), 3)  # learns a new MAC
+        forward(switch, frame)
+        assert switch.fastpath.stats()["invalidations"] == 1
+
+    def test_relearning_the_same_entry_does_not_invalidate(self):
+        switch = ReferenceSwitch()
+        frame = self._warm(switch)
+        before = switch.state_generation()
+        forward(switch, frame)  # re-learn (1, port 0): a no-op write
+        assert switch.state_generation() == before
+        assert switch.fastpath.stats()["invalidations"] == 0
+
+    def test_static_install_invalidates(self):
+        switch = ReferenceSwitch()
+        self._warm(switch)
+        assert switch.install_static_mac(mac(9), 3)
+        forward(switch, udp_frame(1, 2))
+        assert switch.fastpath.stats()["invalidations"] == 1
+
+    def test_eviction_invalidates(self):
+        switch = ReferenceSwitch(table_size=2)
+        self._warm(switch)
+        # Fill the 2-entry CAM past capacity: the FIFO eviction is a
+        # table mutation like any other.
+        forward(switch, udp_frame(5, 1), 2)
+        forward(switch, udp_frame(6, 1), 3)
+        evictions_before = switch.mac_table.evictions
+        forward(switch, udp_frame(1, 2))
+        assert switch.mac_table.evictions > 0 or evictions_before > 0
+        assert switch.fastpath.stats()["invalidations"] >= 1
+
+    def test_soft_reset_invalidates(self):
+        switch = ReferenceSwitch()
+        frame = self._warm(switch)
+        switch.soft_reset()
+        forward(switch, frame)
+        assert switch.fastpath.stats()["invalidations"] == 1
+
+    def test_soft_reset_with_empty_tables_still_invalidates(self):
+        switch = ReferenceSwitch(learning=False)
+        frame = udp_frame(1, 2)
+        forward(switch, frame)
+        assert switch.fastpath.stats()["entries"] == 1
+        switch.soft_reset()  # wipes nothing, must still bump
+        forward(switch, frame)
+        assert switch.fastpath.stats()["invalidations"] == 1
+
+    def test_vlan_membership_change_invalidates(self):
+        switch = ReferenceSwitch()
+        self._warm(switch)
+        switch.opl.set_vlan_members(5, 0b0101)
+        forward(switch, udp_frame(1, 2))
+        assert switch.fastpath.stats()["invalidations"] == 1
+
+    def test_resilience_repair_invalidates(self):
+        switch = ReferenceSwitch()
+        self._warm(switch)
+        plane = build_control_plane(switch)
+        plane.mutate("mac", mac(9).value, 0b0100_0000)
+        forward(switch, udp_frame(1, 2))
+        assert switch.fastpath.stats()["invalidations"] == 1
+
+    def test_router_table_writes_invalidate(self):
+        router = ReferenceRouter()
+        frame = make_udp_frame(
+            mac(9), MacAddr(0x02_53_55_4D_45_00), ip(9),
+            Ipv4Addr.parse("10.0.1.2"), size=96, ttl=32,
+        ).pack()
+        router.tables.add_arp(Ipv4Addr.parse("10.0.1.2"), mac(2))
+        forward(router, frame)
+        forward(router, frame)
+        assert router.fastpath.stats()["entries"] == 1
+        router.tables.add_route(
+            LpmEntry(Ipv4Addr.parse("192.168.0.0"), 16,
+                     Ipv4Addr.parse("10.0.1.2"), 1 << 2)
+        )
+        forward(router, frame)
+        assert router.fastpath.stats()["invalidations"] == 1
+
+
+# ----------------------------------------------------------------------
+# Counter-delta replay: internal decide() bumps survive caching
+# ----------------------------------------------------------------------
+class TestRouterCounterReplay:
+    def _ttl_expired_frame(self) -> bytes:
+        return make_udp_frame(
+            mac(9), MacAddr(0x02_53_55_4D_45_00), ip(9),
+            Ipv4Addr.parse("10.0.1.2"), size=96, ttl=1,
+        ).pack()
+
+    def test_internal_to_cpu_bump_is_replayed(self):
+        """The router bumps "to_cpu" *inside* decide(); a cached hit
+        must replay that delta, not just the decision note."""
+        cached, plain = ReferenceRouter(), ReferenceRouter()
+        plain.fastpath.enabled = False
+        frame = self._ttl_expired_frame()
+        for _ in range(4):
+            assert forward(cached, frame) == forward(plain, frame)
+            assert cached.opl.counters == plain.opl.counters
+        assert cached.fastpath.stats()["hits"] == 3
+        assert cached.opl.counters["to_cpu"] == plain.opl.counters["to_cpu"]
+
+    def test_forwarding_rewrites_are_replayed(self):
+        cached, plain = ReferenceRouter(), ReferenceRouter()
+        plain.fastpath.enabled = False
+        cached.tables.add_arp(Ipv4Addr.parse("10.0.1.2"), mac(2))
+        plain.tables.add_arp(Ipv4Addr.parse("10.0.1.2"), mac(2))
+        frame = make_udp_frame(
+            mac(9), MacAddr(0x02_53_55_4D_45_00), ip(9),
+            Ipv4Addr.parse("10.0.1.2"), size=96, ttl=32,
+        ).pack()
+        for _ in range(3):
+            # MAC rewrite + TTL decrement + checksum patch, every copy.
+            assert forward(cached, frame) == forward(plain, frame)
+        assert cached.fastpath.stats()["hits"] == 2
+
+
+# ----------------------------------------------------------------------
+# Fault bypass: armed data-path sites disable the shortcut
+# ----------------------------------------------------------------------
+class TestFaultBypass:
+    def test_datapath_plan_bypasses_the_cache(self):
+        switch = ReferenceSwitch(learning=False)
+        frame = udp_frame(1, 2)
+        forward(switch, frame)
+        with inject(get_plan("oq-pressure"), project=switch):
+            forward(switch, frame)
+            forward(switch, frame)
+            assert switch.fastpath.stats()["bypasses"] == 2
+        # Disarm restores the fast path.
+        forward(switch, frame)
+        assert switch.fastpath.stats()["hits"] >= 1
+
+    def test_ctrl_only_plan_does_not_bypass(self):
+        switch = ReferenceSwitch(learning=False)
+        frame = udp_frame(1, 2)
+        with inject(get_plan("flaky-writes"), project=switch):
+            forward(switch, frame)
+            forward(switch, frame)
+            assert switch.fastpath.stats()["bypasses"] == 0
+            assert switch.fastpath.stats()["hits"] == 1
+
+    def test_site_classifier(self):
+        assert session_has_datapath_sites(get_plan("lossy-link").session())
+        assert session_has_datapath_sites(get_plan("stalled-dma").session())
+        assert session_has_datapath_sites(get_plan("oq-pressure").session())
+        assert not session_has_datapath_sites(get_plan("flaky-writes").session())
+        assert not session_has_datapath_sites(get_plan("flaky-mmio").session())
+        assert not session_has_datapath_sites(FaultPlan("none").session())
+
+
+# ----------------------------------------------------------------------
+# Stateful lookups opt out wholesale
+# ----------------------------------------------------------------------
+class TestCacheableOptOut:
+    def test_firewall_never_consults_the_cache(self):
+        """The firewall's SYN-flood detector mutates per packet: its
+        decisions are not pure functions of (header, tables), so
+        ``CACHEABLE = False`` keeps the fast path off entirely."""
+        fw = FirewallProject()
+        assert fw.opl.CACHEABLE is False
+        frame = udp_frame(1, 2)
+        for _ in range(3):
+            fw.forward_behavioural(frame, fw.phys(0))
+        stats = fw.fastpath.stats()
+        assert stats == {"hits": 0, "misses": 0, "invalidations": 0,
+                         "bypasses": 0, "entries": 0}
+
+
+# ----------------------------------------------------------------------
+# The cache object itself
+# ----------------------------------------------------------------------
+class TestMicroflowCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MicroflowCache(capacity=0)
+
+    def test_fifo_eviction_at_capacity(self):
+        cache = MicroflowCache(capacity=2)
+        cache.store(("a",), (1,))
+        cache.store(("b",), (2,))
+        cache.store(("c",), (3,))
+        assert set(cache.entries) == {("b",), ("c",)}
+
+    def test_validate_flushes_once_per_generation_step(self):
+        cache = MicroflowCache()
+        cache.validate(0)
+        cache.store(("a",), (1,))
+        cache.validate(1)
+        assert cache.invalidations == 1 and not cache.entries
+        cache.validate(1)  # stable: no further flush counted
+        assert cache.invalidations == 1
+
+
+# ----------------------------------------------------------------------
+# Satellite memoizations: behaviour-identical, errors included
+# ----------------------------------------------------------------------
+class TestMemoizedHelpers:
+    def test_mac_parse_memo_matches_and_is_cached(self):
+        assert MacAddr.parse("02:aa:00:00:00:01").value == 0x02AA00000001
+        # Repeat parses serve from the memo yet stay value-equal.
+        assert (MacAddr.parse("02:aa:00:00:00:01")
+                == MacAddr.parse("02:AA:00:00:00:01"))
+
+    @pytest.mark.parametrize("bad", ["", "02:aa", "zz:zz:zz:zz:zz:zz",
+                                     "02:aa:00:00:00:01:99", "02aa00000001x"])
+    def test_mac_parse_malformed_raises_every_time(self, bad):
+        with pytest.raises(ValueError) as first:
+            MacAddr.parse(bad)
+        with pytest.raises(ValueError) as second:
+            MacAddr.parse(bad)  # errors are not cached
+        assert str(first.value) == str(second.value)
+
+    def test_compiled_packer_matches_general_pack(self):
+        for length, src in [(64, 0b1), (1518, 0b0100_0000), (0, 0)]:
+            assert (pack_tuser_len_src(length, src)
+                    == SUME_TUSER.pack(len=length, src_port=src))
+
+    def test_compiled_packer_oversize_error_is_identical(self):
+        with pytest.raises(ValueError) as compiled:
+            pack_tuser_len_src(1 << 16, 0)
+        with pytest.raises(ValueError) as general:
+            SUME_TUSER.pack(len=1 << 16, src_port=0)
+        assert str(compiled.value) == str(general.value)
+
+    def test_packer_unknown_field_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            SUME_TUSER.packer("len", "no_such_field")
+
+
+# ----------------------------------------------------------------------
+# The invalidation property test: random interleaving, twin equality
+# ----------------------------------------------------------------------
+class TestInterleavedChurnProperty:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_cache_on_equals_cache_off_on_every_prefix(self, seed):
+        """Interleave traffic with every kind of table churn — learns,
+        static installs, evictions, soft resets, ctrl-fault-corrupted
+        repairs — and require the cached twin to match the uncached one
+        after *every single operation*, not just at the end."""
+        rng = random.Random(seed)
+        cached = ReferenceSwitch(table_size=4)
+        plain = ReferenceSwitch(table_size=4)
+        plain.fastpath.enabled = False
+        # Resilience planes under the same ctrl-fault stream: repairs
+        # (including dropped/corrupted writes) land identically on both.
+        planes = [
+            build_control_plane(s, get_plan("flaky-writes", seed=seed).session())
+            for s in (cached, plain)
+        ]
+        # Host *a* always enters on port a-1, as a cabled host would —
+        # otherwise every packet re-binds its source MAC and no decide
+        # is ever pure enough to cache.
+        pairs = [(a, b) for a in range(1, 5) for b in range(1, 5) if a != b]
+        frames = {(a, b): udp_frame(a, b) for a, b in pairs}
+        for _ in range(120):
+            op = rng.randrange(10)
+            if op < 6:  # traffic dominates, as in any real run
+                a, b = rng.choice(pairs)
+                frame, port = frames[(a, b)], a - 1
+                assert (forward(cached, frame, port)
+                        == forward(plain, frame, port))
+            elif op == 6:
+                target_mac, target_port = mac(rng.randrange(1, 8)), rng.randrange(4)
+                for switch in (cached, plain):
+                    switch.install_static_mac(target_mac, target_port)
+            elif op == 7:
+                for switch in (cached, plain):
+                    switch.soft_reset()
+            elif op == 8:
+                vid, mask = rng.randrange(1, 4), rng.randrange(1, 0x55)
+                for switch in (cached, plain):
+                    switch.opl.set_vlan_members(vid, mask)
+            else:
+                key, bits = mac(rng.randrange(1, 8)).value, 1 << (2 * rng.randrange(4))
+                for plane in planes:
+                    plane.mutate("mac", key, bits)
+            assert cached.opl.counters == plain.opl.counters
+            assert dict(cached.mac_table) == dict(plain.mac_table)
+        assert cached.fastpath.stats()["hits"] > 0
+        assert cached.fastpath.stats()["invalidations"] > 0
