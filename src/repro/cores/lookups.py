@@ -93,6 +93,9 @@ class LearningSwitchLookup(OutputPortLookup):
         self.vlan_aware = vlan_aware
         key_bits = 60 if vlan_aware else 48  # 12-bit VID + 48-bit MAC
         self.mac_table = BinaryCam(capacity=table_size, key_bits=key_bits)
+        #: Backup next-hop column (fast reroute): same key space as the
+        #: FDB, consulted only when the primary port has lost link.
+        self.backup_table = BinaryCam(capacity=table_size, key_bits=key_bits)
         self.learn = learn
         #: VLAN membership: vid -> one-hot physical-port mask.
         self.vlan_members: dict[int, int] = {}
@@ -122,7 +125,12 @@ class LearningSwitchLookup(OutputPortLookup):
         self.vlan_members[vid] = port_mask
 
     def state_generation(self) -> int:
-        return self.mac_table.generation + self._vlan_generation
+        return (
+            super().state_generation()
+            + self.mac_table.generation
+            + self.backup_table.generation
+            + self._vlan_generation
+        )
 
     def _fdb_key(self, mac_value: int, vid: int) -> int:
         return (vid << 48) | mac_value if self.vlan_aware else mac_value
@@ -141,21 +149,41 @@ class LearningSwitchLookup(OutputPortLookup):
             self.mac_table.insert(self._fdb_key(parsed.src_mac.value, vid), src_bits)
         assert parsed.dst_mac is not None
         if not parsed.dst_mac.is_multicast:
-            hit = self.mac_table.lookup(self._fdb_key(parsed.dst_mac.value, vid))
+            key = self._fdb_key(parsed.dst_mac.value, vid)
+            hit = self.mac_table.lookup(key)
             if hit is not None:
                 if hit == src_bits:
                     # Destination is back out the ingress port: filter.
                     return Decision(tuser, drop=True, note="same_port_filter")
-                return Decision(
-                    SUME_TUSER.insert(tuser, "dst_port", hit), note="hit"
-                )
-        flood = all_phys_ports_mask(exclude=src_bits) & members
+                if hit & self.port_liveness:
+                    return Decision(
+                        SUME_TUSER.insert(tuser, "dst_port", hit), note="hit"
+                    )
+                # Primary port is dead: fall over to the precomputed
+                # backup next-hop, still inside this packet's walk.
+                backup = self.backup_table.lookup(key)
+                if (
+                    backup is not None
+                    and backup & self.port_liveness
+                    and backup != src_bits
+                ):
+                    return Decision(
+                        SUME_TUSER.insert(tuser, "dst_port", backup),
+                        note="frr_reroute",
+                    )
+                return Decision(tuser, drop=True, note="frr_blackhole")
+        flood = all_phys_ports_mask(exclude=src_bits) & members & self.port_liveness
         if flood == 0:
             return Decision(tuser, drop=True, note="no_flood_targets")
         return Decision(SUME_TUSER.insert(tuser, "dst_port", flood), note="flood")
 
     def resources(self) -> Resources:
-        return super().resources() + self.mac_table.resources() + Resources(luts=400, ffs=300)
+        return (
+            super().resources()
+            + self.mac_table.resources()
+            + self.backup_table.resources()
+            + Resources(luts=400, ffs=300)
+        )
 
 
 class SwitchLiteLookup(OutputPortLookup):

@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.axis import AxiStreamBeat, AxiStreamChannel
+from repro.core.metadata import NUM_PHYS_PORTS, all_phys_ports_mask, phys_port_bit
 from repro.core.module import Module, Resources
 
 #: Header bytes retained for the decision (see header_parser.HEADER_WINDOW).
@@ -76,6 +77,12 @@ class OutputPortLookup(Module):
         self.counters: dict[str, int] = {}
         self.packets = 0
         self.drops = 0
+        #: One-hot liveness mask over the physical ports.  The MAC/PHY
+        #: blocks report link state here; lookups that precompute backup
+        #: next-hops (fast reroute) consult it inside ``decide()`` so a
+        #: dead primary port falls over in the same packet walk.
+        self.port_liveness = all_phys_ports_mask()
+        self._liveness_generation = 0
         for ch in (s_axis, m_axis):
             for sig in ch.signals():
                 self.adopt_signal(sig)
@@ -90,14 +97,37 @@ class OutputPortLookup(Module):
     def bump(self, counter: str) -> None:
         self.counters[counter] = self.counters.get(counter, 0) + 1
 
+    def set_port_state(self, index: int, up: bool) -> bool:
+        """Mark physical port ``index`` up or down in the liveness mask.
+
+        Returns True if the state actually changed.  A change bumps the
+        liveness generation, which folds into :meth:`state_generation`
+        so every cached forwarding decision that might have consulted
+        the mask is invalidated.
+        """
+        if not 0 <= index < NUM_PHYS_PORTS:
+            raise ValueError(f"physical port index {index} out of range")
+        bit = phys_port_bit(index)
+        new = (self.port_liveness | bit) if up else (self.port_liveness & ~bit)
+        if new == self.port_liveness:
+            return False
+        self.port_liveness = new
+        self._liveness_generation += 1
+        return True
+
+    def port_is_up(self, index: int) -> bool:
+        """Whether physical port ``index`` currently has link."""
+        return bool(self.port_liveness & phys_port_bit(index))
+
     def state_generation(self) -> int:
         """Monotonic counter over the lookup's *decision-visible* state.
 
         Cached decisions are valid exactly while this value is stable;
-        lookups with tables override it to sum their tables' generation
-        counters.  Table-less lookups are stateless, hence the constant.
+        lookups with tables override it to add their tables' generation
+        counters (and must include ``super().state_generation()`` so
+        port-liveness flips invalidate them too).
         """
-        return 0
+        return self._liveness_generation
 
     # ------------------------------------------------------------------
     # Kernel interface

@@ -124,7 +124,7 @@ class RouterLookup(OutputPortLookup):
             )
 
     def state_generation(self) -> int:
-        return self.tables.generation()
+        return super().state_generation() + self.tables.generation()
 
     # ------------------------------------------------------------------
     def _ingress_index(self, src_bits: int) -> Optional[int]:

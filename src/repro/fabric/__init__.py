@@ -41,6 +41,7 @@ from repro.fabric.scheduler import (
     FLAP_EPOCH_TICKS,
     FabricReport,
     FlowRecord,
+    LinkSchedule,
     run_fabric,
     run_flows,
 )
@@ -51,6 +52,7 @@ from repro.fabric.topo import (
     FabricTopology,
     Host,
     TOPOLOGIES,
+    abilene,
     fat_tree,
     get_topology,
     leaf_spine,
@@ -77,10 +79,12 @@ __all__ = [
     "Flow",
     "FlowRecord",
     "Host",
+    "LinkSchedule",
     "PATTERNS",
     "TOPOLOGIES",
     "WORKLOADS",
     "WorkloadSpec",
+    "abilene",
     "fat_tree",
     "generate_flows",
     "get_topology",

@@ -67,6 +67,7 @@ class FlowRecord:
     delivered: int = 0
     lost_wire: int = 0
     lost_flap: int = 0
+    lost_link: int = 0
     blackholed: int = 0
     dropped_hop_limit: int = 0
     misdelivered: int = 0
@@ -80,9 +81,9 @@ class FlowRecord:
         return (
             self.flow_id, self.src, self.dst, self.attempted,
             self.delivered, self.lost_wire, self.lost_flap,
-            self.blackholed, self.dropped_hop_limit, self.misdelivered,
-            self.retransmits, self.bytes_delivered, self.hops_total,
-            self.hops_max,
+            self.lost_link, self.blackholed, self.dropped_hop_limit,
+            self.misdelivered, self.retransmits, self.bytes_delivered,
+            self.hops_total, self.hops_max,
         )
 
     def as_dict(self) -> dict:
@@ -90,6 +91,7 @@ class FlowRecord:
             "flow_id": self.flow_id, "src": self.src, "dst": self.dst,
             "attempted": self.attempted, "delivered": self.delivered,
             "lost_wire": self.lost_wire, "lost_flap": self.lost_flap,
+            "lost_link": self.lost_link,
             "blackholed": self.blackholed,
             "dropped_hop_limit": self.dropped_hop_limit,
             "misdelivered": self.misdelivered,
@@ -118,6 +120,15 @@ class FabricReport:
     device_forwarded: dict[str, int] = field(default_factory=dict)
     fault_counters: dict[str, int] = field(default_factory=dict)
     hops_hist: dict[int, int] = field(default_factory=dict)
+    #: Fast-reroute observables: whether backups were installed, the
+    #: scripted link-failure windows (if any), failure-attributable
+    #: losses per scheduler epoch, and per-device reroute/blackhole
+    #: counts.  All order-independent, so all part of the signature.
+    frr: bool = False
+    link_schedule: Optional[str] = None
+    loss_by_epoch: dict[int, int] = field(default_factory=dict)
+    device_reroutes: dict[str, int] = field(default_factory=dict)
+    device_blackholed: dict[str, int] = field(default_factory=dict)
     shards: int = 1
     elapsed_s: float = 0.0
     #: Flow-cache statistics (hits/misses/... per cache layer).  Like
@@ -142,7 +153,8 @@ class FabricReport:
     @property
     def lost(self) -> int:
         return (self._total("lost_wire") + self._total("lost_flap")
-                + self._total("blackholed") + self._total("dropped_hop_limit"))
+                + self._total("lost_link") + self._total("blackholed")
+                + self._total("dropped_hop_limit"))
 
     @property
     def misdelivered(self) -> int:
@@ -173,6 +185,12 @@ class FabricReport:
             "fault_counters": dict(sorted(self.fault_counters.items())),
             "hops_hist": {str(k): v for k, v in
                           sorted(self.hops_hist.items())},
+            "frr": self.frr,
+            "link_schedule": self.link_schedule,
+            "loss_by_epoch": {str(k): v for k, v in
+                              sorted(self.loss_by_epoch.items())},
+            "device_reroutes": dict(sorted(self.device_reroutes.items())),
+            "device_blackholed": dict(sorted(self.device_blackholed.items())),
         }
 
     def fingerprint(self) -> str:
@@ -192,6 +210,7 @@ class FabricReport:
             "delivered": self.delivered,
             "lost_wire": self._total("lost_wire"),
             "lost_flap": self._total("lost_flap"),
+            "lost_link": self._total("lost_link"),
             "blackholed": self._total("blackholed"),
             "dropped_hop_limit": self._total("dropped_hop_limit"),
             "misdelivered": self.misdelivered,
@@ -206,6 +225,12 @@ class FabricReport:
             "healthy": self.healthy(),
             "fingerprint": self.fingerprint(),
             "fastpath": dict(sorted(self.fastpath.items())),
+            "frr": self.frr,
+            "link_schedule": self.link_schedule,
+            "loss_by_epoch": {str(k): v for k, v in
+                              sorted(self.loss_by_epoch.items())},
+            "device_reroutes": dict(sorted(self.device_reroutes.items())),
+            "device_blackholed": dict(sorted(self.device_blackholed.items())),
         }
         if per_flow:
             out["per_flow"] = [r.as_dict() for r in
@@ -282,6 +307,128 @@ class _FlapOracle:
 
 
 # ----------------------------------------------------------------------
+# Fabric link state: scripted windows and seeded cuts, both pure
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LinkSchedule:
+    """Scripted switch-switch link failures, in scheduler epochs.
+
+    Each event is ``(device_a, device_b, down_epoch, up_epoch)``: the
+    cable between the devices is dark for epochs in
+    ``[down_epoch, up_epoch)``.  A pure description — the E19 sweep
+    scripts exactly one failure window per swept link.
+    """
+
+    events: tuple[tuple[str, str, int, int], ...] = ()
+
+    @property
+    def key(self) -> str:
+        """Canonical identity string, part of the run fingerprint."""
+        return ";".join(f"{a}~{b}[{d},{u})" for a, b, d, u in self.events)
+
+    def down(self, a: str, b: str, epoch: int) -> bool:
+        pair = frozenset((a, b))
+        return any(
+            frozenset((ea, eb)) == pair and d <= epoch < u
+            for ea, eb, d, u in self.events
+        )
+
+    def pairs(self) -> list[tuple[str, str]]:
+        """The device pairs this schedule touches, canonically ordered."""
+        return sorted({tuple(sorted((a, b))) for a, b, _, _ in self.events})
+
+
+class _LinkStateOracle:
+    """Answers "is this cable dark during this epoch?" from the seeded
+    ``link_down``/``link_up`` fault sites.
+
+    Each distinct ``(link, epoch)`` cut decision draws once from its own
+    derived seed (like :class:`_FlapOracle`), and a firing link stays
+    dark for a drawn number of epochs — so the answer for any epoch is a
+    pure function of ``(plan.seed, link, epoch)``, independent of which
+    flow asked first or how the run was sharded.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan]):
+        self._plan = plan
+        spec = plan.link_state if plan is not None else None
+        self._spec = spec
+        self.enabled = spec is not None and spec.down_rate > 0
+        self._cuts: dict[tuple[str, str, int], int] = {}
+
+    def _cut_epochs(self, a: str, b: str, e0: int) -> int:
+        """How many epochs the cut starting at ``e0`` lasts (0 = none)."""
+        key = (a, b, e0)
+        if key not in self._cuts:
+            session = self._plan.derived("fabric-link", a, b, e0).session()
+            if session.link_down_faults():
+                self._cuts[key] = max(1, session.link_down_epochs())
+            else:
+                self._cuts[key] = 0
+        return self._cuts[key]
+
+    def down(self, a: str, b: str, epoch: int) -> bool:
+        if not self.enabled:
+            return False
+        a, b = sorted((a, b))
+        lookback = self._spec.max_down_epochs
+        return any(
+            self._cut_epochs(a, b, e0) > epoch - e0
+            for e0 in range(max(0, epoch - lookback + 1), epoch + 1)
+        )
+
+
+class _LinkStateController:
+    """Keeps the network's link state in step with the packet's epoch.
+
+    Applied per event from the event's *own* epoch — an absolute,
+    idempotent assignment, never a relative toggle — so late-admitted
+    flows whose ticks sit before the current heap front still see
+    exactly the state their epoch prescribes, in any shard.
+    """
+
+    def __init__(
+        self,
+        topology: FabricTopology,
+        schedule: Optional["LinkSchedule"],
+        plan: Optional[FaultPlan],
+    ):
+        self._net = topology.network
+        self._schedule = schedule
+        self._oracle = _LinkStateOracle(plan)
+        pairs: set[tuple[str, str]] = set()
+        if schedule is not None:
+            pairs.update(schedule.pairs())
+        if self._oracle.enabled:
+            pairs.update(
+                tuple(sorted((a.device, b.device)))
+                for a, b in self._net.links()
+            )
+        self._pairs = sorted(pairs)
+        self._last: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        return bool(self._pairs)
+
+    def apply(self, epoch: int) -> None:
+        if not self._pairs or epoch == self._last:
+            return
+        self._last = epoch
+        for a, b in self._pairs:
+            down = self._oracle.down(a, b, epoch) or (
+                self._schedule is not None
+                and self._schedule.down(a, b, epoch)
+            )
+            self._net.set_link_state(a, b, not down)
+
+    def restore(self) -> None:
+        """Bring every touched link back up (end-of-run tidiness)."""
+        for a, b in self._pairs:
+            self._net.set_link_state(a, b, True)
+
+
+# ----------------------------------------------------------------------
 # The scheduler
 # ----------------------------------------------------------------------
 @dataclass(order=True)
@@ -339,12 +486,18 @@ def flow_frame(
     ).pack()
 
 
+def _lost_total(record: FlowRecord) -> int:
+    return (record.lost_wire + record.lost_flap + record.lost_link
+            + record.blackholed + record.dropped_hop_limit)
+
+
 def _send_packet(
     topology: FabricTopology,
     event: _Event,
     flap: _FlapOracle,
     hops_hist: Counter,
     frames: dict[tuple[int, bool], bytes],
+    loss_by_epoch: Counter,
 ) -> None:
     flow, record, session = event.flow, event.record, event.session
     if event.is_response and record.delivered == 0:
@@ -352,38 +505,46 @@ def _send_packet(
     src = topology.hosts[flow.dst if event.is_response else flow.src]
     dst = topology.hosts[flow.src if event.is_response else flow.dst]
     record.attempted += 1
-    if flap.down(src.name, event.tick // FLAP_EPOCH_TICKS):
-        record.lost_flap += 1
-        session.counters["flap_lost_frames"] += 1
-        return
-    retrans_before = session.counters.get("link_retransmits", 0)
-    delivered_to_wire = session.link_transfer()
-    record.retransmits += (
-        session.counters.get("link_retransmits", 0) - retrans_before
-    )
-    if not delivered_to_wire:
-        record.lost_wire += 1
-        return
-    key = (flow.flow_id, event.is_response)
-    frame = frames.get(key)
-    if frame is None:
-        frame = frames[key] = flow_frame(topology, flow, event.is_response)
-    result = topology.network.inject(src.device, src.port, frame)
-    record.dropped_hop_limit += result.dropped_hop_limit
-    hit = False
-    for delivery in result:
-        if (delivery.at.device == dst.device
-                and delivery.at.port.index == dst.port):
-            hit = True
-            record.delivered += 1
-            record.bytes_delivered += len(delivery.frame)
-            record.hops_total += delivery.hops
-            record.hops_max = max(record.hops_max, delivery.hops)
-            hops_hist[delivery.hops] += 1
-        else:
-            record.misdelivered += 1
-    if not hit and not result.dropped_hop_limit:
-        record.blackholed += 1
+    lost_before = _lost_total(record)
+    try:
+        if flap.down(src.name, event.tick // FLAP_EPOCH_TICKS):
+            record.lost_flap += 1
+            session.counters["flap_lost_frames"] += 1
+            return
+        retrans_before = session.counters.get("link_retransmits", 0)
+        delivered_to_wire = session.link_transfer()
+        record.retransmits += (
+            session.counters.get("link_retransmits", 0) - retrans_before
+        )
+        if not delivered_to_wire:
+            record.lost_wire += 1
+            return
+        key = (flow.flow_id, event.is_response)
+        frame = frames.get(key)
+        if frame is None:
+            frame = frames[key] = flow_frame(topology, flow, event.is_response)
+        result = topology.network.inject(src.device, src.port, frame)
+        record.dropped_hop_limit += result.dropped_hop_limit
+        record.lost_link += result.dropped_link_down
+        hit = False
+        for delivery in result:
+            if (delivery.at.device == dst.device
+                    and delivery.at.port.index == dst.port):
+                hit = True
+                record.delivered += 1
+                record.bytes_delivered += len(delivery.frame)
+                record.hops_total += delivery.hops
+                record.hops_max = max(record.hops_max, delivery.hops)
+                hops_hist[delivery.hops] += 1
+            else:
+                record.misdelivered += 1
+        if (not hit and not result.dropped_hop_limit
+                and not result.dropped_link_down):
+            record.blackholed += 1
+    finally:
+        lost = _lost_total(record) - lost_before
+        if lost:
+            loss_by_epoch[event.tick // FLAP_EPOCH_TICKS] += lost
 
 
 def run_flows(
@@ -392,35 +553,54 @@ def run_flows(
     plan: Optional[FaultPlan] = None,
     *,
     flow_filter: Optional[Callable[[Flow], bool]] = None,
+    flows: Optional[list[Flow]] = None,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
     shards: int = 1,
     fastpath: bool = True,
+    frr: bool = False,
+    link_schedule: Optional[LinkSchedule] = None,
 ) -> FabricReport:
     """Run a workload over a fabric; returns the :class:`FabricReport`.
 
     ``flow_filter`` selects the subset of generated flows this call
     carries (the sharded executor passes ``flow_id % shards == index``);
     the report then covers just that subset, and merging subset reports
-    reproduces the full-run report exactly.
+    reproduces the full-run report exactly.  ``flows`` overrides the
+    workload's generated flow list entirely (the E19 sweep passes the
+    crossing flows it constructed for one link); the filter still
+    applies on top.
 
     ``fastpath=False`` disables the flow-cache fast path (path cache +
     per-device microflow caches) for this run — the A/B switch; the
     report's fingerprint is identical either way, only
     ``report.fastpath`` (the cache stats) and the wall clock move.
+
+    ``frr=True`` installs the precomputed loop-free backup next-hops
+    after :meth:`~repro.fabric.topo.FabricTopology.learn`, and
+    ``link_schedule`` scripts switch-switch link-failure windows; the
+    seeded ``link_down`` fault sites (``plan.link_state``) cut cables
+    the same way, drawn per (link, epoch).
     """
     if max_inflight < 1:
         raise ValueError("max_inflight must be >= 1")
     if not fastpath:
         topology.network.set_fastpath(False)
     topology.learn()
-    flows = generate_flows(topology.host_names(), spec)
+    if frr:
+        topology.install_backups()
+    if flows is None:
+        flows = generate_flows(topology.host_names(), spec)
+    else:
+        flows = list(flows)
     if flow_filter is not None:
         flows = [f for f in flows if flow_filter(f)]
 
     flap = _FlapOracle(plan)
+    link_ctl = _LinkStateController(topology, link_schedule, plan)
     fault_counters: Counter[str] = Counter()
     records: list[FlowRecord] = []
     hops_hist: Counter[int] = Counter()
+    loss_by_epoch: Counter[int] = Counter()
     frames: dict[tuple[int, bool], bytes] = {}
     started = time.perf_counter()
 
@@ -448,7 +628,8 @@ def run_flows(
     admit()
     while heap:
         event = heapq.heappop(heap)
-        _send_packet(topology, event, flap, hops_hist, frames)
+        link_ctl.apply(event.tick // FLAP_EPOCH_TICKS)
+        _send_packet(topology, event, flap, hops_hist, frames, loss_by_epoch)
         resident[event.flow_id] -= 1
         if not resident[event.flow_id]:
             del resident[event.flow_id]
@@ -456,6 +637,7 @@ def run_flows(
             frames.pop((event.flow_id, True), None)
             fault_counters.update(event.session.counters)
             admit()
+    link_ctl.restore()
 
     return FabricReport(
         topology=topology.key,
@@ -466,6 +648,11 @@ def run_flows(
         device_forwarded=topology.device_forwarded(),
         fault_counters=dict(sorted(fault_counters.items())),
         hops_hist=dict(sorted(hops_hist.items())),
+        frr=frr,
+        link_schedule=link_schedule.key if link_schedule is not None else None,
+        loss_by_epoch=dict(sorted(loss_by_epoch.items())),
+        device_reroutes=topology.device_counters("frr_reroute"),
+        device_blackholed=topology.device_counters("frr_blackhole"),
         shards=shards,
         elapsed_s=time.perf_counter() - started,
         fastpath=topology.network.fastpath_stats(),
@@ -478,7 +665,10 @@ def run_fabric(
     plan: Optional[FaultPlan] = None,
     *,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    frr: bool = False,
+    link_schedule: Optional[LinkSchedule] = None,
 ) -> FabricReport:
     """Build a fabric from its spec and run a workload over it."""
     return run_flows(topology_spec.build(), workload, plan,
-                     max_inflight=max_inflight)
+                     max_inflight=max_inflight, frr=frr,
+                     link_schedule=link_schedule)

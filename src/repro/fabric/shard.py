@@ -29,10 +29,11 @@ from typing import Optional
 from repro.fabric.scheduler import (
     DEFAULT_MAX_INFLIGHT,
     FabricReport,
+    LinkSchedule,
     run_flows,
 )
 from repro.fabric.topo import FabricSpec
-from repro.fabric.workload import WorkloadSpec
+from repro.fabric.workload import Flow, WorkloadSpec
 from repro.faults import FaultPlan
 
 
@@ -44,6 +45,9 @@ def _run_shard(
     index: int,
     max_inflight: int,
     fastpath: bool,
+    flows: Optional[list[Flow]],
+    frr: bool,
+    link_schedule: Optional[LinkSchedule],
 ) -> FabricReport:
     """One worker's slice: rebuild the fabric, carry flows ≡ index (mod
     shards).  Module-level so the pool can pickle it."""
@@ -51,9 +55,12 @@ def _run_shard(
     return run_flows(
         topology, workload, plan,
         flow_filter=lambda flow: flow.flow_id % shards == index,
+        flows=flows,
         max_inflight=max_inflight,
         shards=shards,
         fastpath=fastpath,
+        frr=frr,
+        link_schedule=link_schedule,
     )
 
 
@@ -68,14 +75,19 @@ def merge_reports(reports: list[FabricReport], shards: int) -> FabricReport:
         raise ValueError("nothing to merge")
     head = reports[0]
     for other in reports[1:]:
-        if (other.topology, other.workload, other.seed, other.plan) != (
-            head.topology, head.workload, head.seed, head.plan
+        if (other.topology, other.workload, other.seed, other.plan,
+                other.frr, other.link_schedule) != (
+            head.topology, head.workload, head.seed, head.plan,
+            head.frr, head.link_schedule,
         ):
             raise ValueError("cannot merge reports of different runs")
     forwarded: Counter[str] = Counter()
     faults: Counter[str] = Counter()
     hops: Counter[int] = Counter()
     fastpath: Counter[str] = Counter()
+    loss_by_epoch: Counter[int] = Counter()
+    reroutes: Counter[str] = Counter()
+    blackholed: Counter[str] = Counter()
     records = []
     for report in reports:
         records.extend(report.records)
@@ -83,6 +95,9 @@ def merge_reports(reports: list[FabricReport], shards: int) -> FabricReport:
         faults.update(report.fault_counters)
         hops.update(report.hops_hist)
         fastpath.update(report.fastpath)
+        loss_by_epoch.update(report.loss_by_epoch)
+        reroutes.update(report.device_reroutes)
+        blackholed.update(report.device_blackholed)
     seen = [r.flow_id for r in records]
     if len(seen) != len(set(seen)):
         raise ValueError("shard partitions overlap: duplicate flow ids")
@@ -95,6 +110,11 @@ def merge_reports(reports: list[FabricReport], shards: int) -> FabricReport:
         device_forwarded=dict(sorted(forwarded.items())),
         fault_counters=dict(sorted(faults.items())),
         hops_hist=dict(sorted(hops.items())),
+        frr=head.frr,
+        link_schedule=head.link_schedule,
+        loss_by_epoch=dict(sorted(loss_by_epoch.items())),
+        device_reroutes=dict(sorted(reroutes.items())),
+        device_blackholed=dict(sorted(blackholed.items())),
         shards=shards,
         elapsed_s=max(r.elapsed_s for r in reports),
         fastpath=dict(sorted(fastpath.items())),
@@ -110,6 +130,9 @@ def run_sharded(
     parallel: bool = True,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
     fastpath: bool = True,
+    flows: Optional[list[Flow]] = None,
+    frr: bool = False,
+    link_schedule: Optional[LinkSchedule] = None,
 ) -> FabricReport:
     """Run a fabric workload across ``shards`` partitions and merge.
 
@@ -124,8 +147,11 @@ def run_sharded(
         raise ValueError("shards must be >= 1")
     if shards == 1:
         return run_flows(spec.build(), workload, plan,
-                         max_inflight=max_inflight, fastpath=fastpath)
-    jobs = [(spec, workload, plan, shards, index, max_inflight, fastpath)
+                         flows=flows, max_inflight=max_inflight,
+                         fastpath=fastpath, frr=frr,
+                         link_schedule=link_schedule)
+    jobs = [(spec, workload, plan, shards, index, max_inflight, fastpath,
+             flows, frr, link_schedule)
             for index in range(shards)]
     if parallel:
         with multiprocessing.Pool(processes=shards) as pool:

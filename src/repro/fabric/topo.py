@@ -83,6 +83,7 @@ class FabricTopology:
         self.network = network
         self.hosts: dict[str, Host] = {h.name: h for h in hosts}
         self._learned = False
+        self._backups_installed = False
         self.validate()
 
     # ------------------------------------------------------------------
@@ -100,6 +101,32 @@ class FabricTopology:
             if host.mac == mac:
                 return host
         return None
+
+    # ------------------------------------------------------------------
+    # Link enumeration (what the E19 sweep driver iterates)
+    # ------------------------------------------------------------------
+    def links(self) -> list[tuple[str, int, str, int]]:
+        """Every switch-switch cable once, sorted.
+
+        Each entry is ``(device_a, port_a, device_b, port_b)`` with the
+        ends ordered by (device, port) — the fabric's internal link set,
+        exactly what a single-link-failure sweep iterates.
+        """
+        return sorted(
+            (a.device, a.port.index, b.device, b.port.index)
+            for a, b in self.network.links()
+        )
+
+    def edge_links(self) -> list[tuple[str, str, int]]:
+        """Host attachment points as ``(host, device, port)``.
+
+        In canonical host order — the edge side of the fabric, disjoint
+        from :meth:`links` (hosts attach to un-cabled ports).
+        """
+        return [
+            (name, self.hosts[name].device, self.hosts[name].port)
+            for name in self.host_names()
+        ]
 
     # ------------------------------------------------------------------
     # Build-time invariants
@@ -179,6 +206,24 @@ class FabricTopology:
         self._learned = True
         return installed
 
+    def install_backups(self) -> int:
+        """Install loop-free backup next-hops next to the FDB entries.
+
+        Runs the fast-reroute computation (:mod:`repro.frr.backup`) over
+        the same BFS trees :meth:`learn` programmed from and writes the
+        backup-port column on every switch.  Requires :meth:`learn`
+        first; idempotent.  Returns the number of entries installed.
+        """
+        if self._backups_installed:
+            return 0
+        if not self._learned:
+            raise FabricError("install_backups() requires learn() first")
+        from repro.frr.backup import install_backups
+
+        installed = install_backups(self)
+        self._backups_installed = True
+        return installed
+
     # ------------------------------------------------------------------
     def device_forwarded(self) -> dict[str, int]:
         """Packets each device's lookup stage has forwarded so far."""
@@ -187,6 +232,21 @@ class FabricTopology:
             name: net.device(name).opl.packets - net.device(name).opl.drops
             for name in net.device_names()
         }
+
+    def device_counters(self, counter: str) -> dict[str, int]:
+        """One OPL counter across the fabric; zero-count devices omitted.
+
+        The omission keeps the dict merge-friendly (summing shard
+        replicas never has to reconcile explicit zeros) and the report
+        signature compact.
+        """
+        net = self.network
+        out: dict[str, int] = {}
+        for name in net.device_names():
+            count = net.device(name).opl.counters.get(counter, 0)
+            if count:
+                out[name] = count
+        return out
 
     def describe(self) -> str:
         lines = [f"fabric {self.key}: {len(self.hosts)} hosts"]
@@ -294,6 +354,47 @@ def leaf_spine(leaves: int = 3, spines: int = 2,
     )
 
 
+#: The Abilene research backbone (11 PoPs, 14 links) — the classic
+#: wide-area evaluation topology for fast-reroute studies.  Max node
+#: degree is 3, so it fits the 4-port SUME constraint with one free
+#: port per PoP for its host.
+_ABILENE_NODES = (
+    "atl", "chi", "dc", "den", "hou", "ind", "kc", "lax", "ny", "sea", "svl",
+)
+_ABILENE_EDGES = (
+    ("sea", "svl"), ("sea", "den"), ("svl", "lax"), ("svl", "den"),
+    ("lax", "hou"), ("den", "kc"), ("kc", "hou"), ("kc", "ind"),
+    ("hou", "atl"), ("ind", "chi"), ("ind", "atl"), ("chi", "ny"),
+    ("atl", "dc"), ("dc", "ny"),
+)
+
+
+def abilene(hop_limit: int = 64) -> FabricTopology:
+    """The Abilene backbone with one host per PoP.
+
+    Link ports are assigned in fixed edge-list order (each node's next
+    free port), so the wiring — and everything learned over it — is
+    deterministic.  This is the E19 single-link-failure sweep's
+    wide-area topology: rich in alternate paths (every link sits on a
+    cycle), which is what gives fast reroute full backup coverage.
+    """
+    net = Network(hop_limit=hop_limit)
+    for node in _ABILENE_NODES:
+        _switch(net, node)
+    next_port = {node: 0 for node in _ABILENE_NODES}
+    for a, b in _ABILENE_EDGES:
+        net.link(a, next_port[a], b, next_port[b])
+        next_port[a] += 1
+        next_port[b] += 1
+    hosts: list[Host] = []
+    for node in _ABILENE_NODES:
+        free = [p.index for p in net.edge_ports(node)]
+        if not free:
+            raise FabricError(f"PoP {node} has no free port for its host")
+        hosts.append(_host(len(hosts), node, free[0]))
+    return FabricTopology("abilene", {}, net, hosts)
+
+
 def oversubscription(topology: FabricTopology) -> float:
     """Edge-to-fabric capacity ratio of a leaf-spine fabric."""
     if topology.kind != "leaf_spine":
@@ -348,6 +449,7 @@ _BUILDERS: dict[str, Callable[..., FabricTopology]] = {
     "star": star,
     "leaf_spine": leaf_spine,
     "fat_tree": fat_tree,
+    "abilene": abilene,
 }
 
 
@@ -392,6 +494,7 @@ TOPOLOGIES: dict[str, FabricSpec] = {
         "leaf_spine", leaves=4, spines=2, hosts_per_leaf=2
     ),
     "fat-tree-4": FabricSpec.of("fat_tree", k=4),
+    "abilene": FabricSpec.of("abilene"),
 }
 
 

@@ -36,6 +36,7 @@ from repro.faults.plan import (
     FaultReport,
     FaultSession,
     LinkFaultSpec,
+    LinkStateSpec,
     MmioFaultSpec,
     OqFaultSpec,
     available_plans,
@@ -60,6 +61,7 @@ __all__ = [
     "FaultReport",
     "FaultSession",
     "LinkFaultSpec",
+    "LinkStateSpec",
     "MmioFaultSpec",
     "OqFaultSpec",
     "available_plans",

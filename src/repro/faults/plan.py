@@ -42,6 +42,10 @@ SITES = (
     # Control-plane sites (the resilience subsystem's fault surface):
     # posted register writes, soft device resets, per-port link flaps.
     "ctrl_wr", "ctrl_rst", "ctrl_flap",
+    # Data-plane link-state sites (the fast-reroute subsystem's fault
+    # surface): whether a fabric cable loses light this epoch, and for
+    # how many epochs it stays dark.
+    "link_down", "link_up",
 )
 
 
@@ -164,6 +168,29 @@ class CtrlFaultSpec:
 
 
 @dataclass(frozen=True)
+class LinkStateSpec:
+    """Fabric cable failures: link goes dark for whole epochs.
+
+    Unlike :class:`CtrlFaultSpec`'s per-(host, epoch) edge flaps, these
+    cut *switch-switch* cables — the failure fast reroute protects
+    against.  ``down_rate`` is drawn once per (link, epoch) from the
+    ``link_down`` site; a firing link stays dark for a duration drawn
+    from the ``link_up`` site in ``[min_down_epochs, max_down_epochs]``.
+    """
+
+    down_rate: float = 0.0
+    min_down_epochs: int = 1
+    max_down_epochs: int = 4
+
+    def __post_init__(self) -> None:
+        _check_rates(self.down_rate)
+        if self.min_down_epochs < 1:
+            raise ValueError("min_down_epochs must be >= 1")
+        if self.max_down_epochs < self.min_down_epochs:
+            raise ValueError("max_down_epochs must be >= min_down_epochs")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A named, seeded schedule of faults across the platform's sites."""
 
@@ -174,6 +201,7 @@ class FaultPlan:
     mmio: Optional[MmioFaultSpec] = None
     oq: Optional[OqFaultSpec] = None
     ctrl: Optional[CtrlFaultSpec] = None
+    link_state: Optional[LinkStateSpec] = None
 
     def with_seed(self, seed: int) -> "FaultPlan":
         return replace(self, seed=seed)
@@ -412,6 +440,27 @@ class FaultSession:
             self._notify("ctrl_flap", "flap")
         return fault
 
+    # -- data-plane link state -------------------------------------------
+    def link_down_faults(self) -> bool:
+        """True when this (link, epoch) draw cuts the cable."""
+        spec = self.plan.link_state
+        if spec is None:
+            return False
+        fault = self._rng["link_down"].random() < spec.down_rate
+        if fault:
+            self.counters["link_down_events"] += 1
+            self._notify("link_down", "down")
+        return fault
+
+    def link_down_epochs(self) -> int:
+        """How many epochs a cut cable stays dark (>= 1)."""
+        spec = self.plan.link_state
+        if spec is None:
+            return 0
+        return self._rng["link_up"].randint(
+            spec.min_down_epochs, spec.max_down_epochs
+        )
+
     # -- output queues --------------------------------------------------
     def oq_pressure(self) -> int:
         """Phantom backlog bytes to add to this enqueue decision."""
@@ -527,6 +576,14 @@ register_plan(
         link=LinkFaultSpec(drop_rate=0.08, corrupt_rate=0.04, lose_rate=0.03,
                            max_burst=2, max_attempts=6),
         ctrl=CtrlFaultSpec(flap_rate=0.10, max_burst=2),
+    ),
+)
+register_plan(
+    "frr-chaos",
+    lambda seed: FaultPlan(
+        "frr-chaos", seed,
+        link_state=LinkStateSpec(down_rate=0.05, min_down_epochs=1,
+                                 max_down_epochs=3),
     ),
 )
 register_plan(

@@ -1,0 +1,27 @@
+"""Data-plane fast reroute (S23).
+
+Felix-style failure response: instead of detecting a dead link in
+software and repairing tables a repair-epoch later (the S18/S20 path),
+every switch carries a precomputed *backup next-hop column* next to its
+FDB and a per-port liveness bitmap — so when a primary port loses link,
+the very next packet falls over to the backup inside the same lookup,
+with zero controller involvement.
+
+- :mod:`repro.frr.backup` computes loop-free backup next-hops from the
+  fabric's BFS trees and installs them on the switches.
+- :mod:`repro.frr.sweep` runs the E19 single-link-failure sweeps and
+  folds the per-link loss/recovery curves into a fingerprinted
+  :class:`~repro.frr.sweep.SweepReport`.
+"""
+
+from repro.frr.backup import backup_coverage, compute_backups, install_backups
+from repro.frr.sweep import LinkResult, SweepReport, run_sweep
+
+__all__ = [
+    "backup_coverage",
+    "compute_backups",
+    "install_backups",
+    "LinkResult",
+    "SweepReport",
+    "run_sweep",
+]

@@ -238,6 +238,53 @@ def cmd_fabric(args: argparse.Namespace) -> int:
     return 0 if report.healthy() else 1
 
 
+def cmd_frr(args: argparse.Namespace) -> int:
+    from repro.frr import run_sweep
+
+    try:
+        report = run_sweep(
+            args.topo, seed=args.seed, epochs=args.epochs,
+            fail_epoch=args.fail_epoch, down_epochs=args.down_epochs,
+            pairs_per_link=args.pairs_per_link,
+            max_links=args.max_links,
+            shards=args.shards, parallel=not args.inline,
+        )
+    except ValueError as exc:
+        # Unknown topology preset or an inconsistent window — operator
+        # error, not a crash.
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.as_dict(per_link=args.per_link), indent=2))
+    else:
+        print(f"# frr sweep {report.topology} seed={report.seed} "
+              f"fail@{report.fail_epoch} down={report.down_epochs} "
+              f"epochs={report.epochs} shards={report.shards}")
+        rows = [
+            ("links swept", f"{len(report.swept())}/{len(report.links)}"),
+            ("packets lost (FRR on)", report.packets_lost_frr_on),
+            ("packets lost (FRR off)", report.packets_lost_frr_off),
+            ("backup reroutes", report.reroutes),
+        ]
+        for label, value in rows:
+            print(f"  {label:24s} {value}")
+        if args.per_link:
+            print(f"  {'link':>16s} {'cross':>6s} {'prot':>5s} {'swept':>6s} "
+                  f"{'lost_on':>8s} {'lost_off':>9s} {'ttr_on':>7s} "
+                  f"{'ttr_off':>8s}")
+            for link in sorted(report.links, key=lambda l: l.link):
+                print(f"  {link.link:>16s} {link.crossing_pairs:>6d} "
+                      f"{link.protected_pairs:>5d} {link.swept_pairs:>6d} "
+                      f"{link.lost_frr_on:>8d} {link.lost_frr_off:>9d} "
+                      f"{link.recover_epochs_frr_on:>7d} "
+                      f"{link.recover_epochs_frr_off:>8d}")
+        print(f"  fingerprint: {report.fingerprint()}")
+        print(f"  healthy: {report.healthy()}")
+    return 0 if report.healthy() else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     session = TelemetrySession(args.mode)
     result = _run_scenario(args.scenario, args.mode, session, args.faults)
@@ -320,6 +367,31 @@ def build_parser() -> argparse.ArgumentParser:
     fabric.add_argument("--per-flow", action="store_true",
                         help="include the per-flow stats table")
     fabric.set_defaults(func=cmd_fabric)
+
+    frr = sub.add_parser(
+        "frr", help="sweep single-link failures, FRR-on vs FRR-off"
+    )
+    frr.add_argument("--topo", default="abilene",
+                     help="a named fabric topology preset")
+    frr.add_argument("--seed", type=int, default=0)
+    frr.add_argument("--epochs", type=int, default=6,
+                     help="sweep length in scheduler epochs")
+    frr.add_argument("--fail-epoch", type=int, default=2,
+                     help="epoch at which the swept link goes down")
+    frr.add_argument("--down-epochs", type=int, default=2,
+                     help="epochs the swept link stays down")
+    frr.add_argument("--pairs-per-link", type=int, default=2,
+                     help="crossing host pairs driven over each link")
+    frr.add_argument("--max-links", type=int, default=None,
+                     help="truncate the swept link list (smoke runs)")
+    frr.add_argument("--shards", type=int, default=1,
+                     help="partition flows across this many workers")
+    frr.add_argument("--inline", action="store_true",
+                     help="run shards sequentially in-process")
+    frr.add_argument("--format", choices=("table", "json"), default="table")
+    frr.add_argument("--per-link", action="store_true",
+                     help="include the per-link results table")
+    frr.set_defaults(func=cmd_frr)
     return parser
 
 

@@ -190,6 +190,22 @@ class ReferencePipeline(Module):
         return self.soft_resets + self.opl.state_generation()
 
     # ------------------------------------------------------------------
+    # Link state
+    # ------------------------------------------------------------------
+    def set_port_state(self, index: int, up: bool) -> bool:
+        """Report physical port ``index`` link state to the lookup.
+
+        Returns True if the state changed.  The liveness flip bumps the
+        OPL's state generation, so microflow-cache entries and network
+        path-cache walks that crossed this port are invalidated.
+        """
+        return self.opl.set_port_state(index, up)
+
+    def port_is_up(self, index: int) -> bool:
+        """Whether physical port ``index`` currently has link."""
+        return self.opl.port_is_up(index)
+
+    # ------------------------------------------------------------------
     # Convenience lookups
     # ------------------------------------------------------------------
     def phys(self, index: int) -> PortRef:

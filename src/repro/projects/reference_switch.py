@@ -66,9 +66,26 @@ class ReferenceSwitch(ReferencePipeline):
         value = mac.value if isinstance(mac, MacAddr) else MacAddr.parse(mac).value
         return self.mac_table.insert(value, phys_port_bit(port_index))
 
+    @property
+    def backup_table(self):
+        """The backup next-hop column, for software-side inspection."""
+        return self.opl.backup_table  # type: ignore[attr-defined]
+
+    def install_backup_mac(self, mac: MacAddr | str, port_index: int) -> bool:
+        """Pin the fast-reroute backup port for ``mac``.
+
+        Consulted by the lookup only when the primary FDB port has lost
+        link; installing a backup never changes live-path forwarding.
+        """
+        if not 0 <= port_index < NUM_PHYS_PORTS:
+            raise ValueError(f"physical port index {port_index} out of range")
+        value = mac.value if isinstance(mac, MacAddr) else MacAddr.parse(mac).value
+        return self.backup_table.insert(value, phys_port_bit(port_index))
+
     def _wipe_volatile(self) -> None:
         """A soft reset forgets every learned (and static) MAC entry."""
         self.mac_table.clear()
+        self.backup_table.clear()
 
 
 class ReferenceSwitchLite(ReferencePipeline):

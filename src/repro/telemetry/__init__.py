@@ -41,6 +41,7 @@ from repro.telemetry.probes import (
     probe_driver,
     probe_fabric,
     probe_fastpath,
+    probe_frr,
     probe_faults,
     probe_resilience,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "probe_driver",
     "probe_fabric",
     "probe_fastpath",
+    "probe_frr",
     "probe_faults",
     "probe_resilience",
     "TelemetrySession",

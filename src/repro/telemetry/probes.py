@@ -415,6 +415,42 @@ def probe_fastpath(network: Any, session: "TelemetrySession") -> None:
     entries.labels("net").bind(lambda n=network: n.path_entries)
 
 
+def probe_frr(network: Any, session: "TelemetrySession") -> None:
+    """Mirror a network's fast-reroute ledger into the registry.
+
+    One ``frr_reroutes_total`` / ``frr_blackholed_total`` series per
+    device (from the lookup cores' own decision counters) plus a
+    ``frr_port_liveness`` gauge holding each device's one-hot live-port
+    bitmap.  All ``cycle_dependent=False``: reroute decisions are a pure
+    function of (traffic, tables, link state), so sim and hw runs of the
+    same scenario must agree — the FRR ledger joins the parity set.
+    """
+    registry = session.registry
+    reroutes = registry.counter(
+        "frr_reroutes_total", "packets forwarded via the backup next-hop",
+        labelnames=("device",), cycle_dependent=False,
+    )
+    blackholed = registry.counter(
+        "frr_blackholed_total", "packets dropped with primary down, no backup",
+        labelnames=("device",), cycle_dependent=False,
+    )
+    liveness = registry.gauge(
+        "frr_port_liveness", "one-hot bitmap of live physical ports",
+        labelnames=("device",), cycle_dependent=False,
+    )
+    for name in network.device_names():
+        opl = getattr(network.device(name), "opl", None)
+        if opl is None:
+            continue
+        reroutes.labels(name).bind(
+            lambda o=opl: o.counters.get("frr_reroute", 0)
+        )
+        blackholed.labels(name).bind(
+            lambda o=opl: o.counters.get("frr_blackhole", 0)
+        )
+        liveness.labels(name).bind(lambda o=opl: o.port_liveness)
+
+
 #: The control plane's reconciliation/supervision ledger, mirrored into
 #: the registry.  Deliberately ``cycle_dependent=False``: these counters
 #: are pure functions of the (plan, seed, tick sequence), so they join

@@ -64,6 +64,7 @@ class _CachedWalk:
     deliveries: tuple
     dropped: int
     forwarded: int
+    link_down: int
     ops: tuple
 
 
@@ -95,14 +96,19 @@ class InjectionResult(list):
     always returned (so existing callers are untouched) and additionally
     exposes :attr:`dropped_hop_limit` — the number of in-flight copies
     this injection lost to the hop limit, the per-injection slice of the
-    network-wide :attr:`Network.dropped_hop_limit` counter.
+    network-wide :attr:`Network.dropped_hop_limit` counter — and
+    :attr:`dropped_link_down`, the copies that went out onto a cable
+    whose link is administratively down and vanished on the wire.
     """
 
-    __slots__ = ("dropped_hop_limit",)
+    __slots__ = ("dropped_hop_limit", "dropped_link_down")
 
-    def __init__(self, deliveries=(), dropped_hop_limit: int = 0):
+    def __init__(
+        self, deliveries=(), dropped_hop_limit: int = 0, dropped_link_down: int = 0
+    ):
         super().__init__(deliveries)
         self.dropped_hop_limit = dropped_hop_limit
+        self.dropped_link_down = dropped_link_down
 
 
 class Network:
@@ -115,7 +121,10 @@ class Network:
         self._links: dict[Attachment, Attachment] = {}
         self.deliveries: list[Delivery] = []
         self.dropped_hop_limit = 0
+        self.dropped_link_down = 0
         self.forwarded_hops = 0
+        #: Ports whose cable currently has link down (both ends present).
+        self._down_ports: set[Attachment] = set()
         # Path cache (see the module docstring for the invariants).
         self.path_cache_enabled = True
         self._path_cache: dict[tuple, _CachedWalk] = {}
@@ -193,6 +202,61 @@ class Network:
         for a, b in self._links.items():
             if (a.device, a.port.index) < (b.device, b.port.index):
                 yield a, b
+
+    # ------------------------------------------------------------------
+    # Link state (data-plane failure model)
+    # ------------------------------------------------------------------
+    def set_link_state(self, a_device: str, b_device: str, up: bool) -> bool:
+        """Set link state on every cable between two devices.
+
+        Models pulling (or re-seating) the fibre: both end devices see
+        loss of light — their per-port liveness bitmaps flip, which bumps
+        each device's state generation — and frames sent onto a down
+        cable vanish on the wire (counted in :attr:`dropped_link_down`).
+        The wiring generation is bumped too, so the summed network
+        generation moves even for devices whose lookups ignore liveness,
+        and no cached walk can replay across the dead link.
+
+        Returns True if any cable's state changed; raises
+        :class:`TopologyError` when the devices share no cable.
+        """
+        cables = [
+            (a, b)
+            for a, b in self._links.items()
+            if a.device == a_device and b.device == b_device
+        ]
+        if not cables:
+            self.device(a_device)
+            self.device(b_device)
+            raise TopologyError(f"no cable between {a_device!r} and {b_device!r}")
+        changed = False
+        for a, b in cables:
+            was_down = a in self._down_ports
+            if up != was_down:
+                continue  # already in the requested state
+            changed = True
+            for end in (a, b):
+                if up:
+                    self._down_ports.discard(end)
+                else:
+                    self._down_ports.add(end)
+                self._devices[end.device].set_port_state(end.port.index, up)
+        if changed:
+            self._wiring_generation += 1
+        return changed
+
+    def link_is_up(self, a_device: str, b_device: str) -> bool:
+        """Whether every cable between the two devices has link."""
+        cables = [
+            a
+            for a, b in self._links.items()
+            if a.device == a_device and b.device == b_device
+        ]
+        if not cables:
+            self.device(a_device)
+            self.device(b_device)
+            raise TopologyError(f"no cable between {a_device!r} and {b_device!r}")
+        return all(a not in self._down_ports for a in cables)
 
     # ------------------------------------------------------------------
     # Traffic
@@ -289,6 +353,7 @@ class Network:
         for at, frame, hops in walk.deliveries:
             self.deliveries.append(Delivery(at, frame, hops))
         self.dropped_hop_limit += walk.dropped
+        self.dropped_link_down += walk.link_down
         self.forwarded_hops += walk.forwarded
         for opl, packets, drops, deltas in walk.ops:
             opl.packets += packets
@@ -297,7 +362,9 @@ class Network:
             for name, delta in deltas:
                 counters[name] = counters.get(name, 0) + delta
         return InjectionResult(
-            self.deliveries[first:], dropped_hop_limit=walk.dropped
+            self.deliveries[first:],
+            dropped_hop_limit=walk.dropped,
+            dropped_link_down=walk.link_down,
         )
 
     def _walk(
@@ -312,6 +379,7 @@ class Network:
         """
         first = len(self.deliveries)
         drops_before = self.dropped_hop_limit
+        link_down_before = self.dropped_link_down
         forwarded_before = self.forwarded_hops
         cacheable = record
         snapshots: dict[str, tuple] = {}
@@ -358,6 +426,11 @@ class Network:
                 if peer is None:
                     self.deliveries.append(Delivery(exit_at, out_frame, hops + 1))
                     continue
+                if exit_at in self._down_ports:
+                    # The copy went out onto a cable with link down: it
+                    # vanishes on the wire, never reaching the peer.
+                    self.dropped_link_down += 1
+                    continue
                 if hops + 1 >= self.hop_limit:
                     self.dropped_hop_limit += 1
                     continue
@@ -365,6 +438,7 @@ class Network:
         result = InjectionResult(
             self.deliveries[first:],
             dropped_hop_limit=self.dropped_hop_limit - drops_before,
+            dropped_link_down=self.dropped_link_down - link_down_before,
         )
         if not cacheable:
             return result, None
@@ -383,6 +457,7 @@ class Network:
             deliveries=tuple((d.at, d.frame, d.hops) for d in result),
             dropped=result.dropped_hop_limit,
             forwarded=self.forwarded_hops - forwarded_before,
+            link_down=result.dropped_link_down,
             ops=tuple(ops),
         )
         return result, walk

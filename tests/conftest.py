@@ -27,6 +27,12 @@ def pytest_configure(config):
         "generation invalidation, batched injection "
         "(run just these with -m fastpath)",
     )
+    config.addinivalue_line(
+        "markers",
+        "frr: data-plane fast reroute — backup next-hops, link-failure "
+        "detection, single-link-failure sweeps "
+        "(run just these with -m frr)",
+    )
 
 from repro.packet.addresses import Ipv4Addr, MacAddr
 from repro.packet.generator import make_udp_frame

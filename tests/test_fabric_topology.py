@@ -213,3 +213,44 @@ class TestValidation:
     def test_unknown_spec_kind_rejected(self):
         with pytest.raises(FabricError, match="unknown fabric kind"):
             FabricSpec.of("torus", k=3)
+
+
+class TestLinkCensus:
+    """The links()/edge_links() helpers the FRR sweep iterates over."""
+
+    def test_fat_tree_4_switch_link_census(self):
+        topo = fat_tree(k=4)
+        links = topo.links()
+        # k=4: 16 edge-aggregation cables + 16 aggregation-core cables.
+        assert len(links) == 32
+        assert links == sorted(links)
+        spots = [(a, pa) for a, pa, _, _ in links] + \
+            [(b, pb) for _, _, b, pb in links]
+        assert len(set(spots)) == len(spots)  # no port carries two cables
+
+    def test_fat_tree_4_edge_link_census(self):
+        topo = fat_tree(k=4)
+        edges = topo.edge_links()
+        assert len(edges) == 16
+        assert [host for host, _, _ in edges] == list(topo.hosts)
+        # Host attachments and switch-switch cables never share a port.
+        cable_spots = {(a, pa) for a, pa, _, _ in topo.links()} | \
+            {(b, pb) for _, _, b, pb in topo.links()}
+        for _, device, port in edges:
+            assert (device, port) not in cable_spots
+
+    def test_abilene_census_matches_the_map(self):
+        from repro.fabric import abilene
+
+        topo = abilene()
+        assert len(topo.links()) == 14   # the 14 Abilene cables
+        assert len(topo.edge_links()) == 11  # one host per PoP
+        assert len(topo.network.device_names()) == 11
+        assert topo.learn() > 0
+
+    def test_abilene_is_registered(self):
+        spec = get_topology("abilene")
+        assert "abilene" in TOPOLOGIES
+        topo = spec.build()
+        assert len(topo.hosts) == 11  # one host per PoP
+        assert "sea" in topo.network.device_names()

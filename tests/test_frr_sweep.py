@@ -1,0 +1,212 @@
+"""E19: the single-link-failure sweep — the FRR-on vs FRR-off claim on
+every traffic-carrying link, fingerprint determinism across reruns and
+shard counts, the telemetry parity set and the nf-mon face."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.frr import LinkResult, SweepReport, run_sweep
+from repro.host.nfmon import main as nfmon_main
+from repro.projects.reference_switch import ReferenceSwitch
+from repro.telemetry import TelemetrySession, probe_frr
+from repro.testenv.topology import Network
+
+from .conftest import mac, udp_frame
+
+pytestmark = pytest.mark.frr
+
+
+@pytest.fixture(scope="module")
+def abilene_sweep() -> SweepReport:
+    return run_sweep("abilene")
+
+
+# ----------------------------------------------------------------------
+# The headline claim, link by link
+# ----------------------------------------------------------------------
+class TestSweepAcceptance:
+    def test_every_abilene_link_carries_traffic(self, abilene_sweep):
+        assert len(abilene_sweep.links) == 14
+        assert len(abilene_sweep.swept()) == 14
+
+    def test_frr_strictly_beats_no_frr_on_every_link(self, abilene_sweep):
+        for link in abilene_sweep.swept():
+            assert link.lost_frr_on < link.lost_frr_off, link.link
+            assert link.reroutes > 0, link.link
+
+    def test_frr_recovers_within_one_epoch(self, abilene_sweep):
+        for link in abilene_sweep.swept():
+            assert link.recover_epochs_frr_on <= 1, link.link
+
+    def test_without_frr_loss_lasts_the_whole_outage(self, abilene_sweep):
+        for link in abilene_sweep.swept():
+            assert (link.recover_epochs_frr_off
+                    == abilene_sweep.down_epochs), link.link
+
+    def test_report_is_healthy(self, abilene_sweep):
+        assert abilene_sweep.healthy()
+
+    def test_loss_curves_localized_to_the_outage(self, abilene_sweep):
+        window = range(
+            abilene_sweep.fail_epoch,
+            abilene_sweep.fail_epoch + abilene_sweep.down_epochs,
+        )
+        for link in abilene_sweep.swept():
+            assert all(epoch in window and lost > 0
+                       for epoch, lost in link.loss_curve_off), link.link
+
+    def test_fat_tree_sweep(self):
+        report = run_sweep("fat-tree-4")
+        assert len(report.links) == 32
+        idle = [l for l in report.links if not l.swept_pairs]
+        assert report.swept() and idle  # BFS leaves equal-cost links idle
+        for link in idle:  # reported, not silently dropped
+            assert link.fingerprint_on == link.fingerprint_off == ""
+        assert report.healthy()
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+class TestSweepDeterminism:
+    def test_fingerprint_stable_across_reruns(self):
+        first = run_sweep("abilene", max_links=3)
+        second = run_sweep("abilene", max_links=3)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.signature() == second.signature()
+
+    def test_fingerprint_identical_across_shard_counts(self):
+        one = run_sweep("abilene", max_links=2)
+        two = run_sweep("abilene", max_links=2, shards=2, parallel=False)
+        assert one.fingerprint() == two.fingerprint()
+
+    def test_seed_and_window_are_load_bearing(self):
+        base = run_sweep("abilene", max_links=2)
+        assert (run_sweep("abilene", max_links=2, down_epochs=1).fingerprint()
+                != base.fingerprint())
+
+    def test_as_dict_round_trips_through_json(self, abilene_sweep):
+        blob = json.dumps(abilene_sweep.as_dict(per_link=True))
+        parsed = json.loads(blob)
+        assert parsed["fingerprint"] == abilene_sweep.fingerprint()
+        assert parsed["healthy"] is True
+        assert len(parsed["links"]) == 14
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep("abilene", epochs=4, fail_epoch=2, down_epochs=2)
+        with pytest.raises(ValueError):
+            run_sweep("abilene", pairs_per_link=0)
+        with pytest.raises(ValueError):
+            run_sweep("no-such-fabric")
+
+
+# ----------------------------------------------------------------------
+# Seeded link chaos: the frr-chaos plan under the fabric scheduler
+# ----------------------------------------------------------------------
+class TestSeededLinkChaos:
+    def _run(self, *, shards=1, frr=True):
+        from repro.fabric import get_topology, get_workload, run_sharded
+        from repro.faults import get_plan
+
+        return run_sharded(
+            get_topology("abilene"), get_workload("uniform-small"),
+            get_plan("frr-chaos", seed=5),
+            shards=shards, parallel=False, frr=frr,
+        )
+
+    def test_chaos_schedule_identical_across_shards(self):
+        """Link cuts are drawn per (link, epoch) from derived sub-seeds,
+        so the schedule — and the merged fingerprint — cannot depend on
+        how flows are partitioned."""
+        assert (self._run(shards=1).fingerprint()
+                == self._run(shards=2).fingerprint())
+
+    def test_frr_reduces_chaos_loss(self):
+        on, off = self._run(frr=True), self._run(frr=False)
+        assert sum(on.device_reroutes.values()) > 0
+        assert on.lost < off.lost
+
+
+# ----------------------------------------------------------------------
+# Telemetry: the FRR ledger joins the sim/hw parity set
+# ----------------------------------------------------------------------
+def _reroute_scenario() -> Network:
+    net = Network()
+    net.add_device("s1", ReferenceSwitch())
+    net.inject("s1", 2, udp_frame(2, 1))  # learn host 2 at port 2
+    net.inject("s1", 1, udp_frame(1, 2))
+    switch = net.device("s1")
+    switch.install_backup_mac(mac(2), 3)
+    switch.set_port_state(2, up=False)
+    net.inject("s1", 1, udp_frame(1, 2))  # reroutes via port 3
+    net.inject("s1", 1, udp_frame(1, 2))
+    switch.set_port_state(3, up=False)
+    net.inject("s1", 1, udp_frame(1, 2))  # blackholes
+    return net
+
+
+class TestProbeFrr:
+    def test_series_mirror_the_decision_counters(self):
+        net = _reroute_scenario()
+        session = TelemetrySession("sim")
+        probe_frr(net, session)
+        snap = session.registry.snapshot()
+        counters = net.device("s1").opl.counters
+        assert snap['frr_reroutes_total{device="s1"}'] == \
+            counters["frr_reroute"] == 2
+        assert snap['frr_blackholed_total{device="s1"}'] == \
+            counters["frr_blackhole"] == 1
+        assert snap['frr_port_liveness{device="s1"}'] == \
+            net.device("s1").opl.port_liveness
+
+    def test_sim_and_hw_sessions_agree(self):
+        """Reroute decisions are a pure function of (traffic, tables,
+        link state): identical scenarios probed under sim and hw
+        sessions must pass the parity assertion."""
+        sim, hw = TelemetrySession("sim"), TelemetrySession("hw")
+        probe_frr(_reroute_scenario(), sim)
+        probe_frr(_reroute_scenario(), hw)
+        sim_snap, hw_snap = sim.snapshot(), hw.snapshot()
+        assert any(name.startswith("frr_reroutes_total")
+                   for name in sim_snap.parity)
+        sim_snap.assert_parity(hw_snap)
+
+
+# ----------------------------------------------------------------------
+# nf-mon frr
+# ----------------------------------------------------------------------
+class TestNfmonFrr:
+    def test_table_output_and_exit_code(self, capsys):
+        assert nfmon_main(["frr", "--topo", "abilene",
+                           "--max-links", "2", "--per-link"]) == 0
+        out = capsys.readouterr().out
+        assert "packets lost (FRR on)" in out
+        assert "lost_off" in out
+        assert "healthy: True" in out
+
+    def test_json_output_parses(self, capsys):
+        assert nfmon_main(["frr", "--topo", "abilene", "--max-links", "1",
+                           "--format", "json", "--per-link"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["healthy"] is True
+        assert parsed["links"][0]["lost_frr_on"] < \
+            parsed["links"][0]["lost_frr_off"]
+
+    def test_unknown_topology_is_operator_error(self, capsys):
+        assert nfmon_main(["frr", "--topo", "nope"]) == 2
+        assert "unknown fabric topology" in capsys.readouterr().err
+
+    def test_bad_window_is_operator_error(self, capsys):
+        assert nfmon_main(["frr", "--epochs", "2"]) == 2
+        assert "window" in capsys.readouterr().err
+
+
+def test_link_result_is_frozen():
+    result = LinkResult(link="a:0~b:0", crossing_pairs=1,
+                        protected_pairs=1, swept_pairs=1)
+    with pytest.raises(AttributeError):
+        result.lost_frr_on = 5
