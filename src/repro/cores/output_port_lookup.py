@@ -21,6 +21,11 @@ from dataclasses import dataclass, field
 from repro.core.axis import AxiStreamBeat, AxiStreamChannel
 from repro.core.metadata import NUM_PHYS_PORTS, all_phys_ports_mask, phys_port_bit
 from repro.core.module import Module, Resources
+from repro.int.codec import stamp as _int_stamp
+
+#: ``int_device_id`` before the device joins a network — stamps still
+#: work on standalone devices, they just carry the sentinel id.
+INT_UNASSIGNED_DEVICE_ID = 0xFFFF
 
 #: Header bytes retained for the decision (see header_parser.HEADER_WINDOW).
 HEADER_WINDOW = 64
@@ -83,6 +88,10 @@ class OutputPortLookup(Module):
         #: dead primary port falls over in the same packet walk.
         self.port_liveness = all_phys_ports_mask()
         self._liveness_generation = 0
+        #: In-band telemetry identity, assigned by
+        #: :meth:`repro.testenv.topology.Network.add_device` in
+        #: insertion order — deterministic across shard replicas.
+        self.int_device_id = INT_UNASSIGNED_DEVICE_ID
         for ch in (s_axis, m_axis):
             for sig in ch.signals():
                 self.adopt_signal(sig)
@@ -118,6 +127,31 @@ class OutputPortLookup(Module):
     def port_is_up(self, index: int) -> bool:
         """Whether physical port ``index`` currently has link."""
         return bool(self.port_liveness & phys_port_bit(index))
+
+    def int_stamp(self, frame: bytes, ingress: int, egress: int,
+                  note: str) -> bytes:
+        """Append this device's INT hop record to an egressing frame.
+
+        The timestamp advances by ``DECISION_LATENCY_CYCLES`` — the
+        concrete lookup's pipeline depth, so per-hop latency read back
+        from the stamps is device-revealing.  A ``frr_reroute`` decision
+        stamps the FRR flag and the one-hot mask of link-down ports (the
+        failed primary among them), which is how the receiver attributes
+        the reroute to a specific cable.  Pure in (frame, ingress,
+        egress, note, liveness) — all of which are covered by the cache
+        generations — so stamped walks stay cacheable.
+        """
+        rerouted = note == "frr_reroute"
+        dead_ports = 0
+        if rerouted:
+            for index in range(NUM_PHYS_PORTS):
+                if not self.port_liveness & phys_port_bit(index):
+                    dead_ports |= 1 << index
+        return _int_stamp(
+            frame, self.int_device_id, ingress, egress,
+            latency=self.DECISION_LATENCY_CYCLES,
+            rerouted=rerouted, dead_ports=dead_ports,
+        )
 
     def state_generation(self) -> int:
         """Monotonic counter over the lookup's *decision-visible* state.

@@ -35,13 +35,14 @@ import heapq
 import json
 import time
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from hashlib import sha256
 from typing import Callable, Optional
 
 from repro.fabric.topo import FabricTopology
 from repro.fabric.workload import Flow, WorkloadSpec, generate_flows
 from repro.faults import FaultPlan, FaultSession, derive_seed
+from repro.int import INT_MIN_FRAME_SIZE, IntCollector, encode_template
 from repro.packet.generator import make_udp_frame
 
 #: Ticks per link-flap epoch: a flapped (host, epoch) pair is down for
@@ -137,6 +138,11 @@ class FabricReport:
     #: (each shard's caches start cold), so they stay out of
     #: :meth:`signature` and the fingerprint.
     fastpath: dict[str, int] = field(default_factory=dict)
+    #: Receiver-side INT summary (:meth:`repro.int.IntCollector.summary`)
+    #: when any carried flow was INT-enabled, else ``None``.  Pure
+    #: Counter sums over disjoint flows, so it IS an observable: it
+    #: joins the signature, and shard merges reproduce it exactly.
+    int_summary: Optional[dict] = None
 
     # -- aggregates ----------------------------------------------------
     def _total(self, name: str) -> int:
@@ -191,6 +197,7 @@ class FabricReport:
                               sorted(self.loss_by_epoch.items())},
             "device_reroutes": dict(sorted(self.device_reroutes.items())),
             "device_blackholed": dict(sorted(self.device_blackholed.items())),
+            "int": self.int_summary,
         }
 
     def fingerprint(self) -> str:
@@ -231,6 +238,7 @@ class FabricReport:
                               sorted(self.loss_by_epoch.items())},
             "device_reroutes": dict(sorted(self.device_reroutes.items())),
             "device_blackholed": dict(sorted(self.device_blackholed.items())),
+            "int": self.int_summary,
         }
         if per_flow:
             out["per_flow"] = [r.as_dict() for r in
@@ -467,7 +475,8 @@ def _flow_events(flow: Flow, record: FlowRecord, session: FaultSession,
 
 
 def flow_frame(
-    topology: FabricTopology, flow: Flow, is_response: bool = False
+    topology: FabricTopology, flow: Flow, is_response: bool = False,
+    frame_size: Optional[int] = None,
 ) -> bytes:
     """The wire frame for one direction of a flow.
 
@@ -475,6 +484,8 @@ def flow_frame(
     of a direction is byte-identical, which is what lets the scheduler
     build it once per flow instead of per packet — and what the E18
     bench micro-asserts against a fresh ``make_udp_frame`` build.
+    ``frame_size`` overrides the flow's own size (the INT builder uses
+    it to guarantee trailer room).
     """
     src = topology.hosts[flow.dst if is_response else flow.src]
     dst = topology.hosts[flow.src if is_response else flow.dst]
@@ -482,8 +493,26 @@ def flow_frame(
         src.mac, dst.mac, src.ip, dst.ip,
         _SPORT_BASE + (flow.flow_id % 10000),
         _DPORT_BASE + (flow.flow_id % 10000),
-        size=flow.frame_size,
+        size=flow.frame_size if frame_size is None else frame_size,
     ).pack()
+
+
+def int_frame(
+    topology: FabricTopology, flow: Flow, is_response: bool = False
+) -> bytes:
+    """The sequence-zero INT *template* frame for one flow direction.
+
+    The flow's frame size is raised to :data:`INT_MIN_FRAME_SIZE` when
+    needed so the trailer sits clear of the 64-byte header window; the
+    per-packet sequence number is substituted into deliveries by
+    ``inject(int_seq=...)``, never into this template, so the whole
+    flow shares one path-cache key.
+    """
+    base = flow_frame(
+        topology, flow, is_response,
+        frame_size=max(flow.frame_size, INT_MIN_FRAME_SIZE),
+    )
+    return encode_template(base, flow.flow_id, response=is_response)
 
 
 def _lost_total(record: FlowRecord) -> int:
@@ -498,6 +527,7 @@ def _send_packet(
     hops_hist: Counter,
     frames: dict[tuple[int, bool], bytes],
     loss_by_epoch: Counter,
+    collector: Optional[IntCollector] = None,
 ) -> None:
     flow, record, session = event.flow, event.record, event.session
     if event.is_response and record.delivered == 0:
@@ -522,8 +552,20 @@ def _send_packet(
         key = (flow.flow_id, event.is_response)
         frame = frames.get(key)
         if frame is None:
-            frame = frames[key] = flow_frame(topology, flow, event.is_response)
-        result = topology.network.inject(src.device, src.port, frame)
+            builder = int_frame if flow.int_enabled else flow_frame
+            frame = frames[key] = builder(topology, flow, event.is_response)
+        telemetered = flow.int_enabled and collector is not None
+        result = topology.network.inject(
+            src.device, src.port, frame,
+            int_seq=event.pkt_index if telemetered else None,
+        )
+        if telemetered:
+            collector.sent(
+                flow.flow_id, event.is_response, event.pkt_index,
+                event.tick // FLAP_EPOCH_TICKS, result,
+            )
+            for delivery in result:
+                collector.deliver(delivery.frame)
         record.dropped_hop_limit += result.dropped_hop_limit
         record.lost_link += result.dropped_link_down
         hit = False
@@ -559,6 +601,7 @@ def run_flows(
     fastpath: bool = True,
     frr: bool = False,
     link_schedule: Optional[LinkSchedule] = None,
+    int_all: bool = False,
 ) -> FabricReport:
     """Run a workload over a fabric; returns the :class:`FabricReport`.
 
@@ -580,6 +623,11 @@ def run_flows(
     ``link_schedule`` scripts switch-switch link-failure windows; the
     seeded ``link_down`` fault sites (``plan.link_state``) cut cables
     the same way, drawn per (link, epoch).
+
+    ``int_all=True`` upgrades every carried flow to INT regardless of
+    the workload's ``int_ratio`` (the ``nf-mon int`` switch).  Whenever
+    any carried flow is INT-enabled an :class:`~repro.int.IntCollector`
+    rides the run and the report carries its receiver-side summary.
     """
     if max_inflight < 1:
         raise ValueError("max_inflight must be >= 1")
@@ -594,6 +642,10 @@ def run_flows(
         flows = list(flows)
     if flow_filter is not None:
         flows = [f for f in flows if flow_filter(f)]
+    if int_all:
+        flows = [replace(f, int_enabled=True) for f in flows]
+    collector = (IntCollector(topology.network)
+                 if any(f.int_enabled for f in flows) else None)
 
     flap = _FlapOracle(plan)
     link_ctl = _LinkStateController(topology, link_schedule, plan)
@@ -629,7 +681,8 @@ def run_flows(
     while heap:
         event = heapq.heappop(heap)
         link_ctl.apply(event.tick // FLAP_EPOCH_TICKS)
-        _send_packet(topology, event, flap, hops_hist, frames, loss_by_epoch)
+        _send_packet(topology, event, flap, hops_hist, frames,
+                     loss_by_epoch, collector)
         resident[event.flow_id] -= 1
         if not resident[event.flow_id]:
             del resident[event.flow_id]
@@ -656,6 +709,7 @@ def run_flows(
         shards=shards,
         elapsed_s=time.perf_counter() - started,
         fastpath=topology.network.fastpath_stats(),
+        int_summary=collector.summary() if collector is not None else None,
     )
 
 

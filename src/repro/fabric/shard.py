@@ -35,6 +35,7 @@ from repro.fabric.scheduler import (
 from repro.fabric.topo import FabricSpec
 from repro.fabric.workload import Flow, WorkloadSpec
 from repro.faults import FaultPlan
+from repro.int import merge_int_summaries
 
 
 def _run_shard(
@@ -48,6 +49,7 @@ def _run_shard(
     flows: Optional[list[Flow]],
     frr: bool,
     link_schedule: Optional[LinkSchedule],
+    int_all: bool,
 ) -> FabricReport:
     """One worker's slice: rebuild the fabric, carry flows ≡ index (mod
     shards).  Module-level so the pool can pickle it."""
@@ -61,6 +63,7 @@ def _run_shard(
         fastpath=fastpath,
         frr=frr,
         link_schedule=link_schedule,
+        int_all=int_all,
     )
 
 
@@ -118,6 +121,10 @@ def merge_reports(reports: list[FabricReport], shards: int) -> FabricReport:
         shards=shards,
         elapsed_s=max(r.elapsed_s for r in reports),
         fastpath=dict(sorted(fastpath.items())),
+        # int_summary is an observable (data), not run config, so it is
+        # merged rather than head-checked: shards that carried no INT
+        # flow report None and drop out of the fold.
+        int_summary=merge_int_summaries([r.int_summary for r in reports]),
     )
 
 
@@ -133,6 +140,7 @@ def run_sharded(
     flows: Optional[list[Flow]] = None,
     frr: bool = False,
     link_schedule: Optional[LinkSchedule] = None,
+    int_all: bool = False,
 ) -> FabricReport:
     """Run a fabric workload across ``shards`` partitions and merge.
 
@@ -149,9 +157,9 @@ def run_sharded(
         return run_flows(spec.build(), workload, plan,
                          flows=flows, max_inflight=max_inflight,
                          fastpath=fastpath, frr=frr,
-                         link_schedule=link_schedule)
+                         link_schedule=link_schedule, int_all=int_all)
     jobs = [(spec, workload, plan, shards, index, max_inflight, fastpath,
-             flows, frr, link_schedule)
+             flows, frr, link_schedule, int_all)
             for index in range(shards)]
     if parallel:
         with multiprocessing.Pool(processes=shards) as pool:

@@ -62,6 +62,10 @@ class WorkloadSpec:
     window_ticks: int = 256
     burst_gap: int = 32
     response_ratio: float = 0.5
+    #: Fraction of flows carrying an in-band-telemetry trailer
+    #: (:mod:`repro.int`); 0.0 keeps the workload byte-identical to
+    #: pre-INT specs.
+    int_ratio: float = 0.0
 
     def __post_init__(self) -> None:
         if self.pattern not in PATTERNS:
@@ -79,20 +83,26 @@ class WorkloadSpec:
             raise ValueError("burst_gap must be >= 1")
         if not 0.0 <= self.response_ratio <= 1.0:
             raise ValueError("response_ratio must be in [0, 1]")
+        if not 0.0 <= self.int_ratio <= 1.0:
+            raise ValueError("int_ratio must be in [0, 1]")
 
     def with_seed(self, seed: int) -> "WorkloadSpec":
         return WorkloadSpec(
             self.pattern, self.flows, seed, self.packets_per_flow,
             self.window_ticks, self.burst_gap, self.response_ratio,
+            self.int_ratio,
         )
 
     @property
     def key(self) -> str:
         """Canonical identity string, part of every run fingerprint."""
+        # The int marker appears only when set, so every pre-INT spec's
+        # key (and with it every recorded fingerprint input) is stable.
+        int_part = f",int={self.int_ratio}" if self.int_ratio else ""
         return (
             f"{self.pattern}(flows={self.flows},ppf={self.packets_per_flow},"
             f"window={self.window_ticks},burst={self.burst_gap},"
-            f"resp={self.response_ratio})"
+            f"resp={self.response_ratio}{int_part})"
         )
 
 
@@ -108,6 +118,9 @@ class Flow:
     response_packets: int
     start_tick: int
     gap_ticks: int
+    #: Whether this flow's frames carry an INT trailer (stamped per hop,
+    #: collected at the receiving edge).
+    int_enabled: bool = False
 
     @property
     def request_bytes(self) -> int:
@@ -145,15 +158,23 @@ def generate_flows(hosts: list[str], spec: WorkloadSpec) -> list[Flow]:
             dst = rng.choice([h for h in hosts if h != src])
         packets = rng.randint(1, spec.packets_per_flow)
         responds = rng.random() < spec.response_ratio
+        frame_size = rng.choices(_SIZE_CHOICES, weights=_SIZE_WEIGHTS)[0]
+        response_packets = rng.randint(1, packets) if responds else 0
+        start_tick = _start_tick(spec, i, rng)
+        gap_ticks = rng.randint(1, 4)
+        # Drawn last so int_ratio == 0 consumes no RNG and every
+        # pre-INT flow list is regenerated bit-for-bit.
+        int_enabled = bool(spec.int_ratio) and rng.random() < spec.int_ratio
         flows.append(Flow(
             flow_id=i,
             src=src,
             dst=dst,
-            frame_size=rng.choices(_SIZE_CHOICES, weights=_SIZE_WEIGHTS)[0],
+            frame_size=frame_size,
             packets=packets,
-            response_packets=rng.randint(1, packets) if responds else 0,
-            start_tick=_start_tick(spec, i, rng),
-            gap_ticks=rng.randint(1, 4),
+            response_packets=response_packets,
+            start_tick=start_tick,
+            gap_ticks=gap_ticks,
+            int_enabled=int_enabled,
         ))
     return flows
 
@@ -169,6 +190,8 @@ WORKLOADS: dict[str, WorkloadSpec] = {
     "incast-64": WorkloadSpec("incast", flows=64, packets_per_flow=3,
                               window_ticks=128, burst_gap=16,
                               response_ratio=0.25),
+    "uniform-int": WorkloadSpec("uniform", flows=64, packets_per_flow=2,
+                                window_ticks=128, int_ratio=1.0),
 }
 
 

@@ -63,6 +63,20 @@ class LinkResult:
     loss_curve_off: tuple = ()
     fingerprint_on: str = ""
     fingerprint_off: str = ""
+    #: Device-side blackhole counters (``frr_blackhole`` decisions), the
+    #: ground truth the receiver-attributed numbers are checked against.
+    blackholed_frr_on: int = 0
+    blackholed_frr_off: int = 0
+    #: Receiver-side (INT) attribution: reroutes seen in delivered
+    #: stamps, blackholes inferred from sequence gaps, the failed links
+    #: named by rerouting stamps' dead-port masks, and the
+    #: receiver-observed loss curves per epoch.
+    int_reroutes: int = 0
+    int_blackholes_on: int = 0
+    int_blackholes_off: int = 0
+    int_failed_links: tuple = ()
+    int_loss_curve_on: tuple = ()
+    int_loss_curve_off: tuple = ()
 
     def as_dict(self) -> dict:
         return {
@@ -80,6 +94,14 @@ class LinkResult:
             "loss_curve_off": [list(p) for p in self.loss_curve_off],
             "fingerprint_on": self.fingerprint_on,
             "fingerprint_off": self.fingerprint_off,
+            "blackholed_frr_on": self.blackholed_frr_on,
+            "blackholed_frr_off": self.blackholed_frr_off,
+            "int_reroutes": self.int_reroutes,
+            "int_blackholes_on": self.int_blackholes_on,
+            "int_blackholes_off": self.int_blackholes_off,
+            "int_failed_links": list(self.int_failed_links),
+            "int_loss_curve_on": [list(p) for p in self.int_loss_curve_on],
+            "int_loss_curve_off": [list(p) for p in self.int_loss_curve_off],
         }
 
 
@@ -98,6 +120,8 @@ class SweepReport:
     shards: int = 1
     elapsed_s: float = 0.0
     links: list[LinkResult] = field(default_factory=list)
+    #: Whether sweep flows carried INT trailers (receiver attribution).
+    int_enabled: bool = True
 
     # -- aggregates ----------------------------------------------------
     def swept(self) -> list[LinkResult]:
@@ -119,12 +143,33 @@ class SweepReport:
     def healthy(self) -> bool:
         """The FRR claim, link by link: on every link that carries
         traffic, FRR loses strictly fewer packets than no-FRR and
-        recovers within one scheduler epoch."""
+        recovers within one scheduler epoch — and the receiver-side INT
+        attribution agrees exactly with the device counters."""
         swept = self.swept()
         return bool(swept) and all(
             link.lost_frr_on < link.lost_frr_off
             and link.recover_epochs_frr_on <= 1
             for link in swept
+        ) and self.int_consistent()
+
+    def int_consistent(self) -> bool:
+        """Receiver-attributed numbers == device-counter numbers.
+
+        Per swept link: stamps' reroute count equals the ``frr_reroute``
+        decision total, sequence-gap blackholes equal the
+        ``frr_blackhole`` decision totals (both runs), and the
+        receiver-observed loss curves match the scheduler's epoch
+        ledger.  Trivially True when the sweep ran without INT.
+        """
+        if not self.int_enabled:
+            return True
+        return all(
+            link.int_reroutes == link.reroutes
+            and link.int_blackholes_on == link.blackholed_frr_on
+            and link.int_blackholes_off == link.blackholed_frr_off
+            and link.int_loss_curve_on == link.loss_curve_on
+            and link.int_loss_curve_off == link.loss_curve_off
+            for link in self.swept()
         )
 
     # -- the determinism contract --------------------------------------
@@ -138,6 +183,7 @@ class SweepReport:
             "pairs_per_link": self.pairs_per_link,
             "packets_per_epoch": self.packets_per_epoch,
             "max_links": self.max_links,
+            "int_enabled": self.int_enabled,
             "links": [link.as_dict()
                       for link in sorted(self.links, key=lambda l: l.link)],
         }
@@ -164,6 +210,8 @@ class SweepReport:
             "packets_lost_frr_on": self.packets_lost_frr_on,
             "packets_lost_frr_off": self.packets_lost_frr_off,
             "reroutes": self.reroutes,
+            "int_enabled": self.int_enabled,
+            "int_consistent": self.int_consistent(),
             "healthy": self.healthy(),
             "fingerprint": self.fingerprint(),
         }
@@ -242,7 +290,8 @@ def _select_pairs(
 
 
 def _link_flows(
-    pairs: list[tuple[str, str]], epochs: int, packets_per_epoch: int
+    pairs: list[tuple[str, str]], epochs: int, packets_per_epoch: int,
+    int_enabled: bool = True,
 ) -> list[Flow]:
     """Continuous streams spanning the whole sweep window."""
     gap = max(1, FLAP_EPOCH_TICKS // packets_per_epoch)
@@ -257,6 +306,7 @@ def _link_flows(
             response_packets=0,
             start_tick=index,
             gap_ticks=gap,
+            int_enabled=int_enabled,
         )
         for index, (src, dst) in enumerate(pairs)
     ]
@@ -266,6 +316,15 @@ def _recover_epochs(loss_by_epoch: dict[int, int], fail_epoch: int) -> int:
     """Epochs from the failure to the last lossy epoch (0 = no loss)."""
     lossy = [epoch for epoch in loss_by_epoch if epoch >= fail_epoch]
     return (max(lossy) - fail_epoch + 1) if lossy else 0
+
+
+def _int_loss_curve(int_summary: dict) -> tuple:
+    """The receiver's loss curve, epoch keys back to ints for compare
+    against the scheduler's device-side ``loss_by_epoch`` ledger."""
+    return tuple(sorted(
+        (int(epoch), count)
+        for epoch, count in int_summary.get("loss_by_epoch", {}).items()
+    ))
 
 
 # ----------------------------------------------------------------------
@@ -283,6 +342,7 @@ def run_sweep(
     max_links: Optional[int] = None,
     shards: int = 1,
     parallel: bool = False,
+    int_enabled: bool = True,
 ) -> SweepReport:
     """Sweep every switch-switch link of a fabric through one failure.
 
@@ -292,6 +352,13 @@ def run_sweep(
     truncates the (sorted) link list for smoke runs.  The report's
     fingerprint is a pure function of every argument except ``shards``
     and ``parallel``.
+
+    With ``int_enabled`` (the default) every sweep flow carries an INT
+    trailer, and each :class:`LinkResult` also reports the *receiver's*
+    view — reroutes counted from stamps, blackholes from sequence gaps,
+    the failed link named by the stamps' dead-port masks — which
+    :meth:`SweepReport.int_consistent` (folded into ``healthy()``)
+    requires to agree exactly with the device counters.
     """
     spec = get_topology(topology) if isinstance(topology, str) else topology
     if fail_epoch < 0 or down_epochs < 1:
@@ -328,7 +395,7 @@ def run_sweep(
                 swept_pairs=0,
             ))
             continue
-        flows = _link_flows(pairs, epochs, packets_per_epoch)
+        flows = _link_flows(pairs, epochs, packets_per_epoch, int_enabled)
         workload = WorkloadSpec(
             pattern="uniform",
             flows=len(flows),
@@ -347,6 +414,10 @@ def run_sweep(
             spec, workload, None, shards=shards, parallel=parallel,
             flows=flows, frr=False, link_schedule=schedule,
         )
+        # With INT flows both runs carry receiver summaries; without,
+        # int_summary is None and the int_* fields stay at their zeros.
+        int_on = on.int_summary or {}
+        int_off = off.int_summary or {}
         results.append(LinkResult(
             link=label,
             crossing_pairs=len(crossing),
@@ -366,6 +437,14 @@ def run_sweep(
             loss_curve_off=tuple(sorted(off.loss_by_epoch.items())),
             fingerprint_on=on.fingerprint(),
             fingerprint_off=off.fingerprint(),
+            blackholed_frr_on=sum(on.device_blackholed.values()),
+            blackholed_frr_off=sum(off.device_blackholed.values()),
+            int_reroutes=sum(int_on.get("reroutes", {}).values()),
+            int_blackholes_on=int_on.get("blackholes", 0),
+            int_blackholes_off=int_off.get("blackholes", 0),
+            int_failed_links=tuple(sorted(int_on.get("reroute_links", {}))),
+            int_loss_curve_on=_int_loss_curve(int_on),
+            int_loss_curve_off=_int_loss_curve(int_off),
         ))
 
     return SweepReport(
@@ -380,4 +459,5 @@ def run_sweep(
         shards=shards,
         elapsed_s=time.perf_counter() - started,
         links=results,
+        int_enabled=int_enabled,
     )

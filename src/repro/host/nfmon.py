@@ -238,6 +238,80 @@ def cmd_fabric(args: argparse.Namespace) -> int:
     return 0 if report.healthy() else 1
 
 
+def cmd_int(args: argparse.Namespace) -> int:
+    from repro.fabric import get_topology, get_workload, run_sharded
+    from repro.faults import get_plan
+
+    try:
+        spec = get_topology(args.topo)
+        workload = get_workload(args.workload).with_seed(args.seed)
+        plan = (get_plan(args.faults, seed=args.seed)
+                if args.faults else None)
+        report = run_sharded(
+            spec, workload, plan,
+            shards=args.shards, parallel=not args.inline,
+            fastpath=not args.no_fastpath, int_all=True,
+        )
+    except ValueError as exc:
+        # Unknown topology/workload/plan preset — operator error.
+        print(str(exc), file=sys.stderr)
+        return 2
+    summary = report.int_summary or {}
+    # The attribution cross-check: the receiver's stamp-derived numbers
+    # must agree with the device-side decision counters.
+    reroutes_match = (
+        sum(summary.get("reroutes", {}).values())
+        == sum(report.device_reroutes.values())
+    )
+    blackholes_match = (
+        summary.get("blackholes", 0)
+        == sum(report.device_blackholed.values())
+    )
+    if args.format == "json":
+        import json
+
+        out = report.as_dict()
+        out["int_reroutes_match"] = reroutes_match
+        out["int_blackholes_match"] = blackholes_match
+        print(json.dumps(out, indent=2))
+    else:
+        print(f"# int {report.topology} × {report.workload} "
+              f"seed={report.seed} shards={report.shards}"
+              + (f" faults={report.plan}" if report.plan else ""))
+        rows = [
+            ("flows", summary.get("flows", 0)),
+            ("packets injected", summary.get("packets", 0)),
+            ("packets delivered", summary.get("delivered", 0)),
+            ("hop stamps", summary.get("stamps", 0)),
+            ("stack overflows", summary.get("overflows", 0)),
+            ("lost (receiver view)", summary.get("lost", 0)),
+            ("  at dead links", summary.get("lost_link_down", 0)),
+            ("  at the hop limit", summary.get("lost_hop_limit", 0)),
+            ("  blackholed", summary.get("blackholes", 0)),
+        ]
+        for label, value in rows:
+            print(f"  {label:24s} {value}")
+        for section, title in (
+            ("paths", "paths observed"),
+            ("reroutes", "reroutes by device"),
+            ("reroute_links", "reroutes by failed link"),
+            ("drop_sites", "localized drop sites"),
+            ("blackhole_paths", "last-known blackhole paths"),
+            ("hop_latency", "per-hop latency (device:cycles)"),
+        ):
+            entries = summary.get(section, {})
+            if entries:
+                print(f"  {title}:")
+                for key, count in sorted(entries.items()):
+                    print(f"    {key:28s} {count}")
+        print(f"  reroutes match devices:   {reroutes_match}")
+        print(f"  blackholes match devices: {blackholes_match}")
+        print(f"  fingerprint: {report.fingerprint()}")
+        print(f"  healthy: {report.healthy()}")
+    return 0 if (report.healthy() and reroutes_match
+                 and blackholes_match) else 1
+
+
 def cmd_frr(args: argparse.Namespace) -> int:
     from repro.frr import run_sweep
 
@@ -267,6 +341,7 @@ def cmd_frr(args: argparse.Namespace) -> int:
             ("packets lost (FRR on)", report.packets_lost_frr_on),
             ("packets lost (FRR off)", report.packets_lost_frr_off),
             ("backup reroutes", report.reroutes),
+            ("int attribution agrees", report.int_consistent()),
         ]
         for label, value in rows:
             print(f"  {label:24s} {value}")
@@ -282,7 +357,21 @@ def cmd_frr(args: argparse.Namespace) -> int:
                       f"{link.recover_epochs_frr_off:>8d}")
         print(f"  fingerprint: {report.fingerprint()}")
         print(f"  healthy: {report.healthy()}")
-    return 0 if report.healthy() else 1
+    # --max-loss: a CI-style guard on the FRR benefit.  The FRR-on loss
+    # may not exceed max_loss × the FRR-off loss (0.1 mirrors the CI
+    # smoke job's on <= off/10 check).
+    breach = (
+        args.max_loss is not None
+        and report.packets_lost_frr_on
+        > args.max_loss * report.packets_lost_frr_off
+    )
+    if breach:
+        print(
+            f"FRR loss guard breached: {report.packets_lost_frr_on} lost "
+            f"with FRR on > {args.max_loss} × {report.packets_lost_frr_off} "
+            f"lost with FRR off", file=sys.stderr,
+        )
+    return 0 if report.healthy() and not breach else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -391,7 +480,33 @@ def build_parser() -> argparse.ArgumentParser:
     frr.add_argument("--format", choices=("table", "json"), default="table")
     frr.add_argument("--per-link", action="store_true",
                      help="include the per-link results table")
+    frr.add_argument("--max-loss", type=float, default=None,
+                     help="fail (exit 1) when FRR-on loss exceeds this "
+                          "fraction of FRR-off loss")
     frr.set_defaults(func=cmd_frr)
+
+    int_cmd = sub.add_parser(
+        "int", help="run an INT-enabled fabric workload and report the "
+                    "receiver-side path/loss attribution"
+    )
+    int_cmd.add_argument("--topo", default="leaf-spine",
+                         help="a named fabric topology preset")
+    int_cmd.add_argument("--workload", default="uniform-int",
+                         help="a named workload preset (all flows are "
+                              "upgraded to INT regardless)")
+    int_cmd.add_argument("--seed", type=int, default=0)
+    int_cmd.add_argument("--shards", type=int, default=1,
+                         help="partition flows across this many workers")
+    int_cmd.add_argument("--inline", action="store_true",
+                         help="run shards sequentially in-process")
+    int_cmd.add_argument("--no-fastpath", action="store_true",
+                         help="disable the flow-cache fast path (A/B "
+                              "reference run; same fingerprint, slower)")
+    int_cmd.add_argument("--faults", default=None,
+                         help="run under a registered fault plan")
+    int_cmd.add_argument("--format", choices=("table", "json"),
+                         default="table")
+    int_cmd.set_defaults(func=cmd_int)
     return parser
 
 

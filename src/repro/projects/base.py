@@ -32,6 +32,7 @@ from repro.core.metadata import (
 from repro.core.module import Module
 from repro.cores.input_arbiter import InputArbiter
 from repro.fastpath import MicroflowCache, session_has_datapath_sites
+from repro.int.codec import is_int_frame
 from repro.cores.output_port_lookup import OutputPortLookup
 from repro.cores.output_queues import OutputQueues, QueueConfig
 from repro.cores.stats import StatsCollector
@@ -231,19 +232,23 @@ class ReferencePipeline(Module):
         """
         cache = self.fastpath
         if not cache.enabled or not self.opl.CACHEABLE:
-            return self._forward_slow(frame, src)[0]
+            outputs, decision = self._forward_slow(frame, src)
+            return self._int_stamp_outputs(outputs, src, decision.note)
         if self.datapath_faults is not None and session_has_datapath_sites(
             self.datapath_faults
         ):
             cache.bypasses += 1
-            return self._forward_slow(frame, src)[0]
+            outputs, decision = self._forward_slow(frame, src)
+            return self._int_stamp_outputs(outputs, src, decision.note)
         generation = self.state_generation()
         cache.validate(generation)
         key = (src.bit, frame[:64], len(frame))
         entry = cache.entries.get(key)
         if entry is not None:
             cache.hits += 1
-            return self._replay_cached(entry, frame)
+            return self._int_stamp_outputs(
+                self._replay_cached(entry, frame), src, entry[2]
+            )
         cache.misses += 1
         counters_before = dict(self.opl.counters)
         outputs, decision = self._forward_slow(frame, src)
@@ -252,7 +257,7 @@ class ReferencePipeline(Module):
             # switch's first sighting of this source MAC): the frozen
             # decision could differ from a re-decide, so skip the fill.
             # The next identical packet re-learns as a no-op and fills.
-            return outputs
+            return self._int_stamp_outputs(outputs, src, decision.note)
         deltas: dict[str, int] = {}
         for name, count in self.opl.counters.items():
             delta = count - counters_before.get(name, 0)
@@ -269,7 +274,30 @@ class ReferencePipeline(Module):
             decision.drop,
             tuple((n, d) for n, d in deltas.items() if d),
         ))
-        return outputs
+        return self._int_stamp_outputs(outputs, src, decision.note)
+
+    def _int_stamp_outputs(
+        self,
+        outputs: list[tuple[PortRef, bytes]],
+        src: PortRef,
+        note: str,
+    ) -> list[tuple[PortRef, bytes]]:
+        """Stamp INT hop records onto physical-egress copies of a frame.
+
+        Applied as the last step of *every* forwarding path — slow
+        decisions, cache-bypass decisions and microflow-cache replays —
+        so the fast path and the slow path emit byte-identical stamped
+        frames.  DMA deliveries (host-bound copies) are left unstamped:
+        the host sees the stack exactly as it stood at its edge switch.
+        """
+        if not outputs or not is_int_frame(outputs[0][1]):
+            return outputs
+        ingress = src.index if src.kind == "phys" else 0xF0 | src.index
+        return [
+            (port, self.opl.int_stamp(frame, ingress, port.index, note))
+            if port.kind == "phys" else (port, frame)
+            for port, frame in outputs
+        ]
 
     def _forward_slow(self, frame: bytes, src: PortRef):
         """The uncached decision path; returns (outputs, decision)."""

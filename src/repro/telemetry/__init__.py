@@ -42,6 +42,7 @@ from repro.telemetry.probes import (
     probe_fabric,
     probe_fastpath,
     probe_frr,
+    probe_int,
     probe_faults,
     probe_resilience,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "probe_fabric",
     "probe_fastpath",
     "probe_frr",
+    "probe_int",
     "probe_faults",
     "probe_resilience",
     "TelemetrySession",

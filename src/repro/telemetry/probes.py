@@ -375,6 +375,54 @@ def probe_fabric(report: Any, session: "TelemetrySession") -> None:
     )
 
 
+def probe_int(report: Any, session: "TelemetrySession") -> None:
+    """Publish a fabric run's receiver-side INT summary into a session.
+
+    Like :func:`probe_fabric` this is post-hoc: the summary's outcome
+    totals, per-device reroute counts, per-link reroute attribution and
+    per-hop latency distribution become registry series.  All
+    ``cycle_dependent=False`` — the summary is a pure function of
+    (topology, workload, seed), so it joins the sim/hw parity set.
+    Reports without a summary (no INT flows) publish nothing.
+    """
+    summary = getattr(report, "int_summary", None) or report
+    if not isinstance(summary, dict):
+        return
+    registry = session.registry
+    outcomes = registry.counter(
+        "int_packets_total", "INT packets by receiver-observed outcome",
+        labelnames=("outcome",), cycle_dependent=False,
+    )
+    for outcome in ("packets", "delivered", "lost", "blackholes",
+                    "overflows"):
+        count = summary.get(outcome, 0)
+        if count:
+            outcomes.labels(outcome).inc(count)
+    reroutes = registry.counter(
+        "int_reroutes_total", "FRR-flagged stamps per rerouting device",
+        labelnames=("device",), cycle_dependent=False,
+    )
+    for device, count in summary.get("reroutes", {}).items():
+        reroutes.labels(device).inc(count)
+    links = registry.counter(
+        "int_reroute_links_total", "reroutes attributed to a failed link",
+        labelnames=("link",), cycle_dependent=False,
+    )
+    for link, count in summary.get("reroute_links", {}).items():
+        links.labels(link).inc(count)
+    latency = registry.histogram(
+        "int_hop_latency_cycles", "per-hop latency from stamp deltas",
+        labelnames=("device",),
+        buckets=(2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+        cycle_dependent=False,
+    )
+    for key, count in summary.get("hop_latency", {}).items():
+        device, _, cycles = key.rpartition(":")
+        child = latency.labels(device)
+        for _ in range(count):
+            child.observe(float(cycles))
+
+
 def probe_fastpath(network: Any, session: "TelemetrySession") -> None:
     """Mirror a test network's flow-cache counters into the registry.
 

@@ -37,6 +37,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional
 
+from repro.int.codec import set_seq as _int_set_seq
 from repro.projects.base import PortRef, ReferencePipeline
 
 #: cpu_handler(frame, phys_port_index) -> [(phys_port_index, frame), ...]
@@ -58,7 +59,8 @@ class _CachedWalk:
     ``deliveries`` are (attachment, frame, hops) tuples — fresh
     :class:`Delivery` objects are minted per replay since Delivery is
     mutable.  ``ops`` carries each touched device's counter delta
-    ``(opl, packets, drops, ((counter, delta), ...))``.
+    ``(opl, packets, drops, ((counter, delta), ...))``.  The site tuples
+    localize where the walk's losses happened, ``((device, port), ...)``.
     """
 
     deliveries: tuple
@@ -66,6 +68,8 @@ class _CachedWalk:
     forwarded: int
     link_down: int
     ops: tuple
+    link_down_sites: tuple = ()
+    hop_limit_sites: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -99,16 +103,29 @@ class InjectionResult(list):
     network-wide :attr:`Network.dropped_hop_limit` counter — and
     :attr:`dropped_link_down`, the copies that went out onto a cable
     whose link is administratively down and vanished on the wire.
+
+    The counts are localized too: :attr:`link_down_sites` and
+    :attr:`hop_limit_sites` name *where* each lost copy left the graph,
+    as ``(device, port)`` egress tuples in walk order (one entry per
+    lost copy, so ``len(link_down_sites) == dropped_link_down``).  The
+    INT collector uses them to attribute receiver-observed loss to the
+    exact drop site instead of declaring a blackhole.
     """
 
-    __slots__ = ("dropped_hop_limit", "dropped_link_down")
+    __slots__ = (
+        "dropped_hop_limit", "dropped_link_down",
+        "hop_limit_sites", "link_down_sites",
+    )
 
     def __init__(
-        self, deliveries=(), dropped_hop_limit: int = 0, dropped_link_down: int = 0
+        self, deliveries=(), dropped_hop_limit: int = 0, dropped_link_down: int = 0,
+        hop_limit_sites: tuple = (), link_down_sites: tuple = (),
     ):
         super().__init__(deliveries)
         self.dropped_hop_limit = dropped_hop_limit
         self.dropped_link_down = dropped_link_down
+        self.hop_limit_sites = hop_limit_sites
+        self.link_down_sites = link_down_sites
 
 
 class Network:
@@ -146,6 +163,12 @@ class Network:
     ) -> ReferencePipeline:
         if name in self._devices:
             raise TopologyError(f"duplicate device name {name!r}")
+        opl = getattr(project, "opl", None)
+        if opl is not None:
+            # INT identity: insertion order.  Builders add devices in a
+            # deterministic order, so every shard replica of a topology
+            # assigns the same ids and stamps parse identically.
+            opl.int_device_id = len(self._devices)
         self._devices[name] = project
         self._wiring_generation += 1
         if cpu_handler is not None:
@@ -202,6 +225,15 @@ class Network:
         for a, b in self._links.items():
             if (a.device, a.port.index) < (b.device, b.port.index):
                 yield a, b
+
+    def int_directory(self) -> dict[int, str]:
+        """INT device id → device name (the stamp receiver's rosetta)."""
+        out = {}
+        for name, project in self._devices.items():
+            opl = getattr(project, "opl", None)
+            if opl is not None:
+                out[opl.int_device_id] = name
+        return out
 
     # ------------------------------------------------------------------
     # Link state (data-plane failure model)
@@ -261,7 +293,10 @@ class Network:
     # ------------------------------------------------------------------
     # Traffic
     # ------------------------------------------------------------------
-    def inject(self, device: str, port: int, frame: bytes) -> InjectionResult:
+    def inject(
+        self, device: str, port: int, frame: bytes,
+        int_seq: Optional[int] = None,
+    ) -> InjectionResult:
         """Carry one packet (and every copy it spawns) to quiescence.
 
         Returns an :class:`InjectionResult`: the deliveries this
@@ -273,12 +308,23 @@ class Network:
         the same (device, port, frame) under an unchanged topology-wide
         generation is replayed instead of re-forwarded — deliveries,
         loss accounting and per-device counters included.
+
+        ``int_seq`` is the INT sequence-number substitution hook: the
+        caller injects the flow's sequence-zero *template* (so every
+        packet of the flow shares one cache key and one memoized walk)
+        and the per-packet sequence is written into the delivered frames
+        here, after the walk — the frozen cached walk keeps the template
+        bytes.  Non-INT frames ignore it.
         """
         if not self.path_cache_enabled:
-            return self._walk(device, port, frame, record=False)[0]
-        result, _ = self._inject_cached(
-            device, port, frame, self._network_generation()
-        )
+            result = self._walk(device, port, frame, record=False)[0]
+        else:
+            result, _ = self._inject_cached(
+                device, port, frame, self._network_generation()
+            )
+        if int_seq is not None:
+            for delivery in result:
+                delivery.frame = _int_set_seq(delivery.frame, int_seq)
         return result
 
     def inject_many(
@@ -365,6 +411,8 @@ class Network:
             self.deliveries[first:],
             dropped_hop_limit=walk.dropped,
             dropped_link_down=walk.link_down,
+            hop_limit_sites=walk.hop_limit_sites,
+            link_down_sites=walk.link_down_sites,
         )
 
     def _walk(
@@ -382,6 +430,8 @@ class Network:
         link_down_before = self.dropped_link_down
         forwarded_before = self.forwarded_hops
         cacheable = record
+        link_down_sites: list[tuple[str, int]] = []
+        hop_limit_sites: list[tuple[str, int]] = []
         snapshots: dict[str, tuple] = {}
         work: deque[tuple[Attachment, bytes, int]] = deque(
             [(Attachment(device, PortRef("phys", port)), frame, 0)]
@@ -430,15 +480,19 @@ class Network:
                     # The copy went out onto a cable with link down: it
                     # vanishes on the wire, never reaching the peer.
                     self.dropped_link_down += 1
+                    link_down_sites.append((at.device, out_port.index))
                     continue
                 if hops + 1 >= self.hop_limit:
                     self.dropped_hop_limit += 1
+                    hop_limit_sites.append((at.device, out_port.index))
                     continue
                 work.append((peer, out_frame, hops + 1))
         result = InjectionResult(
             self.deliveries[first:],
             dropped_hop_limit=self.dropped_hop_limit - drops_before,
             dropped_link_down=self.dropped_link_down - link_down_before,
+            hop_limit_sites=tuple(hop_limit_sites),
+            link_down_sites=tuple(link_down_sites),
         )
         if not cacheable:
             return result, None
@@ -459,6 +513,8 @@ class Network:
             forwarded=self.forwarded_hops - forwarded_before,
             link_down=result.dropped_link_down,
             ops=tuple(ops),
+            link_down_sites=result.link_down_sites,
+            hop_limit_sites=result.hop_limit_sites,
         )
         return result, walk
 

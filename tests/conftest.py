@@ -33,6 +33,12 @@ def pytest_configure(config):
         "detection, single-link-failure sweeps "
         "(run just these with -m frr)",
     )
+    config.addinivalue_line(
+        "markers",
+        "int: in-band telemetry — trailer codec, hop stamping, "
+        "receiver-side path/loss attribution "
+        "(run just these with -m int)",
+    )
 
 from repro.packet.addresses import Ipv4Addr, MacAddr
 from repro.packet.generator import make_udp_frame

@@ -50,6 +50,14 @@ class TestComputeBackups:
         coverage = backup_coverage(abilene_topo)
         assert 0.5 < coverage <= 1.0
 
+    def test_abilene_protected_fraction_is_pinned(self, abilene_topo):
+        # Abilene's sparse ring-like graph protects exactly 78 of the
+        # 110 protectable (switch, host) pairs — ~71%.  The value is a
+        # pure function of the topology and the BFS trees, so any drift
+        # means the backup computation changed behaviour.
+        assert len(compute_backups(abilene_topo)) == 78
+        assert backup_coverage(abilene_topo) == pytest.approx(78 / 110)
+
     def test_fat_tree_coverage(self):
         topo = fat_tree(k=4)
         topo.learn()

@@ -1,0 +1,195 @@
+"""INT in the data-plane walk: per-hop stamping, fastpath byte-identity,
+sequence substitution, reroute stamps and localized drop sites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.int import INT_MIN_FRAME_SIZE, encode_template, parse
+from repro.int.collector import merge_int_summaries
+from repro.projects.reference_switch import ReferenceSwitch
+from repro.testenv.topology import Network
+
+from .conftest import mac, udp_frame
+
+pytestmark = pytest.mark.int
+
+LAT = ReferenceSwitch().opl.DECISION_LATENCY_CYCLES
+
+
+def int_frame(src: int = 1, dst: int = 2, flow_id: int = 7) -> bytes:
+    return encode_template(
+        udp_frame(src, dst, size=INT_MIN_FRAME_SIZE), flow_id
+    )
+
+
+def chain(n: int = 3) -> Network:
+    """s0 - s1 - ... - s(n-1); hosts at s0:0 and s(n-1):1."""
+    net = Network()
+    for i in range(n):
+        net.add_device(f"s{i}", ReferenceSwitch())
+    for i in range(n - 1):
+        net.link(f"s{i}", 3, f"s{i + 1}", 0)
+    return net
+
+
+def learn(net: Network, n: int = 3) -> None:
+    net.inject(f"s{n - 1}", 1, udp_frame(2, 1))
+    net.inject("s0", 0, udp_frame(1, 2))
+
+
+class TestStamping:
+    def test_each_hop_stamps_once(self):
+        net = chain()
+        learn(net)
+        (delivery,) = net.inject("s0", 0, int_frame())
+        stack = parse(delivery.frame)
+        assert [h.device_id for h in stack.hops] == [0, 1, 2]
+        assert stack.latencies() == (LAT, LAT, LAT)
+
+    def test_device_ids_follow_insertion_order(self):
+        net = chain()
+        assert net.int_directory() == {0: "s0", 1: "s1", 2: "s2"}
+
+    def test_ingress_egress_ports_recorded(self):
+        net = chain(2)
+        learn(net, 2)
+        (delivery,) = net.inject("s0", 0, int_frame())
+        first, second = parse(delivery.frame).hops
+        assert (first.ingress, first.egress) == (0, 3)
+        assert (second.ingress, second.egress) == (0, 1)
+
+    def test_plain_frames_never_stamped(self):
+        net = chain()
+        learn(net)
+        (delivery,) = net.inject("s0", 0, udp_frame(1, 2))
+        assert delivery.frame == udp_frame(1, 2)
+
+    def test_flood_copies_all_stamped(self):
+        net = chain(2)  # nothing learned: s0 floods
+        deliveries = net.inject("s0", 0, int_frame())
+        assert len(deliveries) >= 2
+        for delivery in deliveries:
+            assert parse(delivery.frame).hops  # every copy carries stamps
+
+
+class TestSeqSubstitution:
+    def test_int_seq_written_into_deliveries(self):
+        net = chain()
+        learn(net)
+        (delivery,) = net.inject("s0", 0, int_frame(), int_seq=41)
+        assert parse(delivery.frame).seq == 41
+
+    def test_cached_replay_is_byte_identical(self):
+        net = chain()
+        learn(net)
+        frame = int_frame()
+        (first,) = net.inject("s0", 0, frame, int_seq=1)
+        assert net.path_misses >= 1
+        hits_before = net.path_hits
+        (second,) = net.inject("s0", 0, frame, int_seq=1)
+        assert net.path_hits == hits_before + 1
+        assert second.frame == first.frame
+
+    def test_fastpath_off_matches_fastpath_on(self):
+        frame = int_frame()
+        outcomes = []
+        for enabled in (True, False):
+            net = chain()
+            net.set_fastpath(enabled)
+            learn(net)
+            (delivery,) = net.inject("s0", 0, frame, int_seq=9)
+            outcomes.append(delivery.frame)
+        assert outcomes[0] == outcomes[1]
+
+    def test_distinct_seqs_share_one_cached_walk(self):
+        net = chain()
+        learn(net)
+        frame = int_frame()
+        net.inject("s0", 0, frame, int_seq=0)
+        misses = net.path_misses
+        (delivery,) = net.inject("s0", 0, frame, int_seq=5)
+        assert net.path_misses == misses  # hit, not a new walk
+        assert parse(delivery.frame).seq == 5
+
+
+class TestRerouteStamp:
+    def test_reroute_flag_and_dead_ports(self):
+        net = Network()
+        s1 = net.add_device("s1", ReferenceSwitch())
+        s2 = net.add_device("s2", ReferenceSwitch())
+        s3 = net.add_device("s3", ReferenceSwitch())
+        net.link("s1", 3, "s2", 0)  # primary
+        net.link("s1", 2, "s3", 0)  # backup path
+        net.link("s3", 3, "s2", 2)
+        # Pin host 2 behind s2 everywhere; backup via s3 at s1.
+        s1.install_static_mac(mac(2), 3)
+        s1.install_backup_mac(mac(2), 2)
+        s2.install_static_mac(mac(2), 1)
+        s3.install_static_mac(mac(2), 3)
+        net.set_link_state("s1", "s2", up=False)
+        (delivery,) = net.inject("s1", 0, int_frame())
+        hops = parse(delivery.frame).hops
+        assert [h.device_id for h in hops] == [0, 2, 1]
+        first = hops[0]
+        assert first.rerouted
+        assert first.egress == 2  # the backup port, not the primary
+        assert first.dead_ports == 1 << 3  # names the dead cable
+        assert not hops[1].rerouted and not hops[2].rerouted
+
+
+class TestDropSites:
+    def test_link_down_site_recorded(self):
+        net = chain(2)
+        learn(net, 2)
+        net.set_link_state("s0", "s1", up=False)
+        # Detection lag: s0 still believes port 3 is up, so it forwards
+        # onto the dark cable and the network localizes the wire drop.
+        net.device("s0").set_port_state(3, up=True)
+        result = net.inject("s0", 0, udp_frame(1, 2))
+        assert result.dropped_link_down == 1
+        assert result.link_down_sites == (("s0", 3),)
+
+    def test_hop_limit_site_recorded(self):
+        net = Network(hop_limit=2)
+        net.add_device("s0", ReferenceSwitch())
+        net.add_device("s1", ReferenceSwitch())
+        net.add_device("s2", ReferenceSwitch())
+        net.link("s0", 3, "s1", 0)
+        net.link("s1", 3, "s2", 0)
+        result = net.inject("s0", 0, udp_frame(1, 2))  # floods down the line
+        assert result.dropped_hop_limit >= 1
+        assert ("s1", 3) in result.hop_limit_sites
+        assert len(result.hop_limit_sites) == result.dropped_hop_limit
+
+    def test_sites_survive_cached_replay(self):
+        net = chain(2)
+        learn(net, 2)
+        net.set_link_state("s0", "s1", up=False)
+        net.device("s0").set_port_state(3, up=True)  # stale local view
+        frame = udp_frame(1, 2)
+        first = net.inject("s0", 0, frame)
+        hits_before = net.path_hits
+        second = net.inject("s0", 0, frame)
+        assert net.path_hits == hits_before + 1
+        assert second.link_down_sites == first.link_down_sites
+
+    def test_clean_walk_has_no_sites(self):
+        net = chain()
+        learn(net)
+        result = net.inject("s0", 0, udp_frame(1, 2))
+        assert result.link_down_sites == ()
+        assert result.hop_limit_sites == ()
+
+
+class TestSummaryMerge:
+    def test_merge_sums_ints_and_counters(self):
+        a = {"packets": 2, "reroutes": {"s1": 1}, "lost": 0}
+        b = {"packets": 3, "reroutes": {"s1": 2, "s2": 1}, "lost": 1}
+        merged = merge_int_summaries([a, None, b])
+        assert merged == {
+            "lost": 1, "packets": 5, "reroutes": {"s1": 3, "s2": 1},
+        }
+
+    def test_all_none_merges_to_none(self):
+        assert merge_int_summaries([None, None]) is None
