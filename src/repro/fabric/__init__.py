@@ -17,10 +17,13 @@ them.  This package is that scale-out layer, in four stages:
    interleaved in seeded round-robin order; per-flow outcomes are
    order-independent, summarized in a :class:`FabricReport` whose
    fingerprint pins the run.
-4. **Sharded parallel execution** (:mod:`repro.fabric.shard`) —
-   independent flows partitioned across a process pool, each worker
-   rebuilding its own replica from the same seed, merged so the
-   fingerprint is identical for 1 and N shards.
+4. **Sharded parallel execution** (:mod:`repro.fabric.shard` +
+   :mod:`repro.fabric.supervisor`) — independent flows partitioned
+   across supervised worker processes (deadlines, heartbeats, seeded
+   crash chaos, bounded retries, inline fallback, checkpoint/resume),
+   each worker rebuilding its own replica from the same seed, merged
+   so the fingerprint is identical for 1 and N shards — crashed
+   workers, resumed checkpoints and all.
 
 Quickstart::
 
@@ -46,6 +49,12 @@ from repro.fabric.scheduler import (
     run_flows,
 )
 from repro.fabric.shard import merge_reports, run_sharded
+from repro.fabric.supervisor import (
+    CheckpointStore,
+    SupervisorOptions,
+    SupervisorStats,
+    run_supervised,
+)
 from repro.fabric.topo import (
     FabricError,
     FabricSpec,
@@ -70,6 +79,7 @@ from repro.fabric.workload import (
 )
 
 __all__ = [
+    "CheckpointStore",
     "DEFAULT_MAX_INFLIGHT",
     "FLAP_EPOCH_TICKS",
     "FabricError",
@@ -81,6 +91,8 @@ __all__ = [
     "Host",
     "LinkSchedule",
     "PATTERNS",
+    "SupervisorOptions",
+    "SupervisorStats",
     "TOPOLOGIES",
     "WORKLOADS",
     "WorkloadSpec",
@@ -96,5 +108,6 @@ __all__ = [
     "run_fabric",
     "run_flows",
     "run_sharded",
+    "run_supervised",
     "star",
 ]

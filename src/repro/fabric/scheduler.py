@@ -143,6 +143,21 @@ class FabricReport:
     #: Counter sums over disjoint flows, so it IS an observable: it
     #: joins the signature, and shard merges reproduce it exactly.
     int_summary: Optional[dict] = None
+    #: Run-configuration echoes.  Operational, never observables (the
+    #: fingerprint must stay invariant to how a run was executed), but
+    #: ``merge_reports`` head-checks them so reports produced under
+    #: different configs can never silently merge: ``int_all`` changes
+    #: which flows carry trailers, ``fastpath_enabled``/``max_inflight``
+    #: must not differ across shards of one run even though they leave
+    #: the outcome untouched.
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    int_all: bool = False
+    fastpath_enabled: bool = True
+    #: The supervised executor's ledger (attempts, retries, inline
+    #: fallbacks, checkpoint hits …) for the merged run.  Operational
+    #: data like ``fastpath``: it describes how the run survived, not
+    #: what it computed, so it stays out of :meth:`signature`.
+    supervision: dict[str, int] = field(default_factory=dict)
 
     # -- aggregates ----------------------------------------------------
     def _total(self, name: str) -> int:
@@ -239,6 +254,7 @@ class FabricReport:
             "device_reroutes": dict(sorted(self.device_reroutes.items())),
             "device_blackholed": dict(sorted(self.device_blackholed.items())),
             "int": self.int_summary,
+            "supervision": dict(sorted(self.supervision.items())),
         }
         if per_flow:
             out["per_flow"] = [r.as_dict() for r in
@@ -710,6 +726,9 @@ def run_flows(
         elapsed_s=time.perf_counter() - started,
         fastpath=topology.network.fastpath_stats(),
         int_summary=collector.summary() if collector is not None else None,
+        max_inflight=max_inflight,
+        int_all=int_all,
+        fastpath_enabled=fastpath,
     )
 
 

@@ -2,11 +2,11 @@
 
 Flows whose outcomes are pure functions of ``(topology, workload,
 seed)`` are embarrassingly parallel: :func:`run_sharded` partitions them
-by ``flow_id % shards`` across a ``multiprocessing`` pool.  Each worker
-rebuilds its *own* network replica from the picklable
-:class:`FabricSpec` (device models are stateful and unpicklable — the
-spec travels, not the network), regenerates the flow list from the same
-seed, runs only its slice, and ships back its :class:`FabricReport`.
+by ``flow_id % shards`` across worker processes.  Each worker rebuilds
+its *own* network replica from the picklable :class:`FabricSpec`
+(device models are stateful and unpicklable — the spec travels, not the
+network), regenerates the flow list from the same seed, runs only its
+slice, and ships back its :class:`FabricReport`.
 
 The merge is deterministic by construction: per-flow records are
 disjoint (concatenate, sort by ``flow_id``), per-device forwarded
@@ -15,16 +15,27 @@ So ``run_sharded(spec, wl, shards=N).fingerprint()`` is byte-identical
 for every ``N`` — the invariant the fabric test suite and the CI smoke
 job pin — while wall-clock throughput scales with cores.
 
+Workers run under the **supervised executor**
+(:mod:`repro.fabric.supervisor`): per-shard deadlines and heartbeats,
+seeded crash chaos, bounded retries with exponential backoff, an inline
+fallback when the budget is exhausted, merge-boundary integrity checks,
+and checkpoint/resume.  A crashed worker costs a retry, never the run —
+and never a bit of the fingerprint.  ``supervised=False`` keeps the old
+bare-pool path as the A/B reference the E21 overhead bench compares
+against.
+
 ``parallel=False`` (or ``shards=1``) runs the same partition/merge path
-in-process — the reference the pool path is checked against, and the
-fallback when a pool is unavailable (e.g. a daemonic parent process).
+in-process — the reference the process paths are checked against, and
+the fallback when worker processes are unavailable (e.g. a daemonic
+parent process).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from collections import Counter
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.fabric.scheduler import (
     DEFAULT_MAX_INFLIGHT,
@@ -36,6 +47,20 @@ from repro.fabric.topo import FabricSpec
 from repro.fabric.workload import Flow, WorkloadSpec
 from repro.faults import FaultPlan
 from repro.int import merge_int_summaries
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fabric.supervisor import SupervisorOptions
+
+
+def _pool_size(shards: int) -> int:
+    """Concurrent worker cap: ``min(shards, cores)``.
+
+    ``Pool(processes=shards)`` used to fork one process per shard even
+    with shards ≫ cores — pure page-table churn with zero extra
+    parallelism.  Shard *partitioning* stays at ``shards`` (it is part
+    of the determinism contract); only process concurrency is capped.
+    """
+    return max(1, min(shards, os.cpu_count() or 1))
 
 
 def _run_shard(
@@ -52,7 +77,7 @@ def _run_shard(
     int_all: bool,
 ) -> FabricReport:
     """One worker's slice: rebuild the fabric, carry flows ≡ index (mod
-    shards).  Module-level so the pool can pickle it."""
+    shards).  Module-level so worker processes can pickle it."""
     topology = spec.build()
     return run_flows(
         topology, workload, plan,
@@ -67,23 +92,40 @@ def _run_shard(
     )
 
 
+#: The config fields every shard of one run must agree on.  ``int_all``
+#: changes which flows carry INT trailers; ``max_inflight`` and
+#: ``fastpath_enabled`` must not vary across one run's shards even
+#: though they leave the outcome untouched — a mixed-config merge means
+#: the reports came from different invocations.
+_HEAD_FIELDS = (
+    "topology", "workload", "seed", "plan", "frr", "link_schedule",
+    "max_inflight", "int_all", "fastpath_enabled",
+)
+
+
 def merge_reports(reports: list[FabricReport], shards: int) -> FabricReport:
     """Fold shard reports into the run report, deterministically.
 
     Records concatenate (flow partitions are disjoint) and sort by flow
     id; every aggregate is an order-independent sum.  Shard wall-clock
-    times overlap, so ``elapsed_s`` takes the slowest shard.
+    times overlap, so ``elapsed_s`` takes the slowest shard.  The head
+    check refuses reports whose run identity *or* execution config
+    differ (:data:`_HEAD_FIELDS`); overlapping partitions are refused
+    by the duplicate-flow-id check.
     """
     if not reports:
         raise ValueError("nothing to merge")
     head = reports[0]
     for other in reports[1:]:
-        if (other.topology, other.workload, other.seed, other.plan,
-                other.frr, other.link_schedule) != (
-            head.topology, head.workload, head.seed, head.plan,
-            head.frr, head.link_schedule,
-        ):
-            raise ValueError("cannot merge reports of different runs")
+        mismatched = [
+            name for name in _HEAD_FIELDS
+            if getattr(other, name) != getattr(head, name)
+        ]
+        if mismatched:
+            raise ValueError(
+                "cannot merge reports of different runs: "
+                f"{', '.join(mismatched)} differ"
+            )
     forwarded: Counter[str] = Counter()
     faults: Counter[str] = Counter()
     hops: Counter[int] = Counter()
@@ -125,6 +167,9 @@ def merge_reports(reports: list[FabricReport], shards: int) -> FabricReport:
         # merged rather than head-checked: shards that carried no INT
         # flow report None and drop out of the fold.
         int_summary=merge_int_summaries([r.int_summary for r in reports]),
+        max_inflight=head.max_inflight,
+        int_all=head.int_all,
+        fastpath_enabled=head.fastpath_enabled,
     )
 
 
@@ -141,18 +186,52 @@ def run_sharded(
     frr: bool = False,
     link_schedule: Optional[LinkSchedule] = None,
     int_all: bool = False,
+    supervised: bool = True,
+    chaos: Optional[FaultPlan] = None,
+    checkpoint: Optional[str | os.PathLike] = None,
+    supervisor: Optional["SupervisorOptions"] = None,
 ) -> FabricReport:
     """Run a fabric workload across ``shards`` partitions and merge.
 
-    With ``parallel=True`` and ``shards > 1`` the partitions run in a
-    ``multiprocessing.Pool`` of ``shards`` workers; otherwise they run
-    sequentially in-process through the identical partition/merge path.
-    Either way the merged report's fingerprint equals the 1-shard run's
-    — and equals the run with ``fastpath=False`` (flow caches off),
-    since caches are per-replica and observationally inert.
+    With ``parallel=True`` and ``shards > 1`` the partitions run in
+    worker processes (at most ``min(shards, cores)`` concurrently)
+    under the supervised executor; otherwise they run sequentially
+    in-process through the identical partition/merge path.  Either way
+    the merged report's fingerprint equals the 1-shard run's — and
+    equals the run with ``fastpath=False`` (flow caches off), since
+    caches are per-replica and observationally inert.
+
+    ``chaos`` is a fault plan whose :class:`~repro.faults.ShardFaultSpec`
+    seeds worker crash/hang/corrupt chaos per (shard, attempt).  It is
+    operational only — the merged fingerprint is identical with any
+    chaos schedule, which the ``-m shard`` suite pins.  ``checkpoint``
+    names a directory where accepted shard reports persist as they
+    land; rerunning with the same arguments resumes from the surviving
+    shards.  Both require the supervised process path: the inline path
+    (``parallel=False``) has no workers to crash, and the bare pool
+    (``supervised=False``, the E21 A/B reference) predates supervision.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
+    flow_count = len(flows) if flows is not None else workload.flows
+    if shards > flow_count:
+        raise ValueError(
+            f"shards={shards} exceeds the {flow_count} flows to carry; "
+            "the extra workers would rebuild replicas to forward nothing"
+        )
+    wants_supervisor = parallel and supervised and (
+        shards > 1 or chaos is not None or checkpoint is not None
+    )
+    if wants_supervisor:
+        from repro.fabric.supervisor import run_supervised
+
+        return run_supervised(
+            spec, workload, plan,
+            shards=shards, max_inflight=max_inflight, fastpath=fastpath,
+            flows=flows, frr=frr, link_schedule=link_schedule,
+            int_all=int_all, chaos=chaos, checkpoint=checkpoint,
+            options=supervisor,
+        )
     if shards == 1:
         return run_flows(spec.build(), workload, plan,
                          flows=flows, max_inflight=max_inflight,
@@ -162,7 +241,10 @@ def run_sharded(
              flows, frr, link_schedule, int_all)
             for index in range(shards)]
     if parallel:
-        with multiprocessing.Pool(processes=shards) as pool:
+        # The legacy bare pool: no deadlines, no retries, no integrity
+        # checks — one worker crash aborts the run.  Kept as the E21
+        # supervision-overhead reference.
+        with multiprocessing.Pool(processes=_pool_size(shards)) as pool:
             reports = pool.starmap(_run_shard, jobs)
     else:
         reports = [_run_shard(*job) for job in jobs]

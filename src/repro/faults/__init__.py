@@ -39,6 +39,7 @@ from repro.faults.plan import (
     LinkStateSpec,
     MmioFaultSpec,
     OqFaultSpec,
+    ShardFaultSpec,
     available_plans,
     derive_seed,
     get_plan,
@@ -64,6 +65,7 @@ __all__ = [
     "LinkStateSpec",
     "MmioFaultSpec",
     "OqFaultSpec",
+    "ShardFaultSpec",
     "available_plans",
     "derive_seed",
     "get_plan",

@@ -46,6 +46,10 @@ SITES = (
     # surface): whether a fabric cable loses light this epoch, and for
     # how many epochs it stays dark.
     "link_down", "link_up",
+    # Shard-executor sites (the supervised fabric executor's fault
+    # surface): whether a worker process crashes, wedges, or returns a
+    # corrupted result.  Drawn once per (shard, attempt) launch.
+    "shard_crash", "shard_hang", "shard_corrupt",
 )
 
 
@@ -191,6 +195,36 @@ class LinkStateSpec:
 
 
 @dataclass(frozen=True)
+class ShardFaultSpec:
+    """Shard-executor faults: the ways a worker process loses a shard.
+
+    These sites perturb *how* a sharded fabric run executes, never
+    *what* it computes: the supervised executor retries, falls back
+    inline, or re-runs corrupted shards, so the merged report is
+    byte-identical to a clean run's.  One action is drawn per
+    ``(shard, attempt)`` launch from derived sub-seeds —
+    ``plan.derived("shard", index, attempt)`` — so the crash schedule
+    is a pure function of the chaos seed, independent of timing.
+
+    ``crash_rate``   the worker exits without a result (OOM-kill, segv);
+    ``hang_rate``    the worker wedges — heartbeats stop, work never
+                     finishes — until the supervisor kills it;
+    ``corrupt_rate`` the worker's result is mangled in the result
+                     channel (detected at the merge boundary by the
+                     fingerprint/partition integrity checks).
+    """
+
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rates(self.crash_rate)
+        _check_rates(self.hang_rate)
+        _check_rates(self.corrupt_rate)
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A named, seeded schedule of faults across the platform's sites."""
 
@@ -202,6 +236,7 @@ class FaultPlan:
     oq: Optional[OqFaultSpec] = None
     ctrl: Optional[CtrlFaultSpec] = None
     link_state: Optional[LinkStateSpec] = None
+    shard: Optional[ShardFaultSpec] = None
 
     def with_seed(self, seed: int) -> "FaultPlan":
         return replace(self, seed=seed)
@@ -461,6 +496,34 @@ class FaultSession:
             spec.min_down_epochs, spec.max_down_epochs
         )
 
+    # -- shard executor ---------------------------------------------------
+    def shard_fault(self) -> Optional[str]:
+        """The chaos action for one ``(shard, attempt)`` worker launch.
+
+        Returns ``None`` (healthy launch) or one of ``'crash'``,
+        ``'hang'``, ``'corrupt'``.  Each action draws from its own
+        site stream, checked in severity order, so the schedule for
+        one action never perturbs another's.  The supervisor opens a
+        fresh derived session per launch, making the whole chaos
+        schedule a pure function of ``(seed, shard, attempt)``.
+        """
+        spec = self.plan.shard
+        if spec is None:
+            return None
+        if self._rng["shard_crash"].random() < spec.crash_rate:
+            self.counters["shard_crashes"] += 1
+            self._notify("shard_crash", "crash")
+            return "crash"
+        if self._rng["shard_hang"].random() < spec.hang_rate:
+            self.counters["shard_hangs"] += 1
+            self._notify("shard_hang", "hang")
+            return "hang"
+        if self._rng["shard_corrupt"].random() < spec.corrupt_rate:
+            self.counters["shard_corrupt_results"] += 1
+            self._notify("shard_corrupt", "corrupt")
+            return "corrupt"
+        return None
+
     # -- output queues --------------------------------------------------
     def oq_pressure(self) -> int:
         """Phantom backlog bytes to add to this enqueue decision."""
@@ -584,6 +647,21 @@ register_plan(
         "frr-chaos", seed,
         link_state=LinkStateSpec(down_rate=0.05, min_down_epochs=1,
                                  max_down_epochs=3),
+    ),
+)
+register_plan(
+    "shard-chaos",
+    lambda seed: FaultPlan(
+        "shard-chaos", seed,
+        shard=ShardFaultSpec(crash_rate=0.30, hang_rate=0.10,
+                             corrupt_rate=0.20),
+    ),
+)
+register_plan(
+    "shard-killer",
+    lambda seed: FaultPlan(
+        "shard-killer", seed,
+        shard=ShardFaultSpec(crash_rate=1.0),
     ),
 )
 register_plan(

@@ -181,13 +181,18 @@ def cmd_fabric(args: argparse.Namespace) -> int:
         workload = get_workload(args.workload).with_seed(args.seed)
         plan = (get_plan(args.faults, seed=args.seed)
                 if args.faults else None)
+        chaos = (get_plan(args.chaos_shards, seed=args.seed)
+                 if args.chaos_shards else None)
         report = run_sharded(
             spec, workload, plan,
             shards=args.shards, parallel=not args.inline,
             fastpath=not args.no_fastpath,
+            supervised=not args.bare_pool,
+            chaos=chaos, checkpoint=args.checkpoint,
         )
     except ValueError as exc:
-        # Unknown topology/workload/plan preset — operator error.
+        # Unknown topology/workload/plan preset, shards > flows, or a
+        # checkpoint written by a different run — operator error.
         print(str(exc), file=sys.stderr)
         return 2
     if args.format == "json":
@@ -222,6 +227,10 @@ def cmd_fabric(args: argparse.Namespace) -> int:
         if report.fastpath:
             print("  flow-cache stats:")
             for name, value in sorted(report.fastpath.items()):
+                print(f"    {name:22s} {value}")
+        if report.supervision:
+            print("  supervision:")
+            for name, value in sorted(report.supervision.items()):
                 print(f"    {name:22s} {value}")
         if args.per_flow:
             print(f"  {'flow':>6s} {'src':>5s} {'dst':>5s} {'try':>5s} "
@@ -451,6 +460,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "reference run; same fingerprint, slower)")
     fabric.add_argument("--faults", default=None,
                         help="run under a registered fault plan")
+    fabric.add_argument("--chaos-shards", default=None, metavar="PLAN",
+                        help="seed shard-executor crash chaos from this "
+                             "fault plan (e.g. shard-chaos; operational "
+                             "only, fingerprint unchanged)")
+    fabric.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="persist accepted shard reports here and "
+                             "resume from survivors on rerun")
+    fabric.add_argument("--bare-pool", action="store_true",
+                        help="bypass the supervised executor (legacy "
+                             "bare pool; the E21 overhead reference)")
     fabric.add_argument("--format", choices=("table", "json"),
                         default="table")
     fabric.add_argument("--per-flow", action="store_true",

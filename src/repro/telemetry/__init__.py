@@ -43,6 +43,7 @@ from repro.telemetry.probes import (
     probe_fastpath,
     probe_frr,
     probe_int,
+    probe_shard,
     probe_faults,
     probe_resilience,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "probe_fastpath",
     "probe_frr",
     "probe_int",
+    "probe_shard",
     "probe_faults",
     "probe_resilience",
     "TelemetrySession",

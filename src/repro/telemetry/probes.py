@@ -463,6 +463,36 @@ def probe_fastpath(network: Any, session: "TelemetrySession") -> None:
     entries.labels("net").bind(lambda n=network: n.path_entries)
 
 
+def probe_shard(report: Any, session: "TelemetrySession") -> None:
+    """Publish a supervised shard run's supervision ledger.
+
+    Post-hoc like :func:`probe_fabric`: the report's ``supervision``
+    dict (attempts, retries, worker crashes, heartbeat gaps, deadline
+    kills, corrupt results, inline fallbacks, checkpoint hits/writes)
+    becomes one ``shard_events_total`` series per event.  All
+    ``cycle_dependent=False`` — the ledger is a pure function of the
+    (chaos plan, seed, shard count) and joins the parity set, so a run
+    that degraded to inline fallback is *visible* in telemetry even
+    though its fingerprint is identical to the clean run.  Reports from
+    unsupervised paths (empty ledger) publish nothing.
+    """
+    supervision = getattr(report, "supervision", None)
+    if not supervision:
+        return
+    events = session.registry.counter(
+        "shard_events_total", "shard supervisor events by kind",
+        labelnames=("event",), cycle_dependent=False,
+    )
+    for event, count in sorted(supervision.items()):
+        if count:
+            events.labels(event).inc(count)
+    session.trace.emit(
+        "shard_supervised",
+        f"{report.topology}:{report.workload}@{report.shards}",
+        ts=session.trace.clock(),
+    )
+
+
 def probe_frr(network: Any, session: "TelemetrySession") -> None:
     """Mirror a network's fast-reroute ledger into the registry.
 

@@ -39,6 +39,12 @@ def pytest_configure(config):
         "receiver-side path/loss attribution "
         "(run just these with -m int)",
     )
+    config.addinivalue_line(
+        "markers",
+        "shard: supervised shard executor — seeded crash chaos, "
+        "retries, inline fallback, checkpoint/resume "
+        "(run just these with -m shard)",
+    )
 
 from repro.packet.addresses import Ipv4Addr, MacAddr
 from repro.packet.generator import make_udp_frame
