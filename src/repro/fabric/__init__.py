@@ -43,6 +43,7 @@ from repro.fabric.scheduler import (
     DEFAULT_MAX_INFLIGHT,
     FLAP_EPOCH_TICKS,
     FabricReport,
+    FlowEngine,
     FlowRecord,
     LinkSchedule,
     run_fabric,
@@ -87,6 +88,7 @@ __all__ = [
     "FabricSpec",
     "FabricTopology",
     "Flow",
+    "FlowEngine",
     "FlowRecord",
     "Host",
     "LinkSchedule",

@@ -605,6 +605,285 @@ def _send_packet(
             loss_by_epoch[event.tick // FLAP_EPOCH_TICKS] += lost
 
 
+class FlowEngine:
+    """The fabric scheduler as a steppable machine.
+
+    This is :func:`run_flows` opened up: the same setup, the same event
+    heap, the same dispatch — but instead of one closed ``while heap``
+    loop the engine exposes :meth:`step` / :meth:`run_until` /
+    :meth:`run`, and an optional :class:`~repro.shell.clock.VirtualClock`
+    owns how virtual time passes between events.  Batch callers never
+    see the difference: ``run_flows`` constructs an engine with no clock
+    and immediately drains it, so the shell's interactive path and the
+    sharded/fastpath batch path are *one code path* and the
+    :class:`FabricReport` fingerprint is identical by construction.
+
+    Control never changes outcomes.  Pausing, stepping one event at a
+    time, or warping over idle cycles only decides *when* the next heap
+    event dispatches relative to wall clock; the heap order — and with
+    it every fingerprinted observable — is fixed by
+    ``(topology, workload, seed, plan)`` alone.
+    """
+
+    def __init__(
+        self,
+        topology: FabricTopology,
+        spec: WorkloadSpec,
+        plan: Optional[FaultPlan] = None,
+        *,
+        flow_filter: Optional[Callable[[Flow], bool]] = None,
+        flows: Optional[list[Flow]] = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        shards: int = 1,
+        fastpath: bool = True,
+        frr: bool = False,
+        link_schedule: Optional[LinkSchedule] = None,
+        int_all: bool = False,
+        clock=None,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if not fastpath:
+            topology.network.set_fastpath(False)
+        topology.learn()
+        if frr:
+            topology.install_backups()
+        if flows is None:
+            flows = generate_flows(topology.host_names(), spec)
+        else:
+            flows = list(flows)
+        if flow_filter is not None:
+            flows = [f for f in flows if flow_filter(f)]
+        if int_all:
+            flows = [replace(f, int_enabled=True) for f in flows]
+
+        self.topology = topology
+        self.spec = spec
+        self.clock = clock
+        self._plan = plan
+        self._max_inflight = max_inflight
+        self._shards = shards
+        self._fastpath = fastpath
+        self._frr = frr
+        self._link_schedule = link_schedule
+        self._int_all = int_all
+        self.collector = (IntCollector(topology.network)
+                          if any(f.int_enabled for f in flows) else None)
+
+        self._flap = _FlapOracle(plan)
+        self._link_ctl = _LinkStateController(topology, link_schedule, plan)
+        self._fault_counters: Counter[str] = Counter()
+        self._records: list[FlowRecord] = []
+        self._hops_hist: Counter[int] = Counter()
+        self._loss_by_epoch: Counter[int] = Counter()
+        self._frames: dict[tuple[int, bool], bytes] = {}
+
+        # Admit flows to the heap in start order, at most max_inflight
+        # at a time; a flow's events enter together so its packet
+        # spacing holds.
+        self._pending = sorted(flows, key=lambda f: (f.start_tick, f.flow_id))
+        self._heap: list[_Event] = []
+        self._resident: dict[int, int] = {}  # flow_id -> resident events
+        self._cursor = 0
+        self._dispatched = 0
+        self._report: Optional[FabricReport] = None
+        self._admit()
+        self._started = time.perf_counter()
+
+    # -- heap plumbing -------------------------------------------------
+    def _admit(self) -> None:
+        while (self._cursor < len(self._pending)
+               and len(self._resident) < self._max_inflight):
+            flow = self._pending[self._cursor]
+            self._cursor += 1
+            record = FlowRecord(flow.flow_id, flow.src, flow.dst)
+            self._records.append(record)
+            session = (self._plan.derived("fabric", flow.flow_id).session()
+                       if self._plan is not None
+                       else FaultPlan("none").session())
+            events = _flow_events(flow, record, session, self.spec.seed)
+            self._resident[flow.flow_id] = len(events)
+            for event in events:
+                heapq.heappush(self._heap, event)
+
+    def _dispatch(self) -> _Event:
+        """Pop and carry exactly one event — the batch loop's body."""
+        event = heapq.heappop(self._heap)
+        if self.clock is not None:
+            self.clock.advance_to(event.tick)
+        self._link_ctl.apply(event.tick // FLAP_EPOCH_TICKS)
+        _send_packet(self.topology, event, self._flap, self._hops_hist,
+                     self._frames, self._loss_by_epoch, self.collector)
+        self._resident[event.flow_id] -= 1
+        if not self._resident[event.flow_id]:
+            del self._resident[event.flow_id]
+            self._frames.pop((event.flow_id, False), None)
+            self._frames.pop((event.flow_id, True), None)
+            self._fault_counters.update(event.session.counters)
+            self._admit()
+        self._dispatched += 1
+        return event
+
+    # -- introspection -------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """All flows carried (the heap only empties once nothing is
+        pending — :meth:`_admit` refills it after every completion)."""
+        return not self._heap
+
+    @property
+    def now(self) -> int:
+        """The engine's virtual time: the clock's if one is attached,
+        else the tick of the next undispatched event."""
+        if self.clock is not None:
+            return self.clock.now
+        return self._last_tick
+
+    @property
+    def _last_tick(self) -> int:
+        return self._heap[0].tick if self._heap else 0
+
+    @property
+    def next_tick(self) -> Optional[int]:
+        """The tick of the next event, or ``None`` when finished."""
+        return self._heap[0].tick if self._heap else None
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    @property
+    def flows_admitted(self) -> int:
+        return len(self._records)
+
+    @property
+    def flows_total(self) -> int:
+        return len(self._pending)
+
+    @property
+    def events_dispatched(self) -> int:
+        return self._dispatched
+
+    # -- stepping surface ----------------------------------------------
+    def step(self, events: int = 1) -> int:
+        """Dispatch up to ``events`` heap events; returns how many ran."""
+        if events < 1:
+            raise ValueError("step count must be >= 1")
+        done = 0
+        while done < events and self._heap:
+            self._dispatch()
+            done += 1
+        return done
+
+    def run_until(
+        self,
+        tick: Optional[int] = None,
+        predicate: Optional[Callable[["FlowEngine"], bool]] = None,
+    ) -> int:
+        """Dispatch until virtual time reaches ``tick`` and/or
+        ``predicate(engine)`` holds; returns events dispatched.
+
+        With a ``tick`` bound, every event scheduled at or before it is
+        carried and the attached clock (if any) is advanced to exactly
+        ``tick`` afterwards, so idle tail cycles pass too.  A predicate
+        is re-checked after every event; it stops the run early.
+        """
+        if tick is None and predicate is None:
+            raise ValueError("run_until needs a tick or a predicate")
+        done = 0
+        while self._heap:
+            if predicate is not None and predicate(self):
+                break
+            if tick is not None and self._heap[0].tick > tick:
+                break
+            self._dispatch()
+            done += 1
+        if (tick is not None and self.clock is not None
+                and (predicate is None or not predicate(self))):
+            self.clock.advance_to(tick)
+        return done
+
+    def run(self) -> int:
+        """Dispatch until finished — or until the clock is paused.
+
+        This is the batch loop: with no clock (or an unpaused one) it
+        drains the heap exactly as :func:`run_flows` always did.
+        """
+        done = 0
+        while self._heap:
+            if self.clock is not None and self.clock.paused:
+                break
+            self._dispatch()
+            done += 1
+        return done
+
+    # -- the report ----------------------------------------------------
+    def report(self) -> FabricReport:
+        """Finish the run and build its :class:`FabricReport`.
+
+        Any undispatched events are drained first (ignoring pause — the
+        report is total by definition), touched links are restored, and
+        the result is memoized: asking twice returns the same object.
+        """
+        if self._report is not None:
+            return self._report
+        while self._heap:
+            self._dispatch()
+        self._link_ctl.restore()
+        self._report = FabricReport(
+            topology=self.topology.key,
+            workload=self.spec.key,
+            seed=self.spec.seed,
+            plan=self._plan.name if self._plan is not None else None,
+            records=sorted(self._records, key=lambda r: r.flow_id),
+            device_forwarded=self.topology.device_forwarded(),
+            fault_counters=dict(sorted(self._fault_counters.items())),
+            hops_hist=dict(sorted(self._hops_hist.items())),
+            frr=self._frr,
+            link_schedule=(self._link_schedule.key
+                           if self._link_schedule is not None else None),
+            loss_by_epoch=dict(sorted(self._loss_by_epoch.items())),
+            device_reroutes=self.topology.device_counters("frr_reroute"),
+            device_blackholed=self.topology.device_counters("frr_blackhole"),
+            shards=self._shards,
+            elapsed_s=time.perf_counter() - self._started,
+            fastpath=self.topology.network.fastpath_stats(),
+            int_summary=(self.collector.summary()
+                         if self.collector is not None else None),
+            max_inflight=self._max_inflight,
+            int_all=self._int_all,
+            fastpath_enabled=self._fastpath,
+        )
+        return self._report
+
+    def snapshot(self) -> dict:
+        """A live mid-run view: totals so far, never memoized.
+
+        Unlike :meth:`report` this does not drain the heap — it sums
+        the records as they stand, for the shell's ``status`` and
+        ``metrics`` commands.  Fault counters of still-resident flows
+        haven't folded in yet, so this is a progress view, not the
+        determinism contract.
+        """
+        totals = Counter()
+        for r in self._records:
+            totals["attempted"] += r.attempted
+            totals["delivered"] += r.delivered
+            totals["blackholed"] += r.blackholed
+            totals["misdelivered"] += r.misdelivered
+            totals["lost"] += _lost_total(r)
+        return {
+            "finished": self.finished,
+            "now": self.now,
+            "next_tick": self.next_tick,
+            "events_dispatched": self._dispatched,
+            "pending_events": len(self._heap),
+            "flows_admitted": len(self._records),
+            "flows_total": len(self._pending),
+            **totals,
+        }
+
+
 def run_flows(
     topology: FabricTopology,
     spec: WorkloadSpec,
@@ -644,92 +923,18 @@ def run_flows(
     the workload's ``int_ratio`` (the ``nf-mon int`` switch).  Whenever
     any carried flow is INT-enabled an :class:`~repro.int.IntCollector`
     rides the run and the report carries its receiver-side summary.
+
+    This is now a thin veneer over :class:`FlowEngine` — the steppable
+    machine the interactive shell (:mod:`repro.shell`) drives with a
+    virtual clock.  Batch and interactive runs therefore share one
+    code path and fingerprint identically.
     """
-    if max_inflight < 1:
-        raise ValueError("max_inflight must be >= 1")
-    if not fastpath:
-        topology.network.set_fastpath(False)
-    topology.learn()
-    if frr:
-        topology.install_backups()
-    if flows is None:
-        flows = generate_flows(topology.host_names(), spec)
-    else:
-        flows = list(flows)
-    if flow_filter is not None:
-        flows = [f for f in flows if flow_filter(f)]
-    if int_all:
-        flows = [replace(f, int_enabled=True) for f in flows]
-    collector = (IntCollector(topology.network)
-                 if any(f.int_enabled for f in flows) else None)
-
-    flap = _FlapOracle(plan)
-    link_ctl = _LinkStateController(topology, link_schedule, plan)
-    fault_counters: Counter[str] = Counter()
-    records: list[FlowRecord] = []
-    hops_hist: Counter[int] = Counter()
-    loss_by_epoch: Counter[int] = Counter()
-    frames: dict[tuple[int, bool], bytes] = {}
-    started = time.perf_counter()
-
-    # Admit flows to the heap in start order, at most max_inflight at a
-    # time; a flow's events enter together so its packet spacing holds.
-    pending = sorted(flows, key=lambda f: (f.start_tick, f.flow_id))
-    heap: list[_Event] = []
-    resident: dict[int, int] = {}  # flow_id -> events still in the heap
-    cursor = 0
-
-    def admit() -> None:
-        nonlocal cursor
-        while cursor < len(pending) and len(resident) < max_inflight:
-            flow = pending[cursor]
-            cursor += 1
-            record = FlowRecord(flow.flow_id, flow.src, flow.dst)
-            records.append(record)
-            session = (plan.derived("fabric", flow.flow_id).session()
-                       if plan is not None else FaultPlan("none").session())
-            events = _flow_events(flow, record, session, spec.seed)
-            resident[flow.flow_id] = len(events)
-            for event in events:
-                heapq.heappush(heap, event)
-
-    admit()
-    while heap:
-        event = heapq.heappop(heap)
-        link_ctl.apply(event.tick // FLAP_EPOCH_TICKS)
-        _send_packet(topology, event, flap, hops_hist, frames,
-                     loss_by_epoch, collector)
-        resident[event.flow_id] -= 1
-        if not resident[event.flow_id]:
-            del resident[event.flow_id]
-            frames.pop((event.flow_id, False), None)
-            frames.pop((event.flow_id, True), None)
-            fault_counters.update(event.session.counters)
-            admit()
-    link_ctl.restore()
-
-    return FabricReport(
-        topology=topology.key,
-        workload=spec.key,
-        seed=spec.seed,
-        plan=plan.name if plan is not None else None,
-        records=sorted(records, key=lambda r: r.flow_id),
-        device_forwarded=topology.device_forwarded(),
-        fault_counters=dict(sorted(fault_counters.items())),
-        hops_hist=dict(sorted(hops_hist.items())),
-        frr=frr,
-        link_schedule=link_schedule.key if link_schedule is not None else None,
-        loss_by_epoch=dict(sorted(loss_by_epoch.items())),
-        device_reroutes=topology.device_counters("frr_reroute"),
-        device_blackholed=topology.device_counters("frr_blackhole"),
-        shards=shards,
-        elapsed_s=time.perf_counter() - started,
-        fastpath=topology.network.fastpath_stats(),
-        int_summary=collector.summary() if collector is not None else None,
-        max_inflight=max_inflight,
-        int_all=int_all,
-        fastpath_enabled=fastpath,
-    )
+    return FlowEngine(
+        topology, spec, plan,
+        flow_filter=flow_filter, flows=flows, max_inflight=max_inflight,
+        shards=shards, fastpath=fastpath, frr=frr,
+        link_schedule=link_schedule, int_all=int_all,
+    ).report()
 
 
 def run_fabric(

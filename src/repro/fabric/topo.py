@@ -32,8 +32,10 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.packet.addresses import Ipv4Addr, MacAddr
+from repro.packet.generator import make_udp_frame
+from repro.projects.base import PortRef
 from repro.projects.reference_switch import ReferenceSwitch
-from repro.testenv.topology import Network, TopologyError
+from repro.testenv.topology import Attachment, Network, Ping, TopologyError
 
 #: Physical ports per device (the SUME pipeline's nf0..nf3).
 PORTS_PER_DEVICE = 4
@@ -246,6 +248,51 @@ class FabricTopology:
             count = net.device(name).opl.counters.get(counter, 0)
             if count:
                 out[name] = count
+        return out
+
+    # ------------------------------------------------------------------
+    # Reachability probes (the shell's pingall, sandboxed)
+    # ------------------------------------------------------------------
+    def probe_frame(self, src: str, dst: str) -> bytes:
+        """A minimal unicast probe frame between two named hosts."""
+        s, d = self.hosts[src], self.hosts[dst]
+        return make_udp_frame(s.mac, d.mac, s.ip, d.ip, 7, 7, size=64).pack()
+
+    def pingall(self) -> dict[tuple[str, str], Ping]:
+        """Data-plane reachability of every ordered host pair.
+
+        Runs :meth:`learn` if needed, then sends one probe frame per
+        ordered pair through the real forwarding tables inside
+        :meth:`Network.sandbox` — the fabric's fingerprinted counters
+        are byte-identical before and after, so a mid-run ``pingall``
+        never perturbs the run it is observing.
+        """
+        self.learn()
+        endpoints = {
+            name: Attachment(h.device, PortRef("phys", h.port))
+            for name, h in self.hosts.items()
+        }
+        return self.network.pingall(endpoints, self.probe_frame)
+
+    def reachability_matrix(self) -> dict[tuple[str, str], bool]:
+        """Graph-level host-pair reachability over cables with link up.
+
+        BFS connectivity between each pair's edge switches — *potential*
+        reachability from the wiring alone, against which
+        :meth:`pingall` (the data-plane truth) can be diffed: a pair
+        reachable here but not delivering there is a table bug or an
+        un-rerouted failure, not a partition.
+        """
+        components = self.network.reachability_matrix()
+        out: dict[tuple[str, str], bool] = {}
+        for src in self.host_names():
+            for dst in self.host_names():
+                if src == dst:
+                    continue
+                out[(src, dst)] = (
+                    self.hosts[dst].device
+                    in components[self.hosts[src].device]
+                )
         return out
 
     def describe(self) -> str:

@@ -263,7 +263,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    # Same exit-code contract as nf-mon: argparse's SystemExit becomes a
+    # returned code (unknown subcommand/flag → 2, --help → 0).
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        if exc.code in (0, None):
+            return 0
+        return exc.code if isinstance(exc.code, int) else 2
     return args.func(args)
 
 

@@ -383,6 +383,39 @@ def cmd_frr(args: argparse.Namespace) -> int:
     return 0 if report.healthy() and not breach else 1
 
 
+def cmd_shell(args: argparse.Namespace) -> int:
+    from repro.shell import ShellSession, interact, run_script
+
+    try:
+        session = ShellSession(
+            topo=args.topo, workload=args.workload, seed=args.seed,
+            plan=args.faults, frr=args.frr, int_all=args.int_all,
+            fastpath=not args.no_fastpath, warp=not args.no_warp,
+        )
+    except ValueError as exc:
+        # Unknown topology/workload/plan preset — operator error.
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.script:
+        try:
+            with open(args.script, encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        return run_script(session, lines)
+    return interact(session)
+
+
+def cmd_commands(_args: argparse.Namespace) -> int:
+    """The top-level listing: every subcommand and its one-liner."""
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        for choice in getattr(action, "_choices_actions", ()):
+            print(f"  {choice.dest:12s} {choice.help}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     session = TelemetrySession(args.mode)
     result = _run_scenario(args.scenario, args.mode, session, args.faults)
@@ -404,36 +437,69 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="run under a registered fault plan")
 
 
+def _sub(sub, name: str, help_text: str) -> argparse.ArgumentParser:
+    """A subparser whose ``--help`` text carries the same one-liner the
+    parent listing shows (argparse leaves ``description`` empty unless
+    told, which made half the subcommands' ``--help`` blank)."""
+    return sub.add_parser(name, help=help_text, description=help_text)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nf-mon", description="NetFPGA platform telemetry monitor"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("scenarios", help="list monitorable scenarios").set_defaults(
+    _sub(sub, "commands", "list every subcommand and what it does"
+         ).set_defaults(func=cmd_commands)
+
+    _sub(sub, "scenarios", "list monitorable scenarios").set_defaults(
         func=cmd_scenarios
     )
 
-    dump = sub.add_parser("dump", help="run a scenario and print its metrics")
+    dump = _sub(sub, "dump", "run a scenario and print its metrics")
     _add_run_arguments(dump)
     dump.add_argument("--format", choices=("table", "json", "prom"),
                       default="table")
     dump.add_argument("--output", default=None, help="write here instead of stdout")
     dump.set_defaults(func=cmd_dump)
 
-    watch = sub.add_parser("watch", help="stream interval rows while the kernel runs")
+    watch = _sub(sub, "watch", "stream interval rows while the kernel runs")
     _add_run_arguments(watch)
     watch.add_argument("--interval", type=int, default=256,
                        help="cycles between rows")
     watch.set_defaults(func=cmd_watch)
 
-    trace = sub.add_parser("trace", help="write a Chrome trace_event JSON file")
+    trace = _sub(sub, "trace", "write a Chrome trace_event JSON file")
     _add_run_arguments(trace)
     trace.add_argument("--output", default="nf_trace.json")
     trace.set_defaults(func=cmd_trace)
 
-    soak = sub.add_parser(
-        "soak", help="run the chaos soak under a control-plane fault plan"
+    shell = _sub(sub, "shell", "interactive emulation shell over a live "
+                               "fabric (REPL or --script replay)")
+    shell.add_argument("--topo", default="leaf-spine",
+                       help="a named fabric topology preset")
+    shell.add_argument("--workload", default="uniform-small",
+                       help="a named workload preset")
+    shell.add_argument("--seed", type=int, default=0)
+    shell.add_argument("--faults", default=None,
+                       help="arm a registered fault plan before the run")
+    shell.add_argument("--frr", action="store_true",
+                       help="install loop-free backup next-hops")
+    shell.add_argument("--int", dest="int_all", action="store_true",
+                       help="upgrade every flow to in-band telemetry")
+    shell.add_argument("--no-fastpath", action="store_true",
+                       help="disable the flow-cache fast path")
+    shell.add_argument("--no-warp", action="store_true",
+                       help="walk idle cycles instead of compressing them")
+    shell.add_argument("--script", default=None, metavar="FILE.nfsh",
+                       help="replay a command file instead of prompting "
+                            "(exit 0 clean, 1 failed expect, 2 operator "
+                            "error)")
+    shell.set_defaults(func=cmd_shell)
+
+    soak = _sub(
+        sub, "soak", "run the chaos soak under a control-plane fault plan"
     )
     soak.add_argument("--plan", default="ctrl-chaos",
                       help="a registered fault plan name")
@@ -443,8 +509,8 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--format", choices=("table", "json"), default="table")
     soak.set_defaults(func=cmd_soak)
 
-    fabric = sub.add_parser(
-        "fabric", help="run a fabric workload over a named topology"
+    fabric = _sub(
+        sub, "fabric", "run a fabric workload over a named topology"
     )
     fabric.add_argument("--topo", default="leaf-spine",
                         help="a named fabric topology preset")
@@ -476,8 +542,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="include the per-flow stats table")
     fabric.set_defaults(func=cmd_fabric)
 
-    frr = sub.add_parser(
-        "frr", help="sweep single-link failures, FRR-on vs FRR-off"
+    frr = _sub(
+        sub, "frr", "sweep single-link failures, FRR-on vs FRR-off"
     )
     frr.add_argument("--topo", default="abilene",
                      help="a named fabric topology preset")
@@ -504,8 +570,8 @@ def build_parser() -> argparse.ArgumentParser:
                           "fraction of FRR-off loss")
     frr.set_defaults(func=cmd_frr)
 
-    int_cmd = sub.add_parser(
-        "int", help="run an INT-enabled fabric workload and report the "
+    int_cmd = _sub(
+        sub, "int", "run an INT-enabled fabric workload and report the "
                     "receiver-side path/loss attribution"
     )
     int_cmd.add_argument("--topo", default="leaf-spine",
@@ -530,7 +596,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    # Normalize argparse's SystemExit into a *returned* code so every
+    # caller (tests, `repro-cli mon` forwarding, scripts) sees the same
+    # contract: unknown subcommand/flag → 2, `--help` → 0.
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        if exc.code in (0, None):
+            return 0
+        return exc.code if isinstance(exc.code, int) else 2
     try:
         return args.func(args)
     except KeyboardInterrupt:

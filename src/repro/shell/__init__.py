@@ -1,0 +1,23 @@
+"""S26 — interactive emulation shell with virtual-time control.
+
+The front door the paper's C6 "unified test environment" claim
+deserves: a live fabric session (:class:`ShellSession`) driven either
+from Python, from the ``nf-mon shell`` REPL, or from a deterministic
+``.nfsh`` script — with a :class:`VirtualClock` owning the cycle
+domain (pause / step / run-until / warp) instead of free-running.
+"""
+
+from repro.shell.clock import VirtualClock
+from repro.shell.repl import COMMANDS, Repl, interact, run_script
+from repro.shell.session import ExpectFailed, ShellError, ShellSession
+
+__all__ = [
+    "COMMANDS",
+    "ExpectFailed",
+    "Repl",
+    "ShellError",
+    "ShellSession",
+    "VirtualClock",
+    "interact",
+    "run_script",
+]

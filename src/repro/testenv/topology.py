@@ -34,6 +34,7 @@ cache *and* every device's microflow cache off for A/B runs.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional
 
@@ -91,6 +92,22 @@ class Delivery:
 
 class TopologyError(RuntimeError):
     """Bad wiring: unknown device, port reuse, self-links."""
+
+
+@dataclass(frozen=True)
+class Ping:
+    """One probe's outcome in a :meth:`Network.pingall` sweep.
+
+    ``copies`` counts deliveries at the *intended* destination
+    attachment (a healthy unicast fabric delivers exactly one);
+    ``stray`` counts deliveries anywhere else (flooding or
+    misforwarding); ``hops`` is the first delivered copy's hop count.
+    """
+
+    delivered: bool
+    hops: int
+    copies: int
+    stray: int
 
 
 class InjectionResult(list):
@@ -562,6 +579,110 @@ class Network:
             stats["device_bypasses"] += cache.bypasses
             stats["device_entries"] += len(cache.entries)
         return stats
+
+    # ------------------------------------------------------------------
+    # Probes: observing the live network without perturbing it
+    # ------------------------------------------------------------------
+    @contextmanager
+    def sandbox(self):
+        """Run probe traffic without moving any fingerprinted counter.
+
+        Snapshots every observable the fabric report is built from —
+        per-device packet/drop/counter totals, the delivery log,
+        hop-limit / link-down losses and forwarded hops — and restores
+        them on exit, so a mid-run ``pingall`` (or any other probe
+        injection) leaves the run's fingerprint byte-identical to a run
+        that never probed.  Only *counters* are restored, not tables:
+        probes through learning devices would still teach them, so
+        probing is meant for statically-programmed fabrics
+        (``learning=False``), which is what the fabric builders make.
+        Cache statistics are operational (never fingerprinted) and are
+        deliberately left moving.
+        """
+        saved_opl = []
+        for project in self._devices.values():
+            opl = getattr(project, "opl", None)
+            if opl is not None:
+                saved_opl.append(
+                    (opl, opl.packets, opl.drops, dict(opl.counters))
+                )
+        saved_deliveries = len(self.deliveries)
+        saved_hop = self.dropped_hop_limit
+        saved_link = self.dropped_link_down
+        saved_fwd = self.forwarded_hops
+        try:
+            yield self
+        finally:
+            for opl, packets, drops, counters in saved_opl:
+                opl.packets = packets
+                opl.drops = drops
+                opl.counters.clear()
+                opl.counters.update(counters)
+            del self.deliveries[saved_deliveries:]
+            self.dropped_hop_limit = saved_hop
+            self.dropped_link_down = saved_link
+            self.forwarded_hops = saved_fwd
+
+    def reachability_matrix(self) -> dict[str, frozenset[str]]:
+        """Graph-level reachability: BFS over cables with link up.
+
+        ``{device: frozenset(devices reachable from it, itself
+        included)}``.  This is *potential* connectivity — which
+        components the live cabling forms — independent of what the
+        forwarding tables would actually do; :meth:`pingall` is the
+        data-plane truth to compare against.
+        """
+        out: dict[str, frozenset[str]] = {}
+        for start in self.device_names():
+            seen = {start}
+            work = deque([start])
+            while work:
+                name = work.popleft()
+                for local_port, (peer, _) in self.neighbors(name).items():
+                    if peer in seen:
+                        continue
+                    if Attachment(name, PortRef("phys", local_port)) \
+                            in self._down_ports:
+                        continue
+                    seen.add(peer)
+                    work.append(peer)
+            out[start] = frozenset(seen)
+        return out
+
+    def pingall(
+        self,
+        endpoints: dict[str, Attachment],
+        frame_for: Callable[[str, str], bytes],
+    ) -> dict[tuple[str, str], Ping]:
+        """Probe every ordered endpoint pair through the data plane.
+
+        ``endpoints`` names the attachment points (host label →
+        :class:`Attachment`); ``frame_for(src, dst)`` builds the probe
+        frame for one pair.  Each probe is a real :meth:`inject` — it
+        exercises the actual forwarding tables, caches included — but
+        the whole sweep runs inside :meth:`sandbox`, so no fingerprinted
+        observable moves.  Returns ``{(src, dst): Ping}`` for every
+        ordered pair with ``src != dst``.
+        """
+        out: dict[tuple[str, str], Ping] = {}
+        with self.sandbox():
+            for src in sorted(endpoints):
+                for dst in sorted(endpoints):
+                    if src == dst:
+                        continue
+                    entry = endpoints[src]
+                    want = endpoints[dst]
+                    result = self.inject(
+                        entry.device, entry.port.index, frame_for(src, dst)
+                    )
+                    copies = [d for d in result if d.at == want]
+                    out[(src, dst)] = Ping(
+                        delivered=bool(copies),
+                        hops=copies[0].hops if copies else 0,
+                        copies=len(copies),
+                        stray=len(result) - len(copies),
+                    )
+        return out
 
     # ------------------------------------------------------------------
     def delivered_at(self, device: str, port: int) -> list[bytes]:

@@ -45,6 +45,12 @@ def pytest_configure(config):
         "retries, inline fallback, checkpoint/resume "
         "(run just these with -m shard)",
     )
+    config.addinivalue_line(
+        "markers",
+        "shell: interactive emulation shell — virtual clock, session "
+        "API, REPL/script replay, batch fingerprint identity "
+        "(run just these with -m shell)",
+    )
 
 from repro.packet.addresses import Ipv4Addr, MacAddr
 from repro.packet.generator import make_udp_frame

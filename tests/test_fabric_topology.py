@@ -167,18 +167,15 @@ class TestFatTreeWiring:
         """Every host pair: exactly one delivery, at the right port, with
         the canonical hop count (1 same-edge, 3 intra-pod, 5 cross-pod)."""
         topo = fat_tree(k=4)
-        topo.learn()
+        pings = topo.pingall()
+        assert len(pings) == 16 * 15
         hop_census: dict[int, int] = {}
-        for src_name in topo.host_names():
-            for dst_name in topo.host_names():
-                if src_name == dst_name:
-                    continue
-                result, dst = _deliveries(topo, src_name, dst_name)
-                assert len(result) == 1, (src_name, dst_name)
-                assert result[0].at.device == dst.device
-                assert result[0].at.port.index == dst.port
-                assert result[0].hops in (1, 3, 5)
-                hop_census[result[0].hops] = hop_census.get(result[0].hops, 0) + 1
+        for pair, ping in pings.items():
+            assert ping.delivered, pair
+            assert ping.copies == 1, pair     # exactly one, at the right port
+            assert ping.stray == 0, pair      # nowhere else
+            assert ping.hops in (1, 3, 5), pair
+            hop_census[ping.hops] = hop_census.get(ping.hops, 0) + 1
         # 16 hosts: 1 same-edge peer, 2 intra-pod, 12 cross-pod each.
         assert hop_census == {1: 16, 3: 32, 5: 192}
 

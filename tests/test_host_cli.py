@@ -67,13 +67,27 @@ class TestLinerate:
 
 
 class TestParser:
-    def test_requires_command(self):
-        with pytest.raises(SystemExit):
-            main([])
+    """argparse's SystemExit is normalized into returned exit codes."""
 
-    def test_unknown_command(self):
-        with pytest.raises(SystemExit):
-            main(["fizzbuzz"])
+    def test_requires_command(self, capsys):
+        assert main([]) == 2
+        capsys.readouterr()
+
+    def test_unknown_command(self, capsys):
+        assert main(["fizzbuzz"]) == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "repro-cli" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("command", (
+        "info", "platforms", "selftest", "regress", "utilization",
+        "build", "linerate", "measure", "mon",
+    ))
+    def test_every_subcommand_help_exits_zero(self, capsys, command):
+        assert main([command, "--help"]) == 0
+        assert "usage" in capsys.readouterr().out
 
 
 class TestMeasure:

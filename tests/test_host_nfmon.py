@@ -246,3 +246,111 @@ class TestFabricCommand:
     def test_unknown_plan_exits_2(self, capsys):
         assert main(["fabric", "--faults", "no-such-plan"]) == 2
         assert "unknown fault plan" in capsys.readouterr().err
+
+
+class TestExitCodeContract:
+    """The satellite fix: argparse quirks normalized into exit codes."""
+
+    def test_top_level_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "nf-mon" in capsys.readouterr().out
+
+    def test_no_command_exits_two(self, capsys):
+        assert main([]) == 2
+        capsys.readouterr()
+
+    def test_unknown_subcommand_exits_two(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", (
+        "commands", "scenarios", "dump", "watch", "trace", "shell",
+        "soak", "fabric", "frr", "int",
+    ))
+    def test_every_subcommand_help_has_a_description(self, capsys, command):
+        assert main([command, "--help"]) == 0
+        out = capsys.readouterr().out
+        assert "usage" in out
+        # _sub() copies the one-liner into the description, so --help
+        # is never just a bare usage line.
+        assert len(out.strip().splitlines()) > 2
+
+    def test_commands_lists_every_subcommand(self, capsys):
+        assert main(["commands"]) == 0
+        out = capsys.readouterr().out
+        for command in ("scenarios", "dump", "watch", "trace", "shell",
+                        "soak", "fabric", "frr", "int"):
+            assert command in out
+
+
+@pytest.mark.shell
+class TestShellCommand:
+    def _script(self, tmp_path, text):
+        path = tmp_path / "session.nfsh"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_clean_script_exits_zero(self, capsys, tmp_path):
+        script = self._script(tmp_path, "\n".join([
+            "start", "run", "finish",
+            "expect lost == 0", "fingerprint",
+        ]))
+        assert main(["shell", "--script", script]) == 0
+        out = capsys.readouterr().out
+        assert "ok: lost == 0" in out
+
+    def test_failed_expect_exits_one(self, capsys, tmp_path):
+        script = self._script(tmp_path, "start\nrun\nexpect delivered == 0\n")
+        assert main(["shell", "--script", script]) == 1
+        assert "nfsh:3:" in capsys.readouterr().err
+
+    def test_operator_error_in_script_exits_two(self, capsys, tmp_path):
+        script = self._script(tmp_path, "tables nonesuch\n")
+        assert main(["shell", "--script", script]) == 2
+        assert "nfsh:1:" in capsys.readouterr().err
+
+    def test_unknown_preset_flags_exit_two(self, capsys):
+        assert main(["shell", "--topo", "mobius", "--script", "x"]) == 2
+        assert "available" in capsys.readouterr().err
+        assert main(["shell", "--faults", "gremlins", "--script", "x"]) == 2
+        assert "unknown fault plan" in capsys.readouterr().err
+
+    def test_missing_script_file_exits_two(self, capsys, tmp_path):
+        assert main(["shell", "--script", str(tmp_path / "nope.nfsh")]) == 2
+        assert "nope.nfsh" in capsys.readouterr().err
+
+    def test_piped_stdin_drives_interact(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("status\nquit\n"))
+        assert main(["shell"]) == 0
+        out = capsys.readouterr().out
+        assert "clock: cycle 0" in out
+        assert "nfsh>" not in out  # piped input: prompt suppressed
+
+    def test_checked_in_walkthrough_script(self, capsys):
+        from pathlib import Path
+
+        script = Path(__file__).parent.parent / "examples" / \
+            "abilene_reroute.nfsh"
+        assert main(["shell", "--script", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "ok: reroutes >= 1" in out
+        assert "ok: blackholed == 0" in out
+
+    def test_script_session_mirrors_batch_fingerprint(self, capsys, tmp_path):
+        """The ISSUE's acceptance bar, at the CLI layer: a scripted
+        session's fingerprint is byte-identical to the batch run's."""
+        from repro.fabric import get_topology, get_workload, run_flows
+
+        want = run_flows(
+            get_topology("leaf-spine").build(),
+            get_workload("uniform-small").with_seed(4),
+        ).fingerprint()
+        script = self._script(tmp_path, "\n".join([
+            "start", "step 5", "pause", "resume", "warp off",
+            "run", "finish", "fingerprint",
+        ]))
+        assert main(["shell", "--seed", "4", "--script", script]) == 0
+        assert want in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""VirtualClock: the ownable cycle domain behind the S26 shell."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shell import VirtualClock
+
+pytestmark = pytest.mark.shell
+
+
+class TestAdvance:
+    def test_walk_visits_every_cycle(self):
+        clock = VirtualClock()
+        seen = []
+        clock.on_tick(seen.append)
+        assert clock.advance_to(5) == 5
+        assert seen == [1, 2, 3, 4, 5]
+        assert clock.now == 5
+        assert clock.ticks_walked == 5
+        assert clock.ticks_warped == 0
+
+    def test_warp_skips_idle_cycles(self):
+        clock = VirtualClock(warp=True)
+        seen = []
+        clock.on_tick(seen.append)
+        assert clock.advance_to(1_000_000) == 1_000_000
+        assert seen == []  # hooks never run over warped spans
+        assert clock.now == 1_000_000
+        assert clock.ticks_walked == 0
+        assert clock.ticks_warped == 1_000_000
+
+    def test_time_never_runs_backwards(self):
+        clock = VirtualClock(start=10)
+        assert clock.advance_to(10) == 0  # same-cycle events: no-op
+        assert clock.advance_to(3) == 0
+        assert clock.now == 10
+
+    def test_ledger_invariant_across_mode_changes(self):
+        clock = VirtualClock(start=7)
+        clock.advance_to(12)          # walk 5
+        clock.set_warp(True)
+        clock.advance_to(100)         # warp 88
+        clock.set_warp(False)
+        clock.advance_to(103)         # walk 3
+        assert clock.ticks_walked == 8
+        assert clock.ticks_warped == 88
+        assert clock.now == 7 + clock.ticks_walked + clock.ticks_warped
+
+    def test_mixed_hooks_only_see_walked_cycles(self):
+        clock = VirtualClock()
+        seen = []
+        clock.on_tick(seen.append)
+        clock.advance_to(2)
+        clock.set_warp(True)
+        clock.advance_to(50)
+        clock.set_warp(False)
+        clock.advance_to(52)
+        assert seen == [1, 2, 51, 52]
+
+
+class TestControlSurface:
+    def test_pause_is_advisory_not_blocking(self):
+        clock = VirtualClock()
+        clock.pause()
+        assert clock.paused
+        # Explicit motion still works while paused.
+        assert clock.advance_to(4) == 4
+        clock.resume()
+        assert not clock.paused
+
+    def test_stats_shape(self):
+        clock = VirtualClock(warp=True, start=2)
+        clock.advance_to(9)
+        assert clock.stats() == {
+            "now": 9,
+            "warp": True,
+            "paused": False,
+            "ticks_walked": 0,
+            "ticks_warped": 7,
+        }
+
+    def test_on_tick_returns_hook_for_decorator_use(self):
+        clock = VirtualClock()
+        calls = []
+
+        @clock.on_tick
+        def watcher(tick):
+            calls.append(tick)
+
+        clock.advance_to(3)
+        assert calls == [1, 2, 3]
+        assert watcher is not None

@@ -1,0 +1,164 @@
+"""The nfsh REPL: parsing, rendering, and the script exit-code contract."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.shell import COMMANDS, Repl, ShellError, ShellSession, interact, run_script
+
+pytestmark = pytest.mark.shell
+
+
+def fresh_repl() -> tuple[Repl, io.StringIO]:
+    out = io.StringIO()
+    return Repl(ShellSession(), out=out), out
+
+
+def script(lines: list[str]) -> tuple[int, str, str]:
+    out, err = io.StringIO(), io.StringIO()
+    code = run_script(ShellSession(), lines, out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestDispatch:
+    def test_every_documented_command_has_a_handler(self):
+        repl, _ = fresh_repl()
+        for name in COMMANDS:
+            assert hasattr(repl, f"_cmd_{name.replace('-', '_')}"), name
+
+    def test_unknown_command(self):
+        repl, _ = fresh_repl()
+        with pytest.raises(ShellError, match="unknown command"):
+            repl.execute("frobnicate")
+
+    def test_blank_and_comment_lines_are_noops(self):
+        repl, out = fresh_repl()
+        repl.execute("")
+        repl.execute("   ")
+        repl.execute("# just a comment")
+        repl.execute("status  # trailing comment is stripped")
+        assert "seed" in out.getvalue()
+
+    def test_quit_and_exit_raise_the_done_flag(self):
+        for word in ("quit", "exit"):
+            repl, _ = fresh_repl()
+            assert not repl.done
+            repl.execute(word)
+            assert repl.done
+
+    def test_help_lists_every_command(self):
+        repl, out = fresh_repl()
+        repl.execute("help")
+        text = out.getvalue()
+        for name in COMMANDS:
+            assert name in text
+
+
+class TestRendering:
+    def test_full_session_transcript(self):
+        repl, out = fresh_repl()
+        for line in ("build leaf-spine uniform-small 0", "start", "step 3",
+                     "pause", "resume", "run", "finish", "fingerprint",
+                     "status", "stats", "pingall", "devices", "tables leaf0"):
+            repl.execute(line)
+        text = out.getvalue()
+        assert "built leaf_spine" in text
+        assert "flows admitted" in text
+        assert "events dispatched" in text
+        assert "paused" in text and "resumed" in text
+        assert "finished:" in text
+        assert "pingall:" in text
+        assert "mac_table" in text
+        # The fingerprint line is a bare sha256 hex digest.
+        assert any(len(line) == 64 and set(line) <= set("0123456789abcdef")
+                   for line in text.splitlines())
+
+    def test_booleans_render_as_yes_no(self):
+        repl, out = fresh_repl()
+        repl.execute("warp off")
+        repl.execute("status")
+        assert "warp no" in out.getvalue()
+
+    def test_usage_errors_are_operator_errors(self):
+        repl, _ = fresh_repl()
+        for bad in ("warp sideways", "step 1 2", "step nan", "run-until",
+                    "tables", "link cut a b", "inject onlyone",
+                    "faults disarm x", "frr off", "int stamps",
+                    "expect lost =="):
+            with pytest.raises(ShellError):
+                repl.execute(bad)
+
+    def test_tables_unknown_device_is_a_shell_error(self):
+        repl, _ = fresh_repl()
+        with pytest.raises(ShellError):
+            repl.execute("tables nonesuch")
+
+    def test_link_renders_already_note(self):
+        repl, out = fresh_repl()
+        repl.execute("link up leaf0 spine0")
+        assert "(already)" in out.getvalue()
+
+
+class TestScriptMode:
+    def test_clean_script_exits_zero(self):
+        code, out, err = script([
+            "build leaf-spine uniform-small 0",
+            "start",
+            "run",
+            "finish",
+            "expect lost == 0",
+            "fingerprint",
+        ])
+        assert (code, err) == (0, "")
+        assert "ok: lost == 0" in out
+
+    def test_failed_expect_exits_one_with_location(self):
+        code, _, err = script([
+            "start",
+            "run",
+            "expect delivered == 0",
+        ])
+        assert code == 1
+        assert "nfsh:3:" in err and "actual" in err
+
+    def test_operator_error_exits_two_and_stops(self):
+        code, out, err = script([
+            "echo before",
+            "tables nonesuch",
+            "echo after",
+        ])
+        assert code == 2
+        assert "nfsh:2:" in err
+        assert "before" in out and "after" not in out
+
+    def test_unknown_fault_preset_exits_two(self):
+        code, _, err = script(["faults arm gremlins"])
+        assert code == 2
+        assert "available" in err
+
+    def test_quit_stops_replay_cleanly(self):
+        code, out, _ = script(["echo one", "quit", "echo two"])
+        assert code == 0
+        assert "one" in out and "two" not in out
+
+
+class TestInteract:
+    def test_piped_input_has_no_prompt_and_survives_errors(self):
+        stdin = io.StringIO(
+            "bogus command\nstart\nrun\nexpect lost == 0\nquit\n"
+        )
+        out, err = io.StringIO(), io.StringIO()
+        code = interact(ShellSession(), stdin=stdin, out=out, err=err)
+        assert code == 0
+        assert "nfsh>" not in out.getvalue()
+        assert "error: unknown command" in err.getvalue()
+        assert "ok: lost == 0" in out.getvalue()
+
+    def test_failed_expect_flips_the_exit_code(self):
+        stdin = io.StringIO("start\nrun\nexpect delivered == 0\n")
+        out, err = io.StringIO(), io.StringIO()
+        code = interact(ShellSession(), stdin=stdin, out=out, err=err)
+        assert code == 1
+        assert "expect failed" in err.getvalue()

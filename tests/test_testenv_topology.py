@@ -10,7 +10,7 @@ from repro.packet.ipv4 import Ipv4Packet
 from repro.projects.base import PortRef
 from repro.projects.reference_router import ReferenceRouter
 from repro.projects.reference_switch import ReferenceSwitch
-from repro.testenv.topology import Network, TopologyError
+from repro.testenv.topology import Attachment, Network, TopologyError
 
 from tests.conftest import ip, mac, udp_frame
 
@@ -205,6 +205,80 @@ class TestRoutedNetwork:
         # Nothing reaches subnet 1; an ICMP Time Exceeded heads back.
         assert all(d.at.device == "s1" for d in deliveries)
         assert manager.counters["icmp_time_exceeded"] == 1
+
+
+class TestProbes:
+    """sandbox()/reachability_matrix()/pingall(): observing without
+    perturbing (the S26 shell's probe primitives)."""
+
+    def test_sandbox_restores_every_fingerprinted_counter(self):
+        net = two_switch_fabric()
+        net.inject("s1", 0, udp_frame(src=1, dst=2))  # real traffic first
+        before = (
+            len(net.deliveries),
+            net.forwarded_hops,
+            net.dropped_hop_limit,
+            net.dropped_link_down,
+            {n: (d.opl.packets, d.opl.drops, dict(d.opl.counters))
+             for n, d in [("s1", net.device("s1")), ("s2", net.device("s2"))]},
+        )
+        with net.sandbox():
+            net.inject("s1", 0, udp_frame(src=3, dst=4))
+            assert len(net.deliveries) > before[0]  # probe really ran
+        after = (
+            len(net.deliveries),
+            net.forwarded_hops,
+            net.dropped_hop_limit,
+            net.dropped_link_down,
+            {n: (d.opl.packets, d.opl.drops, dict(d.opl.counters))
+             for n, d in [("s1", net.device("s1")), ("s2", net.device("s2"))]},
+        )
+        assert after == before
+
+    def test_sandbox_restores_on_exception(self):
+        net = two_switch_fabric()
+        with pytest.raises(RuntimeError, match="boom"):
+            with net.sandbox():
+                net.inject("s1", 0, udp_frame(src=1, dst=2))
+                raise RuntimeError("boom")
+        assert net.deliveries == []
+        assert net.forwarded_hops == 0
+
+    def test_reachability_matrix_tracks_link_state(self):
+        net = two_switch_fabric()
+        everyone = frozenset({"s1", "s2"})
+        assert net.reachability_matrix() == {"s1": everyone, "s2": everyone}
+        net.set_link_state("s1", "s2", up=False)
+        assert net.reachability_matrix() == {
+            "s1": frozenset({"s1"}), "s2": frozenset({"s2"}),
+        }
+        net.set_link_state("s1", "s2", up=True)
+        assert net.reachability_matrix()["s1"] == everyone
+
+    def test_pingall_counts_copies_and_strays(self):
+        net = two_switch_fabric()
+        endpoints = {
+            "hA": Attachment("s1", PortRef("phys", 0)),
+            "hB": Attachment("s2", PortRef("phys", 1)),
+        }
+        hosts = {"hA": 1, "hB": 2}
+
+        def frame_for(src: str, dst: str) -> bytes:
+            return udp_frame(src=hosts[src], dst=hosts[dst])
+
+        pings = net.pingall(endpoints, frame_for)
+        assert set(pings) == {("hA", "hB"), ("hB", "hA")}
+        # First probe floods (nothing learned yet): one copy at the
+        # destination plus strays at every other edge port.
+        first = pings[("hA", "hB")]
+        assert first.delivered and first.copies == 1 and first.stray == 4
+        assert first.hops == 2
+        # The reply direction is learned by then: clean unicast.
+        second = pings[("hB", "hA")]
+        assert second.delivered and second.copies == 1 and second.stray == 0
+        # The whole sweep ran sandboxed: no observable moved.
+        assert net.deliveries == []
+        assert net.forwarded_hops == 0
 
 
 class TestFirewalledSegment:
