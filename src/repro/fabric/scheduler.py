@@ -153,6 +153,14 @@ class FabricReport:
     max_inflight: int = DEFAULT_MAX_INFLIGHT
     int_all: bool = False
     fastpath_enabled: bool = True
+    #: Batch-tier statistics (closures compiled, packets replayed,
+    #: invalidation splits, coalesced segments).  Operational like
+    #: ``fastpath`` — segment shapes depend on partitioning — so they
+    #: are Counter-merged across shards and stay out of the signature.
+    batch: dict[str, int] = field(default_factory=dict)
+    #: Config echo for the batch tier; head-checked at merge like
+    #: ``fastpath_enabled``, never part of the signature.
+    batch_enabled: bool = True
     #: The supervised executor's ledger (attempts, retries, inline
     #: fallbacks, checkpoint hits …) for the merged run.  Operational
     #: data like ``fastpath``: it describes how the run survived, not
@@ -254,6 +262,7 @@ class FabricReport:
             "device_reroutes": dict(sorted(self.device_reroutes.items())),
             "device_blackholed": dict(sorted(self.device_blackholed.items())),
             "int": self.int_summary,
+            "batch": dict(sorted(self.batch.items())),
             "supervision": dict(sorted(self.supervision.items())),
         }
         if per_flow:
@@ -605,6 +614,143 @@ def _send_packet(
             loss_by_epoch[event.tick // FLAP_EPOCH_TICKS] += lost
 
 
+def _account_uniform(
+    record: FlowRecord,
+    dst,
+    deliveries,
+    dropped_hop: int,
+    dropped_link: int,
+    hops_hist: Counter,
+    n: int,
+) -> None:
+    """Fold ``n`` identical packets' outcome into the flow record.
+
+    ``deliveries`` iterates one packet's ``(attachment, frame, hops)``
+    template; every count moves by ``n *`` the template — exactly what
+    ``n`` passes of :func:`_send_packet`'s accounting loop would do.
+    """
+    record.dropped_hop_limit += dropped_hop * n
+    record.lost_link += dropped_link * n
+    hit = False
+    for at, frame, hops in deliveries:
+        if at.device == dst.device and at.port.index == dst.port:
+            hit = True
+            record.delivered += n
+            record.bytes_delivered += len(frame) * n
+            record.hops_total += hops * n
+            record.hops_max = max(record.hops_max, hops)
+            hops_hist[hops] += n
+        else:
+            record.misdelivered += n
+    if not hit and not dropped_hop and not dropped_link:
+        record.blackholed += n
+
+
+def _send_batch(
+    topology: FabricTopology,
+    event: _Event,
+    n: int,
+    flap: _FlapOracle,
+    hops_hist: Counter,
+    frames: dict[tuple[int, bool], bytes],
+    loss_by_epoch: Counter,
+    collector: Optional[IntCollector] = None,
+) -> None:
+    """Carry ``n`` consecutive packets of one flow direction at once.
+
+    The coalesced counterpart of :func:`_send_packet`, valid only under
+    the engine's eligibility gate: every per-epoch oracle answers the
+    same for all ``n`` events (they share one flap epoch, or the
+    oracles are epoch-independent) and the fault plan has no per-packet
+    wire draws (``plan.link is None`` makes ``link_transfer`` a
+    constant True with no counters).  Packets replay through
+    :meth:`Network.inject_batch`; a cold or uncacheable flow falls back
+    to per-packet injects — the first of which warms the walk, so the
+    remainder batches.
+
+    Loss and INT epoch attribution stay per-packet: a segment may span
+    flap epochs (the epoch-free case), so lost packets are booked
+    against the epoch of their *own* tick, not the segment head's.
+    Closure replays are uniform — every packet of a batch loses the
+    same amount — which is what lets the batch path spread its loss
+    delta evenly across the member ticks.
+    """
+    flow, record, session = event.flow, event.record, event.session
+    if event.is_response and record.delivered == 0:
+        return  # the request never arrived: there is no RPC to answer
+    src = topology.hosts[flow.dst if event.is_response else flow.src]
+    dst = topology.hosts[flow.src if event.is_response else flow.dst]
+    gap = max(flow.gap_ticks, 0)
+    epoch_of = lambda j: (event.tick + j * gap) // FLAP_EPOCH_TICKS
+    epoch = event.tick // FLAP_EPOCH_TICKS
+    record.attempted += n
+    if flap.down(src.name, epoch):
+        # Only reachable with the flap oracle armed, where the span is
+        # capped to one epoch — head attribution is exact.
+        record.lost_flap += n
+        session.counters["flap_lost_frames"] += n
+        loss_by_epoch[epoch] += n
+        return
+    key = (flow.flow_id, event.is_response)
+    frame = frames.get(key)
+    if frame is None:
+        builder = int_frame if flow.int_enabled else flow_frame
+        frame = frames[key] = builder(topology, flow, event.is_response)
+    telemetered = flow.int_enabled and collector is not None
+    network = topology.network
+    seq = event.pkt_index
+    remaining = n
+    while remaining:
+        offset = n - remaining  # packets of the segment already carried
+        lost_before = _lost_total(record)
+        batch = network.inject_batch(src.device, src.port, frame, remaining)
+        if batch is None:
+            # Cold (or uncacheable) walk: carry one packet the classic
+            # way — it warms the path cache so the rest can replay.
+            result = network.inject(
+                src.device, src.port, frame,
+                int_seq=seq if telemetered else None,
+            )
+            if telemetered:
+                collector.sent(flow.flow_id, event.is_response, seq,
+                               epoch_of(offset), result)
+                for delivery in result:
+                    collector.deliver(delivery.frame)
+            _account_uniform(
+                record, dst,
+                ((d.at, d.frame, d.hops) for d in result),
+                result.dropped_hop_limit, result.dropped_link_down,
+                hops_hist, 1,
+            )
+            lost = _lost_total(record) - lost_before
+            if lost:
+                loss_by_epoch[epoch_of(offset)] += lost
+            seq += 1
+            remaining -= 1
+            continue
+        if telemetered:
+            seqs = range(seq, seq + remaining)
+            collector.sent_batch(
+                flow.flow_id, event.is_response, seqs,
+                [epoch_of(j) for j in range(offset, n)], batch,
+            )
+            for _, dframe, _ in batch.deliveries:
+                collector.deliver_batch(dframe, seqs)
+        _account_uniform(
+            record, dst, batch.deliveries,
+            batch.dropped_hop_limit, batch.dropped_link_down,
+            hops_hist, remaining,
+        )
+        lost = _lost_total(record) - lost_before
+        if lost:
+            # Uniform replay: each of the `remaining` packets lost
+            # exactly lost/remaining, booked at its own tick's epoch.
+            per_packet = lost // remaining
+            for j in range(offset, n):
+                loss_by_epoch[epoch_of(j)] += per_packet
+        remaining = 0
+
+
 class FlowEngine:
     """The fabric scheduler as a steppable machine.
 
@@ -639,6 +785,7 @@ class FlowEngine:
         frr: bool = False,
         link_schedule: Optional[LinkSchedule] = None,
         int_all: bool = False,
+        batch: bool = True,
         clock=None,
     ):
         if max_inflight < 1:
@@ -667,6 +814,30 @@ class FlowEngine:
         self._frr = frr
         self._link_schedule = link_schedule
         self._int_all = int_all
+        self._batch_requested = batch
+        # Coalescing eligibility: the fast path must exist (no cache,
+        # nothing to replay), per-packet wire draws must not (a
+        # plan.link spec makes every packet a fresh RNG decision), and
+        # an attached clock means an interactive observer who expects
+        # per-event time — coalescing is for the drain loops only.
+        self._batch = bool(
+            batch and fastpath and clock is None
+            and (plan is None or plan.link is None)
+        )
+        self._consumed: set[tuple[int, bool, int]] = set()
+        self._batch_segments = 0
+        self._batch_segment_packets = 0
+        # Span cap: with the flap oracle disarmed and link state static
+        # for the whole run, no per-epoch oracle can change its answer
+        # mid-segment — segments may span flap epochs and cover a flow
+        # direction's whole remaining burst.  (Loss and INT epoch
+        # attribution stay per-packet either way.)
+        self._epoch_free = not (
+            plan is not None and plan.ctrl is not None
+            and plan.ctrl.flap_rate > 0
+        ) and link_schedule is None and (
+            plan is None or plan.link_state is None
+        )
         self.collector = (IntCollector(topology.network)
                           if any(f.int_enabled for f in flows) else None)
 
@@ -688,7 +859,36 @@ class FlowEngine:
         self._dispatched = 0
         self._report: Optional[FabricReport] = None
         self._admit()
+        if self._batch:
+            self._prewarm()
         self._started = time.perf_counter()
+
+    def _prewarm(self) -> None:
+        """Dry-walk every flow direction's template at setup time.
+
+        :meth:`~repro.testenv.topology.Network.warm_paths` walks each
+        template once inside the counter sandbox, so the dispatch loop
+        never takes a cold walk: the first ``inject_batch`` of a flow
+        compiles straight from the prewarmed walk and the whole segment
+        replays.  Purely an optimisation — carries no packet, moves no
+        fingerprinted counter, and a stale or uncacheable walk still
+        falls back to the per-packet path mid-run.
+        """
+        injections = []
+        for flow in self._pending:
+            for is_response in (False, True):
+                if is_response and not flow.response_packets:
+                    continue
+                src = self.topology.hosts[
+                    flow.dst if is_response else flow.src]
+                key = (flow.flow_id, is_response)
+                frame = self._frames.get(key)
+                if frame is None:
+                    builder = int_frame if flow.int_enabled else flow_frame
+                    frame = self._frames[key] = builder(
+                        self.topology, flow, is_response)
+                injections.append((src.device, src.port, frame))
+        self.topology.network.warm_paths(injections)
 
     # -- heap plumbing -------------------------------------------------
     def _admit(self) -> None:
@@ -706,23 +906,93 @@ class FlowEngine:
             for event in events:
                 heapq.heappush(self._heap, event)
 
-    def _dispatch(self) -> _Event:
-        """Pop and carry exactly one event — the batch loop's body."""
-        event = heapq.heappop(self._heap)
-        if self.clock is not None:
-            self.clock.advance_to(event.tick)
-        self._link_ctl.apply(event.tick // FLAP_EPOCH_TICKS)
-        _send_packet(self.topology, event, self._flap, self._hops_hist,
-                     self._frames, self._loss_by_epoch, self.collector)
-        self._resident[event.flow_id] -= 1
+    def _dispatch(self) -> Optional[_Event]:
+        """Pop and carry exactly one event — the batch loop's body.
+
+        Events a coalesced segment already carried pop as no-ops;
+        returns ``None`` when the heap drained without a live event.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if self._consumed:
+                key = (event.flow_id, event.is_response, event.pkt_index)
+                if key in self._consumed:
+                    self._consumed.discard(key)
+                    continue
+            if self.clock is not None:
+                self.clock.advance_to(event.tick)
+            self._link_ctl.apply(event.tick // FLAP_EPOCH_TICKS)
+            _send_packet(self.topology, event, self._flap, self._hops_hist,
+                         self._frames, self._loss_by_epoch, self.collector)
+            self._finish_events(event, 1)
+            return event
+        return None
+
+    def _finish_events(self, event: _Event, n: int) -> None:
+        """Book ``n`` carried events against the flow's residency."""
+        self._resident[event.flow_id] -= n
         if not self._resident[event.flow_id]:
             del self._resident[event.flow_id]
             self._frames.pop((event.flow_id, False), None)
             self._frames.pop((event.flow_id, True), None)
             self._fault_counters.update(event.session.counters)
             self._admit()
-        self._dispatched += 1
-        return event
+        self._dispatched += n
+
+    def _segment_span(self, event: _Event) -> int:
+        """How many consecutive packets this event may coalesce.
+
+        The remaining packets of the event's flow direction.  With an
+        armed flap oracle or non-static link state the span is capped
+        at the flap-epoch boundary: packet ``i`` of the segment sits at
+        ``tick + i * gap_ticks``, and every per-epoch oracle must
+        answer the same for all of them.  In the epoch-free case
+        (no flap, links static) nothing can change mid-segment and the
+        span covers the whole remaining burst.
+        """
+        flow = event.flow
+        total = (flow.response_packets if event.is_response
+                 else flow.packets)
+        left = total - event.pkt_index
+        if self._epoch_free:
+            return max(left, 1)
+        gap = flow.gap_ticks
+        if left <= 1 or gap <= 0:
+            return max(left, 1) if gap > 0 else left
+        epoch_end = (event.tick // FLAP_EPOCH_TICKS + 1) * FLAP_EPOCH_TICKS
+        return min(left, (epoch_end - 1 - event.tick) // gap + 1)
+
+    def _dispatch_batched(self) -> int:
+        """Pop one event and carry its whole coalesced segment.
+
+        Pull-forward is safe because per-flow outcomes are pure
+        functions of ``(topology, workload, seed, plan)`` independent
+        of event interleaving — the same contract that lets sharding
+        reorder arbitrarily.  The segment's later events stay in the
+        heap and pop as no-ops via :attr:`_consumed`.
+        """
+        event = heapq.heappop(self._heap)
+        key = (event.flow_id, event.is_response, event.pkt_index)
+        if key in self._consumed:
+            self._consumed.discard(key)
+            return 0
+        n = self._segment_span(event)
+        self._link_ctl.apply(event.tick // FLAP_EPOCH_TICKS)
+        if n == 1:
+            _send_packet(self.topology, event, self._flap, self._hops_hist,
+                         self._frames, self._loss_by_epoch, self.collector)
+        else:
+            _send_batch(self.topology, event, n, self._flap,
+                        self._hops_hist, self._frames, self._loss_by_epoch,
+                        self.collector)
+            for i in range(1, n):
+                self._consumed.add(
+                    (event.flow_id, event.is_response, event.pkt_index + i)
+                )
+            self._batch_segments += 1
+            self._batch_segment_packets += n
+        self._finish_events(event, n)
+        return n
 
     # -- introspection -------------------------------------------------
     @property
@@ -771,8 +1041,8 @@ class FlowEngine:
             raise ValueError("step count must be >= 1")
         done = 0
         while done < events and self._heap:
-            self._dispatch()
-            done += 1
+            if self._dispatch() is not None:
+                done += 1
         return done
 
     def run_until(
@@ -796,8 +1066,8 @@ class FlowEngine:
                 break
             if tick is not None and self._heap[0].tick > tick:
                 break
-            self._dispatch()
-            done += 1
+            if self._dispatch() is not None:
+                done += 1
         if (tick is not None and self.clock is not None
                 and (predicate is None or not predicate(self))):
             self.clock.advance_to(tick)
@@ -807,14 +1077,20 @@ class FlowEngine:
         """Dispatch until finished — or until the clock is paused.
 
         This is the batch loop: with no clock (or an unpaused one) it
-        drains the heap exactly as :func:`run_flows` always did.
+        drains the heap exactly as :func:`run_flows` always did — and
+        with the batch tier eligible, consecutive same-flow events
+        coalesce into compiled segment replays.
         """
         done = 0
+        if self._batch:
+            while self._heap:
+                done += self._dispatch_batched()
+            return done
         while self._heap:
             if self.clock is not None and self.clock.paused:
                 break
-            self._dispatch()
-            done += 1
+            if self._dispatch() is not None:
+                done += 1
         return done
 
     # -- the report ----------------------------------------------------
@@ -828,7 +1104,10 @@ class FlowEngine:
         if self._report is not None:
             return self._report
         while self._heap:
-            self._dispatch()
+            if self._batch:
+                self._dispatch_batched()
+            else:
+                self._dispatch()
         self._link_ctl.restore()
         self._report = FabricReport(
             topology=self.topology.key,
@@ -853,8 +1132,16 @@ class FlowEngine:
             max_inflight=self._max_inflight,
             int_all=self._int_all,
             fastpath_enabled=self._fastpath,
+            batch=self._batch_stats(),
+            batch_enabled=self._batch_requested,
         )
         return self._report
+
+    def _batch_stats(self) -> dict[str, int]:
+        stats = self.topology.network.batch_stats()
+        stats["segments"] = self._batch_segments
+        stats["segment_packets"] = self._batch_segment_packets
+        return stats
 
     def snapshot(self) -> dict:
         """A live mid-run view: totals so far, never memoized.
@@ -897,6 +1184,7 @@ def run_flows(
     frr: bool = False,
     link_schedule: Optional[LinkSchedule] = None,
     int_all: bool = False,
+    batch: bool = True,
 ) -> FabricReport:
     """Run a workload over a fabric; returns the :class:`FabricReport`.
 
@@ -924,6 +1212,12 @@ def run_flows(
     any carried flow is INT-enabled an :class:`~repro.int.IntCollector`
     rides the run and the report carries its receiver-side summary.
 
+    ``batch=False`` disables the S27 batch tier (compiled per-flow
+    closures, coalesced segment dispatch) — the per-packet reference
+    path behind ``nf-mon fabric --no-batch``.  Like ``fastpath`` it is
+    an A/B switch: the fingerprint is identical either way, only
+    ``report.batch`` and the wall clock move.
+
     This is now a thin veneer over :class:`FlowEngine` — the steppable
     machine the interactive shell (:mod:`repro.shell`) drives with a
     virtual clock.  Batch and interactive runs therefore share one
@@ -933,7 +1227,7 @@ def run_flows(
         topology, spec, plan,
         flow_filter=flow_filter, flows=flows, max_inflight=max_inflight,
         shards=shards, fastpath=fastpath, frr=frr,
-        link_schedule=link_schedule, int_all=int_all,
+        link_schedule=link_schedule, int_all=int_all, batch=batch,
     ).report()
 
 

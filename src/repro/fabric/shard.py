@@ -75,6 +75,7 @@ def _run_shard(
     frr: bool,
     link_schedule: Optional[LinkSchedule],
     int_all: bool,
+    batch: bool = True,
 ) -> FabricReport:
     """One worker's slice: rebuild the fabric, carry flows ≡ index (mod
     shards).  Module-level so worker processes can pickle it."""
@@ -89,6 +90,7 @@ def _run_shard(
         frr=frr,
         link_schedule=link_schedule,
         int_all=int_all,
+        batch=batch,
     )
 
 
@@ -99,7 +101,7 @@ def _run_shard(
 #: the reports came from different invocations.
 _HEAD_FIELDS = (
     "topology", "workload", "seed", "plan", "frr", "link_schedule",
-    "max_inflight", "int_all", "fastpath_enabled",
+    "max_inflight", "int_all", "fastpath_enabled", "batch_enabled",
 )
 
 
@@ -130,6 +132,7 @@ def merge_reports(reports: list[FabricReport], shards: int) -> FabricReport:
     faults: Counter[str] = Counter()
     hops: Counter[int] = Counter()
     fastpath: Counter[str] = Counter()
+    batch: Counter[str] = Counter()
     loss_by_epoch: Counter[int] = Counter()
     reroutes: Counter[str] = Counter()
     blackholed: Counter[str] = Counter()
@@ -140,6 +143,7 @@ def merge_reports(reports: list[FabricReport], shards: int) -> FabricReport:
         faults.update(report.fault_counters)
         hops.update(report.hops_hist)
         fastpath.update(report.fastpath)
+        batch.update(report.batch)
         loss_by_epoch.update(report.loss_by_epoch)
         reroutes.update(report.device_reroutes)
         blackholed.update(report.device_blackholed)
@@ -170,6 +174,8 @@ def merge_reports(reports: list[FabricReport], shards: int) -> FabricReport:
         max_inflight=head.max_inflight,
         int_all=head.int_all,
         fastpath_enabled=head.fastpath_enabled,
+        batch=dict(sorted(batch.items())),
+        batch_enabled=head.batch_enabled,
     )
 
 
@@ -186,6 +192,7 @@ def run_sharded(
     frr: bool = False,
     link_schedule: Optional[LinkSchedule] = None,
     int_all: bool = False,
+    batch: bool = True,
     supervised: bool = True,
     chaos: Optional[FaultPlan] = None,
     checkpoint: Optional[str | os.PathLike] = None,
@@ -229,16 +236,17 @@ def run_sharded(
             spec, workload, plan,
             shards=shards, max_inflight=max_inflight, fastpath=fastpath,
             flows=flows, frr=frr, link_schedule=link_schedule,
-            int_all=int_all, chaos=chaos, checkpoint=checkpoint,
-            options=supervisor,
+            int_all=int_all, batch=batch, chaos=chaos,
+            checkpoint=checkpoint, options=supervisor,
         )
     if shards == 1:
         return run_flows(spec.build(), workload, plan,
                          flows=flows, max_inflight=max_inflight,
                          fastpath=fastpath, frr=frr,
-                         link_schedule=link_schedule, int_all=int_all)
+                         link_schedule=link_schedule, int_all=int_all,
+                         batch=batch)
     jobs = [(spec, workload, plan, shards, index, max_inflight, fastpath,
-             flows, frr, link_schedule, int_all)
+             flows, frr, link_schedule, int_all, batch)
             for index in range(shards)]
     if parallel:
         # The legacy bare pool: no deadlines, no retries, no integrity

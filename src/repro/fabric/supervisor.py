@@ -66,8 +66,9 @@ _HEARTBEAT = "hb"
 _RESULT = "ok"
 
 #: Bumped when the checkpoint layout changes; old directories are then
-#: rejected rather than misread.
-CHECKPOINT_FORMAT = 1
+#: rejected rather than misread.  2: the S27 batch tier joined the run
+#: identity and the serialized report.
+CHECKPOINT_FORMAT = 2
 
 #: The worker's exit code for a chaos-drawn crash (visible in stats
 #: debugging; any non-zero exit without a result is treated the same).
@@ -159,6 +160,8 @@ def report_to_dict(report: FabricReport) -> dict:
         "max_inflight": report.max_inflight,
         "int_all": report.int_all,
         "fastpath_enabled": report.fastpath_enabled,
+        "batch": report.batch,
+        "batch_enabled": report.batch_enabled,
     }
 
 
@@ -185,6 +188,8 @@ def report_from_dict(data: dict) -> FabricReport:
         max_inflight=data["max_inflight"],
         int_all=data["int_all"],
         fastpath_enabled=data["fastpath_enabled"],
+        batch=dict(data.get("batch", {})),
+        batch_enabled=data.get("batch_enabled", True),
     )
 
 
@@ -208,6 +213,7 @@ def run_identity(
     frr: bool,
     link_schedule: Optional[LinkSchedule],
     int_all: bool,
+    batch: bool = True,
 ) -> dict:
     """Everything that determines a run's outcome, as a flat JSON dict.
 
@@ -230,6 +236,7 @@ def run_identity(
         "link_schedule": (link_schedule.key
                           if link_schedule is not None else None),
         "int_all": int_all,
+        "batch": batch,
     }
 
 
@@ -440,6 +447,7 @@ def run_supervised(
     frr: bool = False,
     link_schedule: Optional[LinkSchedule] = None,
     int_all: bool = False,
+    batch: bool = True,
     chaos: Optional[FaultPlan] = None,
     checkpoint: Optional[str | os.PathLike] = None,
     options: Optional[SupervisorOptions] = None,
@@ -458,13 +466,14 @@ def run_supervised(
     options = options or SupervisorOptions()
     stats = SupervisorStats()
     identity = run_identity(spec, workload, plan, shards, max_inflight,
-                            fastpath, flows, frr, link_schedule, int_all)
+                            fastpath, flows, frr, link_schedule, int_all,
+                            batch)
     store = (CheckpointStore(checkpoint, identity)
              if checkpoint is not None else None)
 
     def job(index: int) -> tuple:
         return (spec, workload, plan, shards, index, max_inflight,
-                fastpath, flows, frr, link_schedule, int_all)
+                fastpath, flows, frr, link_schedule, int_all, batch)
 
     results: dict[int, FabricReport] = {}
     waiting: set[int] = set()

@@ -1,0 +1,213 @@
+"""Batched data plane: precompiled per-flow closures over cached walks.
+
+The S22 caches made the *per-packet* path cheap: a warm microflow
+replays a memoized hop walk instead of re-forwarding.  But the hot loop
+still built one Python object per packet per hop — the E18 ceiling of
+~30k pps.  This module adds the next tier (S27): when a caller knows it
+is about to send *N identical packets of one flow*, the whole run
+replays through one **compiled flow closure** in a single call.
+
+A :class:`CompiledFlow` is a :class:`~repro.testenv.topology._CachedWalk`
+frozen into struct-of-arrays form — parallel tuples of delivery
+devices, ports, hop counts and frame lengths instead of per-delivery
+objects — plus the walk's per-device counter deltas.  Replaying ``n``
+packets applies every delta as ``n * delta`` (one multiply instead of
+``n`` increments) and returns a :class:`BatchResult` that aggregates
+exactly what ``n`` individual :meth:`~repro.testenv.topology.Network.inject`
+calls would have reported.
+
+**Invalidation is the cache's invalidation.**  A closure records the
+topology-wide generation it was compiled under; any table/CAM/link
+mutation bumps a generation counter, the next lookup sees the mismatch,
+drops the closure and counts a *split* — the batch resumes from a fresh
+compile after the mutation, exactly as the path cache re-walks.  The
+compiler never caches what the path cache would not: uncacheable walks
+(CPU handlers, armed datapath faults) simply miss here too, and the
+caller falls back to per-packet injects.
+
+**INT sequence numbers.**  Cached walks keep the flow's sequence-zero
+template bytes; per-packet delivery frames differ only in the 4-byte
+sequence field.  :meth:`BatchResult.frame_with_seq` patches the number
+into one reusable per-delivery buffer — a 4-byte write per packet
+instead of a frame copy — which is how a batched INT run still exposes
+every per-packet frame without materializing N copies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.int.codec import is_int_frame
+
+#: Bound on compiled closures per network (FIFO eviction, like the
+#: path cache it shadows).
+COMPILED_CAPACITY = 4096
+
+
+class BatchResult:
+    """What ``n`` identical injections did, in aggregate.
+
+    ``deliveries`` holds the *template* deliveries of one packet as
+    ``(attachment, frame, hops)`` tuples — every packet of the batch
+    delivered the same way, so per-packet accounting is ``count *``
+    the template.  The drop counts and site tuples are per packet,
+    mirroring :class:`~repro.testenv.topology.InjectionResult`.
+    """
+
+    __slots__ = (
+        "count", "deliveries", "dropped_hop_limit", "dropped_link_down",
+        "hop_limit_sites", "link_down_sites", "_buffers",
+    )
+
+    def __init__(
+        self, count: int, deliveries: tuple,
+        dropped_hop_limit: int, dropped_link_down: int,
+        hop_limit_sites: tuple, link_down_sites: tuple,
+    ):
+        self.count = count
+        self.deliveries = deliveries
+        self.dropped_hop_limit = dropped_hop_limit
+        self.dropped_link_down = dropped_link_down
+        self.hop_limit_sites = hop_limit_sites
+        self.link_down_sites = link_down_sites
+        self._buffers: Optional[list[bytearray]] = None
+
+    def frame_with_seq(self, index: int, seq: int) -> bytes:
+        """Delivery ``index``'s frame with the INT sequence substituted.
+
+        Patches the reusable per-delivery buffer in place (4 bytes) and
+        returns a snapshot; non-INT frames come back untouched.  This is
+        the per-packet view of a batched delivery without building
+        ``count`` frame copies.
+        """
+        frame = self.deliveries[index][1]
+        if not is_int_frame(frame):
+            return frame
+        if self._buffers is None:
+            self._buffers = [bytearray(f) for _, f, _ in self.deliveries]
+        buf = self._buffers[index]
+        buf[-12:-8] = (seq & 0xFFFFFFFF).to_bytes(4, "big")
+        return bytes(buf)
+
+
+class CompiledFlow:
+    """One flow's decision closure: a cached walk in SoA form."""
+
+    __slots__ = (
+        "key", "generation", "deliveries", "devices", "ports", "hops",
+        "lens", "ops", "dropped", "forwarded", "link_down",
+        "hop_limit_sites", "link_down_sites",
+    )
+
+    def __init__(self, key: tuple, walk: Any, generation: int):
+        self.key = key
+        self.generation = generation
+        # Struct-of-arrays views of the walk's deliveries: one tuple per
+        # field, not one object per delivery — what replay iterates.
+        self.deliveries = walk.deliveries
+        self.devices = tuple(at.device for at, _, _ in walk.deliveries)
+        self.ports = tuple(at.port.index for at, _, _ in walk.deliveries)
+        self.hops = tuple(h for _, _, h in walk.deliveries)
+        self.lens = tuple(len(f) for _, f, _ in walk.deliveries)
+        self.ops = walk.ops
+        self.dropped = walk.dropped
+        self.forwarded = walk.forwarded
+        self.link_down = walk.link_down
+        self.hop_limit_sites = walk.hop_limit_sites
+        self.link_down_sites = walk.link_down_sites
+
+    def replay(self, network: Any, count: int) -> BatchResult:
+        """Apply ``count`` packets' worth of effects in one pass.
+
+        Per-device counters move by ``count * delta`` — byte-identical
+        to ``count`` sequential cached replays, just without the loop.
+        """
+        for opl, packets, drops, deltas in self.ops:
+            opl.packets += packets * count
+            opl.drops += drops * count
+            counters = opl.counters
+            for name, delta in deltas:
+                counters[name] = counters.get(name, 0) + delta * count
+        network.dropped_hop_limit += self.dropped * count
+        network.dropped_link_down += self.link_down * count
+        network.forwarded_hops += self.forwarded * count
+        return BatchResult(
+            count, self.deliveries, self.dropped, self.link_down,
+            self.hop_limit_sites, self.link_down_sites,
+        )
+
+
+class FlowBatchCompiler:
+    """Compiles cached walks into :class:`CompiledFlow` closures.
+
+    Owned by a :class:`~repro.testenv.topology.Network`; consulted by
+    :meth:`~repro.testenv.topology.Network.inject_batch`.  The stats it
+    keeps are operational (never fingerprinted):
+
+    * ``compiled`` — closures built from warm walks;
+    * ``replays`` / ``replayed_packets`` — successful batched calls and
+      the packets they carried;
+    * ``splits`` — closures dropped because a generation bump landed
+      mid-run (the batch resumed after a recompile);
+    * ``cold_misses`` — batch calls that found no warm walk and told
+      the caller to fall back to a per-packet inject;
+    * ``prewarmed`` — walks cached by sandboxed dry walks
+      (:meth:`~repro.testenv.topology.Network.warm_paths`) before any
+      packet flew, so the first batch compiles without a cold miss.
+    """
+
+    def __init__(self, capacity: int = COMPILED_CAPACITY):
+        self.capacity = capacity
+        self._compiled: dict[tuple, CompiledFlow] = {}
+        self.compiled = 0
+        self.replays = 0
+        self.replayed_packets = 0
+        self.splits = 0
+        self.cold_misses = 0
+        self.prewarmed = 0
+
+    def __len__(self) -> int:
+        return len(self._compiled)
+
+    def lookup(self, key: tuple, generation: int) -> Optional[CompiledFlow]:
+        """The closure for ``key`` if still valid under ``generation``.
+
+        A stale closure is evicted and counted as a split — the
+        batch-tier mirror of a path-cache invalidation.
+        """
+        closure = self._compiled.get(key)
+        if closure is None:
+            return None
+        if closure.generation != generation:
+            del self._compiled[key]
+            self.splits += 1
+            return None
+        return closure
+
+    def compile(self, key: tuple, walk: Any, generation: int) -> CompiledFlow:
+        closure = CompiledFlow(key, walk, generation)
+        if len(self._compiled) >= self.capacity:
+            del self._compiled[next(iter(self._compiled))]
+        self._compiled[key] = closure
+        self.compiled += 1
+        return closure
+
+    def replay(self, network: Any, closure: CompiledFlow,
+               count: int) -> BatchResult:
+        self.replays += 1
+        self.replayed_packets += count
+        return closure.replay(network, count)
+
+    def clear(self) -> None:
+        self._compiled.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "compiled": self.compiled,
+            "replays": self.replays,
+            "replayed_packets": self.replayed_packets,
+            "splits": self.splits,
+            "cold_misses": self.cold_misses,
+            "prewarmed": self.prewarmed,
+            "entries": len(self._compiled),
+        }

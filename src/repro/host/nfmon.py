@@ -187,6 +187,7 @@ def cmd_fabric(args: argparse.Namespace) -> int:
             spec, workload, plan,
             shards=args.shards, parallel=not args.inline,
             fastpath=not args.no_fastpath,
+            batch=args.batch,
             supervised=not args.bare_pool,
             chaos=chaos, checkpoint=args.checkpoint,
         )
@@ -227,6 +228,10 @@ def cmd_fabric(args: argparse.Namespace) -> int:
         if report.fastpath:
             print("  flow-cache stats:")
             for name, value in sorted(report.fastpath.items()):
+                print(f"    {name:22s} {value}")
+        if report.batch:
+            print("  batch tier:")
+            for name, value in sorted(report.batch.items()):
                 print(f"    {name:22s} {value}")
         if report.supervision:
             print("  supervision:")
@@ -521,6 +526,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="partition flows across this many workers")
     fabric.add_argument("--inline", action="store_true",
                         help="run shards sequentially in-process")
+    fabric.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="the S27 batch tier (compiled per-flow "
+                             "closures); --no-batch takes the "
+                             "per-packet reference path")
     fabric.add_argument("--no-fastpath", action="store_true",
                         help="disable the flow-cache fast path (A/B "
                              "reference run; same fingerprint, slower)")

@@ -124,6 +124,21 @@ class IntCollector:
             tuple(getattr(result, "hop_limit_sites", ())),
         )
 
+    def sent_batch(self, flow_id: int, response: bool, seqs,
+                   epochs, result: Any) -> None:
+        """Record a coalesced run of transmitted packets (S27).
+
+        All ``seqs`` share one injection outcome (the batch tier's
+        eligibility contract), so each gets the same drop-site evidence
+        — but a segment may span flap epochs, so ``epochs`` carries one
+        entry per sequence.  Exactly ``len(seqs)`` :meth:`sent` calls.
+        """
+        down_sites = tuple(getattr(result, "link_down_sites", ()))
+        limit_sites = tuple(getattr(result, "hop_limit_sites", ()))
+        sent = self._state(flow_id, response).sent
+        for seq, epoch in zip(seqs, epochs):
+            sent[seq] = (epoch, down_sites, limit_sites)
+
     def deliver(self, frame: bytes) -> None:
         """Parse one delivered frame's stamps into the ledgers."""
         stack = parse(frame)
@@ -150,6 +165,44 @@ class IntCollector:
             state.last_seq = stack.seq
             state.last_path = tuple(path)
         state.received.add(stack.seq)
+
+    def deliver_batch(self, frame: bytes, seqs) -> None:
+        """Fold a coalesced run of deliveries of one stamped template.
+
+        The batch tier delivers ``len(seqs)`` packets that differ only
+        in the 4-byte sequence field, so the stamps parse once and every
+        stamp-derived counter moves by ``len(seqs)`` — byte-identical
+        to calling :meth:`deliver` per packet with the sequence
+        substituted, since no counter here is sequence-dependent.
+        """
+        n = len(seqs)
+        if not n:
+            return
+        stack = parse(frame)
+        state = self._state(stack.flow_id, stack.response)
+        if stack.overflow:
+            self.overflows += n
+        self.stamps += len(stack.hops) * n
+        path = []
+        prev_ts = 0
+        for hop in stack.hops:
+            name = self._device_name(hop.device_id)
+            path.append(name)
+            self.hop_latency[f"{name}:{hop.timestamp - prev_ts}"] += n
+            prev_ts = hop.timestamp
+            if hop.rerouted:
+                self.reroutes[name] += n
+                for index in range(8):
+                    if hop.dead_ports & (1 << index):
+                        label = self._cables.get((name, index))
+                        if label is not None:
+                            self.reroute_links[label] += n
+        self.paths[">".join(path)] += n
+        top = max(seqs)
+        if top >= state.last_seq:
+            state.last_seq = top
+            state.last_path = tuple(path)
+        state.received.update(seqs)
 
     # ------------------------------------------------------------------
     def summary(self) -> dict:

@@ -8,12 +8,13 @@ domain (pause / step / run-until / warp) instead of free-running.
 """
 
 from repro.shell.clock import VirtualClock
-from repro.shell.repl import COMMANDS, Repl, interact, run_script
+from repro.shell.repl import COMMANDS, NfshCompleter, Repl, interact, run_script
 from repro.shell.session import ExpectFailed, ShellError, ShellSession
 
 __all__ = [
     "COMMANDS",
     "ExpectFailed",
+    "NfshCompleter",
     "Repl",
     "ShellError",
     "ShellSession",

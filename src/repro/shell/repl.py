@@ -22,6 +22,7 @@ import shlex
 import sys
 from typing import Callable, Iterable, Optional, TextIO
 
+from repro.faults import available_plans
 from repro.shell.session import ExpectFailed, ShellError, ShellSession
 from repro.testenv.topology import TopologyError
 
@@ -55,6 +56,96 @@ COMMANDS: dict[str, str] = {
     "echo": "echo <text> — print the text (script narration)",
     "quit": "quit — leave the shell (also: exit, EOF)",
 }
+
+
+class NfshCompleter:
+    """Tab-completion for the interactive prompt.
+
+    The readline ``complete(text, state)`` protocol wraps the pure
+    :meth:`candidates`, so the pools are unit-testable without a TTY
+    or the ``readline`` module.  The first word completes against
+    :data:`COMMANDS`; later words complete against what that argument
+    slot actually accepts — fixed keywords (``link down|up``), switch
+    and host names from the live session, fault-plan presets.  Pools
+    are resolved per keystroke, so a ``build`` that changes the
+    topology changes the completions too.
+    """
+
+    #: (command, argument index) -> fixed keyword pool.
+    _KEYWORDS: dict[tuple[str, int], tuple[str, ...]] = {
+        ("link", 1): ("down", "up"),
+        ("warp", 1): ("on", "off"),
+        ("frr", 1): ("on", "status"),
+        ("faults", 1): ("arm",),
+        ("int", 1): ("paths",),
+    }
+    #: argument slots that take a switch name
+    _DEVICE_SLOTS = frozenset({("tables", 1), ("link", 2), ("link", 3)})
+    #: argument slots that take a host name
+    _HOST_SLOTS = frozenset({("inject", 1), ("inject", 2)})
+
+    def __init__(self, session: ShellSession):
+        self.session = session
+        self._matches: list[str] = []
+
+    # ------------------------------------------------------------------
+    def candidates(self, line: str, text: str) -> list[str]:
+        """Completions for ``text``, the word being typed at the end of
+        ``line`` (empty ``text`` means a fresh word)."""
+        words = line.split()
+        at_fresh_word = not words or line[-1:].isspace()
+        slot = len(words) if at_fresh_word else len(words) - 1
+        pool: Iterable[str]
+        if slot == 0:
+            pool = (*COMMANDS, "exit")
+        else:
+            key = (words[0], slot)
+            if key in self._KEYWORDS:
+                pool = self._KEYWORDS[key]
+            elif key in self._DEVICE_SLOTS:
+                pool = self._devices()
+            elif key in self._HOST_SLOTS:
+                pool = self._hosts()
+            elif key == ("faults", 2):
+                pool = available_plans()
+            else:
+                pool = ()
+        return sorted(name for name in pool if name.startswith(text))
+
+    def _devices(self) -> Iterable[str]:
+        try:
+            return self.session.devices()
+        except Exception:
+            return ()
+
+    def _hosts(self) -> Iterable[str]:
+        try:
+            return sorted(self.session.topology.hosts)
+        except Exception:
+            return ()
+
+    # ------------------------------------------------------------------
+    def complete(self, text: str, state: int) -> Optional[str]:
+        """The ``readline`` completer entry point."""
+        if state == 0:
+            try:
+                import readline
+                line = readline.get_line_buffer()[:readline.get_endidx()]
+            except Exception:
+                line = text
+            self._matches = self.candidates(line, text)
+        return self._matches[state] if state < len(self._matches) else None
+
+
+def _install_readline(completer: NfshCompleter) -> None:
+    """Arm tab-completion on the TTY path; a no-op without readline."""
+    try:
+        import readline
+    except ImportError:  # pragma: no cover - platform without readline
+        return
+    readline.set_completer_delims(" \t")
+    readline.set_completer(completer.complete)
+    readline.parse_and_bind("tab: complete")
 
 
 def _fmt(value) -> str:
@@ -390,6 +481,8 @@ def interact(
     err = sys.stderr if err is None else err
     repl = Repl(session, out=out)
     prompt = "nfsh> " if stdin.isatty() else ""
+    if prompt:
+        _install_readline(NfshCompleter(session))
     failures = 0
     while not repl.done:
         if prompt:

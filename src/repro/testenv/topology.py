@@ -29,6 +29,19 @@ fingerprint built from them) are byte-identical cached or not.
 :meth:`Network.inject_many` batches injections and amortizes the
 generation check across hits.  ``set_fastpath(False)`` turns the path
 cache *and* every device's microflow cache off for A/B runs.
+
+**Batch tier (S27).**  :meth:`Network.inject_batch` replays *N
+same-flow packets in one call* through a precompiled
+:class:`~repro.fastpath.batch.CompiledFlow` closure built from the
+cached walk — counter deltas applied as ``n * delta``, one aggregate
+:class:`~repro.fastpath.batch.BatchResult` instead of N
+:class:`InjectionResult` objects, and (deliberately) no per-packet
+entries in the :attr:`deliveries` log, which is a debugging aid, not a
+fingerprinted observable.  Closures carry the same generation guard as
+the path cache, so any mutation splits the batch at the invalidation
+boundary; a cold or uncacheable flow returns ``None`` and the caller
+falls back to per-packet :meth:`inject` (which warms the walk for the
+next attempt).
 """
 
 from __future__ import annotations
@@ -38,6 +51,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional
 
+from repro.fastpath.batch import BatchResult, FlowBatchCompiler
 from repro.int.codec import set_seq as _int_set_seq
 from repro.projects.base import PortRef, ReferencePipeline
 
@@ -168,6 +182,9 @@ class Network:
         self.path_misses = 0
         self.path_invalidations = 0
         self.path_bypasses = 0
+        # Batch tier: compiled per-flow closures over cached walks.
+        self.batch_enabled = True
+        self._batch = FlowBatchCompiler()
 
     # ------------------------------------------------------------------
     # Construction
@@ -368,6 +385,90 @@ class Network:
             out.append(result)
         return out
 
+    def inject_batch(
+        self, device: str, port: int, frame: bytes, count: int,
+    ) -> Optional[BatchResult]:
+        """Replay ``count`` identical injections in one compiled call.
+
+        Returns a :class:`~repro.fastpath.batch.BatchResult` whose
+        aggregate effects (per-device counters, loss accounting, the
+        template deliveries) are byte-identical to ``count`` sequential
+        :meth:`inject` calls of the same frame — or ``None`` when no
+        valid closure exists and none can be compiled: the batch tier
+        is off, the path cache is off, the walk is not warm under the
+        current generation, or the walk is uncacheable (CPU handlers,
+        armed datapath faults).  On ``None`` the caller injects
+        per-packet; one real inject warms the walk, so the next
+        ``inject_batch`` compiles and the rest of the run replays.
+
+        Batched replays do *not* append to the :attr:`deliveries` log —
+        the log is a per-packet debugging aid, not a fingerprinted
+        observable, and materializing N entries would defeat the tier.
+        """
+        if count < 1:
+            raise ValueError("batch count must be >= 1")
+        if not (self.path_cache_enabled and self.batch_enabled):
+            return None
+        generation = self._network_generation()
+        key = (device, port, frame)
+        closure = self._batch.lookup(key, generation)
+        if closure is None:
+            if generation != self._path_generation:
+                self._batch.cold_misses += 1
+                return None
+            walk = self._path_cache.get(key)
+            if walk is None:
+                self._batch.cold_misses += 1
+                return None
+            closure = self._batch.compile(key, walk, generation)
+        return self._batch.replay(self, closure, count)
+
+    def warm_paths(
+        self, injections: Iterable[tuple[str, int, bytes]]
+    ) -> int:
+        """Populate the path cache by sandboxed dry walks (S27 prewarm).
+
+        Walks each ``(device, port, frame)`` once inside
+        :meth:`sandbox` — every fingerprinted counter is restored, so
+        warming carries no packet — and memoizes the cacheable walks.
+        A later :meth:`inject` or :meth:`inject_batch` of the same key
+        then replays (or compiles) without ever taking the slow walk:
+        this is what moves the batch tier's per-flow warm-up cost out
+        of the dispatch loop and into setup.
+
+        Returns the number of walks cached.  Stops early if a walk
+        mutates decision state (a learning device — the same caveat as
+        :meth:`sandbox`): the already-recorded walks would be stale.
+        """
+        if not self.path_cache_enabled:
+            return 0
+        generation = self._network_generation()
+        if generation != self._path_generation:
+            if self._path_cache:
+                self.path_invalidations += 1
+                self._path_cache.clear()
+            self._path_generation = generation
+        warmed = 0
+        with self.sandbox():
+            for device, port, frame in injections:
+                key = (device, port, frame)
+                if key in self._path_cache:
+                    continue
+                # A dry walk is still a slow walk taken: it counts as a
+                # path miss (operational stats move, like pingall's).
+                self.path_misses += 1
+                _, walk = self._walk(device, port, frame, record=True)
+                if self._network_generation() != generation:
+                    break
+                if walk is None:
+                    continue
+                if len(self._path_cache) >= PATH_CACHE_CAPACITY:
+                    del self._path_cache[next(iter(self._path_cache))]
+                self._path_cache[key] = walk
+                warmed += 1
+        self._batch.prewarmed += warmed
+        return warmed
+
     def run(self, traffic: list[tuple[str, int, bytes]]) -> list[Delivery]:
         """Inject a sequence of ``(device, port, frame)``; returns all
         deliveries in order."""
@@ -544,6 +645,7 @@ class Network:
         if not enabled:
             self._path_cache.clear()
             self._path_generation = -1
+            self._batch.clear()
         for project in self._devices.values():
             cache = getattr(project, "fastpath", None)
             if cache is not None:
@@ -551,9 +653,24 @@ class Network:
                 if not enabled:
                     cache.clear()
 
+    def set_batch(self, enabled: bool) -> None:
+        """Enable/disable the compiled-closure batch tier alone.
+
+        Orthogonal to :meth:`set_fastpath`: the A/B switch behind
+        ``nf-mon fabric --no-batch``, which keeps the flow caches warm
+        but forces :meth:`inject_batch` to decline so callers take the
+        per-packet reference path."""
+        self.batch_enabled = enabled
+        if not enabled:
+            self._batch.clear()
+
     @property
     def path_entries(self) -> int:
         return len(self._path_cache)
+
+    def batch_stats(self) -> dict[str, int]:
+        """The batch tier's operational counters (never fingerprinted)."""
+        return self._batch.stats()
 
     def fastpath_stats(self) -> dict[str, int]:
         """Aggregate flow-cache counters: path cache + device caches."""

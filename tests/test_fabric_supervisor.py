@@ -27,6 +27,7 @@ from repro.fabric import (
 )
 from repro.fabric.shard import _pool_size
 from repro.fabric.supervisor import (
+    CHECKPOINT_FORMAT,
     CheckpointStore,
     reject_reason,
     report_from_dict,
@@ -229,7 +230,12 @@ class TestCheckpointResume:
         other = run_identity(spec, workload, None, 4, 512, True, None,
                              False, None, False)
         assert base != other
-        assert base["format"] == 1
+        assert base["format"] == CHECKPOINT_FORMAT
+        # The S27 batch switch is part of the identity (format 2): a
+        # checkpoint written batched must not resume unbatched.
+        batched_off = run_identity(spec, workload, None, 2, 512, True,
+                                   None, False, None, False, batch=False)
+        assert base != batched_off
 
     def test_store_load_absent_shard_is_none(self, tmp_path):
         spec = get_topology(TOPO)

@@ -1,0 +1,282 @@
+"""The S27 batch tier: compiled flow closures and coalesced dispatch.
+
+Three contracts under test.  **Counter identity**: a warm
+``inject_batch(n)`` must move every observable counter exactly as far
+as ``n`` sequential ``inject`` calls — per-device OPL packets, drops
+and named counters, network loss tallies, forwarded hops and template
+deliveries.  **Invalidation**: any wiring or table mutation between
+batches must split the batch at the generation boundary (stale closure
+→ ``None`` → the caller re-warms through the real pipeline).
+**Fingerprint invariance**: the FabricReport and INT fingerprints are
+byte-identical across {batch on/off} × {cache on/off} × {1/2/4
+shards}, with and without fault plans and link schedules — batching is
+an execution strategy, never an observable.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.fabric import get_topology, run_sharded
+from repro.fabric.scheduler import FlowEngine, LinkSchedule, run_flows
+from repro.fabric.workload import WorkloadSpec
+from repro.faults import CtrlFaultSpec, FaultPlan, LinkStateSpec, get_plan
+from repro.host.nfmon import main as nfmon_main
+from repro.projects.reference_switch import ReferenceSwitch
+from repro.testenv.topology import Network
+
+from .conftest import udp_frame
+
+pytestmark = pytest.mark.fastpath
+
+
+def two_switch_fabric() -> Network:
+    net = Network()
+    net.add_device("s1", ReferenceSwitch())
+    net.add_device("s2", ReferenceSwitch())
+    net.link("s1", 3, "s2", 0)
+    return net
+
+
+def counter_state(net: Network) -> tuple:
+    """Every batch-replayed observable, as one comparable value."""
+    return (
+        {name: dict(net.device(name).opl.counters)
+         for name in net.device_names()},
+        net.dropped_hop_limit,
+        net.dropped_link_down,
+        net.forwarded_hops,
+    )
+
+
+# ----------------------------------------------------------------------
+# Network layer: inject_batch counter identity and invalidation
+# ----------------------------------------------------------------------
+class TestInjectBatch:
+    def test_warm_batch_equals_sequential_injects(self):
+        batched, serial = two_switch_fabric(), two_switch_fabric()
+        frame = udp_frame(1, 2)
+        for net in (batched, serial):
+            net.inject("s1", 0, frame)  # learn
+            net.inject("s1", 0, frame)  # fill + warm the walk
+        result = batched.inject_batch("s1", 0, frame, 6)
+        assert result is not None and result.count == 6
+        for _ in range(6):
+            serial.inject("s1", 0, frame)
+        assert counter_state(batched) == counter_state(serial)
+        assert batched.batch_stats()["replayed_packets"] == 6
+
+    def test_cold_flow_returns_none_and_counts_the_miss(self):
+        net = two_switch_fabric()
+        assert net.inject_batch("s1", 0, udp_frame(1, 2), 4) is None
+        assert net.batch_stats()["cold_misses"] == 1
+        assert counter_state(net) == counter_state(two_switch_fabric())
+
+    def test_mutation_between_batches_splits_at_the_boundary(self):
+        net = two_switch_fabric()
+        frame = udp_frame(1, 2)
+        net.inject("s1", 0, frame)
+        net.inject("s1", 0, frame)
+        assert net.inject_batch("s1", 0, frame, 3) is not None
+        net.set_link_state("s1", "s2", False)
+        net.set_link_state("s1", "s2", True)
+        assert net.inject_batch("s1", 0, frame, 3) is None
+        assert net.batch_stats()["splits"] == 1
+        # One real inject re-warms; the next batch compiles again.
+        net.inject("s1", 0, frame)
+        assert net.inject_batch("s1", 0, frame, 3) is not None
+        assert net.batch_stats()["compiled"] == 2
+
+    def test_set_batch_off_clears_and_declines(self):
+        net = two_switch_fabric()
+        frame = udp_frame(1, 2)
+        net.inject("s1", 0, frame)
+        net.inject("s1", 0, frame)
+        assert net.inject_batch("s1", 0, frame, 2) is not None
+        net.set_batch(False)
+        assert net.batch_stats()["entries"] == 0
+        assert net.inject_batch("s1", 0, frame, 2) is None
+
+    def test_count_must_be_positive(self):
+        net = two_switch_fabric()
+        with pytest.raises(ValueError):
+            net.inject_batch("s1", 0, udp_frame(1, 2), 0)
+
+
+# ----------------------------------------------------------------------
+# Property: batched == cached == uncached under random churn
+# ----------------------------------------------------------------------
+class TestChurnProperty:
+    def test_random_interleaving_of_batches_and_churn(self):
+        """Random walks of traffic, FDB writes and link flaps: the
+        batched, cached and uncached fabrics agree counter-for-counter
+        after every step."""
+        rng = random.Random(2701)
+        batched = two_switch_fabric()
+        cached = two_switch_fabric()
+        cached.set_batch(False)
+        plain = two_switch_fabric()
+        plain.set_fastpath(False)
+        fabrics = (batched, cached, plain)
+        pairs = ((1, 2), (2, 1), (3, 4), (4, 3))
+        flows = [udp_frame(a, b) for a, b in pairs]
+        ports = {1: ("s1", 0), 2: ("s2", 1), 3: ("s1", 1), 4: ("s2", 2)}
+        took_batch = 0
+        for _ in range(120):
+            op = rng.random()
+            if op < 0.55:  # a burst of one flow
+                index = rng.randrange(len(flows))
+                device, port = ports[pairs[index][0]]
+                frame, count = flows[index], rng.randrange(1, 6)
+                result = batched.inject_batch(device, port, frame, count)
+                if result is None:
+                    for _ in range(count):
+                        batched.inject(device, port, frame)
+                else:
+                    took_batch += 1
+                for net in (cached, plain):
+                    for _ in range(count):
+                        net.inject(device, port, frame)
+            elif op < 0.8:  # link churn
+                up = rng.random() < 0.5
+                for net in fabrics:
+                    net.set_link_state("s1", "s2", up)
+            else:  # FDB churn
+                mac = f"02:00:00:00:00:{rng.randrange(9, 99):02x}"
+                port = rng.randrange(4)
+                for net in fabrics:
+                    net.device("s2").install_static_mac(mac, port)
+            assert counter_state(batched) == counter_state(cached)
+            assert counter_state(batched) == counter_state(plain)
+        assert took_batch > 0
+        assert batched.batch_stats()["splits"] > 0
+
+
+# ----------------------------------------------------------------------
+# Engine: fingerprint identity across the whole grid
+# ----------------------------------------------------------------------
+class TestEngineFingerprint:
+    WORKLOAD = WorkloadSpec(flows=48, packets_per_flow=8, seed=7)
+
+    def _run(self, **kw):
+        return run_flows(get_topology("leaf-spine").build(),
+                         self.WORKLOAD, kw.pop("plan", None), **kw)
+
+    def test_clean_run_batch_on_off_and_cache_on_off(self):
+        runs = [self._run(batch=batch, fastpath=fastpath)
+                for batch in (True, False) for fastpath in (True, False)]
+        prints = {run.fingerprint() for run in runs}
+        assert len(prints) == 1
+        assert runs[0].batch["segment_packets"] > 0
+        assert runs[0].batch["replayed_packets"] > 0
+        # batch needs the flow cache; without it the tier stands down
+        assert runs[1].batch.get("replayed_packets", 0) == 0
+
+    def test_datapath_plan_disables_the_tier_but_not_identity(self):
+        plan = get_plan("flaky-fabric", seed=3)
+        on = self._run(plan=plan)
+        off = self._run(plan=plan, batch=False)
+        assert on.fingerprint() == off.fingerprint()
+        assert on.batch.get("replayed_packets", 0) == 0
+
+    def test_flap_plan_keeps_batching_within_epochs(self):
+        plan = FaultPlan("flap-only", seed=9,
+                         ctrl=CtrlFaultSpec(flap_rate=0.2))
+        on = self._run(plan=plan)
+        off = self._run(plan=plan, batch=False)
+        assert on.fingerprint() == off.fingerprint()
+        assert on.batch["replayed_packets"] > 0
+
+    def test_seeded_link_cuts_split_batches_identically(self):
+        plan = FaultPlan("cuts", seed=5,
+                         link_state=LinkStateSpec(down_rate=0.05,
+                                                  max_down_epochs=3))
+        on = self._run(plan=plan)
+        off = self._run(plan=plan, batch=False)
+        assert on.fingerprint() == off.fingerprint()
+        assert on.records == off.records
+
+    def test_link_schedule_splits_at_the_boundary(self):
+        schedule = LinkSchedule(events=(("spine0", "leaf0", 1, 4),))
+        workload = WorkloadSpec(flows=40, packets_per_flow=12, seed=0)
+        topo = get_topology("leaf-spine")
+        on = run_flows(topo.build(), workload, link_schedule=schedule)
+        off = run_flows(topo.build(), workload, link_schedule=schedule,
+                        batch=False)
+        assert on.fingerprint() == off.fingerprint()
+        assert on.batch["splits"] > 0
+
+    def test_shard_grid_one_fingerprint(self):
+        spec = get_topology("leaf-spine")
+        prints = {
+            run_sharded(spec, self.WORKLOAD, shards=shards, parallel=False,
+                        batch=batch, fastpath=fastpath).fingerprint()
+            for shards in (1, 2, 4)
+            for batch in (True, False)
+            for fastpath in (True, False)
+        }
+        assert len(prints) == 1
+
+    def test_shard_reports_carry_summed_batch_stats(self):
+        spec = get_topology("leaf-spine")
+        merged = run_sharded(spec, self.WORKLOAD, shards=4, parallel=False)
+        single = run_sharded(spec, self.WORKLOAD, shards=1)
+        assert merged.batch["replayed_packets"] == \
+            single.batch["replayed_packets"]
+        assert merged.batch_enabled is True
+
+
+# ----------------------------------------------------------------------
+# INT: batched replays keep receiver-side sequences gapless
+# ----------------------------------------------------------------------
+class TestIntBatched:
+    WORKLOAD = WorkloadSpec(flows=32, packets_per_flow=10, seed=13)
+
+    def test_batched_int_run_is_gapless_at_the_collector(self):
+        topology = get_topology("leaf-spine").build()
+        engine = FlowEngine(topology, self.WORKLOAD, int_all=True)
+        engine.run()
+        report = engine.report()
+        assert report.batch["replayed_packets"] > 0
+        summary = report.int_summary
+        assert summary["lost"] == 0
+        assert summary["delivered"] == summary["packets"] > 0
+        for state in engine.collector._flows.values():
+            seqs = sorted(state.sent)
+            assert seqs == list(range(len(seqs)))  # gapless assignment
+            assert state.received == set(state.sent)  # gapless arrival
+
+    def test_int_summary_identical_batch_on_off(self):
+        spec = get_topology("leaf-spine")
+        on = run_sharded(spec, self.WORKLOAD, shards=2, parallel=False,
+                         int_all=True)
+        off = run_sharded(spec, self.WORKLOAD, shards=2, parallel=False,
+                          int_all=True, batch=False)
+        assert on.int_summary == off.int_summary
+        assert on.fingerprint() == off.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# nf-mon: the operator's A/B switch
+# ----------------------------------------------------------------------
+class TestNfmonBatch:
+    def test_fabric_prints_batch_tier_stats(self, capsys):
+        assert nfmon_main(["fabric", "--topo", "leaf-spine",
+                           "--workload", "uniform-small"]) == 0
+        out = capsys.readouterr().out
+        assert "batch tier:" in out
+        assert "replayed_packets" in out
+
+    def test_no_batch_flag_same_fingerprint(self, capsys):
+        args = ["fabric", "--topo", "leaf-spine",
+                "--workload", "uniform-small", "--format", "json"]
+        assert nfmon_main(args) == 0
+        with_batch = json.loads(capsys.readouterr().out)
+        assert nfmon_main(args + ["--no-batch"]) == 0
+        without = json.loads(capsys.readouterr().out)
+        assert with_batch["fingerprint"] == without["fingerprint"]
+        assert with_batch["batch"]["replayed_packets"] > 0
+        assert without["batch"].get("replayed_packets", 0) == 0

@@ -6,7 +6,15 @@ import io
 
 import pytest
 
-from repro.shell import COMMANDS, Repl, ShellError, ShellSession, interact, run_script
+from repro.shell import (
+    COMMANDS,
+    NfshCompleter,
+    Repl,
+    ShellError,
+    ShellSession,
+    interact,
+    run_script,
+)
 
 pytestmark = pytest.mark.shell
 
@@ -142,6 +150,55 @@ class TestScriptMode:
         code, out, _ = script(["echo one", "quit", "echo two"])
         assert code == 0
         assert "one" in out and "two" not in out
+
+
+class TestCompleter:
+    """The pure candidates() core readline wraps — no TTY needed."""
+
+    def fresh(self) -> NfshCompleter:
+        return NfshCompleter(ShellSession())
+
+    def test_first_word_completes_command_names(self):
+        completer = self.fresh()
+        assert completer.candidates("", "") == \
+            sorted((*COMMANDS, "exit"))
+        assert completer.candidates("st", "st") == \
+            ["start", "stats", "status", "step"]
+
+    def test_keyword_slots(self):
+        completer = self.fresh()
+        assert completer.candidates("link ", "") == ["down", "up"]
+        assert completer.candidates("warp o", "o") == ["off", "on"]
+        assert completer.candidates("frr ", "") == ["on", "status"]
+        assert completer.candidates("int p", "p") == ["paths"]
+
+    def test_device_slots_read_the_live_session(self):
+        completer = self.fresh()
+        devices = sorted(completer.session.devices())
+        assert completer.candidates("tables ", "") == devices
+        assert completer.candidates("link down ", "") == devices
+        assert completer.candidates("link down leaf0 sp", "sp") == \
+            [d for d in devices if d.startswith("sp")]
+
+    def test_host_and_preset_slots(self):
+        completer = self.fresh()
+        hosts = sorted(completer.session.topology.hosts)
+        assert completer.candidates("inject ", "") == hosts
+        assert "flaky-fabric" in completer.candidates("faults arm ", "")
+
+    def test_unknown_slots_complete_to_nothing(self):
+        completer = self.fresh()
+        assert completer.candidates("echo ", "") == []
+        assert completer.candidates("status extra ", "") == []
+
+    def test_readline_protocol_walks_matches_then_none(self):
+        completer = self.fresh()
+        # Outside a readline prompt the line buffer is empty (or the
+        # module absent), so the protocol resolves the first-word pool.
+        first = completer.complete("st", 0)
+        assert first == "start"
+        assert completer.complete("st", 3) == "step"
+        assert completer.complete("st", 4) is None
 
 
 class TestInteract:
